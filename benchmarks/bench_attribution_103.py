@@ -1,0 +1,83 @@
+"""§10.3: violation attribution.
+
+The paper: IotSan attributes all 9 ContexIoT-style malicious apps with
+100% accuracy; of 11 candidate market apps, 6 are detected with 100%
+violation ratios (bad apps) and the rest are attributed to bad
+configurations.
+"""
+
+from repro.attribution import OutputAnalyzer
+from repro.attribution.volunteers import full_house
+from repro.corpus import load_malicious_apps
+
+from conftest import print_table
+
+#: the 11 market candidates (found via the §10.2 experiments): apps whose
+#: behaviour is risky alone plus apps that merely depend on configuration
+MARKET_CANDIDATES = [
+    "Unlock Door", "Welcome Home", "Good Night", "Big Turn On",
+    "Fire Escape Unlock", "Night Valve Watering",
+    "Virtual Thermostat", "Brighten My Path", "CO Ventilator",
+    "Smart Sprinkler", "Smoke Alarm Siren",
+]
+
+
+def attribute_all(registry, names, max_configs=16, origin="unknown"):
+    analyzer = OutputAnalyzer(registry, max_configs=max_configs)
+    house = full_house()
+    return {name: analyzer.attribute(name, house, origin=origin)
+            for name in names}
+
+
+def test_malicious_apps_attributed(registry, benchmark):
+    malicious = sorted(load_malicious_apps())
+    reports = benchmark.pedantic(attribute_all, args=(registry, malicious),
+                                 iterations=1, rounds=1)
+
+    rows = []
+    correct = 0
+    for name, report in sorted(reports.items()):
+        ok = report.verdict == "malicious"
+        correct += ok
+        rows.append((name, report.verdict,
+                     "%.0f%%" % (report.phase1.ratio * 100),
+                     "OK" if ok else "MISS"))
+    rows.append(("ACCURACY", "%d/%d" % (correct, len(reports)),
+                 "(paper: 9/9, all at 100%)", ""))
+    print_table("§10.3 - malicious app attribution",
+                ["app", "verdict", "phase-1 ratio", "status"], rows)
+    assert correct == len(reports) == 9
+
+
+def test_market_apps_attributed(registry, benchmark):
+    reports = benchmark.pedantic(
+        attribute_all, args=(registry, MARKET_CANDIDATES),
+        kwargs={"origin": "market"}, iterations=1, rounds=1)
+
+    rows = []
+    flagged = 0
+    misconfigured = 0
+    for name, report in sorted(reports.items()):
+        flagged += report.is_flagged
+        misconfigured += report.verdict == "misconfiguration"
+        phase2 = report.phase2.ratio if report.phase2 else None
+        rows.append((name, report.verdict,
+                     "%.0f%%" % (report.phase1.ratio * 100),
+                     "%.0f%%" % (phase2 * 100) if phase2 is not None
+                     else "-",
+                     len(report.suggestions())))
+    rows.append(("SUMMARY", "%d flagged, %d misconfig" % (flagged,
+                                                          misconfigured),
+                 "(paper: 6 of 11 flagged at 100%,", "rest misconfig)", ""))
+    print_table("§10.3 - market app attribution (11 candidates)",
+                ["app", "verdict", "phase-1", "phase-2",
+                 "safe configs offered"], rows)
+
+    # the paper's split: roughly half flagged with 100% ratios, the rest
+    # attributed to configuration
+    assert 3 <= flagged <= 10
+    assert misconfigured >= 1
+    # misconfiguration verdicts must come with safe-config suggestions
+    for report in reports.values():
+        if report.verdict == "misconfiguration":
+            assert report.suggestions()

@@ -1,0 +1,69 @@
+"""Figure 4 / Tables 2-3 / Table 7a: the App Dependency Analyzer.
+
+Regenerates the paper's worked example (the five Table-2 apps and their
+related sets) and the Table-7a scale ratios of the six expert groups.
+"""
+
+import pytest
+
+from repro.corpus.groups import EXPERT_GROUPS, expert_configuration
+from repro.deps import analyze_apps
+
+from conftest import print_table
+
+PAPER_APPS = ["Brighten Dark Places", "Let There Be Dark!",
+              "Auto Mode Change", "Unlock Door", "Big Turn On"]
+
+#: Table 7a as published
+PAPER_TABLE7A = {1: 3.4, 2: 5.4, 3: 1.5, 4: 2.5, 5: 2.2, 6: 5.7}
+
+
+def test_fig4_related_sets(registry, benchmark):
+    """Fig 4b: related sets {3}, {2,4}, {0,1}, {1,5}, {1,2,6}."""
+    apps = [registry[name] for name in PAPER_APPS]
+    analysis = benchmark(analyze_apps, apps)
+
+    rows = []
+    for index, related in enumerate(analysis.related_sets, 1):
+        members = sorted(
+            "%s.%s" % (a, h)
+            for vid in related
+            for a, h in analysis.merged_graph.vertices[vid].members)
+        rows.append((index, len(related), "; ".join(members)))
+    print_table("Figure 4b / Table 3c - final related sets "
+                "(paper: 5 sets {3} {2,4} {0,1} {1,5} {1,2,6})",
+                ["set", "vertices", "handlers"], rows)
+    assert len(analysis.related_sets) == 5
+
+
+def test_table7a_scale_ratios(registry, benchmark):
+    """Table 7a: dependency analysis shrinks each group's problem size."""
+
+    def analyze_groups():
+        results = {}
+        for group_name in EXPERT_GROUPS:
+            config = expert_configuration(group_name)
+            apps = [registry[a.app] for a in config.apps
+                    if a.app in registry]
+            results[group_name] = analyze_apps(apps)
+        return results
+
+    results = benchmark(analyze_groups)
+
+    rows = []
+    ratios = []
+    for index, (group_name, analysis) in enumerate(
+            sorted(results.items()), 1):
+        ratios.append(analysis.scale_ratio)
+        rows.append((index, group_name, analysis.original_size,
+                     analysis.new_size, "%.1f" % analysis.scale_ratio,
+                     PAPER_TABLE7A[index]))
+    mean = sum(ratios) / len(ratios)
+    rows.append(("", "mean", "", "", "%.1f" % mean, 3.4))
+    print_table("Table 7a - scalability with dependency graphs "
+                "(paper mean scale ratio: 3.4x)",
+                ["group", "name", "original size", "new size",
+                 "scale ratio", "paper"], rows)
+    # the shape: every group shrinks, mean ratio is meaningfully > 1
+    assert all(r >= 1.0 for r in ratios)
+    assert mean > 1.3

@@ -1,0 +1,133 @@
+"""Table 5: verification results with market apps (expert configurations).
+
+Runs the six expert groups through the checker with and without
+device/communication failures, and prints the Table-5 rows (violation
+type, count, example apps).  Paper: 38 violations of 11 properties from
+app interactions, plus 9 additional properties under failures.
+"""
+
+from repro.checker.explorer import Explorer, ExplorerOptions
+from repro.corpus.groups import EXPERT_GROUPS, expert_configuration
+from repro.properties import build_properties, select_relevant
+from repro.properties.base import (
+    KIND_CONFLICT,
+    KIND_INVARIANT,
+    KIND_REPEAT,
+    KIND_ROBUSTNESS,
+)
+
+from conftest import print_table
+
+_OPTIONS = dict(max_events=2, max_states=60000)
+
+_TYPE_LABELS = {
+    KIND_CONFLICT: "Conflicting commands",
+    KIND_REPEAT: "Repeated commands",
+    KIND_INVARIANT: "Unsafe physical states",
+    KIND_ROBUSTNESS: "Robustness to failure",
+}
+
+
+def run_groups(generator, enable_failures):
+    violations = []
+    for group_name in EXPERT_GROUPS:
+        config = expert_configuration(group_name)
+        system = generator.build(config, enable_failures=enable_failures)
+        properties = select_relevant(system, build_properties())
+        result = Explorer(system, properties,
+                          ExplorerOptions(**_OPTIONS)).run()
+        violations.extend(result.violations)
+    return violations
+
+
+def summarize(violations):
+    by_type = {}
+    for violation in violations:
+        label = _TYPE_LABELS.get(violation.property.kind, "Other")
+        entry = by_type.setdefault(label, {"count": 0, "example": None})
+        entry["count"] += 1
+        if entry["example"] is None and violation.apps:
+            entry["example"] = (violation.property.name,
+                                ", ".join(sorted(set(violation.apps))[:4]))
+    return by_type
+
+
+def test_table5_no_failures(generator, benchmark):
+    violations = benchmark.pedantic(run_groups, args=(generator, False),
+                                    iterations=1, rounds=2)
+    by_type = summarize(violations)
+    rows = []
+    for label, entry in sorted(by_type.items()):
+        example = entry["example"] or ("", "")
+        rows.append((label, entry["count"], example[0][:38], example[1]))
+    properties = {v.property.id for v in violations}
+    rows.append(("TOTAL", len(violations),
+                 "%d properties" % len(properties), ""))
+    print_table("Table 5 - market apps, expert configs, no failures "
+                "(paper: 38 violations of 11 properties; "
+                "conflicting 8, repeated 10, unsafe states 20)",
+                ["violation type", "count", "example property",
+                 "apps in example"], rows)
+    assert by_type["Conflicting commands"]["count"] >= 2
+    assert by_type["Repeated commands"]["count"] >= 2
+    assert by_type["Unsafe physical states"]["count"] >= 8
+    assert 8 <= len(properties) <= 20
+
+
+def test_table5_with_failures(generator, benchmark):
+    """Failures must add violated properties (paper: 9 additional)."""
+    base = run_groups(generator, False)
+    violations = benchmark.pedantic(run_groups, args=(generator, True),
+                                    iterations=1, rounds=1)
+    base_properties = {v.property.id for v in base}
+    failure_properties = {v.property.id for v in violations}
+    added = sorted(failure_properties - base_properties)
+    rows = [("without failures", len(base), len(base_properties), ""),
+            ("with failures", len(violations), len(failure_properties),
+             ", ".join(added))]
+    print_table("Table 5 (cont.) - device/communication failures "
+                "(paper: failures violate 9 additional properties)",
+                ["scenario", "violations", "properties",
+                 "properties added by failures"], rows)
+    assert len(added) >= 2
+    # the paper's headline robustness gap: no app verifies its commands
+    assert "P45" in failure_properties
+
+
+def test_fig8b_motion_sensor_failure(generator, benchmark):
+    """Fig 8b: Make It So misses the lock-up because the sensor fails."""
+    from repro.config.schema import SystemConfiguration
+
+    config = SystemConfiguration(contacts=["+1-555-0100"])
+    config.add_device("alicePresence", "smartsense-presence")
+    config.add_device("livRoomMotion", "smartsense-motion")
+    config.add_device("frontContact", "smartsense-multi")
+    config.add_device("frontDoorLock", "zwave-lock")
+    config.add_device("light1", "smart-outlet")
+    config.association["main_door_lock"] = "frontDoorLock"
+    config.add_app("Darken Behind Me", {"motion1": "livRoomMotion",
+                                        "switches": ["light1"]})
+    config.add_app("Auto Mode Change", {"people": ["alicePresence"],
+                                        "awayMode": "Away",
+                                        "homeMode": "Home"})
+    config.add_app("Unlock Door", {"lock1": "frontDoorLock"})
+    config.add_app("Make It So", {"motionSensor": "livRoomMotion",
+                                  "door": "frontContact",
+                                  "locks": ["frontDoorLock"],
+                                  "awayMode": "Away"})
+    system = generator.build(config, enable_failures=True)
+    properties = select_relevant(system, build_properties())
+
+    result = benchmark.pedantic(
+        Explorer(system, properties,
+                 ExplorerOptions(max_events=2, max_states=80000)).run,
+        iterations=1, rounds=2)
+
+    rows = [(v.property.id, ", ".join(sorted(set(v.apps))) or "-",
+             v.message[:60]) for v in result.violations]
+    print_table("Figure 8b - violations with a failing device "
+                "(paper: door left unlocked, no notification)",
+                ["property", "apps", "violation"], rows)
+    assert "P45" in result.violated_property_ids
+    assert any(v.property.id in ("P06", "P08", "P11")
+               for v in result.violations)

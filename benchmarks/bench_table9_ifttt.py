@@ -1,0 +1,69 @@
+"""Table 9: verification results with IFTTT rules.
+
+Ten applets, translated through the IFTTT Handler and deployed into one
+smart home, must reproduce the paper's seven violations of four unsafe
+physical states - e.g. the "good night" phrase rule (#4) silencing the
+siren that the motion rules (#1, #3) arm.
+"""
+
+import re
+
+from repro.checker.explorer import Explorer, ExplorerOptions
+from repro.ifttt import TABLE9_PROPERTIES, table9_configuration
+from repro.ifttt.table9 import TABLE9_EXPECTED, table9_registry
+from repro.model.generator import ModelGenerator
+
+from conftest import print_table
+
+
+def run_table9():
+    registry = table9_registry()
+    config = table9_configuration()
+    system = ModelGenerator(registry).build(config)
+    options = ExplorerOptions(max_events=2, max_states=150000)
+    return Explorer(system, TABLE9_PROPERTIES, options).run()
+
+
+def _rule_numbers(apps):
+    numbers = set()
+    for app in apps:
+        match = re.match(r"Rule #(\d+)", app)
+        if match:
+            numbers.add(int(match.group(1)))
+    return frozenset(numbers)
+
+
+def test_table9_ifttt_rules(benchmark):
+    result = benchmark.pedantic(run_table9, iterations=1, rounds=2)
+
+    found = {}
+    for counterexample in result.counterexamples.values():
+        violation = counterexample.violation
+        found.setdefault(violation.property.id, []).append(
+            _rule_numbers(set(violation.apps)))
+
+    rows = []
+    matched = 0
+    expected_total = 0
+    for property_id, groups in sorted(TABLE9_EXPECTED.items()):
+        prop = next(p for p in TABLE9_PROPERTIES if p.id == property_id)
+        for expected in groups:
+            expected_total += 1
+            numbers = {int(r.replace("rule", "").lstrip("0"))
+                       for r in expected}
+            hit = any(numbers <= rules
+                      for rules in found.get(property_id, []))
+            matched += hit
+            rows.append((property_id, prop.name[:42],
+                         ",".join("#%d" % n for n in sorted(numbers)),
+                         "reproduced" if hit else "MISSING"))
+    extras = sum(len(groups) for groups in found.values()) - matched
+    rows.append(("", "TOTAL", "%d/%d groups" % (matched, expected_total),
+                 "+%d extra findings" % max(0, extras)))
+    print_table("Table 9 - IFTTT rules (paper: 7 violations of 4 unsafe "
+                "physical states)",
+                ["property", "violated property", "related rules",
+                 "status"], rows)
+
+    assert matched == expected_total  # all 7 paper groups reproduced
+    assert set(found) == {"I01", "I02", "I03", "I04"}

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures and the paper-vs-measured report helper.
+
+Every benchmark regenerates one table or figure of the paper.  Absolute
+timings differ from the authors' MacBook + Spin setup; what must hold is
+the *shape*: which configurations violate which properties, who wins
+(sequential vs concurrent), and how runtimes grow with the event bound.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the rows.
+"""
+
+import pytest
+
+from repro.corpus import load_all_apps
+from repro.model.generator import ModelGenerator
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return load_all_apps()
+
+
+@pytest.fixture(scope="session")
+def generator(registry):
+    return ModelGenerator(registry)
+
+
+def print_table(title, headers, rows):
+    """Render one paper-style table to stdout (visible with ``-s``)."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              if rows else len(str(h))
+              for i, h in enumerate(headers)]
+    lines = ["", "=" * 72, title, "=" * 72]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print("\n".join(lines))

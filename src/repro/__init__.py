@@ -1,0 +1,72 @@
+"""IotSan reproduction: model-checking based safety analysis of IoT systems.
+
+Reproduction of "IotSan: Fortifying the Safety of IoT Systems" (Nguyen et
+al., CoNEXT 2018) as a pure-Python library.  The pipeline mirrors the
+paper's five modules:
+
+1. :mod:`repro.deps` - App Dependency Analyzer (§5);
+2. :mod:`repro.groovy` / :mod:`repro.translator` - Translator (§6);
+3. :mod:`repro.config` - Configuration Extractor (§7);
+4. :mod:`repro.model` + :mod:`repro.properties` - Model Generator (§8);
+5. :mod:`repro.checker` + :mod:`repro.attribution` - model checking and
+   Output Analyzer (§9).
+
+Quickstart::
+
+    from repro import check_configuration
+    from repro.config import SystemConfiguration
+
+    config = SystemConfiguration(contacts=["+1-555-0100"])
+    config.add_device("alicePresence", "smartsense-presence")
+    config.add_device("doorLock", "zwave-lock")
+    config.association["main_door_lock"] = "doorLock"
+    config.add_app("Auto Mode Change", {"people": ["alicePresence"],
+                                        "awayMode": "Away", "homeMode": "Home"})
+    config.add_app("Unlock Door", {"lock1": "doorLock"})
+    result = check_configuration(config)
+    print(result.summary())
+"""
+
+from repro.checker.explorer import ExplorerOptions
+
+__version__ = "1.0.0"
+
+
+def check_configuration(config, registry=None, properties=None,
+                        relevant_only=True, enable_failures=False, **options):
+    """Verify one system configuration end-to-end.
+
+    ``registry`` defaults to the bundled corpus; ``properties`` defaults to
+    the 45-property catalog (filtered for relevance unless
+    ``relevant_only=False``).  Remaining keyword arguments become
+    :class:`~repro.checker.explorer.ExplorerOptions` (``max_events``,
+    ``mode``, ``visited``, ...).  Returns an
+    :class:`~repro.checker.explorer.ExplorationResult`.
+    """
+    from repro.checker.explorer import Explorer
+
+    system = build_system(config, registry=registry,
+                          enable_failures=enable_failures)
+    if properties is None:
+        from repro.properties import build_properties
+        properties = build_properties()
+    if relevant_only:
+        from repro.properties import select_relevant
+        properties = select_relevant(system, properties)
+    explorer = Explorer(system, properties, ExplorerOptions(**options))
+    return explorer.run()
+
+
+def build_system(config, registry=None, enable_failures=False):
+    """Bind a configuration into an :class:`~repro.model.system.IoTSystem`."""
+    from repro.corpus import load_all_apps
+    from repro.model.generator import ModelGenerator
+
+    if registry is None:
+        registry = load_all_apps()
+    return ModelGenerator(registry).build(config, strict=False,
+                                          enable_failures=enable_failures)
+
+
+__all__ = ["check_configuration", "build_system", "ExplorerOptions",
+           "__version__"]

@@ -1,0 +1,44 @@
+"""Output Analyzer (§9): violation attribution.
+
+Attributes safety violations to either a *malicious app*, a *bad app*, or a
+*misconfiguration*, using the two-phase violation-ratio heuristic:
+
+1. when a new app is installed, enumerate all of its possible
+   configurations and verify each independently; a violation ratio above
+   the threshold (default 90%) flags the app as potentially **malicious**;
+2. otherwise verify it, again under all configurations, in conjunction
+   with the previously installed apps; a ratio above the threshold flags a
+   **bad app**, anything else is attributed to **misconfiguration** and
+   safe configurations are suggested.
+
+:mod:`repro.attribution.volunteers` carries the seven non-expert
+configuration profiles used for the §10.1 user study (Table 6).
+"""
+
+from repro.attribution.analyzer import (
+    VERDICT_BAD_APP,
+    VERDICT_MALICIOUS,
+    VERDICT_MISCONFIGURED,
+    VERDICT_SAFE,
+    AttributionReport,
+    OutputAnalyzer,
+)
+from repro.attribution.enumerator import ConfigurationEnumerator
+from repro.attribution.volunteers import (
+    VOLUNTEER_PROFILES,
+    volunteer_configuration,
+    volunteer_profile_names,
+)
+
+__all__ = [
+    "VERDICT_BAD_APP",
+    "VERDICT_MALICIOUS",
+    "VERDICT_MISCONFIGURED",
+    "VERDICT_SAFE",
+    "AttributionReport",
+    "OutputAnalyzer",
+    "ConfigurationEnumerator",
+    "VOLUNTEER_PROFILES",
+    "volunteer_configuration",
+    "volunteer_profile_names",
+]

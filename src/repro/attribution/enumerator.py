@@ -1,0 +1,203 @@
+"""Configuration enumeration for the Output Analyzer.
+
+"In the first phase, when a user installs a new smart app, the output
+analyzer enumerates all possible configurations for this app" (§9).  A
+configuration assigns every input of the app a value drawn from the
+deployed system:
+
+* device inputs range over the installed devices exposing the declared
+  capability (multi-device inputs additionally get the all-devices
+  binding, since users routinely select everything, §2.2);
+* ``enum``/``mode`` inputs range over their declared options / the
+  location modes;
+* numeric inputs range over a small representative candidate set (the
+  domain is unbounded; candidates span the modeled attribute domains);
+* optional inputs additionally range over *unbound*.
+
+The full product can explode, so enumeration is lazy and bounded.
+"""
+
+from math import gcd as _gcd
+
+from repro.devices.catalog import device_spec
+
+#: default cap on enumerated configurations per app
+DEFAULT_LIMIT = 256
+
+#: representative numeric candidates when an input gives no default
+_GENERIC_NUMERIC = (10, 50)
+
+#: representative candidates for temperature-like inputs (°F band the
+#: modeled temperature domain spans)
+_TEMPERATURE_NUMERIC = (65, 75, 85)
+
+_TEMPERATURE_HINTS = ("temp", "setpoint", "heat", "cool", "emergency")
+_TIME_HINTS = ("minute", "delay", "duration", "second")
+
+#: appliance hints in input names/titles -> device-association roles
+_INTENT_ROLES = (
+    ("heater", "heater_outlet"),
+    ("air conditioner", "ac_outlet"),
+    ("a/c", "ac_outlet"),
+    ("ac ", "ac_outlet"),
+    ("fan", "fan_outlet"),
+    ("sprinkler", "sprinkler_outlet"),
+    ("coffee", "coffee_outlet"),
+    ("dehumidifier", "fan_outlet"),
+    ("temperature sensor", "temp_sensor"),
+    ("thermometer", "temp_sensor"),
+)
+
+
+class ConfigurationEnumerator:
+    """Enumerates the possible configurations of one app in one deployment.
+
+    ``deployment`` is a :class:`~repro.config.schema.SystemConfiguration`
+    supplying the installed devices, modes and contacts.
+    """
+
+    def __init__(self, deployment, limit=DEFAULT_LIMIT):
+        self.deployment = deployment
+        self.limit = limit
+        self._devices_by_capability = self._index_devices()
+
+    def _index_devices(self):
+        index = {}
+        for device in self.deployment.devices:
+            spec = device_spec(device.type)
+            for capability in spec.capabilities:
+                index.setdefault(capability, []).append(device.name)
+        return index
+
+    # ------------------------------------------------------------------
+    # candidates per input
+    # ------------------------------------------------------------------
+
+    def candidates(self, declaration):
+        """The candidate values for one :class:`AppInput`, in stable order."""
+        values = list(self._required_candidates(declaration))
+        if not declaration.required:
+            values.append(None)
+        if not values:
+            values = [None]
+        return values
+
+    def _required_candidates(self, declaration):
+        if declaration.is_device:
+            return self._device_candidates(declaration)
+        input_type = declaration.type
+        if input_type == "enum":
+            return list(declaration.options or [])
+        if input_type == "mode":
+            return list(self.deployment.modes)
+        if input_type == "bool":
+            return [True, False]
+        if input_type in ("number", "decimal"):
+            return self._numeric_candidates(declaration)
+        if input_type in ("phone", "contact"):
+            return list(self.deployment.contacts) or [None]
+        if input_type in ("text", "time"):
+            if declaration.default is not None:
+                return [declaration.default]
+            return [None]
+        if declaration.default is not None:
+            return [declaration.default]
+        return []
+
+    def _device_candidates(self, declaration):
+        matching = self._devices_by_capability.get(declaration.capability, [])
+        matching = self._narrow_by_intent(declaration, matching)
+        if not matching:
+            return []
+        if not declaration.multiple:
+            return list(matching)
+        # every singleton plus the everything binding - pairs and larger
+        # subsets add little attribution signal at exponential cost
+        candidates = [[name] for name in matching]
+        if len(matching) > 1:
+            candidates.append(list(matching))
+        return candidates
+
+    def _narrow_by_intent(self, declaration, matching):
+        """Bind intent-named inputs to their device-association roles.
+
+        A user configuring "the heater outlet" picks the outlet the heater
+        is plugged into - that is exactly the device-association info the
+        Configuration Extractor records (§7).  When the input's name/title
+        carries an appliance hint and the deployment has the matching
+        role(s), enumeration ranges over those devices; inputs without a
+        hint (plain lights, switches) keep the full candidate list.
+        """
+        text = " ".join([declaration.name, declaration.title or "",
+                         getattr(declaration, "section", None) or ""]).lower()
+        hinted = []
+        for hint, role in _INTENT_ROLES:
+            if hint not in text:
+                continue
+            value = self.deployment.association.get(role)
+            names = value if isinstance(value, list) else [value]
+            for name in names:
+                if (isinstance(name, str) and name in matching
+                        and name not in hinted):
+                    hinted.append(name)
+        return hinted or matching
+
+    def _numeric_candidates(self, declaration):
+        if declaration.default is not None:
+            return [declaration.default]
+        name = declaration.name.lower()
+        title = (declaration.title or "").lower()
+        text = name + " " + title
+        if any(hint in text for hint in _TEMPERATURE_HINTS):
+            return list(_TEMPERATURE_NUMERIC)
+        if any(hint in text for hint in _TIME_HINTS):
+            return [5]
+        return list(_GENERIC_NUMERIC)
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+
+    def enumerate_bindings(self, smart_app, limit=None):
+        """Yield binding dicts for enumerated configurations.
+
+        Bindings omit unbound optional inputs.  When the full product fits
+        under ``limit`` every configuration is produced; otherwise ``limit``
+        configurations are sampled *deterministically spread* across the
+        space (a prefix of the raw product would only ever vary the last
+        input, which starves the violation-ratio estimate of §9).
+        """
+        cap = self.limit if limit is None else limit
+        inputs = list(smart_app.inputs)
+        names = [decl.name for decl in inputs]
+        candidate_lists = [self.candidates(decl) for decl in inputs]
+        total = 1
+        for candidates in candidate_lists:
+            total *= len(candidates)
+        if total <= cap:
+            combo_indices = range(total)
+        else:
+            stride = max(1, total // cap)
+            while _gcd(stride, total) != 1:
+                stride += 1
+            combo_indices = ((i * stride) % total for i in range(cap))
+        for index in combo_indices:
+            bindings = {}
+            remainder = index
+            for input_name, candidates in zip(names, candidate_lists):
+                remainder, position = divmod(remainder, len(candidates))
+                value = candidates[position]
+                if value is None:
+                    continue
+                bindings[input_name] = value
+            yield bindings
+
+    def count(self, smart_app, limit=None):
+        """Number of configurations that would be enumerated (capped)."""
+        cap = self.limit if limit is None else limit
+        total = 1
+        for declaration in smart_app.inputs:
+            total *= len(self.candidates(declaration))
+            if total >= cap:
+                return cap
+        return total

@@ -1,0 +1,300 @@
+"""The seven non-expert configuration profiles (§10.1 user study).
+
+The paper asked seven student volunteers to configure ten groups of ~5
+related apps "with the assumption that they would deploy them at home"
+(70 configurations total) and found 97 violations of 10 properties
+(Table 6).  We cannot re-run the human study, so each volunteer is
+modeled as a deterministic *profile*: a characteristic way of filling in
+app preferences that encodes one of the §2.2 misconfiguration causes
+("the app's description is unclear", "too many configuration options",
+"users do not have good domain knowledge").
+
+Profile 1 is the documented Virtual Thermostat error verbatim: "5 out of
+7 student volunteers ... mis-configured the app to control both the AC
+outlet and the heater outlet."
+"""
+
+from repro.config.schema import SystemConfiguration
+from repro.corpus.groups import CONTACTS, VOLUNTEER_GROUPS
+from repro.devices.catalog import device_spec
+
+
+# ---------------------------------------------------------------------------
+# the shared household every volunteer configures against
+# ---------------------------------------------------------------------------
+
+
+def full_house():
+    """The device inventory shown to every volunteer (one home, §10.1)."""
+    config = SystemConfiguration(contacts=CONTACTS)
+    for name, type_name, label in _FULL_HOUSE_DEVICES:
+        config.add_device(name, type_name, label)
+    config.association.update({
+        "main_door_lock": "frontDoorLock",
+        "garage_door": "garageDoor",
+        "alarm": "homeAlarm",
+        "siren": "homeAlarm",
+        "temp_sensor": "myTempMeas",
+        "heater_outlet": "myHeaterOutlet",
+        "ac_outlet": "myACOutlet",
+        "fan_outlet": "bathFanOutlet",
+        "water_valve": "mainValve",
+        "leak_shutoff_valve": "mainValve",
+        "sprinkler_outlet": "gardenSprinkler",
+        "camera": "hallCamera",
+        "speaker": "patioSpeaker",
+        "thermostat": "homeThermostat",
+    })
+    return config
+
+
+_FULL_HOUSE_DEVICES = [
+    ("alicePresence", "smartsense-presence", "Alice's Presence"),
+    ("bobPresence", "smartsense-presence", "Bob's Presence"),
+    ("frontDoorLock", "zwave-lock", "Front Door Lock"),
+    ("frontContact", "smartsense-multi", "Front Door Contact"),
+    ("livRoomMotion", "smartsense-motion", "Living Room Motion"),
+    ("batRoomMotion", "smartsense-motion", "Bathroom Motion"),
+    ("livRoomBulbOutlet", "smart-outlet", "Living Room Bulb Outlet"),
+    ("bedRoomBulbOutlet", "smart-outlet", "Bedroom Bulb Outlet"),
+    ("batRoomBulbOutlet", "smart-outlet", "Bathroom Bulb Outlet"),
+    ("myTempMeas", "temperature-sensor", "Indoor Temperature"),
+    ("myHeaterOutlet", "smart-outlet", "Heater Outlet"),
+    ("myACOutlet", "smart-outlet", "AC Outlet"),
+    ("homeThermostat", "thermostat", "Thermostat"),
+    ("homeEnergyMeter", "energy-meter", "Energy Meter"),
+    ("bathHumidity", "humidity-sensor", "Bathroom Humidity"),
+    ("bathFanOutlet", "smart-outlet", "Bathroom Fan Outlet"),
+    ("homeAlarm", "siren-strobe", "Siren/Strobe Alarm"),
+    ("kitchenSmoke", "smoke-detector", "Kitchen Smoke Detector"),
+    ("garageCO", "co-detector", "Garage CO Detector"),
+    ("hallCamera", "ip-camera", "Hallway Camera"),
+    ("basementLeak", "moisture-sensor", "Basement Leak Sensor"),
+    ("mainValve", "smart-valve", "Main Water Valve"),
+    ("gardenSprinkler", "smart-outlet", "Garden Sprinkler Outlet"),
+    ("gardenMoisture", "humidity-sensor", "Garden Moisture"),
+    ("patioSpeaker", "speaker", "Patio Speaker"),
+    ("garageDoor", "garage-door-opener", "Garage Door"),
+    ("bedShade", "window-shade", "Bedroom Window Shade"),
+    ("washerMeter", "energy-meter", "Washer Power Meter"),
+    ("doorAccel", "acceleration-sensor", "Door Knock Sensor"),
+    ("hallIlluminance", "illuminance-sensor", "Hall Illuminance"),
+    ("hallButton", "button-controller", "Hall Button"),
+    ("entryDoor", "door-control", "Entry Door Control"),
+]
+
+
+# ---------------------------------------------------------------------------
+# profile machinery
+# ---------------------------------------------------------------------------
+
+
+class VolunteerProfile:
+    """One simulated volunteer: a deterministic input-binding strategy."""
+
+    def __init__(self, name, description, chooser):
+        self.name = name
+        self.description = description
+        #: chooser(declaration, matching_devices, deployment) -> value
+        self._chooser = chooser
+
+    def bind(self, smart_app, deployment):
+        """Produce this volunteer's bindings for one app."""
+        index = _capability_index(deployment)
+        bindings = {}
+        for declaration in smart_app.inputs:
+            if declaration.is_device:
+                matching = index.get(declaration.capability, [])
+            else:
+                matching = []
+            value = self._chooser(declaration, matching, deployment)
+            if value is not None:
+                bindings[declaration.name] = value
+        return bindings
+
+    def __repr__(self):
+        return "VolunteerProfile(%r)" % (self.name,)
+
+
+def _capability_index(deployment):
+    index = {}
+    for device in deployment.devices:
+        spec = device_spec(device.type)
+        for capability in spec.capabilities:
+            index.setdefault(capability, []).append(device.name)
+    return index
+
+
+def _value_default(declaration, deployment):
+    """Reasonable value-input choice shared by most profiles."""
+    input_type = declaration.type
+    if input_type == "enum":
+        options = list(declaration.options or [])
+        return options[0] if options else None
+    if input_type == "mode":
+        return deployment.modes[0] if deployment.modes else None
+    if input_type in ("number", "decimal"):
+        if declaration.default is not None:
+            return declaration.default
+        return 75 if "temp" in declaration.name.lower() else 10
+    if input_type in ("phone", "contact"):
+        return deployment.contacts[0] if deployment.contacts else None
+    if input_type == "bool":
+        return True
+    return declaration.default
+
+
+# -- the seven volunteers ------------------------------------------------------
+
+
+def _maximalist(declaration, matching, deployment):
+    """Volunteer 1: selects *everything* the picker offers.
+
+    This is the documented Virtual Thermostat failure: the app expects
+    either a heater outlet or an AC outlet, the picker shows all outlets,
+    and the volunteer selects them all.
+    """
+    if matching:
+        if declaration.multiple:
+            return list(matching)
+        return matching[0]
+    return _value_default(declaration, deployment)
+
+
+def _first_match(declaration, matching, deployment):
+    """Volunteer 2: always takes the first device in the list and skips
+    anything marked optional (too many configuration options)."""
+    if not declaration.required:
+        return None
+    if matching:
+        return [matching[0]] if declaration.multiple else matching[0]
+    return _value_default(declaration, deployment)
+
+
+def _last_match(declaration, matching, deployment):
+    """Volunteer 3: scrolls to the bottom of every picker; for enums this
+    flips heat/cool-style choices to the unintended option."""
+    if matching:
+        return [matching[-1]] if declaration.multiple else matching[-1]
+    if declaration.type == "enum":
+        options = list(declaration.options or [])
+        return options[-1] if options else None
+    return _value_default(declaration, deployment)
+
+
+def _outlet_confuser(declaration, matching, deployment):
+    """Volunteer 4: confuses special-purpose outlets with lamp outlets -
+    heater/AC inputs get a bulb outlet and vice versa (no domain
+    knowledge of what is plugged in where, §2.2 cause iii)."""
+    if matching:
+        swapped = list(matching)
+        if "myHeaterOutlet" in swapped and "myACOutlet" in swapped:
+            # deliberately picks the *other* special outlet first
+            swapped.sort(key=lambda n: (n != "myACOutlet", n))
+        if declaration.multiple:
+            return [swapped[0]]
+        return swapped[0]
+    return _value_default(declaration, deployment)
+
+
+def _threshold_extremist(declaration, matching, deployment):
+    """Volunteer 5: device choices are sane, numeric thresholds are not
+    (mixes up Fahrenheit bands, sets timers to zero)."""
+    if matching:
+        return [matching[0]] if declaration.multiple else matching[0]
+    if declaration.type in ("number", "decimal"):
+        text = declaration.name.lower() + (declaration.title or "").lower()
+        if "temp" in text or "setpoint" in text:
+            return 55  # heats the home to a freezing setpoint
+        return 0
+    return _value_default(declaration, deployment)
+
+
+def _duplicator(declaration, matching, deployment):
+    """Volunteer 6: binds the same living-room devices to every app,
+    creating cross-app conflicts on shared actuators."""
+    favorites = ["livRoomBulbOutlet", "livRoomMotion", "frontContact",
+                 "frontDoorLock"]
+    if matching:
+        favored = [name for name in favorites if name in matching]
+        chosen = favored[0] if favored else matching[0]
+        return [chosen] if declaration.multiple else chosen
+    return _value_default(declaration, deployment)
+
+
+def _mode_mixer(declaration, matching, deployment):
+    """Volunteer 7: misunderstands location modes - picks Home where Away
+    is intended and vice versa."""
+    if matching:
+        return [matching[0]] if declaration.multiple else matching[0]
+    if declaration.type == "mode":
+        modes = list(deployment.modes)
+        text = declaration.name.lower()
+        if "away" in text and "Home" in modes:
+            return "Home"
+        if ("home" in text or "night" in text) and "Away" in modes:
+            return "Away"
+        return modes[0] if modes else None
+    return _value_default(declaration, deployment)
+
+
+VOLUNTEER_PROFILES = {
+    "volunteer1-maximalist": VolunteerProfile(
+        "volunteer1-maximalist",
+        "selects every offered device (the Virtual Thermostat error)",
+        _maximalist),
+    "volunteer2-first-match": VolunteerProfile(
+        "volunteer2-first-match",
+        "takes the first device, skips optional inputs", _first_match),
+    "volunteer3-last-match": VolunteerProfile(
+        "volunteer3-last-match",
+        "takes the last device and the last enum option", _last_match),
+    "volunteer4-outlet-confuser": VolunteerProfile(
+        "volunteer4-outlet-confuser",
+        "confuses which outlet feeds which appliance", _outlet_confuser),
+    "volunteer5-threshold-extremist": VolunteerProfile(
+        "volunteer5-threshold-extremist",
+        "sane devices, nonsensical numeric thresholds", _threshold_extremist),
+    "volunteer6-duplicator": VolunteerProfile(
+        "volunteer6-duplicator",
+        "binds the same favorite devices to every app", _duplicator),
+    "volunteer7-mode-mixer": VolunteerProfile(
+        "volunteer7-mode-mixer",
+        "swaps Home and Away modes", _mode_mixer),
+}
+
+
+def volunteer_profile_names():
+    return sorted(VOLUNTEER_PROFILES)
+
+
+def volunteer_configuration(group_name, profile_name, registry):
+    """One volunteer's configuration of one user-study group.
+
+    ``registry`` maps app names to SmartApps (the corpus).  Returns a
+    :class:`SystemConfiguration` over the full-house inventory with every
+    app of the group bound the way this volunteer would bind it.
+    """
+    apps = VOLUNTEER_GROUPS.get(group_name)
+    if apps is None:
+        raise KeyError("unknown volunteer group %r" % (group_name,))
+    profile = VOLUNTEER_PROFILES.get(profile_name)
+    if profile is None:
+        raise KeyError("unknown volunteer profile %r" % (profile_name,))
+    config = full_house()
+    for app_name in apps:
+        smart_app = registry.get(app_name)
+        if smart_app is None:
+            continue
+        config.add_app(app_name, profile.bind(smart_app, config))
+    return config
+
+
+def all_volunteer_configurations(registry):
+    """All 70 (group, profile) configurations of the §10.1 study."""
+    configurations = {}
+    for group_name in sorted(VOLUNTEER_GROUPS):
+        for profile_name in volunteer_profile_names():
+            configurations[(group_name, profile_name)] = (
+                volunteer_configuration(group_name, profile_name, registry))
+    return configurations

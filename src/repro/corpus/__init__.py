@@ -1,0 +1,35 @@
+"""The app corpus: market apps, malicious apps, and IFTTT rules.
+
+Market apps are SmartThings-style Groovy sources (including every app the
+paper names); malicious apps re-implement the behaviours of the nine
+ContexIoT apps used in §10.3.  Loaders parse them once and cache the
+resulting :class:`~repro.smartapp.app.SmartApp` objects.
+"""
+
+from repro.corpus.loader import (
+    corpus_path,
+    load_all_apps,
+    load_discovery_apps,
+    load_malicious_apps,
+    load_market_apps,
+)
+from repro.corpus.groups import (
+    EXPERT_GROUPS,
+    VOLUNTEER_GROUPS,
+    expert_configuration,
+    group_names,
+    volunteer_group_names,
+)
+
+__all__ = [
+    "corpus_path",
+    "load_all_apps",
+    "load_discovery_apps",
+    "load_malicious_apps",
+    "load_market_apps",
+    "EXPERT_GROUPS",
+    "VOLUNTEER_GROUPS",
+    "expert_configuration",
+    "group_names",
+    "volunteer_group_names",
+]

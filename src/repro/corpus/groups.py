@@ -1,0 +1,299 @@
+"""Experiment groups and expert configurations (§10.1).
+
+The paper randomly divides 150 market apps into six groups of 25 and gives
+each group one expert configuration.  Our corpus carries one representative
+implementation per distinct behaviour, so the six groups below partition the
+corpus by theme; each group ships a full expert configuration (devices,
+bindings, contacts, association roles) authored the way §10.1 describes
+("based on common sense with regards to how the apps may be used").
+
+``VOLUNTEER_GROUPS`` are the ten ~5-app groups of the §10.1 user study,
+configured by the seven volunteer profiles in
+:mod:`repro.attribution.volunteers`.
+"""
+
+from repro.config.schema import SystemConfiguration
+
+#: the household's configured contacts (for the P42 recipient check)
+CONTACTS = ["+1-555-0100"]
+
+
+def _base_devices(config):
+    """Devices shared by all groups (one physical home)."""
+    config.add_device("alicePresence", "smartsense-presence", "Alice's Presence")
+    config.add_device("bobPresence", "smartsense-presence", "Bob's Presence")
+    config.add_device("frontDoorLock", "zwave-lock", "Front Door Lock")
+    config.add_device("frontContact", "smartsense-multi", "Front Door Contact")
+    config.add_device("livRoomMotion", "smartsense-motion", "Living Room Motion")
+    config.add_device("livRoomBulbOutlet", "smart-outlet", "Living Room Bulb Outlet")
+    config.add_device("bedRoomBulbOutlet", "smart-outlet", "Bedroom Bulb Outlet")
+    return config
+
+
+GROUP_BUILDERS = {}
+
+
+def _group(name):
+    def register(builder):
+        GROUP_BUILDERS[name] = builder
+        return builder
+    return register
+
+
+@_group("group1-entry-and-mode")
+def _group1():
+    """The Fig. 7 / Fig. 8a cluster: presence, modes, locks, lights."""
+    config = _base_devices(SystemConfiguration(contacts=CONTACTS))
+    config.association.update({
+        "main_door_lock": "frontDoorLock",
+        "night_light": "livRoomBulbOutlet",
+    })
+    config.add_app("Auto Mode Change", {
+        "people": ["alicePresence", "bobPresence"],
+        "awayMode": "Away", "homeMode": "Home"})
+    config.add_app("Unlock Door", {"lock1": "frontDoorLock"})
+    config.add_app("Big Turn On", {
+        "switches": ["livRoomBulbOutlet", "bedRoomBulbOutlet"]})
+    config.add_app("Good Night", {
+        "lights": ["livRoomBulbOutlet", "bedRoomBulbOutlet"],
+        "motionSensor": "livRoomMotion", "nightMode": "Night"})
+    config.add_app("Light Follows Me", {
+        "motion1": "livRoomMotion", "minutes1": 1,
+        "switches": ["livRoomBulbOutlet"]})
+    config.add_app("Light Off When Close", {
+        "contact1": "frontContact", "switches": ["bedRoomBulbOutlet"]})
+    config.add_app("Lock It At Night", {
+        "locks": ["frontDoorLock"], "nightMode": "Night"})
+    return config
+
+
+@_group("group2-lighting")
+def _group2():
+    """Lighting automations with on/off conflicts (Table 5 rows 1-2)."""
+    config = _base_devices(SystemConfiguration(contacts=CONTACTS))
+    config.add_device("hallIlluminance", "illuminance-sensor", "Hall Illuminance")
+    config.add_device("hallButton", "button-controller", "Hall Button")
+    config.add_app("Brighten Dark Places", {
+        "contact1": "frontContact", "lightSensor": "hallIlluminance",
+        "switch1": "livRoomBulbOutlet"})
+    config.add_app("Let There Be Dark!", {
+        "contact1": "frontContact", "switches": ["livRoomBulbOutlet"]})
+    config.add_app("Brighten My Path", {
+        "motion1": "livRoomMotion", "switch1": "bedRoomBulbOutlet"})
+    config.add_app("Automated Light", {
+        "motion1": "livRoomMotion", "switch1": "bedRoomBulbOutlet",
+        "delayMinutes": 5})
+    config.add_app("Smart Nightlight", {
+        "lights": ["livRoomBulbOutlet"], "motionSensor": "livRoomMotion",
+        "lightSensor": "hallIlluminance", "luxLevel": 30})
+    config.add_app("Darken Behind Me", {
+        "motion1": "livRoomMotion", "switches": ["bedRoomBulbOutlet"]})
+    config.add_app("Switch Mirror", {
+        "master": "livRoomBulbOutlet", "slaves": ["bedRoomBulbOutlet"]})
+    config.add_app("Double Tap Toggle", {
+        "button1": "hallButton", "lights": ["livRoomBulbOutlet"]})
+    return config
+
+
+@_group("group3-climate")
+def _group3():
+    """Heating/cooling: Virtual Thermostat and friends."""
+    config = _base_devices(SystemConfiguration(contacts=CONTACTS))
+    config.add_device("myTempMeas", "temperature-sensor", "Indoor Temperature")
+    config.add_device("myHeaterOutlet", "smart-outlet", "Heater Outlet")
+    config.add_device("myACOutlet", "smart-outlet", "AC Outlet")
+    config.add_device("homeThermostat", "thermostat", "Thermostat")
+    config.add_device("homeEnergyMeter", "energy-meter", "Energy Meter")
+    config.add_device("bathHumidity", "humidity-sensor", "Bathroom Humidity")
+    config.add_device("bathFanOutlet", "smart-outlet", "Bathroom Fan Outlet")
+    config.association.update({
+        "temp_sensor": "myTempMeas",
+        "heater_outlet": "myHeaterOutlet",
+        "ac_outlet": "myACOutlet",
+        "fan_outlet": "bathFanOutlet",
+        "temp_low": 65, "temp_high": 85,
+    })
+    # Expert configuration of Virtual Thermostat per §10.1: AC outlet only,
+    # setpoint 75, living-room motion, emergency setpoint 85, mode "cool".
+    config.add_app("Virtual Thermostat", {
+        "sensor": "myTempMeas", "outlets": ["myACOutlet"], "setpoint": 75,
+        "motion": "livRoomMotion", "minutes": 10, "emergencySetpoint": 85,
+        "mode": "cool"})
+    config.add_app("It's Too Cold", {
+        "temperatureSensor1": "myTempMeas", "temperature1": 65,
+        "phone1": CONTACTS[0], "heater": "myHeaterOutlet"})
+    config.add_app("Too Hot Cooler", {
+        "sensor": "myTempMeas", "maxTemp": 85, "ac": "myACOutlet"})
+    config.add_app("Energy Saver", {
+        "meter": "homeEnergyMeter", "threshold": 1000,
+        "devices": ["myHeaterOutlet", "myACOutlet"]})
+    config.add_app("Keep Me Cozy", {
+        "thermostat": "homeThermostat", "sensor": "myTempMeas",
+        "setpoint": 72})
+    config.add_app("Open Window Thermostat Off", {
+        "contacts": ["frontContact"], "thermostat": "homeThermostat",
+        "restoreMode": "auto"})
+    config.add_app("Humidity Fan", {
+        "humidity": "bathHumidity", "fan": "bathFanOutlet",
+        "maxHumidity": 60})
+    return config
+
+
+@_group("group4-security")
+def _group4():
+    """Alarms, smoke/CO, cameras - and the app that silences them."""
+    config = _base_devices(SystemConfiguration(contacts=CONTACTS))
+    config.add_device("homeAlarm", "siren-strobe", "Siren/Strobe Alarm")
+    config.add_device("kitchenSmoke", "smoke-detector", "Kitchen Smoke Detector")
+    config.add_device("garageCO", "co-detector", "Garage CO Detector")
+    config.add_device("hallCamera", "ip-camera", "Hallway Camera")
+    config.add_device("heaterOutlet", "smart-outlet", "Heater Outlet")
+    config.add_device("ventFanOutlet", "smart-outlet", "Ventilation Fan Outlet")
+    config.association.update({
+        "alarm": "homeAlarm", "siren": "homeAlarm",
+        "heater_outlet": "heaterOutlet", "fan_outlet": "ventFanOutlet",
+    })
+    config.add_app("Intruder Alert", {
+        "entry": "frontContact", "alarmDevice": "homeAlarm",
+        "camera": "hallCamera", "phone": CONTACTS[0]})
+    config.add_app("Smoke Alarm Siren", {
+        "smoke": "kitchenSmoke", "siren": "homeAlarm"})
+    config.add_app("Smart Alarm Disarm", {
+        "alarmDevice": "homeAlarm", "disarmMode": "Home"})
+    config.add_app("CO Ventilator", {
+        "detector": "garageCO", "fan": "ventFanOutlet"})
+    config.add_app("Camera On Motion", {
+        "motionSensor": "livRoomMotion", "camera": "hallCamera",
+        "armedMode": "Away"})
+    config.add_app("Undead Early Warning", {
+        "door": "frontContact", "lights": ["livRoomBulbOutlet"],
+        "nightMode": "Night"})
+    config.add_app("Fire Escape Unlock", {
+        "detectors": ["kitchenSmoke"], "locks": ["frontDoorLock"]})
+    config.add_app("Smoke Heater Off", {
+        "detector": "kitchenSmoke", "heaters": ["heaterOutlet"]})
+    return config
+
+
+@_group("group5-water-presence")
+def _group5():
+    """Water control plus arrival/departure automations."""
+    config = _base_devices(SystemConfiguration(contacts=CONTACTS))
+    config.add_device("basementLeak", "moisture-sensor", "Basement Leak Sensor")
+    config.add_device("mainValve", "smart-valve", "Main Water Valve")
+    config.add_device("gardenSprinkler", "smart-outlet", "Garden Sprinkler Outlet")
+    config.add_device("gardenMoisture", "humidity-sensor", "Garden Moisture")
+    config.add_device("patioSpeaker", "speaker", "Patio Speaker")
+    config.association.update({
+        "leak_shutoff_valve": "mainValve",
+        "water_valve": "mainValve",
+        "sprinkler_outlet": "gardenSprinkler",
+    })
+    config.add_app("Leak Shutoff", {
+        "sensors": ["basementLeak"], "valve": "mainValve"})
+    config.add_app("Smart Sprinkler", {
+        "sprinkler": "gardenSprinkler", "rain": "basementLeak",
+        "soil": "gardenMoisture", "minMoisture": 30})
+    config.add_app("Night Valve Watering", {
+        "valve": "mainValve", "duration": 15})
+    config.add_app("Nobody Home Lockup", {
+        "people": ["alicePresence", "bobPresence"],
+        "locks": ["frontDoorLock"], "awayMode": "Away"})
+    config.add_app("Welcome Home", {
+        "person": "alicePresence", "frontLock": "frontDoorLock",
+        "lights": ["livRoomBulbOutlet"], "homeMode": "Home"})
+    config.add_app("Presence Light", {
+        "person": "bobPresence", "light": "bedRoomBulbOutlet"})
+    config.add_app("Away Speaker Off", {
+        "people": ["alicePresence", "bobPresence"],
+        "players": ["patioSpeaker"]})
+    config.add_app("Bon Voyage", {
+        "people": ["alicePresence", "bobPresence"],
+        "lights": ["livRoomBulbOutlet", "bedRoomBulbOutlet"]})
+    return config
+
+
+@_group("group6-schedules-misc")
+def _group6():
+    """Schedules, vacation lighting, garage, laundry."""
+    config = _base_devices(SystemConfiguration(contacts=CONTACTS))
+    config.add_device("garageDoor", "garage-door-opener", "Garage Door")
+    config.add_device("bedShade", "window-shade", "Bedroom Window Shade")
+    config.add_device("washerMeter", "energy-meter", "Washer Power Meter")
+    config.add_device("doorAccel", "acceleration-sensor", "Door Knock Sensor")
+    config.association.update({
+        "away_off_switches": ["livRoomBulbOutlet", "bedRoomBulbOutlet"],
+    })
+    config.add_app("Scheduled Mode Change", {"targetMode": "Night"})
+    config.add_app("Rise And Shine", {
+        "motionSensor": "livRoomMotion", "coffee": "bedRoomBulbOutlet",
+        "nightMode": "Night", "dayMode": "Home"})
+    config.add_app("Vacation Lighting", {
+        "lights": ["livRoomBulbOutlet", "bedRoomBulbOutlet"],
+        "awayMode": "Away"})
+    config.add_app("Goodbye Switches", {
+        "switches": ["livRoomBulbOutlet", "bedRoomBulbOutlet"],
+        "awayMode": "Away"})
+    config.add_app("Sunset Lights", {"lights": ["livRoomBulbOutlet"]})
+    config.add_app("Window Shade Away", {
+        "shades": ["bedShade"], "awayMode": "Away"})
+    config.add_app("Garage Door Closer", {
+        "garage": "garageDoor", "openMinutes": 10})
+    config.add_app("Auto Lock Door", {
+        "door": "frontContact", "doorLock": "frontDoorLock", "delayMin": 2})
+    config.add_app("Medicine Reminder", {
+        "cabinet": "frontContact", "phone": CONTACTS[0]})
+    config.add_app("Laundry Monitor", {
+        "meter": "washerMeter", "minWatts": 50})
+    config.add_app("Low Battery Alert", {
+        "batteries": ["alicePresence"], "minLevel": 20})
+    config.add_app("Door Knocker", {
+        "knockSensor": "doorAccel", "openSensor": "frontContact"})
+    config.add_app("Make It So", {
+        "motionSensor": "livRoomMotion", "door": "frontContact",
+        "locks": ["frontDoorLock"], "awayMode": "Away"})
+    return config
+
+
+EXPERT_GROUPS = tuple(sorted(GROUP_BUILDERS))
+
+
+def group_names():
+    return list(EXPERT_GROUPS)
+
+
+def expert_configuration(group_name):
+    """The expert :class:`SystemConfiguration` for one group."""
+    builder = GROUP_BUILDERS.get(group_name)
+    if builder is None:
+        raise KeyError("unknown group %r" % (group_name,))
+    return builder()
+
+
+#: the §10.1 user-study groups: ten groups of about five related apps
+VOLUNTEER_GROUPS = {
+    "vgroup01": ["Auto Mode Change", "Unlock Door", "Lock It At Night",
+                 "Welcome Home", "Nobody Home Lockup"],
+    "vgroup02": ["Virtual Thermostat", "It's Too Cold", "Too Hot Cooler",
+                 "Energy Saver"],
+    "vgroup03": ["Brighten Dark Places", "Let There Be Dark!",
+                 "Smart Nightlight", "Switch Mirror"],
+    "vgroup04": ["Brighten My Path", "Automated Light", "Darken Behind Me",
+                 "Light Follows Me", "Double Tap Toggle"],
+    "vgroup05": ["Smoke Alarm Siren", "Smart Alarm Disarm", "Intruder Alert",
+                 "Fire Escape Unlock", "Smoke Heater Off"],
+    "vgroup06": ["Leak Shutoff", "Smart Sprinkler", "Night Valve Watering",
+                 "Humidity Fan"],
+    "vgroup07": ["Goodbye Switches", "Vacation Lighting", "Sunset Lights",
+                 "Big Turn On"],
+    "vgroup08": ["Keep Me Cozy", "Open Window Thermostat Off", "Bon Voyage",
+                 "CO Ventilator"],
+    "vgroup09": ["Good Night", "Rise And Shine", "Scheduled Mode Change",
+                 "Undead Early Warning", "Light Off When Close"],
+    "vgroup10": ["Make It So", "Auto Lock Door", "Garage Door Closer",
+                 "Presence Light", "Camera On Motion"],
+}
+
+
+def volunteer_group_names():
+    return sorted(VOLUNTEER_GROUPS)

@@ -1,0 +1,62 @@
+"""Corpus loading: parse the bundled ``.groovy`` sources once and cache."""
+
+import os
+
+from repro.smartapp import load_app
+
+_CORPUS_DIR = os.path.dirname(os.path.abspath(__file__))
+_CACHE = {}
+
+
+def corpus_path(*parts):
+    """Absolute path inside the corpus package."""
+    return os.path.join(_CORPUS_DIR, *parts)
+
+
+def _load_dir(subdir):
+    if subdir in _CACHE:
+        return dict(_CACHE[subdir])
+    directory = corpus_path(subdir)
+    apps = {}
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".groovy"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        app = load_app(source, filename)
+        apps[app.name] = app
+    _CACHE[subdir] = dict(apps)
+    return apps
+
+
+def load_market_apps():
+    """name -> SmartApp for every market app in the corpus."""
+    return _load_dir("market")
+
+
+def load_malicious_apps():
+    """name -> SmartApp for the nine ContexIoT-style malicious apps."""
+    return _load_dir("malicious")
+
+
+def load_discovery_apps():
+    """The four ContexIoT apps using dynamic device discovery (§10.1).
+
+    IotSan cannot model-check these ("we will extend IotSan to handle
+    such apps in future work"); :mod:`repro.smartapp.discovery` detects
+    and flags them instead.
+    """
+    return _load_dir("discovery")
+
+
+def load_all_apps():
+    """The combined *analyzable* registry (market + malicious).
+
+    Dynamic-discovery apps are deliberately excluded; load them with
+    :func:`load_discovery_apps` and vet them with
+    :func:`repro.smartapp.scan_app`.
+    """
+    registry = load_market_apps()
+    registry.update(load_malicious_apps())
+    return registry

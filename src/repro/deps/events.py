@@ -1,0 +1,198 @@
+"""Input/output event extraction for event handlers (§5).
+
+"Input events are (i) explicitly declared in the subscribe commands or,
+(ii) identified via APIs that read states of smart devices, or (iii)
+indicated by interrupts at specific times defined by schedule method calls.
+Output events are invoked via APIs that change states of smart devices.
+We enumerate the input and output events of an app using static analysis."
+
+Events are *descriptors* ``attribute/value`` with ``value`` possibly ANY
+(the paper renders ANY as ``"..."``).  Special attributes: ``app`` (touch),
+``mode`` (location mode), ``time`` (schedule interrupts).
+"""
+
+from repro.devices.capabilities import capability
+from repro.groovy import ast
+
+#: wildcard event value ("..." in the paper's tables)
+ANY = "..."
+
+
+class EventDescriptor:
+    """An event class: attribute plus value (or ANY)."""
+
+    __slots__ = ("attribute", "value")
+
+    def __init__(self, attribute, value=ANY):
+        self.attribute = attribute
+        self.value = value if value is not None else ANY
+
+    def overlaps(self, other):
+        """Whether events of this class can match the other class."""
+        if self.attribute != other.attribute:
+            return False
+        return self.value == ANY or other.value == ANY or self.value == other.value
+
+    def conflicts(self, other):
+        """Same attribute, *different* specific values (the §5 merge rule)."""
+        if self.attribute != other.attribute:
+            return False
+        if self.value == ANY or other.value == ANY:
+            return False
+        return self.value != other.value
+
+    def __eq__(self, other):
+        return (isinstance(other, EventDescriptor)
+                and other.attribute == self.attribute
+                and other.value == self.value)
+
+    def __hash__(self):
+        return hash((self.attribute, self.value))
+
+    def __repr__(self):
+        return "%s/%s" % (self.attribute, self.value)
+
+
+def _device_input_capabilities(app):
+    """input name -> capability name for the app's device inputs."""
+    return {i.name: i.capability for i in app.device_inputs}
+
+
+def _handler_reachable_methods(app, handler_name):
+    """The handler plus every method transitively called from it."""
+    reachable = []
+    queue = [handler_name]
+    seen = set()
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        method = app.method(name)
+        if method is None:
+            continue
+        reachable.append(method)
+        for node in method.walk():
+            if isinstance(node, ast.Call) and app.method(node.name) is not None:
+                queue.append(node.name)
+            elif isinstance(node, ast.MethodCall) and app.method(node.name) is not None:
+                queue.append(node.name)
+    return reachable
+
+
+def _output_events_of(app, handler_name, device_caps):
+    """Output events: device command calls + location mode changes."""
+    outputs = []
+
+    def add(descriptor):
+        if descriptor not in outputs:
+            outputs.append(descriptor)
+
+    for method in _handler_reachable_methods(app, handler_name):
+        for node in method.walk():
+            if isinstance(node, ast.MethodCall):
+                target = _root_name(node.obj)
+                if target in device_caps:
+                    cap = capability(device_caps[target])
+                    command = cap.commands.get(node.name)
+                    if command is not None:
+                        value = command.value if not command.takes_arg else ANY
+                        add(EventDescriptor(command.attribute, value))
+                elif target == "location" and node.name == "setMode":
+                    add(EventDescriptor("mode", _literal_or_any(node.args)))
+            elif isinstance(node, ast.Call):
+                if node.name == "setLocationMode":
+                    add(EventDescriptor("mode", _literal_or_any(node.args)))
+                elif node.name == "sendLocationEvent":
+                    add(EventDescriptor("mode", ANY))
+                elif node.name == "sendEvent":
+                    attr = _named_literal(node, "name")
+                    if attr:
+                        add(EventDescriptor(attr, _named_literal(node, "value") or ANY))
+            elif isinstance(node, ast.Assign):
+                target = node.target
+                if (isinstance(target, ast.Property) and target.name == "mode"
+                        and _root_name(target.obj) == "location"):
+                    add(EventDescriptor("mode", ANY))
+    return outputs
+
+
+def _input_events_of(app, handler_name, device_caps):
+    """Input events: subscriptions + device state reads + schedules."""
+    inputs = []
+
+    def add(descriptor):
+        if descriptor not in inputs:
+            inputs.append(descriptor)
+
+    for sub in app.subscriptions:
+        if sub.handler != handler_name:
+            continue
+        if sub.source == "app":
+            add(EventDescriptor("app", "touch"))
+        elif sub.source == "location":
+            add(EventDescriptor(sub.attribute or "mode", sub.value or ANY))
+        else:
+            add(EventDescriptor(sub.attribute, sub.value or ANY))
+    for _api, handler, _line in app.schedules:
+        if handler == handler_name:
+            add(EventDescriptor("time", ANY))
+    # device state reads inside the handler (input kind (ii))
+    for method in _handler_reachable_methods(app, handler_name):
+        for node in method.walk():
+            attr = None
+            target = None
+            if isinstance(node, ast.Property) and node.name.startswith("current"):
+                target = _root_name(node.obj)
+                attr = node.name[len("current"):]
+                attr = attr[:1].lower() + attr[1:]
+            elif (isinstance(node, ast.MethodCall)
+                    and node.name in ("currentValue", "latestValue")
+                    and node.args and isinstance(node.args[0], ast.Literal)):
+                target = _root_name(node.obj)
+                attr = str(node.args[0].value)
+            if attr and target in device_caps:
+                cap = capability(device_caps[target])
+                if attr in cap.attributes:
+                    add(EventDescriptor(attr, ANY))
+    return inputs
+
+
+def _root_name(node):
+    while isinstance(node, (ast.Property, ast.Index, ast.MethodCall)):
+        node = node.obj
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _literal_or_any(args):
+    if args and isinstance(args[0], ast.Literal):
+        return str(args[0].value)
+    return ANY
+
+
+def _named_literal(call, key):
+    for entry in call.named:
+        if entry.key == key and isinstance(entry.value, ast.Literal):
+            return str(entry.value.value)
+    return None
+
+
+def extract_handler_io(app, handler_name):
+    """``(input_events, output_events)`` for one handler of one app."""
+    device_caps = _device_input_capabilities(app)
+    return (_input_events_of(app, handler_name, device_caps),
+            _output_events_of(app, handler_name, device_caps))
+
+
+def handler_vertices(app):
+    """All handlers of an app with their I/O events, in registration order.
+
+    Returns a list of ``(handler_name, inputs, outputs)``.
+    """
+    vertices = []
+    for handler_name in app.handler_names:
+        inputs, outputs = extract_handler_io(app, handler_name)
+        vertices.append((handler_name, inputs, outputs))
+    return vertices

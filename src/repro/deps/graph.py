@@ -1,0 +1,171 @@
+"""The dependency graph over event handlers (§5).
+
+"Each event handler is denoted by a vertex in the DG.  An edge from a
+vertex u to a vertex v is added if the output events of u overlap with the
+input events of v ...  The vertices in a strongly connected component are
+merged into a composite vertex (a union of input and output events).  A
+leaf vertex does not have any child."
+"""
+
+
+class Vertex:
+    """One vertex: an event handler (or a merged SCC of handlers).
+
+    ``members`` lists ``(app_name, handler_name)`` pairs (more than one
+    after SCC merging).
+    """
+
+    __slots__ = ("id", "members", "inputs", "outputs")
+
+    def __init__(self, vertex_id, members, inputs, outputs):
+        self.id = vertex_id
+        self.members = list(members)
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+
+    @property
+    def apps(self):
+        return sorted({app for app, _handler in self.members})
+
+    def __repr__(self):
+        return "Vertex(%d, %s)" % (self.id, self.members)
+
+
+class DependencyGraph:
+    """Directed dependency graph with SCC merging."""
+
+    def __init__(self):
+        self.vertices = []
+        #: adjacency: vertex id -> set of child vertex ids
+        self.children = {}
+        self.parents = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_vertex(self, members, inputs, outputs):
+        vertex = Vertex(len(self.vertices), members, inputs, outputs)
+        self.vertices.append(vertex)
+        self.children[vertex.id] = set()
+        self.parents[vertex.id] = set()
+        return vertex
+
+    def build_edges(self):
+        """Add u -> v whenever outputs(u) overlap inputs(v)."""
+        for u in self.vertices:
+            for v in self.vertices:
+                if u.id == v.id:
+                    continue
+                if self._io_overlap(u.outputs, v.inputs):
+                    self.children[u.id].add(v.id)
+                    self.parents[v.id].add(u.id)
+        return self
+
+    @staticmethod
+    def _io_overlap(outputs, inputs):
+        return any(out.overlaps(inp) for out in outputs for inp in inputs)
+
+    # -- queries ---------------------------------------------------------------
+
+    def leaves(self):
+        """Vertices without children."""
+        return [v for v in self.vertices if not self.children[v.id]]
+
+    def ancestors(self, vertex_id):
+        """All (transitive) ancestors of a vertex."""
+        seen = set()
+        queue = list(self.parents[vertex_id])
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.parents[current])
+        return seen
+
+    def edge_count(self):
+        return sum(len(kids) for kids in self.children.values())
+
+    # -- SCC merging -------------------------------------------------------------
+
+    def merge_sccs(self):
+        """Merge each non-trivial SCC into a composite vertex.
+
+        Returns a *new* graph whose vertices are the components (Tarjan).
+        """
+        components = self._tarjan()
+        merged = DependencyGraph()
+        component_of = {}
+        for component in components:
+            members, inputs, outputs = [], [], []
+            for vid in component:
+                vertex = self.vertices[vid]
+                members.extend(vertex.members)
+                for event in vertex.inputs:
+                    if event not in inputs:
+                        inputs.append(event)
+                for event in vertex.outputs:
+                    if event not in outputs:
+                        outputs.append(event)
+            new_vertex = merged.add_vertex(members, inputs, outputs)
+            for vid in component:
+                component_of[vid] = new_vertex.id
+        for u_id, kids in self.children.items():
+            for v_id in kids:
+                cu, cv = component_of[u_id], component_of[v_id]
+                if cu != cv:
+                    merged.children[cu].add(cv)
+                    merged.parents[cv].add(cu)
+        return merged
+
+    def _tarjan(self):
+        """Tarjan's SCC algorithm, iterative.  Components in discovery order."""
+        index_counter = [0]
+        indexes, lowlinks = {}, {}
+        on_stack = set()
+        stack = []
+        components = []
+
+        for root in range(len(self.vertices)):
+            if root in indexes:
+                continue
+            work = [(root, iter(sorted(self.children[root])))]
+            indexes[root] = lowlinks[root] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children_iter = work[-1]
+                advanced = False
+                for child in children_iter:
+                    if child not in indexes:
+                        indexes[child] = lowlinks[child] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(self.children[child]))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indexes[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indexes[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(sorted(component))
+        # keep deterministic order: by smallest original vertex id
+        components.sort(key=lambda c: c[0])
+        return components
+
+    def __repr__(self):
+        return "DependencyGraph(vertices=%d, edges=%d)" % (
+            len(self.vertices), self.edge_count())

@@ -1,0 +1,136 @@
+"""Related-set computation (§5).
+
+"The initial related set of a leaf vertex v includes all of its ancestors
+and v itself. ...  two vertices u and v may have common output events but
+the types of these events could be ... conflicting.  For example, nodes 0
+and 1 have conflicting output events viz., switch/off and switch/on.  In
+such cases, the related sets to which u and v belong, must be merged ...
+if a related set i is a subset of a bigger related set j, the model checker
+automatically verifies i when j is verified; thus, there is no need to
+re-verify i."
+"""
+
+from repro.deps.events import handler_vertices
+from repro.deps.graph import DependencyGraph
+
+
+class RelatedSetAnalysis:
+    """The full §5 pipeline output for one group of apps."""
+
+    def __init__(self, graph, merged_graph, related_sets):
+        #: the raw dependency graph (one vertex per handler)
+        self.graph = graph
+        #: after SCC merging
+        self.merged_graph = merged_graph
+        #: final related sets: list of frozensets of merged-vertex ids
+        self.related_sets = related_sets
+
+    @property
+    def original_size(self):
+        """Total number of event handlers (Table 7a 'Original Size')."""
+        return sum(len(v.members) for v in self.graph.vertices)
+
+    @property
+    def new_size(self):
+        """Handlers in the largest related set (Table 7a 'New Size')."""
+        if not self.related_sets:
+            return 0
+        return max(self._set_handler_count(s) for s in self.related_sets)
+
+    def _set_handler_count(self, related_set):
+        return sum(len(self.merged_graph.vertices[vid].members)
+                   for vid in related_set)
+
+    @property
+    def scale_ratio(self):
+        """Original / new size (Table 7a 'Scale Ratio')."""
+        new = self.new_size
+        if new == 0:
+            return 1.0
+        return self.original_size / float(new)
+
+    def apps_of_set(self, related_set):
+        """App names participating in one related set."""
+        apps = set()
+        for vid in related_set:
+            apps.update(self.merged_graph.vertices[vid].apps)
+        return sorted(apps)
+
+    def app_groups(self):
+        """App-name groups to verify jointly, one per related set."""
+        return [self.apps_of_set(s) for s in self.related_sets]
+
+    def describe(self):
+        lines = ["DependencyGraph: %d handlers, %d edges"
+                 % (self.original_size, self.graph.edge_count())]
+        for index, related_set in enumerate(self.related_sets):
+            vertices = sorted(related_set)
+            members = []
+            for vid in vertices:
+                members.extend("%s.%s" % (a, h)
+                               for a, h in self.merged_graph.vertices[vid].members)
+            lines.append("  set %d: vertices %s (%s)"
+                         % (index + 1, vertices, ", ".join(members)))
+        lines.append("scale ratio: %.1f" % self.scale_ratio)
+        return "\n".join(lines)
+
+
+def build_graph(apps):
+    """One vertex per (app, handler); edges on I/O overlap."""
+    graph = DependencyGraph()
+    for app in apps:
+        for handler_name, inputs, outputs in handler_vertices(app):
+            graph.add_vertex([(app.name, handler_name)], inputs, outputs)
+    return graph.build_edges()
+
+
+def compute_related_sets(graph):
+    """§5's related-set pipeline on a built dependency graph.
+
+    Returns ``(merged_graph, [frozenset(vertex ids)])``.
+    """
+    merged = graph.merge_sccs()
+
+    def related_of(vertex_id):
+        """Ancestors + the vertex itself (the paper's per-vertex related set)."""
+        return frozenset(merged.ancestors(vertex_id) | {vertex_id})
+
+    # initial related sets: one per leaf (other vertices' sets are subsets
+    # of some leaf's set, §5)
+    sets = [related_of(leaf.id) for leaf in merged.leaves()]
+
+    # conflict merging: for each pair of vertices with conflicting outputs,
+    # the related sets of the two vertices must be verified together (the
+    # paper's Table 3b: one merged set per conflicting pair).  Checking this
+    # examines O(E^2) output-event pairs (§5).
+    vertices = merged.vertices
+    for i, u in enumerate(vertices):
+        for v in vertices[i + 1:]:
+            if _outputs_conflict(u, v):
+                sets.append(related_of(u.id) | related_of(v.id))
+
+    # subset reduction: drop sets covered by a bigger set
+    final = []
+    candidates = sorted(set(sets), key=lambda s: (len(s), sorted(s)))
+    for candidate in candidates:
+        if any(candidate < other for other in candidates if other != candidate):
+            continue
+        final.append(candidate)
+    final.sort(key=lambda s: sorted(s))
+    return merged, final
+
+
+def _outputs_conflict(u, v):
+    return any(a.conflicts(b) for a in u.outputs for b in v.outputs)
+
+
+def analyze_apps(apps):
+    """Full pipeline: apps -> :class:`RelatedSetAnalysis`."""
+    graph = build_graph(apps)
+    merged, related = compute_related_sets(graph)
+    return RelatedSetAnalysis(graph, merged, related)
+
+
+def scale_ratio(apps):
+    """Table 7a's metric for one group of apps."""
+    return analyze_apps(apps).scale_ratio

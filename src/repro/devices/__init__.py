@@ -1,0 +1,42 @@
+"""Device models: capability catalog and the 30 supported device types.
+
+The paper's Model Generator "models IoT devices (sensors and actuators) as
+per their specifications ... Each device is modeled as having an event queue
+and a set of notifiers" (§8) and "currently, we support 30 different IoT
+devices".  This package provides:
+
+* :mod:`repro.devices.capabilities` - SmartThings capability specifications:
+  attributes with finite event domains and commands with their effects.
+* :mod:`repro.devices.catalog` - the 30 device specs built from capabilities.
+* :mod:`repro.devices.instance` - runtime device instances used by the model
+  checker (current attribute values, event queue, subscriber notifiers).
+"""
+
+from repro.devices.capabilities import (
+    ANY_VALUE,
+    AttributeSpec,
+    Capability,
+    CommandSpec,
+    CAPABILITIES,
+    capability,
+    command_effect,
+    conflicting_values,
+)
+from repro.devices.catalog import DEVICE_TYPES, DeviceSpec, device_spec, specs_with_capability
+from repro.devices.instance import DeviceInstance
+
+__all__ = [
+    "ANY_VALUE",
+    "AttributeSpec",
+    "Capability",
+    "CommandSpec",
+    "CAPABILITIES",
+    "capability",
+    "command_effect",
+    "conflicting_values",
+    "DEVICE_TYPES",
+    "DeviceSpec",
+    "device_spec",
+    "specs_with_capability",
+    "DeviceInstance",
+]

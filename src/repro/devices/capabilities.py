@@ -1,0 +1,358 @@
+"""SmartThings capability catalog.
+
+A *capability* declares the attributes a device exposes (with the event
+values each attribute can take) and the commands it accepts (with the
+attribute effect of each command).  Smart apps are configured against
+capabilities (``input "outlets", "capability.switch"``), so this catalog is
+what binds app inputs, the dependency analyzer's event descriptors, and the
+model checker's event domains together.
+
+Numeric attributes carry a small *model domain* - the discretized set of
+values the checker enumerates when generating sensor events.  This mirrors
+the paper's bounded enumeration of "all possible permutations of the input
+physical events" (§8, Algorithm 1) over finite event alphabets.
+"""
+
+#: Wildcard sentinel used in event descriptors ("any value of this type").
+ANY_VALUE = "*"
+
+
+class AttributeSpec:
+    """One attribute of a capability.
+
+    ``kind`` is ``"enum"`` (finite symbolic values) or ``"numeric"``
+    (discretized into ``values`` for model checking).
+    """
+
+    __slots__ = ("name", "kind", "values", "default")
+
+    def __init__(self, name, kind, values, default):
+        self.name = name
+        self.kind = kind
+        self.values = tuple(values)
+        self.default = default
+        if default not in self.values:
+            raise ValueError("default %r not in domain of %s" % (default, name))
+
+    def __repr__(self):
+        return "AttributeSpec(%r, %s, default=%r)" % (self.name, self.kind, self.default)
+
+
+class CommandSpec:
+    """One command of a capability and its effect on an attribute.
+
+    ``value`` is the attribute value the command sets; ``takes_arg`` commands
+    (e.g. ``setLevel``) set the attribute to their first argument instead.
+    """
+
+    __slots__ = ("name", "attribute", "value", "takes_arg")
+
+    def __init__(self, name, attribute, value=None, takes_arg=False):
+        self.name = name
+        self.attribute = attribute
+        self.value = value
+        self.takes_arg = takes_arg
+
+    def __repr__(self):
+        return "CommandSpec(%r -> %s=%r)" % (self.name, self.attribute, self.value)
+
+
+class Capability:
+    """A named capability: a set of attributes plus a set of commands."""
+
+    def __init__(self, name, attributes=(), commands=()):
+        self.name = name
+        self.attributes = {a.name: a for a in attributes}
+        self.commands = {c.name: c for c in commands}
+
+    def __repr__(self):
+        return "Capability(%r)" % (self.name,)
+
+
+def _enum(name, values, default=None):
+    return AttributeSpec(name, "enum", values, default if default is not None else values[0])
+
+
+def _numeric(name, values, default):
+    return AttributeSpec(name, "numeric", values, default)
+
+
+#: Pairs of attribute values considered *conflicting* for the
+#: free-of-conflicting-commands property and for related-set merging (§5):
+#: receiving both within one external-event cascade is a violation.
+_CONFLICT_PAIRS = {
+    ("on", "off"), ("off", "on"),
+    ("locked", "unlocked"), ("unlocked", "locked"),
+    ("open", "closed"), ("closed", "open"),
+    ("opening", "closing"), ("closing", "opening"),
+    ("active", "inactive"), ("inactive", "active"),
+    ("heat", "cool"), ("cool", "heat"),
+    ("playing", "stopped"), ("stopped", "playing"),
+    ("strobe", "off"), ("off", "strobe"),
+    ("siren", "off"), ("off", "siren"),
+    ("both", "off"), ("off", "both"),
+}
+
+
+def conflicting_values(value_a, value_b):
+    """True when two attribute values are mutually conflicting."""
+    return (value_a, value_b) in _CONFLICT_PAIRS
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+
+#: Discretized temperature domain (degrees F).  Chosen to straddle the
+#: thresholds used throughout the paper's examples (setpoint 75, emergency 85).
+TEMPERATURE_DOMAIN = (55, 65, 75, 85, 95)
+ILLUMINANCE_DOMAIN = (5, 30, 100, 1000)
+HUMIDITY_DOMAIN = (20, 40, 60, 80)
+BATTERY_DOMAIN = (5, 50, 100)
+LEVEL_DOMAIN = (0, 25, 50, 75, 100)
+POWER_DOMAIN = (0, 50, 500, 1500)
+ENERGY_DOMAIN = (0, 1, 10)
+
+CAPABILITIES = {}
+
+
+def _register(cap):
+    CAPABILITIES[cap.name] = cap
+    return cap
+
+
+_register(Capability(
+    "switch",
+    attributes=[_enum("switch", ("off", "on"))],
+    commands=[CommandSpec("on", "switch", "on"),
+              CommandSpec("off", "switch", "off")],
+))
+
+_register(Capability(
+    "switchLevel",
+    attributes=[_numeric("level", LEVEL_DOMAIN, 0)],
+    commands=[CommandSpec("setLevel", "level", takes_arg=True)],
+))
+
+_register(Capability(
+    "motionSensor",
+    attributes=[_enum("motion", ("inactive", "active"))],
+))
+
+_register(Capability(
+    "contactSensor",
+    attributes=[_enum("contact", ("closed", "open"))],
+))
+
+_register(Capability(
+    "presenceSensor",
+    attributes=[_enum("presence", ("not present", "present"), default="present")],
+))
+
+_register(Capability(
+    "temperatureMeasurement",
+    attributes=[_numeric("temperature", TEMPERATURE_DOMAIN, 75)],
+))
+
+_register(Capability(
+    "relativeHumidityMeasurement",
+    attributes=[_numeric("humidity", HUMIDITY_DOMAIN, 40)],
+))
+
+_register(Capability(
+    "illuminanceMeasurement",
+    attributes=[_numeric("illuminance", ILLUMINANCE_DOMAIN, 100)],
+))
+
+_register(Capability(
+    "smokeDetector",
+    attributes=[_enum("smoke", ("clear", "detected", "tested"))],
+))
+
+_register(Capability(
+    "carbonMonoxideDetector",
+    attributes=[_enum("carbonMonoxide", ("clear", "detected", "tested"))],
+))
+
+_register(Capability(
+    "waterSensor",
+    attributes=[_enum("water", ("dry", "wet"))],
+))
+
+_register(Capability(
+    "lock",
+    attributes=[_enum("lock", ("locked", "unlocked"), default="locked")],
+    commands=[CommandSpec("lock", "lock", "locked"),
+              CommandSpec("unlock", "lock", "unlocked")],
+))
+
+_register(Capability(
+    "doorControl",
+    attributes=[_enum("door", ("closed", "open"))],
+    commands=[CommandSpec("open", "door", "open"),
+              CommandSpec("close", "door", "closed")],
+))
+
+_register(Capability(
+    "garageDoorControl",
+    attributes=[_enum("door", ("closed", "open"))],
+    commands=[CommandSpec("open", "door", "open"),
+              CommandSpec("close", "door", "closed")],
+))
+
+_register(Capability(
+    "valve",
+    attributes=[_enum("valve", ("open", "closed"), default="open")],
+    commands=[CommandSpec("open", "valve", "open"),
+              CommandSpec("close", "valve", "closed")],
+))
+
+_register(Capability(
+    "alarm",
+    attributes=[_enum("alarm", ("off", "strobe", "siren", "both"))],
+    commands=[CommandSpec("off", "alarm", "off"),
+              CommandSpec("strobe", "alarm", "strobe"),
+              CommandSpec("siren", "alarm", "siren"),
+              CommandSpec("both", "alarm", "both")],
+))
+
+_register(Capability(
+    "thermostat",
+    attributes=[
+        _enum("thermostatMode", ("off", "heat", "cool", "auto")),
+        _numeric("heatingSetpoint", TEMPERATURE_DOMAIN, 65),
+        _numeric("coolingSetpoint", TEMPERATURE_DOMAIN, 75),
+    ],
+    commands=[
+        CommandSpec("setThermostatMode", "thermostatMode", takes_arg=True),
+        CommandSpec("heat", "thermostatMode", "heat"),
+        CommandSpec("cool", "thermostatMode", "cool"),
+        CommandSpec("auto", "thermostatMode", "auto"),
+        CommandSpec("setHeatingSetpoint", "heatingSetpoint", takes_arg=True),
+        CommandSpec("setCoolingSetpoint", "coolingSetpoint", takes_arg=True),
+    ],
+))
+
+_register(Capability(
+    "accelerationSensor",
+    attributes=[_enum("acceleration", ("inactive", "active"))],
+))
+
+_register(Capability(
+    "button",
+    attributes=[_enum("button", ("released", "pushed", "held"))],
+))
+
+_register(Capability(
+    "momentary",
+    attributes=[],
+    commands=[CommandSpec("push", "switch", "on")],
+))
+
+_register(Capability(
+    "imageCapture",
+    attributes=[_enum("image", ("none", "captured"))],
+    commands=[CommandSpec("take", "image", "captured")],
+))
+
+_register(Capability(
+    "musicPlayer",
+    attributes=[_enum("status", ("stopped", "playing", "paused"))],
+    commands=[CommandSpec("play", "status", "playing"),
+              CommandSpec("stop", "status", "stopped"),
+              CommandSpec("pause", "status", "paused")],
+))
+
+_register(Capability(
+    "speechSynthesis",
+    attributes=[_enum("speech", ("idle", "speaking"))],
+    commands=[CommandSpec("speak", "speech", "speaking")],
+))
+
+_register(Capability(
+    "tone",
+    attributes=[_enum("tone", ("idle", "beeping"))],
+    commands=[CommandSpec("beep", "tone", "beeping")],
+))
+
+_register(Capability(
+    "battery",
+    attributes=[_numeric("battery", BATTERY_DOMAIN, 100)],
+))
+
+_register(Capability(
+    "powerMeter",
+    attributes=[_numeric("power", POWER_DOMAIN, 0)],
+))
+
+_register(Capability(
+    "energyMeter",
+    attributes=[_numeric("energy", ENERGY_DOMAIN, 0)],
+))
+
+_register(Capability(
+    "sleepSensor",
+    attributes=[_enum("sleeping", ("not sleeping", "sleeping"))],
+))
+
+_register(Capability(
+    "windowShade",
+    attributes=[_enum("windowShade", ("closed", "open", "partially open"))],
+    commands=[CommandSpec("open", "windowShade", "open"),
+              CommandSpec("close", "windowShade", "closed")],
+))
+
+_register(Capability(
+    "colorControl",
+    attributes=[_numeric("hue", (0, 25, 50, 75, 100), 0),
+                _numeric("saturation", (0, 50, 100), 0)],
+    commands=[CommandSpec("setHue", "hue", takes_arg=True),
+              CommandSpec("setSaturation", "saturation", takes_arg=True)],
+))
+
+_register(Capability(
+    "relaySwitch",
+    attributes=[_enum("switch", ("off", "on"))],
+    commands=[CommandSpec("on", "switch", "on"),
+              CommandSpec("off", "switch", "off")],
+))
+
+# -- IFTTT service capabilities (§11: "Each service is mapped onto a sensor
+#    device(s) or an actuator device(s)") ------------------------------------
+
+_register(Capability(
+    "voiceCommand",
+    attributes=[_enum("phrase", ("none", "spoken"))],
+))
+
+_register(Capability(
+    "phoneCall",
+    attributes=[_enum("call", ("idle", "calling"))],
+    commands=[CommandSpec("call", "call", "calling"),
+              CommandSpec("hangup", "call", "idle"),
+              CommandSpec("mute", "call", "idle")],
+))
+
+
+def capability(name):
+    """Look up a capability by bare name or ``capability.<name>`` form."""
+    key = name
+    if key.startswith("capability."):
+        key = key[len("capability."):]
+    cap = CAPABILITIES.get(key)
+    if cap is None:
+        raise KeyError("unknown capability %r" % (name,))
+    return cap
+
+
+def command_effect(capabilities, command):
+    """Resolve ``command`` against a list of capability names.
+
+    Returns the :class:`CommandSpec` of the first capability that defines the
+    command, or ``None`` when no capability does.
+    """
+    for cap_name in capabilities:
+        cap = capability(cap_name)
+        if command in cap.commands:
+            return cap.commands[command]
+    return None

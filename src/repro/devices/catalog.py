@@ -1,0 +1,233 @@
+"""The 30 device types supported by the model generator (§8).
+
+Each :class:`DeviceSpec` composes capabilities; its *sensor attributes* are
+the attributes whose changes the checker enumerates as external physical
+events (Algorithm 1 line 2), and its *actuator commands* are the commands
+apps may send to it.
+
+Environmental inputs (sunrise/sunset) and location-mode changes are modeled
+separately (``repro.model``): the paper models environment events as sensor
+inputs and mode changes as actuations.
+"""
+
+from repro.devices.capabilities import capability
+
+
+class DeviceSpec:
+    """A device type: a display name plus the capabilities it implements."""
+
+    def __init__(self, type_name, display_name, capabilities, sensor_attrs=None,
+                 description=""):
+        self.type_name = type_name
+        self.display_name = display_name
+        self.capabilities = tuple(capabilities)
+        self.description = description
+        self._explicit_sensor_attrs = tuple(sensor_attrs) if sensor_attrs else None
+
+    @property
+    def attributes(self):
+        """All attribute specs across capabilities, keyed by name."""
+        attrs = {}
+        for cap_name in self.capabilities:
+            attrs.update(capability(cap_name).attributes)
+        return attrs
+
+    @property
+    def commands(self):
+        """All command specs across capabilities, keyed by name."""
+        commands = {}
+        for cap_name in self.capabilities:
+            commands.update(capability(cap_name).commands)
+        return commands
+
+    @property
+    def sensor_attributes(self):
+        """Attributes whose changes are generated as external events.
+
+        By default every attribute *not* writable by a command is a sensor
+        attribute (a lock's ``lock`` state is actuator-driven; a motion
+        sensor's ``motion`` is environment-driven).  Specs may override.
+        """
+        if self._explicit_sensor_attrs is not None:
+            return {name: spec for name, spec in self.attributes.items()
+                    if name in self._explicit_sensor_attrs}
+        commanded = {c.attribute for c in self.commands.values()}
+        return {name: spec for name, spec in self.attributes.items()
+                if name not in commanded}
+
+    @property
+    def is_actuator(self):
+        return bool(self.commands)
+
+    @property
+    def is_sensor(self):
+        return bool(self.sensor_attributes)
+
+    def has_capability(self, cap_name):
+        if cap_name.startswith("capability."):
+            cap_name = cap_name[len("capability."):]
+        return cap_name in self.capabilities
+
+    def __repr__(self):
+        return "DeviceSpec(%r)" % (self.type_name,)
+
+
+DEVICE_TYPES = {}
+
+
+def _register(spec):
+    DEVICE_TYPES[spec.type_name] = spec
+    return spec
+
+
+_register(DeviceSpec(
+    "smartsense-motion", "SmartSense Motion Sensor",
+    ["motionSensor", "temperatureMeasurement", "battery"],
+    description="PIR motion sensor with temperature reporting."))
+
+_register(DeviceSpec(
+    "smartsense-multi", "SmartSense Multi Sensor",
+    ["contactSensor", "accelerationSensor", "temperatureMeasurement", "battery"],
+    description="Contact + acceleration + temperature multi sensor."))
+
+_register(DeviceSpec(
+    "smartsense-presence", "SmartSense Presence Sensor",
+    ["presenceSensor", "battery"],
+    description="Keyfob presence sensor."))
+
+_register(DeviceSpec(
+    "moisture-sensor", "SmartSense Moisture Sensor",
+    ["waterSensor", "temperatureMeasurement", "battery"],
+    description="Water leak sensor."))
+
+_register(DeviceSpec(
+    "smoke-detector", "Smoke Detector",
+    ["smokeDetector", "battery"]))
+
+_register(DeviceSpec(
+    "co-detector", "Carbon Monoxide Detector",
+    ["carbonMonoxideDetector", "battery"]))
+
+_register(DeviceSpec(
+    "illuminance-sensor", "Aeon Illuminance Sensor",
+    ["illuminanceMeasurement", "battery"]))
+
+_register(DeviceSpec(
+    "temperature-sensor", "Temperature Sensor",
+    ["temperatureMeasurement", "battery"]))
+
+_register(DeviceSpec(
+    "humidity-sensor", "Humidity Sensor",
+    ["relativeHumidityMeasurement", "temperatureMeasurement", "battery"]))
+
+_register(DeviceSpec(
+    "smart-outlet", "Smart Power Outlet",
+    ["switch", "powerMeter"],
+    description="Pluggable outlet; apps see capability.switch."))
+
+_register(DeviceSpec(
+    "dimmer-switch", "Dimmer Switch",
+    ["switch", "switchLevel"]))
+
+_register(DeviceSpec(
+    "smart-bulb", "Smart Bulb",
+    ["switch", "switchLevel", "colorControl"]))
+
+_register(DeviceSpec(
+    "in-wall-switch", "In-Wall Smart Switch",
+    ["switch"]))
+
+_register(DeviceSpec(
+    "zwave-lock", "Z-Wave Door Lock",
+    ["lock", "battery"]))
+
+_register(DeviceSpec(
+    "garage-door-opener", "Garage Door Opener",
+    ["garageDoorControl", "contactSensor"],
+    sensor_attrs=["contact"]))
+
+_register(DeviceSpec(
+    "door-control", "Door Control",
+    ["doorControl"]))
+
+_register(DeviceSpec(
+    "smart-valve", "Smart Water Valve",
+    ["valve"]))
+
+_register(DeviceSpec(
+    "siren-strobe", "Siren/Strobe Alarm",
+    ["alarm", "battery"]))
+
+_register(DeviceSpec(
+    "thermostat", "Smart Thermostat",
+    ["thermostat", "temperatureMeasurement"],
+    sensor_attrs=["temperature"]))
+
+_register(DeviceSpec(
+    "window-shade", "Window Shade",
+    ["windowShade"]))
+
+_register(DeviceSpec(
+    "button-controller", "Button Controller",
+    ["button", "battery"]))
+
+_register(DeviceSpec(
+    "momentary-tile", "Momentary Button Tile",
+    ["momentary", "switch"],
+    sensor_attrs=[]))
+
+_register(DeviceSpec(
+    "speaker", "Sonos Speaker",
+    ["musicPlayer"]))
+
+_register(DeviceSpec(
+    "speech-device", "Speech Synthesizer",
+    ["speechSynthesis"]))
+
+_register(DeviceSpec(
+    "ip-camera", "IP Camera",
+    ["imageCapture"]))
+
+_register(DeviceSpec(
+    "energy-meter", "Home Energy Meter",
+    ["energyMeter", "powerMeter"]))
+
+_register(DeviceSpec(
+    "acceleration-sensor", "Acceleration Sensor",
+    ["accelerationSensor", "battery"]))
+
+_register(DeviceSpec(
+    "sleep-sensor", "Sleep Sensor",
+    ["sleepSensor", "battery"]))
+
+_register(DeviceSpec(
+    "arrival-sensor", "Arrival Sensor",
+    ["presenceSensor", "tone", "battery"]))
+
+_register(DeviceSpec(
+    "relay-switch", "Z-Wave Relay Switch",
+    ["relaySwitch"]))
+
+# -- IFTTT service devices (§11): voice assistants are sensors, the VoIP
+#    call service is an actuator --------------------------------------------
+
+_register(DeviceSpec(
+    "voice-assistant", "Voice Assistant",
+    ["voiceCommand"]))
+
+_register(DeviceSpec(
+    "voip-call", "VoIP Call Service",
+    ["phoneCall"]))
+
+
+def device_spec(type_name):
+    """Look up a device spec by type name."""
+    spec = DEVICE_TYPES.get(type_name)
+    if spec is None:
+        raise KeyError("unknown device type %r" % (type_name,))
+    return spec
+
+
+def specs_with_capability(cap_name):
+    """All device specs implementing a capability (for config enumeration)."""
+    return [spec for spec in DEVICE_TYPES.values() if spec.has_capability(cap_name)]

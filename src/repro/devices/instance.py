@@ -1,0 +1,56 @@
+"""Runtime device instances.
+
+A :class:`DeviceInstance` is the checker-facing view of one installed
+device: its spec, its current attribute values, an event queue, and the
+subscriber notifiers of §8 ("Each device is modeled as having an event queue
+and a set of notifiers to inform the smart apps that have subscribed").
+
+Instances are *views over the mutable model state* owned by the explorer -
+they never hold exploration state themselves, so a single instance can serve
+every branch of the search.
+"""
+
+from repro.devices.catalog import device_spec
+
+
+class DeviceInstance:
+    """One installed device: a named instance of a :class:`DeviceSpec`."""
+
+    def __init__(self, name, type_name, label=None):
+        self.name = name
+        self.spec = device_spec(type_name)
+        self.label = label or name
+
+    @property
+    def type_name(self):
+        return self.spec.type_name
+
+    @property
+    def display_name(self):
+        return self.label
+
+    def initial_attributes(self):
+        """The attribute vector this device starts in."""
+        return {attr: spec.default for attr, spec in self.spec.attributes.items()}
+
+    def sensor_event_values(self, attribute, current_value):
+        """Event values the environment can generate for ``attribute``.
+
+        Mirrors ``sensor_state_update`` (Algorithm 1 lines 8-12): an event
+        equal to the current state is dropped, so only differing values are
+        enumerated.
+        """
+        spec = self.spec.sensor_attributes.get(attribute)
+        if spec is None:
+            return []
+        return [value for value in spec.values if value != current_value]
+
+    def command(self, name):
+        """The :class:`CommandSpec` for ``name`` or ``None``."""
+        return self.spec.commands.get(name)
+
+    def has_capability(self, cap_name):
+        return self.spec.has_capability(cap_name)
+
+    def __repr__(self):
+        return "DeviceInstance(%r, %r)" % (self.name, self.type_name)

@@ -1,0 +1,34 @@
+"""Groovy-subset frontend for SmartThings smart apps.
+
+The SmartThings platform executes apps written in Groovy with a few
+platform-specific DSL extensions (``definition``, ``preferences``/``input``,
+``subscribe``, ``schedule`` and friends).  The paper's translator pipeline
+(Groovy -> Java AST -> Bandera -> Promela) begins with parsing Groovy; since
+no native Groovy parser exists for Python we hand-roll a lexer and a
+recursive-descent parser for the subset of Groovy that smart apps actually
+use: closures, command-style (paren-less) calls, GString interpolation,
+list/map literals, safe navigation, the elvis operator, ranges and the spread
+operator.
+
+Public entry points:
+
+* :func:`parse` / :func:`parse_expression` - source text to AST.
+* :mod:`repro.groovy.ast` - the AST node classes.
+"""
+
+from repro.groovy.errors import GroovyError, LexError, ParseError
+from repro.groovy.lexer import Lexer, Token, TokenType, tokenize
+from repro.groovy.parser import Parser, parse, parse_expression
+
+__all__ = [
+    "GroovyError",
+    "LexError",
+    "ParseError",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+]

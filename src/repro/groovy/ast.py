@@ -1,0 +1,511 @@
+"""AST node classes for the Groovy subset.
+
+Nodes are plain data classes with ``line``/``col`` source positions.  The
+node set intentionally mirrors what the paper's G2J translator consumes: a
+program is a list of method definitions plus top-level statements (the
+SmartThings ``definition``/``preferences`` DSL appears as top-level calls).
+"""
+
+
+class Node:
+    """Base class for every AST node."""
+
+    _fields = ()
+
+    def __init__(self, line=0, col=0):
+        self.line = line
+        self.col = col
+
+    def children(self):
+        """Yield child nodes (flattening lists), for generic tree walks."""
+        for name in self._fields:
+            value = getattr(self, name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+                    elif isinstance(item, (list, tuple)):
+                        for sub in item:
+                            if isinstance(sub, Node):
+                                yield sub
+
+    def walk(self):
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            for node in child.walk():
+                yield node
+
+    def __repr__(self):
+        parts = []
+        for name in self._fields:
+            parts.append("%s=%r" % (name, getattr(self, name)))
+        return "%s(%s)" % (type(self).__name__, ", ".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+class Literal(Expr):
+    """A literal constant: number, plain string, boolean or null."""
+
+    _fields = ("value",)
+
+    def __init__(self, value, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+
+class GString(Expr):
+    """A double-quoted string with ``${...}`` interpolation.
+
+    ``parts`` alternates literal text fragments (``str``) and interpolated
+    expressions (:class:`Expr`).
+    """
+
+    _fields = ("parts",)
+
+    def __init__(self, parts, **kw):
+        super().__init__(**kw)
+        self.parts = parts
+
+
+class Name(Expr):
+    """A bare identifier reference."""
+
+    _fields = ("id",)
+
+    def __init__(self, id, **kw):  # noqa: A002 - mirrors Python's own ast.Name
+        super().__init__(**kw)
+        self.id = id
+
+
+class ListLit(Expr):
+    """A list literal ``[a, b, c]``."""
+
+    _fields = ("items",)
+
+    def __init__(self, items, **kw):
+        super().__init__(**kw)
+        self.items = items
+
+
+class MapEntry(Node):
+    """One ``key: value`` entry of a map literal."""
+
+    _fields = ("key", "value")
+
+    def __init__(self, key, value, **kw):
+        super().__init__(**kw)
+        self.key = key  # str for identifier/string keys, Expr for computed
+        self.value = value
+
+
+class MapLit(Expr):
+    """A map literal ``[k: v, ...]`` (``[:]`` when empty)."""
+
+    _fields = ("entries",)
+
+    def __init__(self, entries, **kw):
+        super().__init__(**kw)
+        self.entries = entries
+
+
+class RangeLit(Expr):
+    """An inclusive range ``lo..hi``."""
+
+    _fields = ("lo", "hi")
+
+    def __init__(self, lo, hi, **kw):
+        super().__init__(**kw)
+        self.lo = lo
+        self.hi = hi
+
+
+class Property(Expr):
+    """Property access ``obj.name`` (``obj?.name`` when ``safe``)."""
+
+    _fields = ("obj", "name")
+
+    def __init__(self, obj, name, safe=False, **kw):
+        super().__init__(**kw)
+        self.obj = obj
+        self.name = name
+        self.safe = safe
+
+
+class Index(Expr):
+    """Subscript access ``obj[index]``."""
+
+    _fields = ("obj", "index")
+
+    def __init__(self, obj, index, **kw):
+        super().__init__(**kw)
+        self.obj = obj
+        self.index = index
+
+
+class Call(Expr):
+    """A free-function call ``name(args)`` including command-style calls.
+
+    ``named`` holds ``key: value`` arguments (SmartThings passes option maps
+    this way).  ``closure`` holds a trailing closure argument if present.
+    """
+
+    _fields = ("args", "named", "closure")
+
+    def __init__(self, name, args, named=None, closure=None, **kw):
+        super().__init__(**kw)
+        self.name = name
+        self.args = args
+        self.named = named or []
+        self.closure = closure
+
+
+class MethodCall(Expr):
+    """A method call ``obj.name(args)``.
+
+    ``safe`` marks ``?.`` calls; ``spread`` marks ``*.`` calls (apply to every
+    element of a collection, used for e.g. ``switches*.on()``).
+    """
+
+    _fields = ("obj", "args", "named", "closure")
+
+    def __init__(self, obj, name, args, named=None, closure=None, safe=False,
+                 spread=False, **kw):
+        super().__init__(**kw)
+        self.obj = obj
+        self.name = name
+        self.args = args
+        self.named = named or []
+        self.closure = closure
+        self.safe = safe
+        self.spread = spread
+
+
+class Closure(Expr):
+    """A closure literal ``{ a, b -> body }`` (implicit ``it`` when no params)."""
+
+    _fields = ("params", "body")
+
+    def __init__(self, params, body, **kw):
+        super().__init__(**kw)
+        self.params = params
+        self.body = body
+
+
+class Binary(Expr):
+    """A binary operation."""
+
+    _fields = ("left", "right")
+
+    def __init__(self, op, left, right, **kw):
+        super().__init__(**kw)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(Expr):
+    """A prefix unary operation (``!``, ``-``, ``+``, ``++``, ``--``)."""
+
+    _fields = ("operand",)
+
+    def __init__(self, op, operand, **kw):
+        super().__init__(**kw)
+        self.op = op
+        self.operand = operand
+
+
+class Postfix(Expr):
+    """A postfix ``++``/``--``."""
+
+    _fields = ("operand",)
+
+    def __init__(self, op, operand, **kw):
+        super().__init__(**kw)
+        self.op = op
+        self.operand = operand
+
+
+class Ternary(Expr):
+    """The conditional expression ``cond ? then : orelse``."""
+
+    _fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse, **kw):
+        super().__init__(**kw)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class Elvis(Expr):
+    """The elvis operator ``value ?: fallback``."""
+
+    _fields = ("value", "fallback")
+
+    def __init__(self, value, fallback, **kw):
+        super().__init__(**kw)
+        self.value = value
+        self.fallback = fallback
+
+
+class Cast(Expr):
+    """A Groovy ``expr as Type`` coercion."""
+
+    _fields = ("value",)
+
+    def __init__(self, value, type_name, **kw):
+        super().__init__(**kw)
+        self.value = value
+        self.type_name = type_name
+
+
+class New(Expr):
+    """Object construction ``new Type(args)``."""
+
+    _fields = ("args",)
+
+    def __init__(self, type_name, args, **kw):
+        super().__init__(**kw)
+        self.type_name = type_name
+        self.args = args
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+class ExprStmt(Stmt):
+    """An expression evaluated for effect."""
+
+    _fields = ("value",)
+
+    def __init__(self, value, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+
+class VarDecl(Stmt):
+    """``def x = e`` or ``Type x = e`` (``value`` may be ``None``)."""
+
+    _fields = ("value",)
+
+    def __init__(self, name, value, type_name=None, **kw):
+        super().__init__(**kw)
+        self.name = name
+        self.value = value
+        self.type_name = type_name
+
+
+class Assign(Stmt):
+    """Assignment ``target op value`` where op is ``=``, ``+=`` etc."""
+
+    _fields = ("target", "value")
+
+    def __init__(self, target, op, value, **kw):
+        super().__init__(**kw)
+        self.target = target
+        self.op = op
+        self.value = value
+
+
+class If(Stmt):
+    """``if (cond) { ... } else { ... }``."""
+
+    _fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse=None, **kw):
+        super().__init__(**kw)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class While(Stmt):
+    """``while (cond) { ... }``."""
+
+    _fields = ("cond", "body")
+
+    def __init__(self, cond, body, **kw):
+        super().__init__(**kw)
+        self.cond = cond
+        self.body = body
+
+
+class ForIn(Stmt):
+    """``for (x in iterable) { ... }``."""
+
+    _fields = ("iterable", "body")
+
+    def __init__(self, var, iterable, body, **kw):
+        super().__init__(**kw)
+        self.var = var
+        self.iterable = iterable
+        self.body = body
+
+
+class ForC(Stmt):
+    """C-style ``for (init; cond; update) { ... }``."""
+
+    _fields = ("init", "cond", "update", "body")
+
+    def __init__(self, init, cond, update, body, **kw):
+        super().__init__(**kw)
+        self.init = init
+        self.cond = cond
+        self.update = update
+        self.body = body
+
+
+class Return(Stmt):
+    """``return expr?``."""
+
+    _fields = ("value",)
+
+    def __init__(self, value=None, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+
+class Break(Stmt):
+    """``break``."""
+
+
+class Continue(Stmt):
+    """``continue``."""
+
+
+class SwitchCase(Node):
+    """One ``case`` arm of a switch (``values`` empty for ``default``)."""
+
+    _fields = ("values", "body")
+
+    def __init__(self, values, body, **kw):
+        super().__init__(**kw)
+        self.values = values
+        self.body = body
+
+
+class Switch(Stmt):
+    """``switch (subject) { case v: ...; default: ... }``."""
+
+    _fields = ("subject", "cases")
+
+    def __init__(self, subject, cases, **kw):
+        super().__init__(**kw)
+        self.subject = subject
+        self.cases = cases
+
+
+class Block(Stmt):
+    """A brace-delimited statement list."""
+
+    _fields = ("stmts",)
+
+    def __init__(self, stmts, **kw):
+        super().__init__(**kw)
+        self.stmts = stmts
+
+
+class Try(Stmt):
+    """``try { ... } catch (e) { ... } finally { ... }``.
+
+    ``catches`` is a list of ``(type_name, var_name, Block)`` triples.
+    """
+
+    _fields = ("body", "finally_body")
+
+    def __init__(self, body, catches=None, finally_body=None, **kw):
+        super().__init__(**kw)
+        self.body = body
+        self.catches = catches or []
+        self.finally_body = finally_body
+
+    def children(self):
+        for child in super().children():
+            yield child
+        for _type, _name, block in self.catches:
+            yield block
+
+
+class Throw(Stmt):
+    """``throw expr``."""
+
+    _fields = ("value",)
+
+    def __init__(self, value, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+
+class Param(Node):
+    """A method/closure parameter, optionally typed with a default value."""
+
+    _fields = ("default",)
+
+    def __init__(self, name, type_name=None, default=None, **kw):
+        super().__init__(**kw)
+        self.name = name
+        self.type_name = type_name
+        self.default = default
+
+
+class MethodDef(Stmt):
+    """A method definition ``def name(params) { body }``."""
+
+    _fields = ("params", "body")
+
+    def __init__(self, name, params, body, modifiers=None, return_type=None, **kw):
+        super().__init__(**kw)
+        self.name = name
+        self.params = params
+        self.body = body
+        self.modifiers = modifiers or []
+        self.return_type = return_type
+
+
+class Program(Node):
+    """A whole smart-app source file."""
+
+    _fields = ("statements",)
+
+    def __init__(self, statements, source_name="<groovy>", **kw):
+        super().__init__(**kw)
+        self.statements = statements
+        self.source_name = source_name
+
+    @property
+    def methods(self):
+        """The method definitions in the program, in source order."""
+        return [s for s in self.statements if isinstance(s, MethodDef)]
+
+    def method(self, name):
+        """Return the method definition named ``name`` or ``None``."""
+        for m in self.methods:
+            if m.name == name:
+                return m
+        return None
+
+    @property
+    def top_level_calls(self):
+        """Top-level DSL calls (``definition``, ``preferences``, ...)."""
+        calls = []
+        for stmt in self.statements:
+            if isinstance(stmt, ExprStmt) and isinstance(stmt.value, Call):
+                calls.append(stmt.value)
+        return calls

@@ -1,0 +1,29 @@
+"""Error types raised by the Groovy frontend."""
+
+
+class GroovyError(Exception):
+    """Base class for all frontend errors.
+
+    Carries the source position (1-based line and column) so that callers can
+    render Bandera-style error trails pointing back at the app source.
+    """
+
+    def __init__(self, message, line=None, col=None, source_name=None):
+        self.message = message
+        self.line = line
+        self.col = col
+        self.source_name = source_name or "<groovy>"
+        super().__init__(self._format())
+
+    def _format(self):
+        if self.line is None:
+            return "%s: %s" % (self.source_name, self.message)
+        return "%s:%d:%d: %s" % (self.source_name, self.line, self.col or 0, self.message)
+
+
+class LexError(GroovyError):
+    """Raised when the lexer encounters a malformed token."""
+
+
+class ParseError(GroovyError):
+    """Raised when the parser cannot derive a valid AST."""

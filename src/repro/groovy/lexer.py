@@ -1,0 +1,305 @@
+"""Lexer for the Groovy subset.
+
+Produces a flat token stream.  Newlines are significant in Groovy (they
+terminate statements and block command-style call arguments from spilling
+over), so the lexer emits ``NEWLINE`` tokens; the parser skips them where the
+grammar allows continuation (after operators, inside parens, etc.).
+
+Double-quoted strings are scanned as *GStrings*: the token value is a list of
+parts alternating literal text (``str``) and raw interpolation source
+(wrapped in :class:`Interp`), which the parser sub-parses into expressions.
+"""
+
+from repro.groovy.errors import LexError
+
+
+class TokenType:
+    """Token type tags (plain strings for cheap comparison)."""
+
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    NUMBER = "NUMBER"
+    STRING = "STRING"          # single-quoted, no interpolation
+    GSTRING = "GSTRING"        # double-quoted, value is a list of parts
+    OP = "OP"
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset([
+    "def", "if", "else", "return", "true", "false", "null",
+    "for", "while", "in", "switch", "case", "default", "break", "continue",
+    "private", "public", "protected", "static", "final", "void", "new", "as",
+    "instanceof", "try", "catch", "finally", "throw", "import", "package",
+])
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "==~", "<=>", "**", "=~",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "?:", "?.", "*.", "..", "->", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "?", ":", ".", ",", ";",
+    "(", ")", "[", "]", "{", "}", "&", "|", "^", "~", "@",
+]
+
+
+class Interp:
+    """Raw source of a ``${...}`` interpolation inside a GString."""
+
+    __slots__ = ("source", "line", "col")
+
+    def __init__(self, source, line, col):
+        self.source = source
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Interp(%r)" % (self.source,)
+
+    def __eq__(self, other):
+        return isinstance(other, Interp) and other.source == self.source
+
+    def __hash__(self):
+        return hash(("Interp", self.source))
+
+
+class Token:
+    """A single lexical token with its source position."""
+
+    __slots__ = ("type", "value", "line", "col")
+
+    def __init__(self, type_, value, line, col):
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.type, self.value, self.line, self.col)
+
+    def is_op(self, *ops):
+        return self.type == TokenType.OP and self.value in ops
+
+    def is_kw(self, *kws):
+        return self.type == TokenType.KEYWORD and self.value in kws
+
+
+class Lexer:
+    """Converts Groovy source text into a token list."""
+
+    def __init__(self, source, source_name="<groovy>"):
+        self.source = source
+        self.source_name = source_name
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.tokens = []
+
+    # -- low-level helpers --------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        # NUL sentinel: never alphanumeric and not a member of any of the
+        # character classes tested below (`"" in s` would be vacuously true).
+        return "\0"
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _error(self, message):
+        raise LexError(message, self.line, self.col, self.source_name)
+
+    def _emit(self, type_, value, line=None, col=None):
+        self.tokens.append(Token(type_, value, line or self.line, col or self.col))
+
+    # -- scanning -----------------------------------------------------------
+
+    def tokenize(self):
+        """Scan the whole source; returns the token list ending in EOF."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "\n":
+                self._emit(TokenType.NEWLINE, "\n")
+                self._advance()
+            elif ch in " \t\r":
+                self._advance()
+            elif ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)  # explicit line continuation
+            elif ch == "/" and self._peek(1) == "/":
+                self._scan_line_comment()
+            elif ch == "/" and self._peek(1) == "*":
+                self._scan_block_comment()
+            elif ch.isdigit():
+                self._scan_number()
+            elif ch.isalpha() or ch == "_" or ch == "$":
+                self._scan_word()
+            elif ch == "'":
+                self._scan_single_quoted()
+            elif ch == '"':
+                self._scan_double_quoted()
+            else:
+                self._scan_operator()
+        self._emit(TokenType.EOF, None)
+        return self.tokens
+
+    def _scan_line_comment(self):
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    def _scan_block_comment(self):
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        self._error("unterminated block comment")
+
+    def _scan_number(self):
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        # Trailing type suffixes (L, G, f, d) are accepted and ignored.
+        if self._peek() in "LlGgFfDd":
+            if self._peek() in "FfDd":
+                is_float = True
+            self._advance()
+        text = self.source[start:self.pos].rstrip("LlGgFfDd")
+        value = float(text) if is_float else int(text)
+        self._emit(TokenType.NUMBER, value, line, col)
+
+    def _scan_word(self):
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() in "_$":
+            self._advance()
+        word = self.source[start:self.pos]
+        if word in KEYWORDS:
+            self._emit(TokenType.KEYWORD, word, line, col)
+        else:
+            self._emit(TokenType.IDENT, word, line, col)
+
+    def _scan_escape(self):
+        """Consume a backslash escape, returning the decoded character."""
+        self._advance()  # backslash
+        ch = self._peek()
+        mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                   "'": "'", '"': '"', "$": "$", "0": "\0", "b": "\b"}
+        self._advance()
+        return mapping.get(ch, ch)
+
+    def _scan_single_quoted(self):
+        line, col = self.line, self.col
+        triple = self.source.startswith("'''", self.pos)
+        quote = "'''" if triple else "'"
+        self._advance(len(quote))
+        out = []
+        while self.pos < len(self.source):
+            if self.source.startswith(quote, self.pos):
+                self._advance(len(quote))
+                self._emit(TokenType.STRING, "".join(out), line, col)
+                return
+            if self._peek() == "\\":
+                out.append(self._scan_escape())
+            else:
+                out.append(self._peek())
+                self._advance()
+        self._error("unterminated string literal")
+
+    def _scan_double_quoted(self):
+        line, col = self.line, self.col
+        triple = self.source.startswith('"""', self.pos)
+        quote = '"""' if triple else '"'
+        self._advance(len(quote))
+        parts = []
+        text = []
+
+        def flush():
+            if text:
+                parts.append("".join(text))
+                del text[:]
+
+        while self.pos < len(self.source):
+            if self.source.startswith(quote, self.pos):
+                self._advance(len(quote))
+                flush()
+                if any(isinstance(p, Interp) for p in parts):
+                    self._emit(TokenType.GSTRING, parts, line, col)
+                else:
+                    self._emit(TokenType.STRING, "".join(parts), line, col)
+                return
+            ch = self._peek()
+            if ch == "\\":
+                text.append(self._scan_escape())
+            elif ch == "$" and self._peek(1) == "{":
+                flush()
+                parts.append(self._scan_interp_braced())
+            elif ch == "$" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+                flush()
+                parts.append(self._scan_interp_bare())
+            else:
+                text.append(ch)
+                self._advance()
+        self._error("unterminated string literal")
+
+    def _scan_interp_braced(self):
+        iline, icol = self.line, self.col
+        self._advance(2)  # `${`
+        start = self.pos
+        depth = 1
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    source = self.source[start:self.pos]
+                    self._advance()
+                    return Interp(source, iline, icol)
+            self._advance()
+        self._error("unterminated ${...} interpolation")
+
+    def _scan_interp_bare(self):
+        iline, icol = self.line, self.col
+        self._advance()  # `$`
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        # Dotted property paths: $evt.value
+        while self._peek() == "." and (self._peek(1).isalpha() or self._peek(1) == "_"):
+            self._advance()
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+        return Interp(self.source[start:self.pos], iline, icol)
+
+    def _scan_operator(self):
+        line, col = self.line, self.col
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                self._emit(TokenType.OP, op, line, col)
+                return
+        self._error("unexpected character %r" % self._peek())
+
+
+def tokenize(source, source_name="<groovy>"):
+    """Tokenize ``source``; convenience wrapper over :class:`Lexer`."""
+    return Lexer(source, source_name).tokenize()

@@ -1,0 +1,815 @@
+"""Recursive-descent parser for the Groovy subset.
+
+The grammar covers what SmartThings smart apps use in practice:
+
+* top-level DSL calls (``definition(...)``, ``preferences { ... }``,
+  ``mappings { ... }``) and method definitions;
+* statements: declarations, assignments (incl. compound), ``if``/``else``,
+  ``for``/``while``, ``switch``, ``return``, ``try``/``catch``,
+  command-style (paren-less) calls such as ``input "x", "capability.switch"``
+  and ``log.debug "message"``;
+* expressions: the full operator zoo apps rely on — ternary, elvis,
+  safe navigation, spread method calls, ranges, ``in``/``instanceof``,
+  closures with and without explicit parameters, list/map literals, and
+  GString interpolation.
+
+Newline handling follows Groovy: a newline ends a statement unless the line
+cannot be complete (we skip newlines after commas, binary operators, and
+opening brackets).
+"""
+
+from repro.groovy import ast
+from repro.groovy.errors import ParseError
+from repro.groovy.lexer import Interp, TokenType, tokenize
+
+# Binary operator precedence, low to high.  Each level is a set of operator
+# lexemes valid at that level.
+_PRECEDENCE_LEVELS = [
+    {"||"},
+    {"&&"},
+    {"|"},
+    {"^"},
+    {"&"},
+    {"==", "!=", "<=>", "==~"},
+    {"<", "<=", ">", ">=", "in", "instanceof"},
+    {"..",},
+    {"<<", ">>"},
+    {"+", "-"},
+    {"*", "/", "%"},
+    {"**"},
+]
+
+_ARG_START_TYPES = (TokenType.STRING, TokenType.GSTRING, TokenType.NUMBER,
+                    TokenType.IDENT)
+_ARG_START_KEYWORDS = ("true", "false", "null", "new")
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.groovy.ast.Program`."""
+
+    def __init__(self, tokens, source_name="<groovy>"):
+        self.tokens = tokens
+        self.source_name = source_name
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def _cur(self):
+        return self.tokens[self.pos]
+
+    def _peek(self, offset=1):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self):
+        tok = self.tokens[self.pos]
+        if self.pos < len(self.tokens) - 1:
+            self.pos += 1
+        return tok
+
+    def _error(self, message, token=None):
+        token = token or self._cur()
+        raise ParseError(message, token.line, token.col, self.source_name)
+
+    def _expect_op(self, op):
+        tok = self._cur()
+        if not tok.is_op(op):
+            self._error("expected %r but found %r" % (op, tok.value))
+        return self._advance()
+
+    def _expect_ident(self):
+        tok = self._cur()
+        if tok.type != TokenType.IDENT:
+            self._error("expected identifier but found %r" % (tok.value,))
+        return self._advance()
+
+    def _skip_newlines(self):
+        while self._cur().type == TokenType.NEWLINE or self._cur().is_op(";"):
+            self._advance()
+
+    def _at_newline_boundary(self):
+        """True when the current token ends the current logical line."""
+        tok = self._cur()
+        return (tok.type in (TokenType.NEWLINE, TokenType.EOF)
+                or tok.is_op(";", "}"))
+
+    def _name_token(self):
+        """Accept an identifier or a keyword used in name position."""
+        tok = self._cur()
+        if tok.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self._advance()
+            return tok
+        self._error("expected name but found %r" % (tok.value,))
+
+    # ------------------------------------------------------------------
+    # program structure
+    # ------------------------------------------------------------------
+
+    def parse_program(self):
+        statements = []
+        self._skip_newlines()
+        while self._cur().type != TokenType.EOF:
+            if self._cur().is_kw("import", "package"):
+                self._skip_to_eol()
+            elif self._looks_like_method_def():
+                statements.append(self._parse_method_def())
+            else:
+                statements.append(self._parse_statement())
+            self._skip_newlines()
+        return ast.Program(statements, source_name=self.source_name)
+
+    def _skip_to_eol(self):
+        while not self._at_newline_boundary():
+            self._advance()
+
+    def _looks_like_method_def(self):
+        """Detect ``[modifiers] (def|void|Type) name ( ... ) {``."""
+        save = self.pos
+        try:
+            while self._cur().is_kw("private", "public", "protected", "static", "final"):
+                self._advance()
+            tok = self._cur()
+            if tok.is_kw("def", "void"):
+                self._advance()
+            elif tok.type == TokenType.IDENT and self._peek().type == TokenType.IDENT:
+                self._advance()  # return type
+            elif tok.type == TokenType.IDENT and save != self.pos:
+                pass  # modifier-only method: `private name(...)`
+            elif save == self.pos:
+                return False
+            if self._cur().type != TokenType.IDENT:
+                return False
+            if not self._peek().is_op("("):
+                return False
+            # scan to the matching `)` and require a `{` after it
+            depth = 0
+            index = self.pos + 1
+            while index < len(self.tokens):
+                tok = self.tokens[index]
+                if tok.is_op("("):
+                    depth += 1
+                elif tok.is_op(")"):
+                    depth -= 1
+                    if depth == 0:
+                        break
+                index += 1
+            index += 1
+            while index < len(self.tokens) and self.tokens[index].type == TokenType.NEWLINE:
+                index += 1
+            return index < len(self.tokens) and self.tokens[index].is_op("{")
+        finally:
+            self.pos = save
+
+    def _parse_method_def(self):
+        line, col = self._cur().line, self._cur().col
+        modifiers = []
+        while self._cur().is_kw("private", "public", "protected", "static", "final"):
+            modifiers.append(self._advance().value)
+        return_type = None
+        if self._cur().is_kw("def", "void"):
+            return_type = self._advance().value
+            if return_type == "def":
+                return_type = None
+        elif self._cur().type == TokenType.IDENT and self._peek().type == TokenType.IDENT:
+            return_type = self._advance().value
+        name = self._expect_ident().value
+        params = self._parse_param_list()
+        self._skip_newlines()
+        body = self._parse_block()
+        return ast.MethodDef(name, params, body, modifiers=modifiers,
+                             return_type=return_type, line=line, col=col)
+
+    def _parse_param_list(self):
+        self._expect_op("(")
+        self._skip_newlines()
+        params = []
+        while not self._cur().is_op(")"):
+            type_name = None
+            if (self._cur().type == TokenType.IDENT
+                    and self._peek().type == TokenType.IDENT):
+                type_name = self._advance().value
+            name = self._expect_ident().value
+            default = None
+            if self._cur().is_op("="):
+                self._advance()
+                default = self.parse_expr()
+            params.append(ast.Param(name, type_name=type_name, default=default))
+            self._skip_newlines()
+            if self._cur().is_op(","):
+                self._advance()
+                self._skip_newlines()
+        self._expect_op(")")
+        return params
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self):
+        line, col = self._cur().line, self._cur().col
+        self._expect_op("{")
+        stmts = []
+        self._skip_newlines()
+        while not self._cur().is_op("}"):
+            if self._cur().type == TokenType.EOF:
+                self._error("unexpected end of input inside block")
+            stmts.append(self._parse_statement())
+            self._skip_newlines()
+        self._expect_op("}")
+        return ast.Block(stmts, line=line, col=col)
+
+    def _parse_statement_or_block(self):
+        """A block, or a single statement wrapped in one (braceless if/for)."""
+        self._skip_newlines()
+        if self._cur().is_op("{"):
+            return self._parse_block()
+        stmt = self._parse_statement()
+        return ast.Block([stmt], line=stmt.line, col=stmt.col)
+
+    def _parse_statement(self):
+        self._skip_newlines()
+        tok = self._cur()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        if tok.is_kw("while"):
+            return self._parse_while()
+        if tok.is_kw("for"):
+            return self._parse_for()
+        if tok.is_kw("switch"):
+            return self._parse_switch()
+        if tok.is_kw("try"):
+            return self._parse_try()
+        if tok.is_kw("throw"):
+            self._advance()
+            value = self.parse_expr()
+            return ast.Throw(value, line=tok.line, col=tok.col)
+        if tok.is_kw("return"):
+            self._advance()
+            value = None
+            if not self._at_newline_boundary():
+                value = self.parse_expr()
+            return ast.Return(value, line=tok.line, col=tok.col)
+        if tok.is_kw("break"):
+            self._advance()
+            return ast.Break(line=tok.line, col=tok.col)
+        if tok.is_kw("continue"):
+            self._advance()
+            return ast.Continue(line=tok.line, col=tok.col)
+        if tok.is_kw("def"):
+            return self._parse_def_decl()
+        if self._looks_like_typed_decl():
+            return self._parse_typed_decl()
+        if tok.is_op("{"):
+            return self._parse_block()
+        return self._parse_expression_statement()
+
+    def _parse_if(self):
+        tok = self._advance()
+        self._expect_op("(")
+        self._skip_newlines()
+        cond = self.parse_expr()
+        self._skip_newlines()
+        self._expect_op(")")
+        then = self._parse_statement_or_block()
+        orelse = None
+        save = self.pos
+        self._skip_newlines()
+        if self._cur().is_kw("else"):
+            self._advance()
+            self._skip_newlines()
+            if self._cur().is_kw("if"):
+                orelse = ast.Block([self._parse_if()])
+            else:
+                orelse = self._parse_statement_or_block()
+        else:
+            self.pos = save
+        return ast.If(cond, then, orelse, line=tok.line, col=tok.col)
+
+    def _parse_while(self):
+        tok = self._advance()
+        self._expect_op("(")
+        self._skip_newlines()
+        cond = self.parse_expr()
+        self._skip_newlines()
+        self._expect_op(")")
+        body = self._parse_statement_or_block()
+        return ast.While(cond, body, line=tok.line, col=tok.col)
+
+    def _parse_for(self):
+        tok = self._advance()
+        self._expect_op("(")
+        self._skip_newlines()
+        # `for (x in e)` / `for (def x in e)`
+        save = self.pos
+        if self._cur().is_kw("def"):
+            self._advance()
+        if (self._cur().type == TokenType.IDENT and self._peek().is_kw("in")):
+            var = self._advance().value
+            self._advance()  # `in`
+            iterable = self.parse_expr()
+            self._skip_newlines()
+            self._expect_op(")")
+            body = self._parse_statement_or_block()
+            return ast.ForIn(var, iterable, body, line=tok.line, col=tok.col)
+        self.pos = save
+        init = None
+        if not self._cur().is_op(";"):
+            init = self._parse_simple_statement()
+        self._expect_op(";")
+        cond = None
+        if not self._cur().is_op(";"):
+            cond = self.parse_expr()
+        self._expect_op(";")
+        update = None
+        if not self._cur().is_op(")"):
+            update = self._parse_simple_statement()
+        self._expect_op(")")
+        body = self._parse_statement_or_block()
+        return ast.ForC(init, cond, update, body, line=tok.line, col=tok.col)
+
+    def _parse_simple_statement(self):
+        """A declaration/assignment/expression without command-call handling
+        (used in C-style ``for`` headers)."""
+        if self._cur().is_kw("def"):
+            return self._parse_def_decl()
+        if self._looks_like_typed_decl():
+            return self._parse_typed_decl()
+        expr = self.parse_expr()
+        if self._cur().is_op(*_ASSIGN_OPS):
+            op = self._advance().value
+            self._skip_newlines()
+            value = self.parse_expr()
+            return ast.Assign(expr, op, value, line=expr.line, col=expr.col)
+        return ast.ExprStmt(expr, line=expr.line, col=expr.col)
+
+    def _parse_switch(self):
+        tok = self._advance()
+        self._expect_op("(")
+        self._skip_newlines()
+        subject = self.parse_expr()
+        self._skip_newlines()
+        self._expect_op(")")
+        self._skip_newlines()
+        self._expect_op("{")
+        cases = []
+        self._skip_newlines()
+        pending_values = []
+        while not self._cur().is_op("}"):
+            if self._cur().is_kw("case"):
+                self._advance()
+                pending_values.append(self.parse_expr())
+                self._expect_op(":")
+            elif self._cur().is_kw("default"):
+                self._advance()
+                self._expect_op(":")
+                pending_values = None  # marker: default arm
+            else:
+                self._error("expected 'case' or 'default' in switch")
+            body = []
+            self._skip_newlines()
+            while not (self._cur().is_op("}") or self._cur().is_kw("case", "default")):
+                body.append(self._parse_statement())
+                self._skip_newlines()
+            if pending_values is None:
+                cases.append(ast.SwitchCase([], ast.Block(body)))
+                pending_values = []
+            elif body:
+                cases.append(ast.SwitchCase(pending_values, ast.Block(body)))
+                pending_values = []
+            # empty body with pending values: fall through and accumulate
+            self._skip_newlines()
+        self._expect_op("}")
+        return ast.Switch(subject, cases, line=tok.line, col=tok.col)
+
+    def _parse_try(self):
+        tok = self._advance()
+        self._skip_newlines()
+        body = self._parse_block()
+        catches = []
+        finally_body = None
+        while True:
+            save = self.pos
+            self._skip_newlines()
+            if self._cur().is_kw("catch"):
+                self._advance()
+                self._expect_op("(")
+                type_name = None
+                if (self._cur().type == TokenType.IDENT
+                        and self._peek().type == TokenType.IDENT):
+                    type_name = self._advance().value
+                var = self._expect_ident().value
+                self._expect_op(")")
+                self._skip_newlines()
+                catches.append((type_name, var, self._parse_block()))
+            elif self._cur().is_kw("finally"):
+                self._advance()
+                self._skip_newlines()
+                finally_body = self._parse_block()
+            else:
+                self.pos = save
+                break
+        return ast.Try(body, catches=catches, finally_body=finally_body,
+                       line=tok.line, col=tok.col)
+
+    def _parse_def_decl(self):
+        tok = self._advance()  # `def`
+        name = self._expect_ident().value
+        value = None
+        if self._cur().is_op("="):
+            self._advance()
+            self._skip_newlines()
+            value = self.parse_expr()
+        return ast.VarDecl(name, value, line=tok.line, col=tok.col)
+
+    def _looks_like_typed_decl(self):
+        """Detect ``Type name =`` / ``Type name<EOL>`` declarations."""
+        tok = self._cur()
+        if tok.type != TokenType.IDENT or self._peek().type != TokenType.IDENT:
+            return False
+        after = self._peek(2)
+        return after.is_op("=") or after.type in (TokenType.NEWLINE, TokenType.EOF) \
+            or after.is_op(";")
+
+    def _parse_typed_decl(self):
+        tok = self._cur()
+        type_name = self._advance().value
+        name = self._expect_ident().value
+        value = None
+        if self._cur().is_op("="):
+            self._advance()
+            self._skip_newlines()
+            value = self.parse_expr()
+        return ast.VarDecl(name, value, type_name=type_name,
+                           line=tok.line, col=tok.col)
+
+    def _parse_expression_statement(self):
+        expr = self.parse_expr()
+        tok = self._cur()
+        if tok.is_op(*_ASSIGN_OPS):
+            if not isinstance(expr, (ast.Name, ast.Property, ast.Index)):
+                self._error("invalid assignment target")
+            op = self._advance().value
+            self._skip_newlines()
+            value = self.parse_expr()
+            return ast.Assign(expr, op, value, line=expr.line, col=expr.col)
+        if isinstance(expr, (ast.Name, ast.Property)) and self._starts_command_args():
+            return ast.ExprStmt(self._parse_command_call(expr),
+                                line=expr.line, col=expr.col)
+        return ast.ExprStmt(expr, line=expr.line, col=expr.col)
+
+    def _starts_command_args(self):
+        """True when the current token begins paren-less call arguments."""
+        tok = self._cur()
+        if tok.type in (TokenType.STRING, TokenType.GSTRING, TokenType.NUMBER):
+            return True
+        if tok.type == TokenType.IDENT:
+            return True
+        if tok.is_kw(*_ARG_START_KEYWORDS):
+            return True
+        if tok.is_op("["):
+            return True
+        if tok.is_op("-") and self._peek().type == TokenType.NUMBER:
+            return True
+        return False
+
+    def _parse_command_call(self, callee):
+        args, named = self._parse_command_arg_list()
+        closure = None
+        if self._cur().is_op("{"):
+            closure = self._parse_closure()
+        if isinstance(callee, ast.Name):
+            return ast.Call(callee.id, args, named=named, closure=closure,
+                            line=callee.line, col=callee.col)
+        return ast.MethodCall(callee.obj, callee.name, args, named=named,
+                              closure=closure, safe=callee.safe,
+                              line=callee.line, col=callee.col)
+
+    def _parse_command_arg_list(self):
+        args, named = [], []
+        while True:
+            if self._is_named_arg():
+                key = self._name_token().value
+                self._expect_op(":")
+                self._skip_newlines()
+                named.append(ast.MapEntry(key, self.parse_expr()))
+            else:
+                args.append(self.parse_expr())
+            if self._cur().is_op(","):
+                self._advance()
+                self._skip_newlines()
+                continue
+            break
+        return args, named
+
+    def _is_named_arg(self):
+        tok = self._cur()
+        if tok.type in (TokenType.IDENT, TokenType.STRING) or tok.is_kw("default"):
+            return self._peek().is_op(":")
+        return False
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self):
+        return self._parse_ternary()
+
+    def _parse_ternary(self):
+        expr = self._parse_binary(0)
+        if self._cur().is_op("?:"):
+            tok = self._advance()
+            self._skip_newlines()
+            fallback = self._parse_ternary()
+            return ast.Elvis(expr, fallback, line=tok.line, col=tok.col)
+        if self._cur().is_op("?"):
+            tok = self._advance()
+            self._skip_newlines()
+            then = self._parse_ternary()
+            self._skip_newlines()
+            self._expect_op(":")
+            self._skip_newlines()
+            orelse = self._parse_ternary()
+            return ast.Ternary(expr, then, orelse, line=tok.line, col=tok.col)
+        return expr
+
+    def _parse_binary(self, level):
+        if level >= len(_PRECEDENCE_LEVELS):
+            return self._parse_unary()
+        ops = _PRECEDENCE_LEVELS[level]
+        expr = self._parse_binary(level + 1)
+        while True:
+            tok = self._cur()
+            is_match = tok.is_op(*ops) or (tok.type == TokenType.KEYWORD
+                                           and tok.value in ops)
+            if not is_match:
+                break
+            op = self._advance().value
+            self._skip_newlines()
+            if op == "instanceof":
+                type_name = self._name_token().value
+                expr = ast.Binary(op, expr, ast.Literal(type_name),
+                                  line=tok.line, col=tok.col)
+                continue
+            if op == "..":
+                hi = self._parse_binary(level + 1)
+                expr = ast.RangeLit(expr, hi, line=tok.line, col=tok.col)
+                continue
+            right = self._parse_binary(level + 1)
+            expr = ast.Binary(op, expr, right, line=tok.line, col=tok.col)
+        # `expr as Type`
+        if self._cur().is_kw("as"):
+            tok = self._advance()
+            type_name = self._name_token().value
+            expr = ast.Cast(expr, type_name, line=tok.line, col=tok.col)
+        return expr
+
+    def _parse_unary(self):
+        tok = self._cur()
+        if tok.is_op("!", "-", "+", "++", "--", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(tok.value, operand, line=tok.line, col=tok.col)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            tok = self._cur()
+            if tok.is_op(".", "?.", "*."):
+                self._advance()
+                self._skip_newlines()
+                name = self._name_token().value
+                safe = tok.value == "?."
+                spread = tok.value == "*."
+                if self._cur().is_op("("):
+                    args, named = self._parse_paren_args()
+                    closure = None
+                    if self._cur().is_op("{"):
+                        closure = self._parse_closure()
+                    expr = ast.MethodCall(expr, name, args, named=named,
+                                          closure=closure, safe=safe,
+                                          spread=spread, line=tok.line,
+                                          col=tok.col)
+                elif self._cur().is_op("{"):
+                    closure = self._parse_closure()
+                    expr = ast.MethodCall(expr, name, [], closure=closure,
+                                          safe=safe, spread=spread,
+                                          line=tok.line, col=tok.col)
+                else:
+                    expr = ast.Property(expr, name, safe=safe,
+                                        line=tok.line, col=tok.col)
+            elif tok.is_op("("):
+                args, named = self._parse_paren_args()
+                closure = None
+                if self._cur().is_op("{"):
+                    closure = self._parse_closure()
+                if isinstance(expr, ast.Name):
+                    expr = ast.Call(expr.id, args, named=named, closure=closure,
+                                    line=expr.line, col=expr.col)
+                elif isinstance(expr, ast.Property):
+                    expr = ast.MethodCall(expr.obj, expr.name, args, named=named,
+                                          closure=closure, safe=expr.safe,
+                                          line=expr.line, col=expr.col)
+                else:
+                    self._error("cannot call this expression")
+            elif tok.is_op("["):
+                self._advance()
+                self._skip_newlines()
+                index = self.parse_expr()
+                self._skip_newlines()
+                self._expect_op("]")
+                expr = ast.Index(expr, index, line=tok.line, col=tok.col)
+            elif tok.is_op("{") and isinstance(expr, ast.Name):
+                closure = self._parse_closure()
+                expr = ast.Call(expr.id, [], closure=closure,
+                                line=expr.line, col=expr.col)
+            elif tok.is_op("++", "--"):
+                self._advance()
+                expr = ast.Postfix(tok.value, expr, line=tok.line, col=tok.col)
+            else:
+                break
+        return expr
+
+    def _parse_paren_args(self):
+        self._expect_op("(")
+        self._skip_newlines()
+        args, named = [], []
+        while not self._cur().is_op(")"):
+            if self._is_named_arg():
+                key = self._name_token().value
+                self._expect_op(":")
+                self._skip_newlines()
+                named.append(ast.MapEntry(key, self.parse_expr()))
+            else:
+                args.append(self.parse_expr())
+            self._skip_newlines()
+            if self._cur().is_op(","):
+                self._advance()
+                self._skip_newlines()
+        self._expect_op(")")
+        return args, named
+
+    def _parse_closure(self):
+        tok = self._expect_op("{")
+        params = self._try_parse_closure_params()
+        stmts = []
+        self._skip_newlines()
+        while not self._cur().is_op("}"):
+            if self._cur().type == TokenType.EOF:
+                self._error("unexpected end of input inside closure")
+            stmts.append(self._parse_statement())
+            self._skip_newlines()
+        self._expect_op("}")
+        body = ast.Block(stmts, line=tok.line, col=tok.col)
+        return ast.Closure(params, body, line=tok.line, col=tok.col)
+
+    def _try_parse_closure_params(self):
+        """Speculatively parse ``a, b ->``; backtrack when absent."""
+        save = self.pos
+        self._skip_newlines()
+        params = []
+        while True:
+            if (self._cur().type == TokenType.IDENT
+                    and self._peek().type == TokenType.IDENT):
+                type_name = self._advance().value
+                params.append(ast.Param(self._advance().value, type_name=type_name))
+            elif self._cur().type == TokenType.IDENT:
+                params.append(ast.Param(self._advance().value))
+            else:
+                self.pos = save
+                return []
+            if self._cur().is_op(","):
+                self._advance()
+                self._skip_newlines()
+                continue
+            break
+        if self._cur().is_op("->"):
+            self._advance()
+            return params
+        self.pos = save
+        return []
+
+    def _parse_primary(self):
+        tok = self._cur()
+        if tok.type == TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(tok.value, line=tok.line, col=tok.col)
+        if tok.type == TokenType.STRING:
+            self._advance()
+            return ast.Literal(tok.value, line=tok.line, col=tok.col)
+        if tok.type == TokenType.GSTRING:
+            self._advance()
+            return self._build_gstring(tok)
+        if tok.is_kw("true"):
+            self._advance()
+            return ast.Literal(True, line=tok.line, col=tok.col)
+        if tok.is_kw("false"):
+            self._advance()
+            return ast.Literal(False, line=tok.line, col=tok.col)
+        if tok.is_kw("null"):
+            self._advance()
+            return ast.Literal(None, line=tok.line, col=tok.col)
+        if tok.is_kw("new"):
+            self._advance()
+            type_name = self._name_token().value
+            args = []
+            if self._cur().is_op("("):
+                args, _named = self._parse_paren_args()
+            return ast.New(type_name, args, line=tok.line, col=tok.col)
+        if tok.type == TokenType.IDENT:
+            self._advance()
+            return ast.Name(tok.value, line=tok.line, col=tok.col)
+        if tok.is_op("("):
+            self._advance()
+            self._skip_newlines()
+            expr = self.parse_expr()
+            self._skip_newlines()
+            self._expect_op(")")
+            return expr
+        if tok.is_op("["):
+            return self._parse_list_or_map()
+        if tok.is_op("{"):
+            return self._parse_closure()
+        self._error("unexpected token %r" % (tok.value,))
+
+    def _build_gstring(self, tok):
+        parts = []
+        for part in tok.value:
+            if isinstance(part, Interp):
+                sub = parse_expression(part.source, source_name=self.source_name)
+                parts.append(sub)
+            else:
+                parts.append(part)
+        return ast.GString(parts, line=tok.line, col=tok.col)
+
+    def _parse_list_or_map(self):
+        tok = self._expect_op("[")
+        self._skip_newlines()
+        if self._cur().is_op(":"):  # `[:]` empty map
+            self._advance()
+            self._skip_newlines()
+            self._expect_op("]")
+            return ast.MapLit([], line=tok.line, col=tok.col)
+        if self._cur().is_op("]"):
+            self._advance()
+            return ast.ListLit([], line=tok.line, col=tok.col)
+        first = self.parse_expr()
+        if self._cur().is_op(":"):
+            return self._parse_map_rest(tok, first)
+        items = [first]
+        self._skip_newlines()
+        while self._cur().is_op(","):
+            self._advance()
+            self._skip_newlines()
+            if self._cur().is_op("]"):
+                break
+            items.append(self.parse_expr())
+            self._skip_newlines()
+        self._expect_op("]")
+        return ast.ListLit(items, line=tok.line, col=tok.col)
+
+    def _parse_map_rest(self, tok, first_key):
+        entries = []
+
+        def key_of(expr):
+            if isinstance(expr, ast.Name):
+                return expr.id
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+                return expr.value
+            return expr  # computed key
+
+        self._expect_op(":")
+        self._skip_newlines()
+        entries.append(ast.MapEntry(key_of(first_key), self.parse_expr()))
+        self._skip_newlines()
+        while self._cur().is_op(","):
+            self._advance()
+            self._skip_newlines()
+            if self._cur().is_op("]"):
+                break
+            key = self.parse_expr()
+            self._skip_newlines()
+            self._expect_op(":")
+            self._skip_newlines()
+            entries.append(ast.MapEntry(key_of(key), self.parse_expr()))
+            self._skip_newlines()
+        self._expect_op("]")
+        return ast.MapLit(entries, line=tok.line, col=tok.col)
+
+
+def parse(source, source_name="<groovy>"):
+    """Parse Groovy source text into a :class:`Program`."""
+    tokens = tokenize(source, source_name)
+    return Parser(tokens, source_name).parse_program()
+
+
+def parse_expression(source, source_name="<groovy>"):
+    """Parse a single Groovy expression (used for GString interpolation)."""
+    tokens = tokenize(source, source_name)
+    parser = Parser(tokens, source_name)
+    parser._skip_newlines()
+    expr = parser.parse_expr()
+    return expr

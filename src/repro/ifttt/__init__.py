@@ -1,0 +1,39 @@
+"""IFTTT support (§11): applets, services, and the rule translator.
+
+"An IFTTT rule (also called applet) comprises of two main parts: 'Trigger
+Service' (This) and 'Action Service' (That) ... Each rule is considered as
+an app, which has only a single event handler, ... the subscribed device
+and controlled device become class fields."
+
+* :mod:`repro.ifttt.applet` - the applet model plus the crawler-style JSON
+  representation;
+* :mod:`repro.ifttt.services` - the eight modeled IoT-related services and
+  their trigger/action vocabularies;
+* :mod:`repro.ifttt.translator` - applet -> single-handler smart app (the
+  IFTTT Handler), reusing the whole downstream pipeline unchanged;
+* :mod:`repro.ifttt.table9` - the ten smart-home rules of Table 9 and the
+  four safety properties they are checked against.
+"""
+
+from repro.ifttt.applet import Applet, load_applets, parse_applet
+from repro.ifttt.services import SERVICES, Service, service
+from repro.ifttt.translator import IFTTTTranslator, translate_applet
+from repro.ifttt.table9 import (
+    TABLE9_PROPERTIES,
+    table9_applets,
+    table9_configuration,
+)
+
+__all__ = [
+    "Applet",
+    "load_applets",
+    "parse_applet",
+    "SERVICES",
+    "Service",
+    "service",
+    "IFTTTTranslator",
+    "translate_applet",
+    "TABLE9_PROPERTIES",
+    "table9_applets",
+    "table9_configuration",
+]

@@ -1,0 +1,74 @@
+"""The IFTTT applet model.
+
+An applet is one trigger/action pair.  The JSON shape matches what the
+crawler of Mi et al. [63] produces for published applets: a name, the
+trigger service + trigger event, and the action service + action command
+(plus free-text fields we carry through untouched).
+"""
+
+import json
+import os
+
+
+class Applet:
+    """One IFTTT rule: IF ``trigger`` on ``trigger_service`` THEN
+    ``action`` on ``action_service``."""
+
+    __slots__ = ("id", "name", "trigger_service", "trigger", "action_service",
+                 "action", "description")
+
+    def __init__(self, id, name, trigger_service, trigger, action_service,  # noqa: A002
+                 action, description=""):
+        self.id = id
+        self.name = name
+        self.trigger_service = trigger_service
+        self.trigger = trigger
+        self.action_service = action_service
+        self.action = action
+        self.description = description
+
+    def to_dict(self):
+        return {
+            "id": self.id,
+            "name": self.name,
+            "trigger": {"service": self.trigger_service, "event": self.trigger},
+            "action": {"service": self.action_service, "command": self.action},
+            "description": self.description,
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self):
+        return "Applet(%r: %s/%s -> %s/%s)" % (
+            self.id, self.trigger_service, self.trigger,
+            self.action_service, self.action)
+
+
+def parse_applet(data):
+    """Build an :class:`Applet` from crawler-style JSON (dict or text)."""
+    if isinstance(data, str):
+        data = json.loads(data)
+    trigger = data.get("trigger", {})
+    action = data.get("action", {})
+    return Applet(
+        id=data["id"],
+        name=data.get("name", data["id"]),
+        trigger_service=trigger["service"],
+        trigger=trigger["event"],
+        action_service=action["service"],
+        action=action["command"],
+        description=data.get("description", ""),
+    )
+
+
+def load_applets(directory):
+    """Parse every ``*.json`` applet in a directory, sorted by filename."""
+    applets = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r", encoding="utf-8") as handle:
+            applets.append(parse_applet(handle.read()))
+    return applets

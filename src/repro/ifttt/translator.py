@@ -1,0 +1,136 @@
+"""The IFTTT Handler: applet -> single-handler smart app.
+
+"Each rule is considered as an app, which has only a single event handler,
+in IotSan and is translated into a Java class.  Each event handler (i.e.,
+a Java method) has only a single instruction (i.e., the expected command);
+the subscribed device and controlled device become class fields." (§11)
+
+We go one better than emitting a separate class shape: the translator
+renders each applet as SmartThings Groovy source and feeds it through the
+*same* frontend as market apps (GParser -> SmartThings Handler -> IR), so
+every downstream module (dependency analyzer, model generator, checker,
+attribution) works on IFTTT rules unchanged.
+"""
+
+from repro.config.schema import SystemConfiguration
+from repro.ifttt.services import service
+from repro.smartapp import load_app
+
+#: input names used by every generated rule app
+TRIGGER_INPUT = "triggerDevice"
+ACTION_INPUT = "actionDevice"
+
+#: handler name used by every generated rule app
+RULE_HANDLER = "ruleHandler"
+
+
+class IFTTTTranslator:
+    """Translates applets into SmartApps and builds rule deployments."""
+
+    def to_groovy(self, applet):
+        """The generated Groovy source for one applet."""
+        trigger_service = service(applet.trigger_service)
+        action_service = service(applet.action_service)
+        trigger = trigger_service.trigger(applet.trigger)
+        action = action_service.action(applet.action)
+        subscription = "%s.%s" % (trigger.attribute, trigger.value)
+        return _RULE_TEMPLATE % {
+            "name": applet.name,
+            "description": applet.description or applet.id,
+            "trigger_input": TRIGGER_INPUT,
+            "trigger_capability": trigger_service.capability,
+            "action_input": ACTION_INPUT,
+            "action_capability": action_service.capability,
+            "subscription": subscription,
+            "handler": RULE_HANDLER,
+            "command": action.command,
+        }
+
+    def translate(self, applet):
+        """Parse the generated source into a :class:`SmartApp`."""
+        source = self.to_groovy(applet)
+        return load_app(source, "%s.groovy" % applet.id)
+
+    def translate_all(self, applets):
+        """name -> SmartApp registry for a list of applets."""
+        registry = {}
+        for applet in applets:
+            app = self.translate(applet)
+            registry[app.name] = app
+        return registry
+
+    # ------------------------------------------------------------------
+    # deployment construction
+    # ------------------------------------------------------------------
+
+    def build_configuration(self, applets, contacts=()):
+        """A :class:`SystemConfiguration` deploying all ``applets``.
+
+        One device per distinct service (rules naming the same service
+        share the device, which is how IFTTT interactions arise), with
+        each rule app bound to its trigger and action devices.
+        """
+        config = SystemConfiguration(contacts=contacts)
+        device_names = {}
+        for applet in applets:
+            for service_name in (applet.trigger_service,
+                                 applet.action_service):
+                if service_name in device_names:
+                    continue
+                svc = service(service_name)
+                device_name = _device_name(service_name)
+                config.add_device(device_name, svc.device_type,
+                                  label=service_name)
+                device_names[service_name] = device_name
+        for applet in applets:
+            config.add_app(applet.name, {
+                TRIGGER_INPUT: device_names[applet.trigger_service],
+                ACTION_INPUT: device_names[applet.action_service],
+            })
+        return config
+
+
+_RULE_TEMPLATE = '''\
+definition(
+    name: "%(name)s",
+    namespace: "ifttt",
+    author: "IFTTT",
+    description: "%(description)s",
+    category: "Convenience")
+
+preferences {
+    section("Trigger service (This)") {
+        input "%(trigger_input)s", "capability.%(trigger_capability)s", title: "Trigger"
+    }
+    section("Action service (That)") {
+        input "%(action_input)s", "capability.%(action_capability)s", title: "Action"
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(%(trigger_input)s, "%(subscription)s", %(handler)s)
+}
+
+def %(handler)s(evt) {
+    %(action_input)s.%(command)s()
+}
+'''
+
+
+def _device_name(service_name):
+    parts = service_name.split("-")
+    return parts[0] + "".join(p.capitalize() for p in parts[1:]) + "Device"
+
+
+def translate_applet(applet):
+    """Convenience: translate one applet into a SmartApp."""
+    return IFTTTTranslator().translate(applet)

@@ -1,0 +1,33 @@
+"""Model Generator and execution model of an IoT system (§8).
+
+This package turns *apps + configuration + devices* into an executable
+transition system:
+
+* :mod:`repro.model.state` - the model-checker state vector;
+* :mod:`repro.model.events` - cyber/physical events and external choices;
+* :mod:`repro.model.handles` - runtime objects the interpreter exposes to
+  app code (device handles, location, event objects, ``state``, ...);
+* :mod:`repro.model.interpreter` - the IR interpreter (executes handlers);
+* :mod:`repro.model.cascade` - Algorithm 1's ``sensor_state_update`` /
+  ``dispatch_event`` / ``actuator_state_update`` loop, with failure
+  injection and per-cascade command-conflict detection;
+* :mod:`repro.model.system` - the bound :class:`IoTSystem` (sequential and
+  concurrent transition relations);
+* :mod:`repro.model.generator` - builds an :class:`IoTSystem` from a
+  :class:`~repro.config.schema.SystemConfiguration`.
+"""
+
+from repro.model.events import Event, ExternalEvent
+from repro.model.generator import ModelGenerator, build_system
+from repro.model.state import ModelState
+from repro.model.system import AppInstance, IoTSystem
+
+__all__ = [
+    "Event",
+    "ExternalEvent",
+    "ModelGenerator",
+    "build_system",
+    "ModelState",
+    "AppInstance",
+    "IoTSystem",
+]

@@ -1,0 +1,333 @@
+"""Algorithm 1: the main event loop of the modeled IoT system.
+
+A :class:`Cascade` executes *one* external event and everything it causes:
+``sensor_state_update`` -> ``dispatch_event`` to subscribed apps ->
+``actuator_state_update`` (which may generate new cyber events), until the
+event queue drains.  It is also the *context* object the interpreter and the
+runtime handles call into, so every read of device state and every side
+effect of app code flows through here.
+
+Failure injection follows §8: "when generating a sensor event we enumerate
+two scenarios: (i) the sensor is available/online and (ii) the sensor is
+unavailable/offline.  Similarly, whenever receiving a command from a smart
+app, an actuator may be either online or offline."
+"""
+
+from repro.checker.violations import TraceStep
+from repro.model.events import APP, DEVICE, FAKE, LOCATION, TIMER, Event
+from repro.model.handles import DeviceHandle, EventHandle
+from repro.model.interpreter import ExecutionError, Interpreter
+
+#: milliseconds the model clock advances per external event
+TIME_QUANTUM_MS = 60000
+
+#: bound on internal events per cascade (guards against app event loops)
+MAX_INTERNAL_EVENTS = 64
+
+
+class FailureScenario:
+    """Which device (if any) fails during this external event's cascade."""
+
+    NONE = "none"
+    SENSOR_DROP = "sensor-drop"        # the originating sensor fails to report
+    ACTUATOR_DROP = "actuator-drop"    # one actuator drops all commands
+
+    __slots__ = ("kind", "device")
+
+    def __init__(self, kind=NONE, device=None):
+        self.kind = kind
+        self.device = device
+
+    def label(self):
+        if self.kind == self.NONE:
+            return ""
+        if self.kind == self.SENSOR_DROP:
+            return " [sensor offline]"
+        return " [%s offline]" % (self.device,)
+
+    def __repr__(self):
+        return "FailureScenario(%s, %r)" % (self.kind, self.device)
+
+
+NO_FAILURE = FailureScenario()
+
+
+class Cascade:
+    """Executes one external event against a mutable model state."""
+
+    def __init__(self, system, state, monitor, scenario=NO_FAILURE,
+                 defer_dispatch=False):
+        self.system = system
+        self.state = state
+        self.monitor = monitor
+        self.scenario = scenario
+        self.steps = []
+        #: when True (concurrent design) generated events are parked in
+        #: ``state.pending`` instead of being dispatched run-to-completion
+        self.defer_dispatch = defer_dispatch
+        self._queue = []
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def run_external(self, ext):
+        """Apply one external event; returns the violations found."""
+        self.state.time += TIME_QUANTUM_MS
+        self._step("external", ext.describe() + self.scenario.label())
+        if ext.kind == "sensor":
+            if self.scenario.kind == FailureScenario.SENSOR_DROP:
+                # The physical world changed but the report was lost: ground
+                # truth updates silently, no app is notified.
+                self.state.set_attribute(ext.device, ext.attribute, ext.value)
+                self._step("failure", "%s offline: event %s=%s not reported"
+                           % (ext.device, ext.attribute, ext.value))
+            else:
+                self.sensor_state_update(ext.device, ext.attribute, ext.value)
+        elif ext.kind == "touch":
+            self._enqueue(Event(APP, app=ext.app))
+        elif ext.kind == "mode":
+            # the user sets the location mode from the companion app
+            if ext.value != self.state.mode:
+                self.state.mode = ext.value
+                self._step("mode", "location.mode = %s" % ext.value)
+                self._enqueue(Event(LOCATION, attribute="mode",
+                                    value=ext.value))
+        elif ext.kind == "timer":
+            self._fire_timer(ext.app, ext.handler)
+        elif ext.kind == "environment":
+            self._enqueue(Event(LOCATION, attribute=ext.attribute,
+                                value=ext.attribute))
+        if not self.defer_dispatch:
+            self._drain()
+            return self.monitor.finish(self.state)
+        return self.monitor.violations
+
+    def dispatch_one_pending(self, index):
+        """Concurrent design: dispatch the ``index``-th pending event."""
+        pending = list(self.state.pending)
+        event = pending.pop(index)
+        self.state.pending = tuple(pending)
+        self._replay_command_log()
+        self.dispatch_event(event)
+        if not self.state.pending:
+            return self.monitor.finish(self.state)
+        return self.monitor.violations
+
+    def _replay_command_log(self):
+        """Reload this cascade's command history (stored in-state) so that
+        conflict detection spans interleaved dispatches."""
+        for device_name, command, payload, app_name in self.state.cascade_commands:
+            instance = self.system.devices.get(device_name)
+            effect = instance.command(command) if instance else None
+            self.monitor._commands.append(
+                (device_name, command, payload, app_name, effect))
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 primitives
+    # ------------------------------------------------------------------
+
+    def sensor_state_update(self, device_name, attribute, value):
+        """Lines 8-12: update state, enqueue, notify subscribers."""
+        if self.state.attribute(device_name, attribute) == value:
+            return
+        self.state.set_attribute(device_name, attribute, value)
+        self.state.record_event(device_name, attribute, value)
+        self._step("state", "%s.%s = %s" % (device_name, attribute, value))
+        self._enqueue(Event(DEVICE, device=device_name, attribute=attribute,
+                            value=value))
+
+    def actuator_command(self, device_name, command, args, app_name):
+        """Lines 14-21 (``actuator_state_update``) plus the §8 checks."""
+        instance = self.system.devices.get(device_name)
+        effect = instance.command(command) if instance is not None else None
+        payload = tuple(_freeze_arg(a) for a in args)
+        self._step("command", "%s.%s(%s)" % (
+            device_name, command, ", ".join(str(a) for a in payload)),
+            app=app_name)
+        self.monitor.on_command(device_name, command, payload, app_name, effect)
+        self.state.cascade_commands = self.state.cascade_commands + (
+            (device_name, command, payload, app_name),)
+        if effect is None:
+            self._step("log", "unknown command %s on %s" % (command, device_name))
+            return
+        if (self.scenario.kind == FailureScenario.ACTUATOR_DROP
+                and self.scenario.device == device_name):
+            self.monitor.on_command_dropped(device_name, command, app_name,
+                                            "actuator offline")
+            self._step("failure", "%s offline: command %s dropped"
+                       % (device_name, command))
+            return
+        value = effect.value
+        if effect.takes_arg:
+            value = payload[0] if payload else None
+        value = _coerce_attribute_value(instance, effect.attribute, value)
+        if self.state.attribute(device_name, effect.attribute) == value:
+            return  # line 17: no state change, no event
+        self.state.set_attribute(device_name, effect.attribute, value)
+        self.state.record_event(device_name, effect.attribute, value)
+        self._step("state", "%s.%s = %s" % (device_name, effect.attribute, value))
+        self._enqueue(Event(DEVICE, device=device_name,
+                            attribute=effect.attribute, value=value))
+
+    def dispatch_event(self, event):
+        """Line 5: dispatch one pending event to its subscribers."""
+        self._dispatched += 1
+        if self._dispatched > MAX_INTERNAL_EVENTS:
+            self._step("log", "internal event budget exhausted; cascade cut")
+            return
+        self._step("notify", event.describe())
+        for app_instance, handler, value_filter in self.system.subscribers_for(event):
+            if value_filter is not None and str(event.value) != str(value_filter):
+                continue
+            self._run_handler(app_instance, handler, event)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, event):
+        if self.defer_dispatch:
+            self.state.pending = self.state.pending + (event,)
+        else:
+            self._queue.append(event)
+
+    def _drain(self):
+        while self._queue:
+            event = self._queue.pop(0)
+            self.dispatch_event(event)
+
+    def _fire_timer(self, app_name, handler):
+        app_instance = self.system.app(app_name)
+        if app_instance is None:
+            return
+        for scheduled_app, scheduled_handler, periodic in self.state.schedules:
+            if scheduled_app == app_name and scheduled_handler == handler:
+                if not periodic:
+                    self.state.remove_schedule(app_name, handler)
+                break
+        event = Event(TIMER, app=app_name, attribute="time", value="fired")
+        self._run_handler(app_instance, handler, event)
+
+    def _run_handler(self, app_instance, handler, event):
+        self._step("handler", "%s.%s(%s)" % (
+            app_instance.name, handler, event.describe()), app=app_instance.name)
+        device_handle = None
+        if event.device is not None:
+            instance = self.system.devices.get(event.device)
+            if instance is not None:
+                device_handle = DeviceHandle(instance, self, app_instance.name)
+        event_handle = EventHandle(event, self, device_handle)
+        interp = Interpreter(app_instance, self)
+        try:
+            interp.run_handler(handler, event_handle)
+        except ExecutionError as exc:
+            self._step("log", "execution error in %s.%s: %s"
+                       % (app_instance.name, handler, exc.message))
+
+    def _step(self, kind, text, app=None, line=None):
+        self.steps.append(TraceStep(kind, text, app=app, line=line))
+
+    # ------------------------------------------------------------------
+    # context protocol (used by the interpreter and the handles)
+    # ------------------------------------------------------------------
+
+    def get_attribute(self, device_name, attribute):
+        value = self.state.attribute(device_name, attribute)
+        if value is None:
+            instance = self.system.devices.get(device_name)
+            if instance is not None:
+                spec = instance.spec.attributes.get(attribute)
+                if spec is not None:
+                    return spec.default
+        return value
+
+    def get_history(self, device_name):
+        return self.state.device_history(device_name)
+
+    def get_mode(self):
+        return self.state.mode
+
+    def modes(self):
+        return self.system.modes
+
+    def now_millis(self):
+        return self.state.time
+
+    def app_state(self, app_name):
+        return self.state.app_state(app_name)
+
+    def log(self, app_name, level, message):
+        self._step("log", "[%s] %s: %s" % (level, app_name, message))
+
+    def set_location_mode(self, mode, app_name):
+        if mode == self.state.mode:
+            return
+        if self.system.modes and mode not in self.system.modes:
+            self._step("log", "unknown location mode %r requested by %s"
+                       % (mode, app_name))
+            return
+        self.state.mode = mode
+        self.monitor.on_actor(app_name)
+        self._step("mode", "location.mode = %s" % mode, app=app_name)
+        self._enqueue(Event(LOCATION, attribute="mode", value=mode))
+
+    def send_sms(self, app_name, recipient, message, line=None):
+        self._step("message", "%s sends SMS to %s: %r"
+                   % (app_name, recipient, message), app=app_name, line=line)
+        self.monitor.on_sms(app_name, recipient, message)
+
+    def send_push(self, app_name, message, line=None):
+        self._step("message", "%s sends push: %r" % (app_name, message),
+                   app=app_name, line=line)
+        self.monitor.on_push(app_name, message)
+
+    def http_request(self, app_name, api, url, line=None):
+        self._step("message", "%s calls %s(%r)" % (app_name, api, url),
+                   app=app_name, line=line)
+        self.monitor.on_http(app_name, api, url)
+
+    def security_sensitive_command(self, app_name, command, line=None):
+        self._step("message", "%s executes %s" % (app_name, command),
+                   app=app_name, line=line)
+        self.monitor.on_security_command(app_name, command)
+
+    def fake_event(self, app_name, attribute, value, line=None):
+        self._step("message", "%s raises fake event %s=%s"
+                   % (app_name, attribute, value), app=app_name, line=line)
+        self.monitor.on_fake_event(app_name, attribute, value)
+        self._enqueue(Event(FAKE, attribute=attribute, value=value,
+                            app=app_name))
+
+    def schedule(self, app_name, handler, periodic=False):
+        self.state.add_schedule(app_name, handler, periodic=periodic)
+        self._step("log", "%s scheduled %s%s"
+                   % (app_name, handler, " (periodic)" if periodic else ""))
+
+    def unschedule(self, app_name, handler=None):
+        self.state.remove_schedule(app_name, handler)
+
+    def actuator_state_update(self, device_name, command, args, app_name):
+        """Alias matching the paper's terminology."""
+        self.actuator_command(device_name, command, args, app_name)
+
+
+def _freeze_arg(value):
+    if isinstance(value, list):
+        return tuple(_freeze_arg(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_arg(v)) for k, v in value.items()))
+    return value
+
+
+def _coerce_attribute_value(instance, attribute, value):
+    """Snap numeric command payloads onto the attribute's model domain."""
+    spec = instance.spec.attributes.get(attribute)
+    if spec is None or spec.kind != "numeric" or value is None:
+        return value
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError):
+        return value
+    return min(spec.values, key=lambda candidate: abs(candidate - numeric))

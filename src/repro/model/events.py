@@ -1,0 +1,86 @@
+"""Events: the cyber and physical occurrences the model reasons about.
+
+Two flavours (Figure 2 of the paper):
+
+* :class:`ExternalEvent` - a *physical* event chosen by the environment
+  (Algorithm 1 line 2 selects one per iteration): a sensor attribute change,
+  an app-touch, a timer firing, or a sunrise/sunset environment event.
+* :class:`Event` - a *cyber* event flowing through the platform: a device
+  state-change notification, a location-mode change, or a fake event forged
+  by an app.
+"""
+
+#: event sources
+DEVICE = "device"
+LOCATION = "location"
+APP = "app"
+TIMER = "time"
+FAKE = "fake"
+
+
+class Event:
+    """A cyber event dispatched to subscribed apps."""
+
+    __slots__ = ("source", "device", "attribute", "value", "app")
+
+    def __init__(self, source, device=None, attribute=None, value=None, app=None):
+        self.source = source
+        self.device = device
+        self.attribute = attribute
+        self.value = value
+        self.app = app
+
+    def describe(self):
+        if self.source == DEVICE:
+            return "%s/%s=%s" % (self.device, self.attribute, self.value)
+        if self.source == LOCATION:
+            return "location/%s=%s" % (self.attribute, self.value)
+        if self.source == APP:
+            return "app/touch(%s)" % (self.app,)
+        if self.source == FAKE:
+            return "fake/%s=%s" % (self.attribute, self.value)
+        return "%s/%s=%s" % (self.source, self.attribute, self.value)
+
+    def __repr__(self):
+        return "Event(%s)" % (self.describe(),)
+
+
+class ExternalEvent:
+    """One environment choice at the top of the main event loop.
+
+    ``kind`` distinguishes:
+
+    * ``"sensor"`` - physical change of a sensor attribute
+      (``device``/``attribute``/``value`` set);
+    * ``"touch"`` - the user taps an app in the companion app (``app`` set);
+    * ``"timer"`` - a scheduled callback fires (``app``/``handler`` set);
+    * ``"environment"`` - sunrise/sunset (``attribute`` = event name).
+    """
+
+    __slots__ = ("kind", "device", "attribute", "value", "app", "handler")
+
+    def __init__(self, kind, device=None, attribute=None, value=None,
+                 app=None, handler=None):
+        self.kind = kind
+        self.device = device
+        self.attribute = attribute
+        self.value = value
+        self.app = app
+        self.handler = handler
+
+    def describe(self):
+        if self.kind == "sensor":
+            return "%s/%s=%s" % (self.device, self.attribute, self.value)
+        if self.kind == "touch":
+            return "app/touch(%s)" % (self.app,)
+        if self.kind == "timer":
+            return "timer(%s.%s)" % (self.app, self.handler)
+        if self.kind == "mode":
+            return "user/mode=%s" % (self.value,)
+        return "environment/%s" % (self.attribute,)
+
+    def label(self):
+        return self.describe()
+
+    def __repr__(self):
+        return "ExternalEvent(%s)" % (self.describe(),)

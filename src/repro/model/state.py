@@ -1,0 +1,125 @@
+"""The model-checker state vector.
+
+A :class:`ModelState` captures everything the transition relation can read
+or write: device attribute values, the location mode, each app's persistent
+``state`` map, the monotone clock (§8: "We model system time as a
+monotonically increasing variable"), pending scheduled callbacks, a bounded
+per-device event history (for ``eventsSince``), and - in the concurrent
+design - the queue of pending cyber events.
+
+States are plain mutable objects copied on branch; :meth:`key` produces the
+canonical hashable form used by the visited stores (exact set or BITSTATE
+bitfield).
+"""
+
+
+class ModelState:
+    """Mutable model state; the checker copies it on every branch."""
+
+    __slots__ = ("devices", "mode", "app_states", "time", "schedules",
+                 "history", "pending", "cascade_commands")
+
+    #: bounded history length per device (enough for `eventsSince` guards)
+    HISTORY_LIMIT = 4
+
+    def __init__(self, devices=None, mode="Home", app_states=None, time=0,
+                 schedules=(), history=None, pending=(), cascade_commands=()):
+        self.devices = devices or {}
+        self.mode = mode
+        self.app_states = app_states or {}
+        self.time = time
+        self.schedules = tuple(schedules)
+        self.history = history or {}
+        self.pending = tuple(pending)
+        # commands sent since the last external event (concurrent design
+        # needs this in-state; the sequential cascade keeps its own log)
+        self.cascade_commands = tuple(cascade_commands)
+
+    # -- reads ---------------------------------------------------------------
+
+    def attribute(self, device_name, attribute):
+        """Current value of a device attribute (``None`` when unknown)."""
+        return self.devices.get(device_name, {}).get(attribute)
+
+    def device_history(self, device_name):
+        return self.history.get(device_name, ())
+
+    # -- writes --------------------------------------------------------------
+
+    def set_attribute(self, device_name, attribute, value):
+        self.devices.setdefault(device_name, {})[attribute] = value
+
+    def record_event(self, device_name, attribute, value):
+        """Append to the bounded per-device history."""
+        old = self.history.get(device_name, ())
+        entry = (attribute, value, self.time)
+        self.history[device_name] = (old + (entry,))[-self.HISTORY_LIMIT:]
+
+    def add_schedule(self, app_name, handler, periodic=False):
+        entry = (app_name, handler, periodic)
+        if entry not in self.schedules:
+            self.schedules = self.schedules + (entry,)
+
+    def remove_schedule(self, app_name, handler=None):
+        self.schedules = tuple(
+            (a, h, p) for (a, h, p) in self.schedules
+            if not (a == app_name and (handler is None or h == handler)))
+
+    def app_state(self, app_name):
+        """The persistent ``state`` map of one app (created on demand)."""
+        return self.app_states.setdefault(app_name, {})
+
+    # -- copy / hash -----------------------------------------------------------
+
+    def copy(self):
+        """A deep-enough copy: nested dicts are copied, values are immutable."""
+        return ModelState(
+            devices={name: dict(attrs) for name, attrs in self.devices.items()},
+            mode=self.mode,
+            app_states={name: _copy_value(mapping)
+                        for name, mapping in self.app_states.items()},
+            time=self.time,
+            schedules=self.schedules,
+            history=dict(self.history),
+            pending=self.pending,
+            cascade_commands=self.cascade_commands,
+        )
+
+    def key(self):
+        """Canonical hashable form for visited-state deduplication.
+
+        The clock is deliberately excluded: two states differing only in the
+        timestamp behave identically (time only orders history entries), and
+        including it would make every state unique and defeat deduplication.
+        """
+        return (
+            tuple(sorted((name, tuple(sorted(attrs.items())))
+                         for name, attrs in self.devices.items())),
+            self.mode,
+            tuple(sorted((name, _freeze(mapping))
+                         for name, mapping in self.app_states.items())),
+            tuple(sorted(self.schedules)),
+            self.pending,
+            self.cascade_commands,
+        )
+
+    def __repr__(self):
+        return "ModelState(mode=%r, time=%d, devices=%d)" % (
+            self.mode, self.time, len(self.devices))
+
+
+def _copy_value(value):
+    if isinstance(value, dict):
+        return {k: _copy_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_copy_value(v) for v in value]
+    return value
+
+
+def _freeze(value):
+    """Recursively convert a state value into a hashable form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value

@@ -1,0 +1,337 @@
+"""The bound IoT system: devices + app instances + subscriptions.
+
+An :class:`IoTSystem` is the transition system the checker explores.  It
+offers the sequential transition relation (Algorithm 1: one external event,
+run-to-completion cascade) and the concurrent one (§8 Concurrency Model:
+interleavings of pending internal events), both with optional failure
+enumeration.
+"""
+
+from repro.model.cascade import Cascade, FailureScenario, NO_FAILURE
+from repro.model.events import APP, DEVICE, FAKE, LOCATION, ExternalEvent
+from repro.model.handles import DeviceGroup, DeviceHandle
+from repro.model.state import ModelState
+from repro.translator.lowering import lower_program
+
+
+class AppInstance:
+    """One installed app: parsed definition + lowered IR + input bindings."""
+
+    def __init__(self, smart_app, bindings, instance_name=None):
+        self.smart_app = smart_app
+        self.name = instance_name or smart_app.name
+        self.bindings = dict(bindings)
+        self._ir = lower_program(smart_app.program)
+        self._methods = {m.name: m for m in self._ir.methods}
+
+    def method(self, name):
+        return self._methods.get(name)
+
+    def binding_names(self):
+        return list(self.bindings.keys())
+
+    def binding(self, input_name):
+        return self.bindings.get(input_name)
+
+    def materialize(self, input_name, ctx):
+        """Turn a binding into the runtime value app code sees."""
+        value = self.bindings.get(input_name)
+        if value is None:
+            return None
+        declaration = self.smart_app.input(input_name)
+        if declaration is not None and declaration.is_device:
+            names = value if isinstance(value, list) else [value]
+            handles = []
+            for name in names:
+                instance = ctx.system.devices.get(name)
+                if instance is not None:
+                    handles.append(DeviceHandle(instance, ctx, self.name))
+            if declaration.multiple or len(handles) > 1:
+                return DeviceGroup(handles)
+            return handles[0] if handles else None
+        return value
+
+    def bound_devices(self, input_name):
+        """Device names bound to a device input (empty for value inputs)."""
+        value = self.bindings.get(input_name)
+        if value is None:
+            return []
+        names = value if isinstance(value, list) else [value]
+        return [n for n in names if isinstance(n, str)]
+
+    def __repr__(self):
+        return "AppInstance(%r)" % (self.name,)
+
+
+class ResolvedSubscription:
+    """A subscription bound to a concrete device (or location/app source)."""
+
+    __slots__ = ("app", "handler", "source_kind", "device", "attribute", "value")
+
+    def __init__(self, app, handler, source_kind, device, attribute, value):
+        self.app = app
+        self.handler = handler
+        self.source_kind = source_kind  # "device" | "location" | "app"
+        self.device = device
+        self.attribute = attribute
+        self.value = value
+
+    def __repr__(self):
+        return "ResolvedSubscription(%s/%s/%s -> %s.%s)" % (
+            self.device or self.source_kind, self.attribute, self.value or "...",
+            self.app.name, self.handler)
+
+
+class IoTSystem:
+    """Devices, installed apps, subscription routing, and the transition
+    relations used by the explorer."""
+
+    def __init__(self, devices, apps, contacts=(), modes=("Home", "Away", "Night"),
+                 initial_mode="Home", association=None, http_allowed=(),
+                 enable_failures=False, user_mode_events=False):
+        #: name -> DeviceInstance
+        self.devices = dict(devices)
+        #: installed apps in install order
+        self.apps = list(apps)
+        self.contacts = list(contacts)
+        self.modes = list(modes)
+        self.initial_mode = initial_mode
+        self.association = dict(association or {})
+        self.http_allowed = set(http_allowed)
+        self.enable_failures = enable_failures
+        #: when set, the user changing the location mode from the companion
+        #: app is an environment choice (used by the Output Analyzer so
+        #: mode-triggered apps can be vetted in isolation, §9/§10.3)
+        self.user_mode_events = user_mode_events
+        self.subscriptions = self._resolve_subscriptions()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_subscriptions(self):
+        resolved = []
+        for app in self.apps:
+            for sub in app.smart_app.subscriptions:
+                if sub.source == "location":
+                    resolved.append(ResolvedSubscription(
+                        app, sub.handler, "location", None,
+                        sub.attribute or "mode", sub.value))
+                elif sub.source == "app":
+                    resolved.append(ResolvedSubscription(
+                        app, sub.handler, "app", None, "app", None))
+                else:
+                    for device_name in app.bound_devices(sub.source):
+                        resolved.append(ResolvedSubscription(
+                            app, sub.handler, "device", device_name,
+                            sub.attribute, sub.value))
+        return resolved
+
+    def app(self, name):
+        for app in self.apps:
+            if app.name == name:
+                return app
+        return None
+
+    # ------------------------------------------------------------------
+    # roles (device association info)
+    # ------------------------------------------------------------------
+
+    def role(self, name):
+        value = self.association.get(name)
+        if isinstance(value, list):
+            return value[0] if value else None
+        return value
+
+    def role_list(self, name):
+        value = self.association.get(name)
+        if value is None:
+            return []
+        if isinstance(value, list):
+            return list(value)
+        return [value]
+
+    def has_role(self, name):
+        value = self.association.get(name)
+        if isinstance(value, list):
+            return bool(value)
+        return value is not None
+
+    @property
+    def away_mode(self):
+        return self.association.get("away_mode", "Away")
+
+    @property
+    def home_mode(self):
+        return self.association.get("home_mode", "Home")
+
+    @property
+    def night_mode(self):
+        return self.association.get("night_mode", "Night")
+
+    def is_http_allowed(self, app_name, url):
+        return app_name in self.http_allowed
+
+    # ------------------------------------------------------------------
+    # state & events
+    # ------------------------------------------------------------------
+
+    def initial_state(self):
+        state = ModelState(mode=self.initial_mode)
+        for name, instance in self.devices.items():
+            state.devices[name] = instance.initial_attributes()
+        for app in self.apps:
+            state.app_states[app.name] = {}
+            # cron-style schedules registered in installed()/initialize()
+            # exist from the start; runIn timers appear dynamically
+            for api, handler, _line in app.smart_app.schedules:
+                if api.startswith(("schedule", "runEvery", "runDaily")):
+                    state.add_schedule(app.name, handler, periodic=True)
+        return state
+
+    def subscribers_for(self, event):
+        """Subscribed (app, handler, value filter) triples, install order."""
+        matches = []
+        for sub in self.subscriptions:
+            if event.source == DEVICE:
+                if (sub.source_kind == "device" and sub.device == event.device
+                        and sub.attribute == event.attribute):
+                    matches.append((sub.app, sub.handler, sub.value))
+            elif event.source == LOCATION:
+                if sub.source_kind == "location" and sub.attribute in (
+                        event.attribute, None, "mode"):
+                    if event.attribute == "mode" and sub.attribute != "mode":
+                        continue
+                    if event.attribute != "mode" and sub.attribute != event.attribute:
+                        continue
+                    matches.append((sub.app, sub.handler, sub.value))
+            elif event.source == APP:
+                if sub.source_kind == "app" and sub.app.name == event.app:
+                    matches.append((sub.app, sub.handler, None))
+            elif event.source == FAKE:
+                # Fake events reach every subscription on the same attribute.
+                if (sub.source_kind == "device"
+                        and sub.attribute == event.attribute):
+                    matches.append((sub.app, sub.handler, sub.value))
+        return matches
+
+    def _interesting_device_attributes(self):
+        """(device, attribute) pairs worth generating external events for:
+        subscribed attributes plus attributes referenced by property roles."""
+        pairs = []
+        seen = set()
+        for sub in self.subscriptions:
+            if sub.source_kind != "device":
+                continue
+            device = self.devices.get(sub.device)
+            if device is None:
+                continue
+            if sub.attribute in device.spec.sensor_attributes:
+                key = (sub.device, sub.attribute)
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append(key)
+        for role_value in self.association.values():
+            names = role_value if isinstance(role_value, list) else [role_value]
+            for name in names:
+                device = self.devices.get(name) if isinstance(name, str) else None
+                if device is None:
+                    continue
+                for attribute in device.spec.sensor_attributes:
+                    key = (name, attribute)
+                    if key not in seen:
+                        seen.add(key)
+                        pairs.append(key)
+        if not pairs:
+            for name, device in self.devices.items():
+                for attribute in device.spec.sensor_attributes:
+                    pairs.append((name, attribute))
+        return pairs
+
+    def external_choices(self, state):
+        """Algorithm 1 line 2: the environment's choices at this point."""
+        choices = []
+        for device_name, attribute in self._interesting_device_attributes():
+            instance = self.devices[device_name]
+            current = state.attribute(device_name, attribute)
+            for value in instance.sensor_event_values(attribute, current):
+                choices.append(ExternalEvent("sensor", device=device_name,
+                                             attribute=attribute, value=value))
+        touched = set()
+        for sub in self.subscriptions:
+            if sub.source_kind == "app" and sub.app.name not in touched:
+                touched.add(sub.app.name)
+                choices.append(ExternalEvent("touch", app=sub.app.name))
+        for sub in self.subscriptions:
+            if sub.source_kind == "location" and sub.attribute in (
+                    "sunrise", "sunset"):
+                choices.append(ExternalEvent("environment",
+                                             attribute=sub.attribute))
+        for app_name, handler, _periodic in state.schedules:
+            choices.append(ExternalEvent("timer", app=app_name, handler=handler))
+        if self.user_mode_events:
+            for mode in self.modes:
+                if mode != state.mode:
+                    choices.append(ExternalEvent("mode", value=mode))
+        return choices
+
+    def failure_scenarios(self, ext):
+        """§8 failure enumeration for one external event."""
+        scenarios = [NO_FAILURE]
+        if not self.enable_failures:
+            return scenarios
+        if ext.kind == "sensor":
+            scenarios.append(FailureScenario(FailureScenario.SENSOR_DROP,
+                                             ext.device))
+        for name, device in sorted(self.devices.items()):
+            if device.spec.is_actuator:
+                scenarios.append(FailureScenario(FailureScenario.ACTUATOR_DROP,
+                                                 name))
+        return scenarios
+
+    # ------------------------------------------------------------------
+    # transition relations
+    # ------------------------------------------------------------------
+
+    def transitions(self, state, monitor_factory):
+        """Sequential design: yield (label, new_state, violations, steps)."""
+        for ext in self.external_choices(state):
+            for scenario in self.failure_scenarios(ext):
+                new_state = state.copy()
+                new_state.cascade_commands = ()
+                monitor = monitor_factory()
+                cascade = Cascade(self, new_state, monitor, scenario=scenario)
+                violations = cascade.run_external(ext)
+                yield (ext.label() + scenario.label(), new_state, True,
+                       violations, cascade.steps)
+
+    def transitions_concurrent(self, state, monitor_factory, externals_left):
+        """Concurrent design: interleave pending dispatches and injections."""
+        for index in range(len(state.pending)):
+            new_state = state.copy()
+            monitor = monitor_factory()
+            cascade = Cascade(self, new_state, monitor, defer_dispatch=True)
+            violations = cascade.dispatch_one_pending(index)
+            if not new_state.pending:
+                new_state.cascade_commands = ()
+            yield ("dispatch %s" % state.pending[index].describe(), new_state,
+                   False, violations, cascade.steps)
+        # A new external event is only injected once the previous event's
+        # cyber events have drained: interleaving is per-cascade, so the
+        # "single external event" scope of the conflict/repeat checks is
+        # preserved (Algorithm 1 line 16).
+        if externals_left > 0 and not state.pending:
+            for ext in self.external_choices(state):
+                for scenario in self.failure_scenarios(ext):
+                    new_state = state.copy()
+                    new_state.cascade_commands = ()
+                    monitor = monitor_factory()
+                    cascade = Cascade(self, new_state, monitor,
+                                      scenario=scenario, defer_dispatch=True)
+                    violations = cascade.run_external(ext)
+                    yield (ext.label() + scenario.label(), new_state, True,
+                           violations, cascade.steps)
+
+    def __repr__(self):
+        return "IoTSystem(devices=%d, apps=%d, subs=%d)" % (
+            len(self.devices), len(self.apps), len(self.subscriptions))

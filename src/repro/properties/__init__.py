@@ -1,0 +1,53 @@
+"""Safety properties (§8): 45 properties in five families.
+
+* 1 free-of-conflicting-commands property,
+* 1 free-of-repeated-commands property,
+* 38 safe-physical-state properties (Table 4's six categories), expressed
+  as LTL ``G``-invariants parameterized by the system's *device association*
+  (which concrete device plays which role),
+* 4 information-leakage / security-sensitive-command properties,
+* 1 robustness-to-failure property.
+
+Users select the subset to verify (``build_properties``); invariants are
+evaluated on quiescent states, the special kinds are monitored during
+cascades by :class:`repro.checker.monitor.SafetyMonitor`.
+"""
+
+from repro.properties.base import (
+    KIND_CONFLICT,
+    KIND_FAKE_EVENT,
+    KIND_INVARIANT,
+    KIND_LEAKAGE_HTTP,
+    KIND_LEAKAGE_SMS,
+    KIND_REPEAT,
+    KIND_ROBUSTNESS,
+    KIND_SECURITY_CMD,
+    InvariantProperty,
+    SafetyProperty,
+)
+from repro.properties.catalog import (
+    ALL_PROPERTY_IDS,
+    build_properties,
+    default_properties,
+    properties_by_category,
+)
+from repro.properties.selection import app_bound_devices, select_relevant
+
+__all__ = [
+    "KIND_CONFLICT",
+    "KIND_FAKE_EVENT",
+    "KIND_INVARIANT",
+    "KIND_LEAKAGE_HTTP",
+    "KIND_LEAKAGE_SMS",
+    "KIND_REPEAT",
+    "KIND_ROBUSTNESS",
+    "KIND_SECURITY_CMD",
+    "InvariantProperty",
+    "SafetyProperty",
+    "ALL_PROPERTY_IDS",
+    "build_properties",
+    "default_properties",
+    "properties_by_category",
+    "app_bound_devices",
+    "select_relevant",
+]

@@ -1,0 +1,88 @@
+"""Property base classes and kinds."""
+
+KIND_INVARIANT = "invariant"
+KIND_CONFLICT = "conflict"
+KIND_REPEAT = "repeat"
+KIND_LEAKAGE_HTTP = "leakage-http"
+KIND_LEAKAGE_SMS = "leakage-sms"
+KIND_SECURITY_CMD = "security-command"
+KIND_FAKE_EVENT = "fake-event"
+KIND_ROBUSTNESS = "robustness"
+
+
+class SafetyProperty:
+    """A verifiable safety property.
+
+    Non-invariant kinds are *monitored*: the safety monitor raises them when
+    the corresponding operation is observed (a conflicting command pair, an
+    ``httpPost``, an ``unsubscribe``, ...).
+    """
+
+    def __init__(self, id, name, category, kind, description, ltl=None):  # noqa: A002
+        self.id = id
+        self.name = name
+        self.category = category
+        self.kind = kind
+        self.description = description
+        self.ltl = ltl
+
+    def applicable(self, system):
+        """Whether the system has the roles this property talks about."""
+        return True
+
+    def __repr__(self):
+        return "SafetyProperty(%s, %r)" % (self.id, self.name)
+
+
+def _system_changes_mode(system):
+    """Whether any installed app can change the location mode.
+
+    Obligation properties on the mode ("mode must change to Away when
+    nobody is home") are only meaningful when some app manages modes -
+    the environment alone can never satisfy them.
+    """
+    from repro.groovy import ast
+
+    for app in getattr(system, "apps", ()):
+        program = app.smart_app.program
+        for node in program.walk():
+            if isinstance(node, ast.Call) and node.name == "setLocationMode":
+                return True
+            if isinstance(node, ast.MethodCall) and node.name == "setLocationMode":
+                return True
+    return False
+
+
+class InvariantProperty(SafetyProperty):
+    """A safe-physical-state property: an LTL ``G``-invariant.
+
+    ``predicate(state, system)`` returns ``True`` (holds), ``False``
+    (violated) or ``None`` (not applicable in this state, treated as
+    holding).  ``roles`` lists the association roles the predicate reads -
+    the property only applies to systems where all of them are bound.
+    """
+
+    def __init__(self, id, name, category, description, predicate,  # noqa: A002
+                 roles=(), ltl=None, triggers=()):
+        super().__init__(id, name, category, KIND_INVARIANT, description, ltl=ltl)
+        self.predicate = predicate
+        self.roles = tuple(roles)
+        #: sensor attributes whose events trigger the *obligation* this
+        #: invariant states (empty for pure restrictions).  An obligation is
+        #: only meaningful when some installed app reacts to the trigger -
+        #: no app could discharge it otherwise.
+        self.triggers = tuple(triggers)
+
+    def applicable(self, system):
+        for role in self.roles:
+            if role == "@mode_app":
+                if not _system_changes_mode(system):
+                    return False
+            elif not system.has_role(role):
+                return False
+        return True
+
+    def holds(self, state, system):
+        """Evaluate on one (quiescent) state."""
+        result = self.predicate(state, system)
+        return result is not False

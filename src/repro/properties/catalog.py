@@ -1,0 +1,101 @@
+"""Assembly of the full 45-property catalog and selection helpers."""
+
+from repro.properties.base import (
+    KIND_CONFLICT,
+    KIND_FAKE_EVENT,
+    KIND_LEAKAGE_HTTP,
+    KIND_LEAKAGE_SMS,
+    KIND_REPEAT,
+    KIND_ROBUSTNESS,
+    KIND_SECURITY_CMD,
+    SafetyProperty,
+)
+from repro.properties.physical import PHYSICAL_PROPERTIES
+
+_COMMANDS = "Command hygiene"
+_LEAKAGE = "Information leakage and suspicious behaviors"
+_ROBUST = "Robustness to failures"
+
+
+def _special_properties():
+    return [
+        SafetyProperty(
+            "P39", "free of conflicting commands", _COMMANDS, KIND_CONFLICT,
+            "When a single external event happens, an actuator must not "
+            "receive two conflicting commands (e.g. both on and off).",
+            ltl="per-cascade monitor"),
+        SafetyProperty(
+            "P40", "free of repeated commands", _COMMANDS, KIND_REPEAT,
+            "When a single event happens, an actuator must not receive "
+            "multiple repeated commands of the same type/payload (possible "
+            "DoS or replay).",
+            ltl="per-cascade monitor"),
+        SafetyProperty(
+            "P41", "no information leakage via network interfaces", _LEAKAGE,
+            KIND_LEAKAGE_HTTP,
+            "Private information may leave only via message interfaces "
+            "(sendSms/sendPush); network interfaces (httpPost et al.) are "
+            "flagged.",
+            ltl="monitor on http APIs"),
+        SafetyProperty(
+            "P42", "SMS recipients match configured contacts", _LEAKAGE,
+            KIND_LEAKAGE_SMS,
+            "The recipient of every outgoing message must match the "
+            "configured phone numbers or contacts.",
+            ltl="monitor on sendSms"),
+        SafetyProperty(
+            "P43", "no security-sensitive commands", _LEAKAGE,
+            KIND_SECURITY_CMD,
+            "Commands such as unsubscribe (disabling an app's functionality) "
+            "are security-sensitive and flagged.",
+            ltl="monitor on unsubscribe"),
+        SafetyProperty(
+            "P44", "no fake events", _LEAKAGE, KIND_FAKE_EVENT,
+            "An app must not fabricate physical events (e.g. a fake 'smoke "
+            "detected' event when there is no smoke).",
+            ltl="monitor on sendEvent"),
+        SafetyProperty(
+            "P45", "robust to device/communication failure", _ROBUST,
+            KIND_ROBUSTNESS,
+            "An app should check that a command sent to an actuator was "
+            "acted upon; upon detecting a failure it must notify users via "
+            "SMS/Push.",
+            ltl="[] (command_dropped -> <> user_notified)"),
+    ]
+
+
+def default_properties():
+    """All 45 properties (38 physical + 7 monitored)."""
+    return list(PHYSICAL_PROPERTIES) + _special_properties()
+
+
+ALL_PROPERTY_IDS = tuple(p.id for p in default_properties())
+
+
+def build_properties(selection=None):
+    """Build the property list, optionally restricted to chosen ids.
+
+    ``selection`` may contain property ids (``"P06"``) or category names;
+    ``None`` selects everything (the paper gives users an interface to pick
+    the properties they care about, §8).
+    """
+    properties = default_properties()
+    if selection is None:
+        return properties
+    chosen = set(selection)
+    picked = [p for p in properties
+              if p.id in chosen or p.category in chosen or p.name in chosen]
+    unknown = chosen - ({p.id for p in properties}
+                        | {p.category for p in properties}
+                        | {p.name for p in properties})
+    if unknown:
+        raise KeyError("unknown properties: %s" % ", ".join(sorted(unknown)))
+    return picked
+
+
+def properties_by_category():
+    """Category -> list of properties (Table 4's grouping plus extras)."""
+    by_category = {}
+    for prop in default_properties():
+        by_category.setdefault(prop.category, []).append(prop)
+    return by_category

@@ -1,0 +1,643 @@
+"""The 38 safe-physical-state properties (Table 4).
+
+Six categories: Thermostat/AC/Heater (5), Lock and door control (8),
+Location mode (3), Security and alarming (14), Water and sprinkler (3),
+Others (5).
+
+Each predicate reads device *roles* from the system association (set by the
+Configuration Extractor / user, §7: "we have an interface to get the device
+association info ... from the user").  A property is applicable only when
+the roles it mentions are bound, which is how "the LTL format of the
+selected properties are automatically generated" from association info (§8).
+"""
+
+from repro.properties.base import InvariantProperty
+
+# Threshold defaults; overridable via association values.
+TEMP_LOW = 65
+TEMP_HIGH = 85
+HUMIDITY_LOW = 20
+HUMIDITY_HIGH = 80
+
+
+# ---------------------------------------------------------------------------
+# role helpers
+# ---------------------------------------------------------------------------
+
+
+def _role(system, name):
+    return system.role(name)
+
+
+def _roles(system, name):
+    return system.role_list(name)
+
+
+def _attr(state, device, attribute):
+    if device is None:
+        return None
+    return state.attribute(device, attribute)
+
+
+def _num(value, default=None):
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _threshold(system, name, default):
+    value = system.role(name)
+    return _num(value, default)
+
+
+def nobody_home(state, system):
+    """True/False from presence sensors; ``None`` when unknowable."""
+    sensors = _roles(system, "presence_sensors")
+    if not sensors:
+        return None
+    return all(_attr(state, s, "presence") == "not present" for s in sensors)
+
+
+def somebody_home(state, system):
+    away = nobody_home(state, system)
+    if away is None:
+        return None
+    return not away
+
+
+def smoke_detected(state, system):
+    detectors = _roles(system, "smoke_detectors")
+    return any(_attr(state, d, "smoke") == "detected" for d in detectors)
+
+
+def co_detected(state, system):
+    detectors = _roles(system, "co_detectors")
+    return any(_attr(state, d, "carbonMonoxide") == "detected" for d in detectors)
+
+
+def water_leak(state, system):
+    sensors = _roles(system, "water_sensors")
+    return any(_attr(state, s, "water") == "wet" for s in sensors)
+
+
+def intrusion(state, system):
+    """Contact opens or motion while the home is in Away mode."""
+    if state.mode != system.away_mode:
+        return False
+    contacts = _roles(system, "entry_contacts")
+    motions = _roles(system, "motion_sensors")
+    return (any(_attr(state, c, "contact") == "open" for c in contacts)
+            or any(_attr(state, m, "motion") == "active" for m in motions))
+
+
+def temperature(state, system):
+    sensor = _role(system, "temp_sensor")
+    return _num(_attr(state, sensor, "temperature"))
+
+
+def _switch_on(state, device):
+    return _attr(state, device, "switch") == "on"
+
+
+def _alarm_sounding(state, device):
+    return _attr(state, device, "alarm") in ("strobe", "siren", "both")
+
+
+# ---------------------------------------------------------------------------
+# Thermostat, AC, and Heater (5)
+# ---------------------------------------------------------------------------
+
+
+def _p_heater_not_on_when_hot(state, system):
+    temp = temperature(state, system)
+    if temp is None:
+        return None
+    if temp < _threshold(system, "temp_high", TEMP_HIGH):
+        return None
+    return not _switch_on(state, _role(system, "heater_outlet"))
+
+
+def _p_ac_not_on_when_cold(state, system):
+    temp = temperature(state, system)
+    if temp is None:
+        return None
+    if temp > _threshold(system, "temp_low", TEMP_LOW):
+        return None
+    return not _switch_on(state, _role(system, "ac_outlet"))
+
+
+def _p_ac_heater_not_both_on(state, system):
+    heater = _role(system, "heater_outlet")
+    ac = _role(system, "ac_outlet")
+    return not (_switch_on(state, heater) and _switch_on(state, ac))
+
+
+def _p_heater_on_when_cold_at_home(state, system):
+    temp = temperature(state, system)
+    home = somebody_home(state, system)
+    if temp is None or home is not True:
+        return None
+    if temp > _threshold(system, "temp_low", TEMP_LOW):
+        return None
+    return _switch_on(state, _role(system, "heater_outlet"))
+
+
+def _p_thermostat_not_off_when_cold_at_home(state, system):
+    thermostat = _role(system, "thermostat")
+    temp = temperature(state, system)
+    home = somebody_home(state, system)
+    if temp is None or home is not True:
+        return None
+    if temp > _threshold(system, "temp_low", TEMP_LOW):
+        return None
+    return _attr(state, thermostat, "thermostatMode") != "off"
+
+
+# ---------------------------------------------------------------------------
+# Lock and door control (8)
+# ---------------------------------------------------------------------------
+
+
+def _p_main_door_locked_when_away(state, system):
+    away = nobody_home(state, system)
+    if away is not True:
+        return None
+    return _attr(state, _role(system, "main_door_lock"), "lock") == "locked"
+
+
+def _p_main_door_locked_at_night(state, system):
+    if state.mode != system.night_mode:
+        return None
+    return _attr(state, _role(system, "main_door_lock"), "lock") == "locked"
+
+
+def _p_main_door_locked_in_away_mode(state, system):
+    if state.mode != system.away_mode:
+        return None
+    return _attr(state, _role(system, "main_door_lock"), "lock") == "locked"
+
+
+def _p_garage_closed_when_away(state, system):
+    away = nobody_home(state, system)
+    if away is not True:
+        return None
+    return _attr(state, _role(system, "garage_door"), "door") == "closed"
+
+
+def _p_garage_closed_at_night(state, system):
+    if state.mode != system.night_mode:
+        return None
+    return _attr(state, _role(system, "garage_door"), "door") == "closed"
+
+
+def _p_all_locks_locked_in_away_mode(state, system):
+    if state.mode != system.away_mode:
+        return None
+    locks = _roles(system, "locks")
+    if not locks:
+        return None
+    return all(_attr(state, lock, "lock") == "locked" for lock in locks)
+
+
+def _p_door_locked_when_sleeping(state, system):
+    sensors = _roles(system, "sleep_sensors")
+    sleeping = [s for s in sensors if _attr(state, s, "sleeping") == "sleeping"]
+    if not sensors or not sleeping:
+        # Night mode is the usual stand-in for "everyone asleep".
+        if state.mode != system.night_mode:
+            return None
+    return _attr(state, _role(system, "main_door_lock"), "lock") == "locked"
+
+
+def _p_entry_door_not_open_when_away(state, system):
+    """Not open when nobody is home, nor at night while people sleep."""
+    away = nobody_home(state, system)
+    asleep = state.mode == system.night_mode
+    if away is not True and not asleep:
+        return None
+    door = _role(system, "entry_door_control")
+    return _attr(state, door, "door") != "open"
+
+
+# ---------------------------------------------------------------------------
+# Location mode (3)
+# ---------------------------------------------------------------------------
+
+
+def _p_mode_away_when_nobody_home(state, system):
+    away = nobody_home(state, system)
+    if away is not True:
+        return None
+    return state.mode == system.away_mode
+
+
+def _p_mode_not_away_when_somebody_home(state, system):
+    home = somebody_home(state, system)
+    if home is not True:
+        return None
+    return state.mode != system.away_mode
+
+
+def _p_mode_home_when_arriving(state, system):
+    home = somebody_home(state, system)
+    if home is not True:
+        return None
+    if state.mode == system.night_mode:
+        return None  # being home at night is fine
+    return state.mode == system.home_mode
+
+
+# ---------------------------------------------------------------------------
+# Security and alarming (14)
+# ---------------------------------------------------------------------------
+
+
+def _p_alarm_on_smoke(state, system):
+    if not smoke_detected(state, system):
+        return None
+    return _alarm_sounding(state, _role(system, "alarm"))
+
+
+def _p_alarm_on_co(state, system):
+    if not co_detected(state, system):
+        return None
+    return _alarm_sounding(state, _role(system, "alarm"))
+
+
+def _p_alarm_quiet_without_cause(state, system):
+    alarm = _role(system, "alarm")
+    if not _alarm_sounding(state, alarm):
+        return None
+    return (smoke_detected(state, system) or co_detected(state, system)
+            or intrusion(state, system) or water_leak(state, system))
+
+
+def _p_valve_open_when_smoke(state, system):
+    """The sprinkler water supply must not be cut while smoke is detected."""
+    if not smoke_detected(state, system):
+        return None
+    return _attr(state, _role(system, "water_valve"), "valve") == "open"
+
+
+def _p_alarm_on_intrusion_contact(state, system):
+    if state.mode != system.away_mode:
+        return None
+    contacts = _roles(system, "entry_contacts")
+    if not any(_attr(state, c, "contact") == "open" for c in contacts):
+        return None
+    return _alarm_sounding(state, _role(system, "alarm"))
+
+
+def _p_alarm_on_intrusion_motion(state, system):
+    if state.mode != system.away_mode:
+        return None
+    motions = _roles(system, "motion_sensors")
+    if not any(_attr(state, m, "motion") == "active" for m in motions):
+        return None
+    return _alarm_sounding(state, _role(system, "alarm"))
+
+
+def _p_alarm_not_silenced_during_smoke(state, system):
+    # Equivalent shape to _p_alarm_on_smoke but over the dedicated siren.
+    if not smoke_detected(state, system):
+        return None
+    return _alarm_sounding(state, _role(system, "siren"))
+
+
+def _p_door_unlocked_when_smoke(state, system):
+    """Fire escape: the main door must not stay locked during a fire."""
+    if not smoke_detected(state, system):
+        return None
+    return _attr(state, _role(system, "main_door_lock"), "lock") == "unlocked"
+
+
+def _p_heater_off_when_smoke(state, system):
+    if not smoke_detected(state, system):
+        return None
+    return not _switch_on(state, _role(system, "heater_outlet"))
+
+
+def _p_fan_on_when_co(state, system):
+    if not co_detected(state, system):
+        return None
+    return _switch_on(state, _role(system, "fan_outlet"))
+
+
+def _p_camera_capture_on_intrusion(state, system):
+    if not intrusion(state, system):
+        return None
+    return _attr(state, _role(system, "camera"), "image") == "captured"
+
+
+def _p_garage_closed_in_away_mode(state, system):
+    if state.mode != system.away_mode:
+        return None
+    return _attr(state, _role(system, "garage_door"), "door") == "closed"
+
+
+def _p_shades_closed_when_away(state, system):
+    if state.mode != system.away_mode:
+        return None
+    shades = _roles(system, "window_shades")
+    if not shades:
+        return None
+    return all(_attr(state, s, "windowShade") == "closed" for s in shades)
+
+
+def _p_speaker_quiet_when_away(state, system):
+    away = nobody_home(state, system)
+    if away is not True:
+        return None
+    return _attr(state, _role(system, "speaker"), "status") != "playing"
+
+
+# ---------------------------------------------------------------------------
+# Water and sprinkler (3)
+# ---------------------------------------------------------------------------
+
+
+def _p_humidity_in_range(state, system):
+    sensors = _roles(system, "humidity_sensors")
+    if not sensors:
+        return None
+    low = _threshold(system, "humidity_low", HUMIDITY_LOW)
+    high = _threshold(system, "humidity_high", HUMIDITY_HIGH)
+    for sensor in sensors:
+        value = _num(_attr(state, sensor, "humidity"))
+        if value is not None and not (low <= value <= high):
+            return False
+    return True
+
+
+def _p_sprinkler_off_when_wet(state, system):
+    if not water_leak(state, system):
+        return None
+    return not _switch_on(state, _role(system, "sprinkler_outlet"))
+
+
+def _p_valve_closed_on_leak(state, system):
+    if not water_leak(state, system):
+        return None
+    return _attr(state, _role(system, "leak_shutoff_valve"), "valve") == "closed"
+
+
+# ---------------------------------------------------------------------------
+# Others (5)
+# ---------------------------------------------------------------------------
+
+
+def _p_switches_off_when_away(state, system):
+    away = nobody_home(state, system)
+    if away is not True:
+        return None
+    switches = _roles(system, "away_off_switches")
+    if not switches:
+        return None
+    return all(not _switch_on(state, s) for s in switches)
+
+
+def _p_night_light_on_motion(state, system):
+    if state.mode != system.night_mode:
+        return None
+    motions = _roles(system, "motion_sensors")
+    if not any(_attr(state, m, "motion") == "active" for m in motions):
+        return None
+    return _switch_on(state, _role(system, "night_light"))
+
+
+def _p_coffee_off_at_night(state, system):
+    if state.mode != system.night_mode:
+        return None
+    return not _switch_on(state, _role(system, "coffee_outlet"))
+
+
+def _p_space_heater_off_when_away(state, system):
+    away = nobody_home(state, system)
+    if away is not True:
+        return None
+    return not _switch_on(state, _role(system, "space_heater_outlet"))
+
+
+def _p_bulbs_off_in_away_mode(state, system):
+    if state.mode != system.away_mode:
+        return None
+    bulbs = _roles(system, "away_off_bulbs")
+    if not bulbs:
+        return None
+    return all(not _switch_on(state, b) for b in bulbs)
+
+
+# ---------------------------------------------------------------------------
+# catalog assembly
+# ---------------------------------------------------------------------------
+
+_THERMO = "Thermostat, AC, and Heater"
+_LOCK = "Lock and door control"
+_MODE = "Location mode"
+_SECURITY = "Security and alarming"
+_WATER = "Water and sprinkler"
+_OTHERS = "Others"
+
+
+def _inv(pid, name, category, description, predicate, roles, ltl,
+         triggers=()):
+    return InvariantProperty(pid, name, category, description, predicate,
+                             roles=roles, ltl=ltl, triggers=triggers)
+
+
+PHYSICAL_PROPERTIES = [
+    # Thermostat, AC, and Heater --------------------------------------------
+    _inv("P01", "heater not on when temperature above threshold", _THERMO,
+         "A heater must not be (left) on when the measured temperature is at "
+         "or above the high threshold.",
+         _p_heater_not_on_when_hot, ("temp_sensor", "heater_outlet"),
+         "[] (temp >= TEMP_HIGH -> heater_off)"),
+    _inv("P02", "AC not on when temperature below threshold", _THERMO,
+         "An air conditioner must not be on when the temperature is at or "
+         "below the low threshold.",
+         _p_ac_not_on_when_cold, ("temp_sensor", "ac_outlet"),
+         "[] (temp <= TEMP_LOW -> ac_off)"),
+    _inv("P03", "AC and heater not both on", _THERMO,
+         "An AC and a heater must never run simultaneously.",
+         _p_ac_heater_not_both_on, ("heater_outlet", "ac_outlet"),
+         "[] !(heater_on && ac_on)"),
+    _inv("P04", "heater on when cold and people home", _THERMO,
+         "A heater must not be (turned) off when the temperature is below "
+         "the low threshold while people are at home.",
+         _p_heater_on_when_cold_at_home,
+         ("temp_sensor", "heater_outlet", "presence_sensors"),
+         "[] ((temp <= TEMP_LOW && home) -> heater_on)",
+         triggers=("temperature",)),
+    _inv("P05", "thermostat not off when cold and people home", _THERMO,
+         "The thermostat must not be off when it is cold and people are home.",
+         _p_thermostat_not_off_when_cold_at_home,
+         ("temp_sensor", "thermostat", "presence_sensors"),
+         "[] ((temp <= TEMP_LOW && home) -> tstat_mode != off)",
+         triggers=("temperature",)),
+
+    # Lock and door control --------------------------------------------------
+    _inv("P06", "main door locked when nobody home", _LOCK,
+         "The main door must be locked when no one is at home.",
+         _p_main_door_locked_when_away, ("main_door_lock", "presence_sensors"),
+         "[] (nobody_home -> door_locked)"),
+    _inv("P07", "main door locked at night", _LOCK,
+         "The main door must be locked when the home is in night mode "
+         "(people are sleeping).",
+         _p_main_door_locked_at_night, ("main_door_lock",),
+         "[] (mode == Night -> door_locked)"),
+    _inv("P08", "main door locked in Away mode", _LOCK,
+         "The main door must be locked whenever the location mode is Away.",
+         _p_main_door_locked_in_away_mode, ("main_door_lock",),
+         "[] (mode == Away -> door_locked)"),
+    _inv("P09", "garage door closed when nobody home", _LOCK,
+         "The garage door must be closed when no one is at home.",
+         _p_garage_closed_when_away, ("garage_door", "presence_sensors"),
+         "[] (nobody_home -> garage_closed)"),
+    _inv("P10", "garage door closed at night", _LOCK,
+         "The garage door must be closed during night mode.",
+         _p_garage_closed_at_night, ("garage_door",),
+         "[] (mode == Night -> garage_closed)"),
+    _inv("P11", "all locks locked in Away mode", _LOCK,
+         "Every lock must be locked whenever the location mode is Away.",
+         _p_all_locks_locked_in_away_mode, ("locks",),
+         "[] (mode == Away -> all_locked)"),
+    _inv("P12", "main door locked while sleeping", _LOCK,
+         "The main door must be locked while residents are asleep.",
+         _p_door_locked_when_sleeping, ("main_door_lock",),
+         "[] (sleeping -> door_locked)"),
+    _inv("P13", "entry door control not open when nobody home or at night",
+         _LOCK,
+         "A controlled entry door must not stand open when no one is home or while the home sleeps (night mode).",
+         _p_entry_door_not_open_when_away,
+         ("entry_door_control", "presence_sensors"),
+         "[] (nobody_home -> entry_door != open)"),
+
+    # Location mode -----------------------------------------------------------
+    _inv("P14", "mode Away when nobody home", _MODE,
+         "The location mode must change to Away when no one is at home.",
+         _p_mode_away_when_nobody_home, ("presence_sensors", "@mode_app"),
+         "[] (nobody_home -> mode == Away)"),
+    _inv("P15", "mode not Away when somebody home", _MODE,
+         "The location mode must not be Away while someone is at home.",
+         _p_mode_not_away_when_somebody_home, ("presence_sensors", "@mode_app"),
+         "[] (somebody_home -> mode != Away)"),
+    _inv("P16", "mode Home when somebody home (day)", _MODE,
+         "Outside night mode, the location mode must be Home while someone "
+         "is at home.",
+         _p_mode_home_when_arriving, ("presence_sensors", "@mode_app"),
+         "[] ((somebody_home && mode != Night) -> mode == Home)"),
+
+    # Security and alarming ---------------------------------------------------
+    _inv("P17", "alarm sounds on smoke", _SECURITY,
+         "An alarm must strobe/siren when smoke is detected.",
+         _p_alarm_on_smoke, ("smoke_detectors", "alarm"),
+         "[] (smoke -> alarm_sounding)",
+         triggers=("smoke",)),
+    _inv("P18", "alarm sounds on carbon monoxide", _SECURITY,
+         "An alarm must strobe/siren when carbon monoxide is detected.",
+         _p_alarm_on_co, ("co_detectors", "alarm"),
+         "[] (co -> alarm_sounding)",
+         triggers=("carbonMonoxide",)),
+    _inv("P19", "alarm quiet without cause", _SECURITY,
+         "The alarm must not sound when there is no smoke, CO, leak or "
+         "intrusion.",
+         _p_alarm_quiet_without_cause, ("alarm",),
+         "[] (alarm_sounding -> cause)"),
+    _inv("P20", "water valve open during smoke", _SECURITY,
+         "A water valve (sprinkler supply) must not be shut off while smoke "
+         "is detected.",
+         _p_valve_open_when_smoke, ("smoke_detectors", "water_valve"),
+         "[] (smoke -> valve_open)",
+         triggers=("smoke",)),
+    _inv("P21", "alarm on entry contact breach in Away", _SECURITY,
+         "Opening an entry contact in Away mode must sound the alarm.",
+         _p_alarm_on_intrusion_contact, ("entry_contacts", "alarm"),
+         "[] ((mode == Away && contact_open) -> alarm_sounding)",
+         triggers=("contact",)),
+    _inv("P22", "alarm on motion in Away", _SECURITY,
+         "Motion in Away mode must sound the alarm.",
+         _p_alarm_on_intrusion_motion, ("motion_sensors", "alarm"),
+         "[] ((mode == Away && motion) -> alarm_sounding)",
+         triggers=("motion",)),
+    _inv("P23", "siren not silenced during smoke", _SECURITY,
+         "A dedicated siren must keep sounding while smoke is detected.",
+         _p_alarm_not_silenced_during_smoke, ("smoke_detectors", "siren"),
+         "[] (smoke -> siren_sounding)",
+         triggers=("smoke",)),
+    _inv("P24", "fire escape: door unlocked during smoke", _SECURITY,
+         "The main door must be unlocked while smoke is detected (escape "
+         "route).",
+         _p_door_unlocked_when_smoke, ("smoke_detectors", "main_door_lock"),
+         "[] (smoke -> door_unlocked)",
+         triggers=("smoke",)),
+    _inv("P25", "heater off during smoke", _SECURITY,
+         "A heater must be switched off while smoke is detected.",
+         _p_heater_off_when_smoke, ("smoke_detectors", "heater_outlet"),
+         "[] (smoke -> heater_off)",
+         triggers=("smoke",)),
+    _inv("P26", "ventilation on during CO", _SECURITY,
+         "A ventilation fan must run while carbon monoxide is detected.",
+         _p_fan_on_when_co, ("co_detectors", "fan_outlet"),
+         "[] (co -> fan_on)",
+         triggers=("carbonMonoxide",)),
+    _inv("P27", "camera captures on intrusion", _SECURITY,
+         "A camera must capture an image upon intrusion.",
+         _p_camera_capture_on_intrusion, ("camera",),
+         "[] (intrusion -> image_captured)",
+         triggers=("motion", "contact")),
+    _inv("P28", "garage closed in Away mode", _SECURITY,
+         "The garage door must be closed whenever the mode is Away.",
+         _p_garage_closed_in_away_mode, ("garage_door",),
+         "[] (mode == Away -> garage_closed)"),
+    _inv("P29", "window shades closed in Away mode", _SECURITY,
+         "Window shades must be closed whenever the mode is Away.",
+         _p_shades_closed_when_away, ("window_shades",),
+         "[] (mode == Away -> shades_closed)"),
+    _inv("P30", "speaker quiet when nobody home", _SECURITY,
+         "A media player must not be playing when no one is at home.",
+         _p_speaker_quiet_when_away, ("speaker", "presence_sensors"),
+         "[] (nobody_home -> !playing)"),
+
+    # Water and sprinkler -----------------------------------------------------
+    _inv("P31", "soil moisture within range", _WATER,
+         "Soil moisture (humidity) must stay within the configured range.",
+         _p_humidity_in_range, ("humidity_sensors",),
+         "[] (HUM_LOW <= humidity <= HUM_HIGH)",
+         triggers=("humidity",)),
+    _inv("P32", "sprinkler off while wet", _WATER,
+         "The sprinkler must not run while the rain/moisture sensor is wet.",
+         _p_sprinkler_off_when_wet, ("water_sensors", "sprinkler_outlet"),
+         "[] (wet -> sprinkler_off)"),
+    _inv("P33", "supply valve closed on leak", _WATER,
+         "The water supply valve must be closed when a leak is detected.",
+         _p_valve_closed_on_leak, ("water_sensors", "leak_shutoff_valve"),
+         "[] (leak -> valve_closed)",
+         triggers=("water",)),
+
+    # Others --------------------------------------------------------------------
+    _inv("P34", "designated switches off when nobody home", _OTHERS,
+         "Designated devices must not be on when no one is at home.",
+         _p_switches_off_when_away, ("away_off_switches", "presence_sensors"),
+         "[] (nobody_home -> switches_off)"),
+    _inv("P35", "night light on with motion at night", _OTHERS,
+         "The night light must turn on when motion is sensed at night.",
+         _p_night_light_on_motion, ("motion_sensors", "night_light"),
+         "[] ((mode == Night && motion) -> light_on)",
+         triggers=("motion",)),
+    _inv("P36", "coffee machine off at night", _OTHERS,
+         "The coffee machine outlet must be off during night mode.",
+         _p_coffee_off_at_night, ("coffee_outlet",),
+         "[] (mode == Night -> coffee_off)"),
+    _inv("P37", "space heater off when nobody home", _OTHERS,
+         "A space heater must be off when no one is at home.",
+         _p_space_heater_off_when_away,
+         ("space_heater_outlet", "presence_sensors"),
+         "[] (nobody_home -> space_heater_off)"),
+    _inv("P38", "bulbs off in Away mode", _OTHERS,
+         "Designated bulbs must be off whenever the mode is Away.",
+         _p_bulbs_off_in_away_mode, ("away_off_bulbs",),
+         "[] (mode == Away -> bulbs_off)"),
+]

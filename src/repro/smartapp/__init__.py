@@ -1,0 +1,32 @@
+"""SmartThings smart-app layer.
+
+Turns a parsed Groovy program into a :class:`~repro.smartapp.app.SmartApp`:
+metadata from ``definition(...)``, configuration inputs from
+``preferences { input ... }``, and statically-extracted subscriptions and
+schedules (the paper's SmartThings Handler, §6, plus the input-event
+extraction of §5).
+"""
+
+from repro.smartapp.app import AppInput, SmartApp, Subscription, load_app, load_app_file
+from repro.smartapp.discovery import (
+    DiscoveryReport,
+    reject_discovery_apps,
+    scan_app,
+    scan_registry,
+)
+from repro.smartapp.dsl import extract_definition, extract_inputs, extract_subscriptions
+
+__all__ = [
+    "AppInput",
+    "SmartApp",
+    "Subscription",
+    "load_app",
+    "load_app_file",
+    "extract_definition",
+    "extract_inputs",
+    "extract_subscriptions",
+    "DiscoveryReport",
+    "reject_discovery_apps",
+    "scan_app",
+    "scan_registry",
+]

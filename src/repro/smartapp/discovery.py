@@ -1,0 +1,118 @@
+"""Detection of dynamic device discovery (§11, limitation 2).
+
+"We require smart apps to explicitly subscribe to specific devices they
+want to control and cannot handle smart apps that dynamically discover
+devices and interact with them.  Such apps are very dangerous since they
+can control any device without permissions from users."  The paper's
+four ContexIoT apps it cannot analyze (Midnight Camera, Auto Camera,
+Auto Camera 2, Alarm Manager) are all of this kind.
+
+IotSan cannot *model-check* such apps, but it can *detect* them
+statically and refuse/flag them instead of silently mis-analyzing - that
+is what this module does.  :func:`scan_app` reports every use of a
+device-discovery API and every subscription/command whose target is not
+one of the app's declared inputs.
+"""
+
+from repro.groovy import ast
+
+#: platform APIs that enumerate devices behind the user's back
+DISCOVERY_APIS = frozenset([
+    "getChildDevices",
+    "getAllChildDevices",
+    "getChildDevice",
+    "addChildDevice",
+    "getDevices",
+    "findAllDevicesByCapability",
+])
+
+#: predefined objects whose traversal reaches all hub devices
+DISCOVERY_PROPERTIES = frozenset([
+    ("location", "devices"),
+    ("location", "hubs"),
+    ("settings", "values"),
+])
+
+
+class DiscoveryFinding:
+    """One dynamic-discovery indicator found in an app."""
+
+    __slots__ = ("kind", "detail", "line")
+
+    def __init__(self, kind, detail, line=0):
+        self.kind = kind  # "api" | "property" | "unbound-target"
+        self.detail = detail
+        self.line = line
+
+    def describe(self):
+        return "%s: %s (line %d)" % (self.kind, self.detail, self.line)
+
+    def __repr__(self):
+        return "DiscoveryFinding(%s, %r)" % (self.kind, self.detail)
+
+
+class DiscoveryReport:
+    """All findings for one app."""
+
+    def __init__(self, app, findings):
+        self.app = app
+        self.findings = list(findings)
+
+    @property
+    def uses_discovery(self):
+        return bool(self.findings)
+
+    def describe(self):
+        if not self.findings:
+            return "%s: no dynamic device discovery" % self.app.name
+        lines = ["%s: DYNAMIC DEVICE DISCOVERY detected (%d finding(s)); "
+                 "the model checker cannot bound this app's device access"
+                 % (self.app.name, len(self.findings))]
+        for finding in self.findings:
+            lines.append("  - " + finding.describe())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "DiscoveryReport(%r, findings=%d)" % (self.app.name,
+                                                     len(self.findings))
+
+
+def scan_app(app):
+    """Statically scan one :class:`SmartApp` for dynamic device discovery."""
+    findings = []
+    for node in app.program.walk():
+        if isinstance(node, ast.Call) and node.name in DISCOVERY_APIS:
+            findings.append(DiscoveryFinding(
+                "api", "%s()" % node.name, node.line))
+        elif isinstance(node, ast.MethodCall) and node.name in DISCOVERY_APIS:
+            findings.append(DiscoveryFinding(
+                "api", ".%s()" % node.name, node.line))
+        elif isinstance(node, ast.Property):
+            base = node.obj
+            if (isinstance(base, ast.Name)
+                    and (base.id, node.name) in DISCOVERY_PROPERTIES):
+                findings.append(DiscoveryFinding(
+                    "property", "%s.%s" % (base.id, node.name), node.line))
+    return DiscoveryReport(app, findings)
+
+
+def scan_registry(registry):
+    """Scan every app; returns name -> DiscoveryReport for flagged apps."""
+    flagged = {}
+    for name, app in registry.items():
+        report = scan_app(app)
+        if report.uses_discovery:
+            flagged[name] = report
+    return flagged
+
+
+def reject_discovery_apps(registry):
+    """Split a registry into (analyzable, flagged) parts.
+
+    The Model Generator should only see the analyzable part; the flagged
+    part is reported to the user as unverifiable-and-dangerous.
+    """
+    flagged = scan_registry(registry)
+    analyzable = {name: app for name, app in registry.items()
+                  if name not in flagged}
+    return analyzable, flagged

@@ -1,0 +1,205 @@
+"""Static extraction of the SmartThings DSL from parsed app source.
+
+The paper's *SmartThings Handler* "parses these new syntaxes and converts
+them into vanilla Groovy code using specifications based on the domain
+knowledge of SmartThings.  For instance, each ``input`` function defines a
+global variable (or a class field) of the app.  Therefore, we traverse the
+Groovy's AST of the app and visit all input functions to extract all global
+variables of the app." (§6)
+
+This module is that traversal: it extracts
+
+* ``definition(...)`` metadata,
+* every ``input`` declaration (each becomes an app global),
+* every ``subscribe``/``schedule``/``runIn`` registration (§5's input-event
+  extraction needs them).
+"""
+
+from repro.groovy import ast
+
+#: input types that bind devices (versus plain configuration values)
+DEVICE_INPUT_PREFIX = "capability."
+
+#: scheduling APIs and the positional index of their handler argument
+_SCHEDULE_APIS = {
+    "runIn": 1,
+    "runOnce": 1,
+    "schedule": 1,
+    "runEvery1Minute": 0,
+    "runEvery5Minutes": 0,
+    "runEvery10Minutes": 0,
+    "runEvery15Minutes": 0,
+    "runEvery30Minutes": 0,
+    "runEvery1Hour": 0,
+    "runEvery3Hours": 0,
+    "runDaily": 1,
+}
+
+
+def _literal_value(node):
+    """The Python value of a literal-ish AST node, else ``None``."""
+    if isinstance(node, ast.Literal):
+        return node.value
+    if isinstance(node, ast.ListLit):
+        return [_literal_value(item) for item in node.items]
+    if isinstance(node, ast.MapLit):
+        return {entry.key: _literal_value(entry.value) for entry in node.entries
+                if isinstance(entry.key, str)}
+    if isinstance(node, ast.GString):
+        # best effort: concatenate the literal fragments
+        return "".join(part for part in node.parts if isinstance(part, str))
+    if isinstance(node, ast.Unary) and node.op == "-":
+        inner = _literal_value(node.operand)
+        if isinstance(inner, (int, float)):
+            return -inner
+    return None
+
+
+def _named_args(call):
+    return {entry.key: _literal_value(entry.value) for entry in call.named
+            if isinstance(entry.key, str)}
+
+
+def extract_definition(program):
+    """Metadata from the top-level ``definition(...)`` call."""
+    for call in program.top_level_calls:
+        if call.name == "definition":
+            return _named_args(call)
+    return {}
+
+
+def _iter_calls(program, name):
+    """All Call nodes with the given callee name, anywhere in the program."""
+    for node in program.walk():
+        if isinstance(node, ast.Call) and node.name == name:
+            yield node
+
+
+def _section_texts(program):
+    """input Call node id -> the text of its enclosing ``section(...)``.
+
+    The section text often carries the intent the input name omits
+    (Figure 1: "Select the heater or air conditioner outlet(s)...").
+    """
+    texts = {}
+    for section in _iter_calls(program, "section"):
+        label = _literal_value(section.args[0]) if section.args else None
+        if not isinstance(label, str) or section.closure is None:
+            continue
+        for node in section.closure.walk():
+            if isinstance(node, ast.Call) and node.name == "input":
+                texts[id(node)] = label
+    return texts
+
+
+def extract_inputs(program):
+    """All ``input`` declarations, in source order.
+
+    Handles both the positional form ``input "name", "type", title: ...`` and
+    the fully-named form ``input(name: "x", type: "enum", ...)``.
+    Returns a list of dicts ready for :class:`repro.smartapp.app.AppInput`.
+    """
+    sections = _section_texts(program)
+    inputs = []
+    for call in _iter_calls(program, "input"):
+        named = _named_args(call)
+        name = None
+        type_name = None
+        if call.args:
+            name = _literal_value(call.args[0])
+            if len(call.args) > 1:
+                type_name = _literal_value(call.args[1])
+        name = name or named.get("name")
+        type_name = type_name or named.get("type")
+        if not name or not isinstance(name, str):
+            continue
+        inputs.append({
+            "name": name,
+            "type": type_name or "text",
+            "title": named.get("title") or name,
+            "required": bool(named.get("required", True)),
+            "multiple": bool(named.get("multiple", False)),
+            "options": named.get("options"),
+            "default": named.get("defaultValue"),
+            "section": sections.get(id(call)),
+            "line": call.line,
+        })
+    return inputs
+
+
+def _handler_name(node):
+    """Resolve a subscribe/schedule handler argument to a method name."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Literal) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def extract_subscriptions(program):
+    """All ``subscribe(...)`` registrations as raw tuples.
+
+    Each element is ``(source, attribute, value, handler, line)`` where
+    ``source`` is the input name, ``"location"`` or ``"app"``; ``attribute``
+    may carry a ``.value`` filter (``"switch.on"`` splits into attribute
+    ``switch`` and value ``on``).
+    """
+    subs = []
+    for call in _iter_calls(program, "subscribe"):
+        if not call.args:
+            continue
+        target = call.args[0]
+        source = None
+        if isinstance(target, ast.Name):
+            source = target.id
+        elif isinstance(target, ast.Literal) and isinstance(target.value, str):
+            source = target.value
+        if source is None:
+            continue
+        attribute, value = None, None
+        handler = None
+        if len(call.args) >= 3:
+            spec = _literal_value(call.args[1])
+            if isinstance(spec, str):
+                attribute, _, value = spec.partition(".")
+                value = value or None
+            handler = _handler_name(call.args[2])
+        elif len(call.args) == 2:
+            # subscribe(app, appTouch) / subscribe(location, modeChangeHandler)
+            second = call.args[1]
+            spec = _literal_value(second)
+            if isinstance(spec, str) and len(call.args) == 2 and source == "app":
+                attribute, handler = "app", spec
+            else:
+                handler = _handler_name(second)
+        if source == "app":
+            attribute = "app"
+        elif source == "location" and not attribute:
+            attribute = "mode"
+        if handler:
+            subs.append((source, attribute, value, handler, call.line))
+    # Apps typically register the same subscriptions from both installed()
+    # and updated(); only one of those runs at a time, so a registration
+    # appearing in both must count once.
+    unique = []
+    seen = set()
+    for sub in subs:
+        key = sub[:4]
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(sub)
+    return unique
+
+
+def extract_schedules(program):
+    """All timer registrations ``(api, handler, line)``."""
+    schedules = []
+    for node in program.walk():
+        if isinstance(node, ast.Call) and node.name in _SCHEDULE_APIS:
+            index = _SCHEDULE_APIS[node.name]
+            if len(node.args) > index:
+                handler = _handler_name(node.args[index])
+                if handler:
+                    schedules.append((node.name, handler, node.line))
+    return schedules

@@ -1,0 +1,364 @@
+"""Groovy built-in utilities, as a runtime library.
+
+The paper manually analyzed each Groovy collection/string utility and
+translated it into Promela-compatible code (§4: "Built-in Utilities ... We
+manually analyzed the behavior of each utility and translated them into
+corresponding code"; Figure 6 shows list ``+`` becoming array loops).  Our
+backend interprets the IR directly, so the same knowledge lives here as a
+dispatch table from ``(receiver kind, method name)`` to behaviour.
+
+``call_builtin`` returns ``(True, result)`` when it handled the call and
+``(False, None)`` otherwise (the interpreter then tries device commands,
+app methods, and platform APIs).
+"""
+
+from repro.groovy.errors import GroovyError
+
+
+class BuiltinError(GroovyError):
+    """Raised when a built-in is called with unusable arguments."""
+
+
+def is_groovy_truthy(value):
+    """Groovy truth: null, zero, empty strings/collections are false."""
+    if value is None or value is False:
+        return False
+    if value is True:
+        return True
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, (str, list, tuple, dict)):
+        return len(value) > 0
+    return True
+
+
+def _invoke(closure_invoker, closure, args):
+    if closure is None:
+        raise BuiltinError("closure argument required")
+    return closure_invoker(closure, list(args))
+
+
+def _as_number(value, default=None):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                pass
+    if default is not None:
+        return default
+    raise BuiltinError("cannot coerce %r to a number" % (value,))
+
+
+# ---------------------------------------------------------------------------
+# list / collection utilities
+# ---------------------------------------------------------------------------
+
+
+def _list_each(items, args, closure, invoke):
+    for item in items:
+        invoke(closure, [item])
+    return items
+
+
+def _list_each_with_index(items, args, closure, invoke):
+    for index, item in enumerate(items):
+        invoke(closure, [item, index])
+    return items
+
+
+def _list_find(items, args, closure, invoke):
+    for item in items:
+        if is_groovy_truthy(invoke(closure, [item])):
+            return item
+    return None
+
+
+def _list_find_all(items, args, closure, invoke):
+    return [item for item in items if is_groovy_truthy(invoke(closure, [item]))]
+
+
+def _list_collect(items, args, closure, invoke):
+    return [invoke(closure, [item]) for item in items]
+
+
+def _list_any(items, args, closure, invoke):
+    if closure is None:
+        return any(is_groovy_truthy(item) for item in items)
+    return any(is_groovy_truthy(invoke(closure, [item])) for item in items)
+
+
+def _list_every(items, args, closure, invoke):
+    if closure is None:
+        return all(is_groovy_truthy(item) for item in items)
+    return all(is_groovy_truthy(invoke(closure, [item])) for item in items)
+
+
+def _list_count(items, args, closure, invoke):
+    if closure is not None:
+        return sum(1 for item in items if is_groovy_truthy(invoke(closure, [item])))
+    if args:
+        return sum(1 for item in items if item == args[0])
+    return len(items)
+
+
+def _list_sum(items, args, closure, invoke):
+    if closure is not None:
+        values = [invoke(closure, [item]) for item in items]
+    else:
+        values = items
+    total = 0
+    for value in values:
+        total = total + _as_number(value, 0)
+    return total
+
+
+def _list_sort(items, args, closure, invoke):
+    if closure is not None:
+        return sorted(items, key=lambda item: invoke(closure, [item]))
+    return sorted(items, key=_sort_key)
+
+
+def _sort_key(value):
+    # heterogenous-safe ordering: group by type name first
+    return (type(value).__name__, value if isinstance(value, (int, float, str)) else str(value))
+
+
+def _list_join(items, args, closure, invoke):
+    sep = args[0] if args else ""
+    return str(sep).join(to_groovy_string(item) for item in items)
+
+
+def _list_unique(items, args, closure, invoke):
+    seen = []
+    for item in items:
+        if item not in seen:
+            seen.append(item)
+    return seen
+
+
+def _list_reverse(items, args, closure, invoke):
+    return list(reversed(items))
+
+
+def _list_min(items, args, closure, invoke):
+    if not items:
+        return None
+    if closure is not None:
+        return min(items, key=lambda item: invoke(closure, [item]))
+    return min(items, key=_sort_key)
+
+
+def _list_max(items, args, closure, invoke):
+    if not items:
+        return None
+    if closure is not None:
+        return max(items, key=lambda item: invoke(closure, [item]))
+    return max(items, key=_sort_key)
+
+
+_LIST_METHODS = {
+    "each": _list_each,
+    "eachWithIndex": _list_each_with_index,
+    "find": _list_find,
+    "findAll": _list_find_all,
+    "collect": _list_collect,
+    "any": _list_any,
+    "every": _list_every,
+    "count": _list_count,
+    "sum": _list_sum,
+    "sort": _list_sort,
+    "join": _list_join,
+    "unique": _list_unique,
+    "reverse": _list_reverse,
+    "min": _list_min,
+    "max": _list_max,
+    "size": lambda items, args, closure, invoke: len(items),
+    "isEmpty": lambda items, args, closure, invoke: len(items) == 0,
+    "contains": lambda items, args, closure, invoke: args[0] in items,
+    "first": lambda items, args, closure, invoke: items[0] if items else None,
+    "last": lambda items, args, closure, invoke: items[-1] if items else None,
+    "indexOf": lambda items, args, closure, invoke: items.index(args[0]) if args[0] in items else -1,
+    "plus": lambda items, args, closure, invoke: list(items) + list(args[0]),
+    "minus": lambda items, args, closure, invoke: [i for i in items if i not in args[0]],
+    "add": lambda items, args, closure, invoke: items.append(args[0]) or True,
+    "push": lambda items, args, closure, invoke: items.append(args[0]) or True,
+    "remove": lambda items, args, closure, invoke: items.pop(args[0]) if isinstance(args[0], int) else None,
+    "get": lambda items, args, closure, invoke: items[args[0]] if 0 <= args[0] < len(items) else None,
+    "toString": lambda items, args, closure, invoke: to_groovy_string(items),
+    "flatten": lambda items, args, closure, invoke: _flatten(items),
+    "intersect": lambda items, args, closure, invoke: [
+        i for i in items if i in args[0]],
+    "disjoint": lambda items, args, closure, invoke: not any(
+        i in args[0] for i in items),
+    "collectMany": lambda items, args, closure, invoke: _flatten(
+        [invoke(closure, [i]) for i in items]),
+    "take": lambda items, args, closure, invoke: list(items[:args[0]]),
+    "drop": lambda items, args, closure, invoke: list(items[args[0]:]),
+}
+
+
+def _flatten(items):
+    out = []
+    for item in items:
+        if isinstance(item, (list, tuple)):
+            out.extend(_flatten(item))
+        else:
+            out.append(item)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# map utilities
+# ---------------------------------------------------------------------------
+
+
+def _map_each(mapping, args, closure, invoke):
+    for key, value in list(mapping.items()):
+        # Groovy passes an entry with .key/.value, or two params
+        try:
+            invoke(closure, [key, value])
+        except TypeError:
+            invoke(closure, [MapEntryValue(key, value)])
+    return mapping
+
+
+class MapEntryValue:
+    """A Groovy ``Map.Entry`` stand-in with ``key``/``value`` properties."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+
+
+_MAP_METHODS = {
+    "each": _map_each,
+    "get": lambda m, args, closure, invoke: m.get(args[0], args[1] if len(args) > 1 else None),
+    "put": lambda m, args, closure, invoke: m.__setitem__(args[0], args[1]),
+    "containsKey": lambda m, args, closure, invoke: args[0] in m,
+    "containsValue": lambda m, args, closure, invoke: args[0] in m.values(),
+    "keySet": lambda m, args, closure, invoke: list(m.keys()),
+    "values": lambda m, args, closure, invoke: list(m.values()),
+    "size": lambda m, args, closure, invoke: len(m),
+    "isEmpty": lambda m, args, closure, invoke: len(m) == 0,
+    "remove": lambda m, args, closure, invoke: m.pop(args[0], None),
+    "clear": lambda m, args, closure, invoke: m.clear(),
+    "toString": lambda m, args, closure, invoke: to_groovy_string(m),
+}
+
+
+# ---------------------------------------------------------------------------
+# string utilities
+# ---------------------------------------------------------------------------
+
+
+def _string_to_integer(value, args, closure, invoke):
+    return int(float(value))
+
+
+_STRING_METHODS = {
+    "toLowerCase": lambda s, args, closure, invoke: s.lower(),
+    "toUpperCase": lambda s, args, closure, invoke: s.upper(),
+    "trim": lambda s, args, closure, invoke: s.strip(),
+    "contains": lambda s, args, closure, invoke: str(args[0]) in s,
+    "startsWith": lambda s, args, closure, invoke: s.startswith(str(args[0])),
+    "endsWith": lambda s, args, closure, invoke: s.endswith(str(args[0])),
+    "equalsIgnoreCase": lambda s, args, closure, invoke: s.lower() == str(args[0]).lower(),
+    "equals": lambda s, args, closure, invoke: s == args[0],
+    "split": lambda s, args, closure, invoke: s.split(str(args[0])) if args else s.split(),
+    "tokenize": lambda s, args, closure, invoke: s.split(str(args[0])) if args else s.split(),
+    "replace": lambda s, args, closure, invoke: s.replace(str(args[0]), str(args[1])),
+    "replaceAll": lambda s, args, closure, invoke: s.replace(str(args[0]), str(args[1])),
+    "substring": lambda s, args, closure, invoke: s[args[0]:args[1]] if len(args) > 1 else s[args[0]:],
+    "indexOf": lambda s, args, closure, invoke: s.find(str(args[0])),
+    "length": lambda s, args, closure, invoke: len(s),
+    "size": lambda s, args, closure, invoke: len(s),
+    "isEmpty": lambda s, args, closure, invoke: len(s) == 0,
+    "toInteger": _string_to_integer,
+    "toLong": _string_to_integer,
+    "toFloat": lambda s, args, closure, invoke: float(s),
+    "toDouble": lambda s, args, closure, invoke: float(s),
+    "toBigDecimal": lambda s, args, closure, invoke: float(s),
+    "isNumber": lambda s, args, closure, invoke: _is_number(s),
+    "toString": lambda s, args, closure, invoke: s,
+    "capitalize": lambda s, args, closure, invoke: s.capitalize(),
+    "concat": lambda s, args, closure, invoke: s + to_groovy_string(args[0]),
+    "charAt": lambda s, args, closure, invoke: s[args[0]] if 0 <= args[0] < len(s) else None,
+}
+
+
+def _is_number(text):
+    try:
+        float(text)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+# ---------------------------------------------------------------------------
+# number utilities
+# ---------------------------------------------------------------------------
+
+_NUMBER_METHODS = {
+    "toInteger": lambda n, args, closure, invoke: int(n),
+    "toLong": lambda n, args, closure, invoke: int(n),
+    "toFloat": lambda n, args, closure, invoke: float(n),
+    "toDouble": lambda n, args, closure, invoke: float(n),
+    "intValue": lambda n, args, closure, invoke: int(n),
+    "round": lambda n, args, closure, invoke: round(n),
+    "abs": lambda n, args, closure, invoke: abs(n),
+    "toString": lambda n, args, closure, invoke: to_groovy_string(n),
+    "max": lambda n, args, closure, invoke: max(n, _as_number(args[0])),
+    "min": lambda n, args, closure, invoke: min(n, _as_number(args[0])),
+    "times": lambda n, args, closure, invoke: [invoke(closure, [i]) for i in range(int(n))] and None,
+}
+
+
+def to_groovy_string(value):
+    """Groovy's ``toString`` rendering for interpolation and ``+``."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float) and value.is_integer():
+        return "%.1f" % value
+    if isinstance(value, list):
+        return "[" + ", ".join(to_groovy_string(v) for v in value) + "]"
+    if isinstance(value, dict):
+        if not value:
+            return "[:]"
+        return "[" + ", ".join("%s:%s" % (k, to_groovy_string(v))
+                               for k, v in value.items()) + "]"
+    return str(value)
+
+
+def call_builtin(receiver, name, args, closure, closure_invoker):
+    """Dispatch a built-in method call.
+
+    Returns ``(handled, result)``.  ``closure_invoker(closure, args)`` is
+    supplied by the interpreter to run closure bodies in the right scope.
+    """
+    table = None
+    if isinstance(receiver, list):
+        table = _LIST_METHODS
+    elif isinstance(receiver, dict):
+        table = _MAP_METHODS
+    elif isinstance(receiver, str):
+        table = _STRING_METHODS
+    elif isinstance(receiver, bool):
+        table = None
+    elif isinstance(receiver, (int, float)):
+        table = _NUMBER_METHODS
+    if table is not None and name in table:
+        return True, table[name](receiver, args, closure, closure_invoker)
+    return False, None

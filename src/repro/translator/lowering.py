@@ -1,0 +1,204 @@
+"""Lowering: desugar the parsed AST into the checkable IR.
+
+The IR is a restricted Groovy AST.  This pass removes the constructs the
+interpreter core does not want to deal with:
+
+* C-style ``for`` loops become ``while`` loops;
+* prefix/postfix ``++``/``--`` used as statements become assignments;
+* compound assignments (``+=`` etc.) become plain assignments over a binary
+  expression (mirroring how the paper's G2J expands them for Bandera);
+* ``if``/``while``/closure bodies are guaranteed to be blocks.
+
+The pass is purely structural: it returns a *new* tree and never mutates the
+input (apps are parsed once and lowered once, then shared across every
+exploration branch).
+"""
+
+from repro.groovy import ast
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+
+
+class LoweringPass:
+    """Bottom-up AST rewriter producing the IR tree."""
+
+    def lower_program(self, program):
+        statements = [self.lower_stmt(s) for s in program.statements]
+        out = ast.Program(statements, source_name=program.source_name)
+        out.line, out.col = program.line, program.col
+        return out
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_stmt(self, stmt):
+        method = getattr(self, "_lower_%s" % type(stmt).__name__, None)
+        if method is not None:
+            return method(stmt)
+        return stmt
+
+    def lower_block(self, block):
+        stmts = []
+        for stmt in block.stmts:
+            lowered = self.lower_stmt(stmt)
+            if isinstance(lowered, list):
+                stmts.extend(lowered)
+            else:
+                stmts.append(lowered)
+        out = ast.Block(stmts)
+        out.line, out.col = block.line, block.col
+        return out
+
+    def _lower_MethodDef(self, stmt):
+        out = ast.MethodDef(stmt.name, stmt.params, self.lower_block(stmt.body),
+                            modifiers=stmt.modifiers, return_type=stmt.return_type)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_Block(self, stmt):
+        return self.lower_block(stmt)
+
+    def _lower_If(self, stmt):
+        out = ast.If(self.lower_expr(stmt.cond), self.lower_block(stmt.then),
+                     self.lower_block(stmt.orelse) if stmt.orelse else None)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_While(self, stmt):
+        out = ast.While(self.lower_expr(stmt.cond), self.lower_block(stmt.body))
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_ForIn(self, stmt):
+        out = ast.ForIn(stmt.var, self.lower_expr(stmt.iterable),
+                        self.lower_block(stmt.body))
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_ForC(self, stmt):
+        """``for (init; cond; update) body`` -> ``{ init; while (cond) { body; update } }``."""
+        body_stmts = list(self.lower_block(stmt.body).stmts)
+        if stmt.update is not None:
+            body_stmts.append(self.lower_stmt(stmt.update))
+        cond = self.lower_expr(stmt.cond) if stmt.cond is not None else ast.Literal(True)
+        loop = ast.While(cond, ast.Block(body_stmts))
+        loop.line, loop.col = stmt.line, stmt.col
+        stmts = []
+        if stmt.init is not None:
+            stmts.append(self.lower_stmt(stmt.init))
+        stmts.append(loop)
+        out = ast.Block(stmts)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_ExprStmt(self, stmt):
+        value = stmt.value
+        if isinstance(value, (ast.Postfix, ast.Unary)) and value.op in ("++", "--"):
+            target = value.operand
+            if isinstance(target, (ast.Name, ast.Property, ast.Index)):
+                op = "+" if value.op == "++" else "-"
+                assign = ast.Assign(target, "=",
+                                    ast.Binary(op, target, ast.Literal(1)))
+                assign.line, assign.col = stmt.line, stmt.col
+                return assign
+        out = ast.ExprStmt(self.lower_expr(value))
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_Assign(self, stmt):
+        value = self.lower_expr(stmt.value)
+        if stmt.op in _COMPOUND_OPS:
+            value = ast.Binary(_COMPOUND_OPS[stmt.op], stmt.target, value)
+            value.line, value.col = stmt.line, stmt.col
+        out = ast.Assign(self.lower_expr(stmt.target), "=", value)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_VarDecl(self, stmt):
+        value = self.lower_expr(stmt.value) if stmt.value is not None else None
+        out = ast.VarDecl(stmt.name, value, type_name=stmt.type_name)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_Return(self, stmt):
+        value = self.lower_expr(stmt.value) if stmt.value is not None else None
+        out = ast.Return(value)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_Switch(self, stmt):
+        cases = []
+        for case in stmt.cases:
+            values = [self.lower_expr(v) for v in case.values]
+            cases.append(ast.SwitchCase(values, self.lower_block(case.body)))
+        out = ast.Switch(self.lower_expr(stmt.subject), cases)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_Try(self, stmt):
+        catches = [(t, n, self.lower_block(b)) for t, n, b in stmt.catches]
+        finally_body = self.lower_block(stmt.finally_body) if stmt.finally_body else None
+        out = ast.Try(self.lower_block(stmt.body), catches=catches,
+                      finally_body=finally_body)
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    def _lower_Throw(self, stmt):
+        out = ast.Throw(self.lower_expr(stmt.value))
+        out.line, out.col = stmt.line, stmt.col
+        return out
+
+    # -- expressions ---------------------------------------------------------
+
+    def lower_expr(self, expr):
+        if expr is None or not isinstance(expr, ast.Node):
+            return expr
+        method = getattr(self, "_lower_expr_%s" % type(expr).__name__, None)
+        if method is not None:
+            return method(expr)
+        return self._lower_generic_expr(expr)
+
+    def _lower_generic_expr(self, expr):
+        # Rebuild children in place-compatible fashion: expressions are
+        # immutable after lowering, so rewriting attribute-by-attribute on a
+        # shallow copy is safe.
+        import copy
+        clone = copy.copy(expr)
+        for field in expr._fields:
+            value = getattr(expr, field)
+            if isinstance(value, ast.Node):
+                setattr(clone, field, self.lower_expr(value))
+            elif isinstance(value, list):
+                setattr(clone, field, [
+                    self.lower_expr(v) if isinstance(v, ast.Node) else v
+                    for v in value
+                ])
+        return clone
+
+    def _lower_expr_Closure(self, expr):
+        out = ast.Closure(expr.params, self.lower_block(expr.body))
+        out.line, out.col = expr.line, expr.col
+        return out
+
+    def _lower_expr_Call(self, expr):
+        out = ast.Call(expr.name,
+                       [self.lower_expr(a) for a in expr.args],
+                       named=[ast.MapEntry(e.key, self.lower_expr(e.value))
+                              for e in expr.named],
+                       closure=self.lower_expr(expr.closure) if expr.closure else None)
+        out.line, out.col = expr.line, expr.col
+        return out
+
+    def _lower_expr_MethodCall(self, expr):
+        out = ast.MethodCall(self.lower_expr(expr.obj), expr.name,
+                             [self.lower_expr(a) for a in expr.args],
+                             named=[ast.MapEntry(e.key, self.lower_expr(e.value))
+                                    for e in expr.named],
+                             closure=self.lower_expr(expr.closure) if expr.closure else None,
+                             safe=expr.safe, spread=expr.spread)
+        out.line, out.col = expr.line, expr.col
+        return out
+
+
+def lower_program(program):
+    """Lower a parsed :class:`Program` into the checkable IR."""
+    return LoweringPass().lower_program(program)

@@ -1,0 +1,439 @@
+"""Static type inference for the Groovy subset (§6 "Type inference").
+
+Groovy is dynamically typed; the paper infers argument/return/local types by
+"recursively tracking the arguments and return values to their corresponding
+anchor points - declaration of variables with explicit types, assignment to
+constant values, assignment to return values of known APIs, and known
+objects and their properties ... the types of other variables are inferred
+by propagating the types from anchor points.  This is done iteratively until
+we find no more new variables whose type can be inferred."
+
+This module implements that fixpoint.  Types feed the Promela emitter
+(variable declarations) and are exercised directly by tests; the interpreter
+does not need them (it is dynamically typed like Groovy itself).
+"""
+
+from repro.groovy import ast
+
+
+class GType:
+    """A simple structural type: a tag plus an optional element type."""
+
+    __slots__ = ("tag", "elem")
+
+    def __init__(self, tag, elem=None):
+        self.tag = tag
+        self.elem = elem
+
+    def __eq__(self, other):
+        return (isinstance(other, GType) and other.tag == self.tag
+                and other.elem == self.elem)
+
+    def __hash__(self):
+        return hash((self.tag, self.elem))
+
+    def __repr__(self):
+        if self.elem is not None:
+            return "%s<%s>" % (self.tag, self.elem)
+        return self.tag
+
+
+UNKNOWN = GType("unknown")
+INT = GType("int")
+DECIMAL = GType("decimal")
+BOOLEAN = GType("boolean")
+STRING = GType("String")
+DATE = GType("Date")
+EVENT = GType("Event")
+OBJECT = GType("Object")
+MAP = GType("Map")
+VOID = GType("void")
+
+
+def list_of(elem):
+    return GType("List", elem)
+
+
+def device(capability_name):
+    """The device-handle type for a capability (STSwitch, STLock, ...)."""
+    camel = capability_name[:1].upper() + capability_name[1:]
+    return GType("ST" + camel)
+
+
+_NUMERIC = (INT, DECIMAL)
+
+#: return types of known platform APIs (§6 "assignment to return values of
+#: known APIs")
+KNOWN_API_TYPES = {
+    "now": INT,
+    "timeOfDayIsBetween": BOOLEAN,
+    "getSunriseAndSunset": MAP,
+    "currentValue": STRING,
+    "latestValue": STRING,
+}
+
+#: types of known event-object properties
+_EVENT_PROPERTY_TYPES = {
+    "value": STRING,
+    "stringValue": STRING,
+    "name": STRING,
+    "displayName": STRING,
+    "descriptionText": STRING,
+    "deviceId": STRING,
+    "doubleValue": DECIMAL,
+    "floatValue": DECIMAL,
+    "numericValue": DECIMAL,
+    "numberValue": DECIMAL,
+    "integerValue": INT,
+    "longValue": INT,
+    "date": DATE,
+    "isStateChange": BOOLEAN,
+}
+
+_DECL_TYPE_NAMES = {
+    "int": INT, "Integer": INT, "long": INT, "Long": INT, "short": INT,
+    "float": DECIMAL, "double": DECIMAL, "Float": DECIMAL, "Double": DECIMAL,
+    "BigDecimal": DECIMAL, "Number": DECIMAL,
+    "boolean": BOOLEAN, "Boolean": BOOLEAN,
+    "String": STRING, "GString": STRING,
+    "Date": DATE,
+    "Map": MAP, "HashMap": MAP,
+    "List": list_of(UNKNOWN), "ArrayList": list_of(UNKNOWN),
+    "Collection": list_of(UNKNOWN), "Set": list_of(UNKNOWN),
+    "def": UNKNOWN, "Object": OBJECT, "void": VOID,
+}
+
+
+def join(a, b):
+    """The least upper bound of two types in the (flat-ish) lattice."""
+    if a == UNKNOWN:
+        return b
+    if b == UNKNOWN or a == b:
+        return a
+    if a in _NUMERIC and b in _NUMERIC:
+        return DECIMAL
+    if a.tag == "List" and b.tag == "List":
+        return list_of(join(a.elem or UNKNOWN, b.elem or UNKNOWN))
+    return OBJECT
+
+
+def declared_type(name):
+    """Map a source-level type name to a :class:`GType`."""
+    return _DECL_TYPE_NAMES.get(name, OBJECT if name else UNKNOWN)
+
+
+class MethodTypes:
+    """Inference result for one method: params, locals, return type."""
+
+    def __init__(self, name):
+        self.name = name
+        self.params = {}
+        self.locals = {}
+        self.return_type = UNKNOWN
+
+    def lookup(self, name):
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.params:
+            return self.params[name]
+        return None
+
+
+class TypeInference:
+    """Fixpoint type inference over a smart app."""
+
+    def __init__(self, app):
+        self.app = app
+        self.globals = {}
+        self.methods = {}
+        self._changed = False
+        self._seed_globals()
+
+    # -- anchors -------------------------------------------------------------
+
+    def _seed_globals(self):
+        """Inputs are the app's globals; their types come from preferences."""
+        for app_input in self.app.inputs:
+            self.globals[app_input.name] = self._input_type(app_input)
+        self.globals["state"] = MAP
+        self.globals["settings"] = MAP
+        self.globals["location"] = GType("STLocation")
+        self.globals["app"] = GType("STApp")
+        self.globals["log"] = GType("STLog")
+
+    def _input_type(self, app_input):
+        if app_input.is_device:
+            base = device(app_input.capability)
+            return list_of(base) if app_input.multiple else base
+        mapping = {
+            "number": INT, "decimal": DECIMAL, "bool": BOOLEAN,
+            "boolean": BOOLEAN, "text": STRING, "string": STRING,
+            "enum": STRING, "time": STRING, "phone": STRING,
+            "contact": STRING, "mode": STRING, "hub": OBJECT,
+            "password": STRING, "email": STRING, "icon": STRING,
+        }
+        return mapping.get(app_input.type, STRING)
+
+    # -- the fixpoint ---------------------------------------------------------
+
+    def run(self, max_iterations=10):
+        """Iterate until no variable gains a more precise type."""
+        for method in self.app.program.methods:
+            self.methods[method.name] = MethodTypes(method.name)
+        for _ in range(max_iterations):
+            self._changed = False
+            for method in self.app.program.methods:
+                self._infer_method(method)
+            if not self._changed:
+                break
+        return self
+
+    def _record(self, table, name, gtype):
+        if gtype == UNKNOWN:
+            return
+        old = table.get(name, UNKNOWN)
+        new = join(old, gtype)
+        if new != old:
+            table[name] = new
+            self._changed = True
+
+    def _infer_method(self, method):
+        info = self.methods[method.name]
+        for param in method.params:
+            if param.type_name:
+                self._record(info.params, param.name, declared_type(param.type_name))
+            elif param.name not in info.params:
+                # Single-parameter handlers receive the event object.
+                if len(method.params) == 1 and method.name in self._handler_names():
+                    info.params[param.name] = EVENT
+                else:
+                    info.params.setdefault(param.name, UNKNOWN)
+        if method.return_type:
+            self._record_return(info, declared_type(method.return_type))
+        last_value_type = self._infer_block(method.body, info)
+        if last_value_type is not None:
+            self._record_return(info, last_value_type)
+
+    def _record_return(self, info, gtype):
+        if gtype == UNKNOWN:
+            return
+        new = join(info.return_type, gtype)
+        if new != info.return_type:
+            info.return_type = new
+            self._changed = True
+
+    def _handler_names(self):
+        return set(self.app.handler_names)
+
+    def _infer_block(self, block, info):
+        last = None
+        for stmt in block.stmts:
+            last = self._infer_stmt(stmt, info)
+        return last
+
+    def _infer_stmt(self, stmt, info):
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.type_name:
+                self._record(info.locals, stmt.name, declared_type(stmt.type_name))
+            if stmt.value is not None:
+                self._record(info.locals, stmt.name, self.infer_expr(stmt.value, info))
+            return None
+        if isinstance(stmt, ast.Assign):
+            value_type = self.infer_expr(stmt.value, info)
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                if name in info.locals or name in info.params:
+                    self._record(info.locals, name, value_type)
+                elif name in self.globals:
+                    pass  # globals are anchored by preferences
+                else:
+                    self._record(info.locals, name, value_type)
+            return None
+        if isinstance(stmt, ast.ExprStmt):
+            return self.infer_expr(stmt.value, info)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._record_return(info, self.infer_expr(stmt.value, info))
+            return None
+        if isinstance(stmt, ast.If):
+            self.infer_expr(stmt.cond, info)
+            self._infer_block(stmt.then, info)
+            if stmt.orelse:
+                self._infer_block(stmt.orelse, info)
+            return None
+        if isinstance(stmt, (ast.While,)):
+            self.infer_expr(stmt.cond, info)
+            self._infer_block(stmt.body, info)
+            return None
+        if isinstance(stmt, ast.ForIn):
+            iter_type = self.infer_expr(stmt.iterable, info)
+            if iter_type.tag == "List" and iter_type.elem:
+                self._record(info.locals, stmt.var, iter_type.elem)
+            self._infer_block(stmt.body, info)
+            return None
+        if isinstance(stmt, ast.Switch):
+            self.infer_expr(stmt.subject, info)
+            for case in stmt.cases:
+                self._infer_block(case.body, info)
+            return None
+        if isinstance(stmt, ast.Block):
+            return self._infer_block(stmt, info)
+        if isinstance(stmt, ast.Try):
+            self._infer_block(stmt.body, info)
+            for _t, _n, block in stmt.catches:
+                self._infer_block(block, info)
+            if stmt.finally_body:
+                self._infer_block(stmt.finally_body, info)
+            return None
+        return None
+
+    # -- expressions -----------------------------------------------------------
+
+    def infer_expr(self, expr, info):
+        """Infer the type of an expression in a method context."""
+        if expr is None:
+            return UNKNOWN
+        if isinstance(expr, ast.Literal):
+            return self._literal_type(expr.value)
+        if isinstance(expr, ast.GString):
+            return STRING
+        if isinstance(expr, ast.ListLit):
+            elem = UNKNOWN
+            for item in expr.items:
+                elem = join(elem, self.infer_expr(item, info))
+            return list_of(elem)
+        if isinstance(expr, ast.MapLit):
+            return MAP
+        if isinstance(expr, ast.RangeLit):
+            return list_of(INT)
+        if isinstance(expr, ast.Name):
+            local = info.lookup(expr.id)
+            if local is not None:
+                return local
+            return self.globals.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.Property):
+            return self._property_type(expr, info)
+        if isinstance(expr, ast.Index):
+            obj_type = self.infer_expr(expr.obj, info)
+            if obj_type.tag == "List":
+                return obj_type.elem or UNKNOWN
+            return UNKNOWN
+        if isinstance(expr, ast.Binary):
+            return self._binary_type(expr, info)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                return BOOLEAN
+            return self.infer_expr(expr.operand, info)
+        if isinstance(expr, ast.Postfix):
+            return self.infer_expr(expr.operand, info)
+        if isinstance(expr, ast.Ternary):
+            return join(self.infer_expr(expr.then, info),
+                        self.infer_expr(expr.orelse, info))
+        if isinstance(expr, ast.Elvis):
+            return join(self.infer_expr(expr.value, info),
+                        self.infer_expr(expr.fallback, info))
+        if isinstance(expr, ast.Cast):
+            return declared_type(expr.type_name)
+        if isinstance(expr, ast.New):
+            return declared_type(expr.type_name)
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr, info)
+        if isinstance(expr, ast.MethodCall):
+            return self._method_call_type(expr, info)
+        if isinstance(expr, ast.Closure):
+            return GType("Closure")
+        return UNKNOWN
+
+    def _literal_type(self, value):
+        if isinstance(value, bool):
+            return BOOLEAN
+        if isinstance(value, int):
+            return INT
+        if isinstance(value, float):
+            return DECIMAL
+        if isinstance(value, str):
+            return STRING
+        return UNKNOWN
+
+    def _property_type(self, expr, info):
+        obj_type = self.infer_expr(expr.obj, info)
+        if obj_type == EVENT:
+            return _EVENT_PROPERTY_TYPES.get(expr.name, UNKNOWN)
+        if obj_type.tag.startswith("ST") and expr.name.startswith("current"):
+            return STRING
+        if obj_type.tag == "List":
+            if expr.name == "size":
+                return INT
+            return list_of(UNKNOWN)
+        if obj_type == GType("STLocation") and expr.name == "mode":
+            return STRING
+        return UNKNOWN
+
+    def _binary_type(self, expr, info):
+        op = expr.op
+        if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||", "in",
+                  "instanceof", "==~"):
+            return BOOLEAN
+        left = self.infer_expr(expr.left, info)
+        right = self.infer_expr(expr.right, info)
+        if op == "+":
+            if STRING in (left, right):
+                return STRING
+            if left.tag == "List":
+                return left
+            return join(left, right) if left in _NUMERIC or right in _NUMERIC else join(left, right)
+        if op in ("-", "*", "%"):
+            return join(left, right) if join(left, right) in _NUMERIC else DECIMAL
+        if op == "/":
+            return DECIMAL
+        if op == "<<" and left.tag == "List":
+            return left
+        return UNKNOWN
+
+    def _call_type(self, expr, info):
+        if expr.name in KNOWN_API_TYPES:
+            return KNOWN_API_TYPES[expr.name]
+        callee = self.methods.get(expr.name)
+        if callee is not None:
+            return callee.return_type
+        return UNKNOWN
+
+    def _method_call_type(self, expr, info):
+        obj_type = self.infer_expr(expr.obj, info)
+        if obj_type.tag == "List" or obj_type == STRING or obj_type == MAP:
+            return self._builtin_return_type(expr.name, obj_type)
+        if expr.name in KNOWN_API_TYPES:
+            return KNOWN_API_TYPES[expr.name]
+        if expr.name in ("toInteger", "toLong", "intValue"):
+            return INT
+        if expr.name in ("toFloat", "toDouble", "toBigDecimal"):
+            return DECIMAL
+        if expr.name == "toString":
+            return STRING
+        callee = self.methods.get(expr.name)
+        if callee is not None:
+            return callee.return_type
+        return UNKNOWN
+
+    def _builtin_return_type(self, name, obj_type):
+        elem = obj_type.elem or UNKNOWN if obj_type.tag == "List" else UNKNOWN
+        table = {
+            "size": INT, "count": INT, "indexOf": INT, "length": INT,
+            "isEmpty": BOOLEAN, "contains": BOOLEAN, "any": BOOLEAN,
+            "every": BOOLEAN, "equalsIgnoreCase": BOOLEAN,
+            "startsWith": BOOLEAN, "endsWith": BOOLEAN, "isNumber": BOOLEAN,
+            "join": STRING, "toString": STRING, "trim": STRING,
+            "toLowerCase": STRING, "toUpperCase": STRING,
+            "find": elem, "first": elem, "last": elem, "min": elem, "max": elem,
+            "findAll": obj_type if obj_type.tag == "List" else UNKNOWN,
+            "collect": list_of(UNKNOWN),
+            "sort": obj_type if obj_type.tag == "List" else UNKNOWN,
+            "plus": obj_type if obj_type.tag == "List" else UNKNOWN,
+            "sum": DECIMAL,
+        }
+        return table.get(name, UNKNOWN)
+
+
+def infer_app_types(app):
+    """Run type inference on a :class:`SmartApp`; returns the filled engine."""
+    return TypeInference(app).run()

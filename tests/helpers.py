@@ -1,0 +1,23 @@
+"""Shared test helpers (importable, unlike conftest)."""
+
+
+def make_app(source, name="test.groovy"):
+    """Parse inline Groovy into a SmartApp."""
+    from repro.smartapp import load_app
+
+    return load_app(source, name)
+
+
+APP_HEADER = '''
+definition(name: "%(name)s", namespace: "t", author: "t",
+           description: "%(description)s", category: "c")
+'''
+
+
+def app_source(name="Test App", description="d", preferences="", body=""):
+    """Assemble a minimal app source from parts."""
+    parts = [APP_HEADER % {"name": name, "description": description}]
+    if preferences:
+        parts.append("preferences {\n%s\n}" % preferences)
+    parts.append(body)
+    return "\n".join(parts)

@@ -1,0 +1,197 @@
+"""Unit tests for the Output Analyzer (§9) and volunteer profiles (§10.1)."""
+
+import pytest
+
+from repro.attribution import (
+    VERDICT_BAD_APP,
+    VERDICT_MALICIOUS,
+    VERDICT_MISCONFIGURED,
+    VERDICT_SAFE,
+    ConfigurationEnumerator,
+    OutputAnalyzer,
+)
+from repro.attribution.analyzer import PhaseResult
+from repro.attribution.volunteers import (
+    VOLUNTEER_PROFILES,
+    all_volunteer_configurations,
+    full_house,
+    volunteer_configuration,
+    volunteer_profile_names,
+)
+from repro.config.schema import SystemConfiguration
+
+
+@pytest.fixture()
+def small_home():
+    config = SystemConfiguration(contacts=["+1-555-0100"])
+    config.add_device("p1", "smartsense-presence")
+    config.add_device("lock", "zwave-lock")
+    config.add_device("outlet", "smart-outlet")
+    config.add_device("motion", "smartsense-motion")
+    config.association.update({"main_door_lock": "lock"})
+    return config
+
+
+class TestEnumerator:
+    def test_device_input_candidates(self, registry, small_home):
+        enumerator = ConfigurationEnumerator(small_home)
+        app = registry["Unlock Door"]
+        declaration = app.input("lock1")
+        assert enumerator.candidates(declaration) == ["lock"]
+
+    def test_multi_device_candidates_include_all(self, registry):
+        config = SystemConfiguration()
+        config.add_device("o1", "smart-outlet")
+        config.add_device("o2", "smart-outlet")
+        enumerator = ConfigurationEnumerator(config)
+        app = registry["Big Turn On"]
+        declaration = app.input("switches")
+        candidates = enumerator.candidates(declaration)
+        assert ["o1"] in candidates
+        assert ["o2"] in candidates
+        assert ["o1", "o2"] in candidates
+
+    def test_optional_input_gets_unbound_choice(self, registry, small_home):
+        enumerator = ConfigurationEnumerator(small_home)
+        app = registry["Virtual Thermostat"]
+        declaration = app.input("motion")  # optional
+        assert None in enumerator.candidates(declaration)
+
+    def test_enum_candidates_are_options(self, registry, small_home):
+        enumerator = ConfigurationEnumerator(small_home)
+        app = registry["Virtual Thermostat"]
+        declaration = app.input("mode")
+        candidates = enumerator.candidates(declaration)
+        assert set(candidates) == {"heat", "cool"}
+
+    def test_enumeration_capped(self, registry):
+        config = SystemConfiguration()
+        for index in range(6):
+            config.add_device("o%d" % index, "smart-outlet")
+        config.add_device("t", "temperature-sensor")
+        config.add_device("m", "smartsense-motion")
+        enumerator = ConfigurationEnumerator(config, limit=10)
+        bindings = list(enumerator.enumerate_bindings(
+            registry["Virtual Thermostat"]))
+        assert len(bindings) == 10
+
+    def test_count_matches_enumeration(self, registry, small_home):
+        enumerator = ConfigurationEnumerator(small_home, limit=100)
+        app = registry["Unlock Door"]
+        bindings = list(enumerator.enumerate_bindings(app))
+        assert enumerator.count(app) == len(bindings)
+
+    def test_bindings_omit_unbound(self, registry, small_home):
+        enumerator = ConfigurationEnumerator(small_home)
+        for bindings in enumerator.enumerate_bindings(registry["Unlock Door"]):
+            assert None not in bindings.values()
+
+
+class TestPhaseResult:
+    def test_ratio_empty_is_zero(self):
+        assert PhaseResult(1).ratio == 0.0
+
+    def test_ratio_counts_violating_configs(self):
+        phase = PhaseResult(1)
+        phase.record({"a": 1}, [])
+        phase.record({"a": 2}, ["violation"])
+        assert phase.ratio == 0.5
+        assert phase.safe_bindings() == [{"a": 1}]
+
+
+class TestVerdicts:
+    def test_malicious_app_flagged(self, registry, small_home):
+        analyzer = OutputAnalyzer(registry, max_configs=8)
+        report = analyzer.attribute("Night Lock Opener", small_home)
+        assert report.verdict == VERDICT_MALICIOUS
+        assert report.phase1.ratio > 0.9
+        assert report.is_flagged
+
+    def test_safe_app_passes(self, registry, small_home):
+        analyzer = OutputAnalyzer(registry, max_configs=8)
+        report = analyzer.attribute("Brighten My Path", small_home)
+        assert report.verdict == VERDICT_SAFE
+        assert not report.is_flagged
+
+    def test_summary_text(self, registry, small_home):
+        analyzer = OutputAnalyzer(registry, max_configs=4)
+        report = analyzer.attribute("Brighten My Path", small_home)
+        summary = report.summary()
+        assert "phase 1" in summary
+        assert "Brighten My Path" in summary
+
+    def test_unknown_app_raises(self, registry, small_home):
+        analyzer = OutputAnalyzer(registry)
+        with pytest.raises(KeyError):
+            analyzer.attribute("No Such App", small_home)
+
+    def test_misconfiguration_offers_suggestions(self, registry):
+        """Virtual Thermostat with both outlets deployable: some configs
+        violate (both outlets chosen), some are safe -> misconfiguration."""
+        config = SystemConfiguration(contacts=["+1-555-0100"])
+        config.add_device("t", "temperature-sensor")
+        config.add_device("heaterOutlet", "smart-outlet")
+        config.add_device("acOutlet", "smart-outlet")
+        config.add_device("m", "smartsense-motion")
+        config.association.update({"temp_sensor": "t",
+                                   "heater_outlet": "heaterOutlet",
+                                   "ac_outlet": "acOutlet"})
+        analyzer = OutputAnalyzer(registry, max_configs=48)
+        report = analyzer.attribute("Virtual Thermostat", config)
+        assert report.verdict in (VERDICT_MISCONFIGURED, VERDICT_SAFE)
+        if report.verdict == VERDICT_MISCONFIGURED:
+            assert report.suggestions()
+
+
+class TestVolunteers:
+    def test_seven_profiles(self):
+        assert len(VOLUNTEER_PROFILES) == 7
+        assert volunteer_profile_names() == sorted(VOLUNTEER_PROFILES)
+
+    def test_full_house_is_valid(self):
+        house = full_house()
+        assert house.validate() == []
+        assert len(house.devices) >= 25
+
+    def test_maximalist_selects_everything(self, registry):
+        config = volunteer_configuration("vgroup02",
+                                         "volunteer1-maximalist", registry)
+        thermostat = next(a for a in config.apps
+                          if a.app == "Virtual Thermostat")
+        # the documented §2.2 error: both heater and AC outlets selected
+        outlets = thermostat.bindings["outlets"]
+        assert "myHeaterOutlet" in outlets
+        assert "myACOutlet" in outlets
+
+    def test_profiles_are_deterministic(self, registry):
+        first = volunteer_configuration("vgroup01",
+                                        "volunteer3-last-match", registry)
+        second = volunteer_configuration("vgroup01",
+                                         "volunteer3-last-match", registry)
+        assert first.to_dict() == second.to_dict()
+
+    def test_profiles_differ(self, registry):
+        maximalist = volunteer_configuration(
+            "vgroup02", "volunteer1-maximalist", registry)
+        minimalist = volunteer_configuration(
+            "vgroup02", "volunteer2-first-match", registry)
+        assert maximalist.to_dict() != minimalist.to_dict()
+
+    def test_all_70_configurations(self, registry):
+        configurations = all_volunteer_configurations(registry)
+        assert len(configurations) == 70
+
+    def test_unknown_group_raises(self, registry):
+        with pytest.raises(KeyError):
+            volunteer_configuration("vgroup99", "volunteer1-maximalist",
+                                    registry)
+
+    def test_unknown_profile_raises(self, registry):
+        with pytest.raises(KeyError):
+            volunteer_configuration("vgroup01", "nobody", registry)
+
+    def test_every_configuration_buildable(self, registry, generator):
+        for profile in volunteer_profile_names():
+            config = volunteer_configuration("vgroup01", profile, registry)
+            system = generator.build(config, strict=False)
+            assert system.apps

@@ -1,0 +1,284 @@
+"""Unit + property-based tests for the LTL safety fragment."""
+
+import pytest
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.checker import ltl
+from repro.checker.ltl import (
+    Always,
+    Atom,
+    Eventually,
+    LTLSyntaxError,
+    Not,
+    bad_prefix,
+    never_claim,
+    parse,
+    violates,
+)
+
+
+def atoms(**predicates):
+    """Atom table stand-in: state is a dict, atoms read keys."""
+    table = {name: (lambda key: (lambda state: state.get(key)))(name)
+             for name in predicates or {}}
+
+    class Table:
+        def get(self, name):
+            if name in table:
+                return table[name]
+            return lambda state: state.get(name)
+
+    return Table()
+
+
+A = atoms()
+
+
+def trace(*states):
+    return list(states)
+
+
+class TestParser:
+    def test_atom(self):
+        formula = parse("p")
+        assert isinstance(formula, Atom)
+        assert formula.name == "p"
+
+    def test_always(self):
+        formula = parse("[] p")
+        assert isinstance(formula, Always)
+
+    def test_word_aliases(self):
+        assert parse("G p") == parse("[] p")
+        assert parse("F p") == parse("<> p")
+
+    def test_implication_right_associative(self):
+        formula = parse("a -> b -> c")
+        assert str(formula) == str(parse("a -> (b -> c)"))
+
+    def test_precedence_and_over_or(self):
+        formula = parse("a || b && c")
+        assert str(formula) == str(parse("a || (b && c)"))
+
+    def test_not_binds_tight(self):
+        formula = parse("!a && b")
+        assert str(formula) == str(parse("(!a) && b"))
+
+    def test_parentheses(self):
+        assert parse("(p)") == Atom("p")
+
+    def test_comparison_atom(self):
+        formula = parse("temp >= TEMP_HIGH")
+        assert isinstance(formula, Atom)
+        assert formula.name == "temp >= TEMP_HIGH"
+
+    def test_chained_comparison_becomes_conjunction(self):
+        formula = parse("LOW <= x <= HIGH")
+        assert formula.atoms() == {"LOW <= x", "x <= HIGH"}
+
+    def test_until(self):
+        formula = parse("a U b")
+        assert isinstance(formula, ltl.Until)
+
+    def test_weak_until(self):
+        assert isinstance(parse("a W b"), ltl.WeakUntil)
+
+    def test_empty_raises(self):
+        with pytest.raises(LTLSyntaxError):
+            parse("")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(LTLSyntaxError):
+            parse("a b")
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(LTLSyntaxError):
+            parse("(a && b")
+
+
+class TestSemantics:
+    def test_atom_on_first_state(self):
+        assert parse("p").holds_on(trace({"p": True}), A)
+        assert not parse("p").holds_on(trace({"p": False}), A)
+
+    def test_three_valued_none_counts_as_holding(self):
+        assert parse("p").holds_on(trace({}), A)
+
+    def test_always(self):
+        formula = parse("[] p")
+        assert formula.holds_on(trace({"p": True}, {"p": True}), A)
+        assert not formula.holds_on(trace({"p": True}, {"p": False}), A)
+
+    def test_eventually(self):
+        formula = parse("<> p")
+        assert formula.holds_on(trace({"p": False}, {"p": True}), A)
+        assert not formula.holds_on(trace({"p": False}, {"p": False}), A)
+
+    def test_next_weak_at_end(self):
+        formula = parse("X p")
+        assert formula.holds_on(trace({"p": False}), A)  # no next state
+        assert formula.holds_on(trace({"p": False}, {"p": True}), A)
+        assert not formula.holds_on(trace({"p": True}, {"p": False}), A)
+
+    def test_until(self):
+        formula = parse("p U q")
+        assert formula.holds_on(
+            trace({"p": True, "q": False}, {"p": False, "q": True}), A)
+        assert not formula.holds_on(
+            trace({"p": True, "q": False}, {"p": True, "q": False}), A)
+
+    def test_weak_until_holds_forever(self):
+        formula = parse("p W q")
+        assert formula.holds_on(
+            trace({"p": True, "q": False}, {"p": True, "q": False}), A)
+
+    def test_implication(self):
+        formula = parse("[] (p -> q)")
+        assert formula.holds_on(
+            trace({"p": False, "q": False}, {"p": True, "q": True}), A)
+        assert not formula.holds_on(trace({"p": True, "q": False}), A)
+
+    def test_response_property(self):
+        formula = parse("[] (p -> <> q)")
+        good = trace({"p": True, "q": False}, {"q": True})
+        bad = trace({"p": True, "q": False}, {"q": False})
+        assert formula.holds_on(good, A)
+        assert not formula.holds_on(bad, A)
+
+
+class TestBadPrefix:
+    def test_invariant_bad_prefix_index(self):
+        formula = parse("[] p")
+        states = trace({"p": True}, {"p": True}, {"p": False}, {"p": True})
+        assert bad_prefix(formula, states, A) == 2
+
+    def test_no_bad_prefix(self):
+        formula = parse("[] p")
+        assert bad_prefix(formula, trace({"p": True}, {"p": True}), A) is None
+
+    def test_violates(self):
+        formula = parse("[] p")
+        assert violates(formula, trace({"p": False}), A)
+
+
+class TestSafetyClassification:
+    def test_invariant_is_safety(self):
+        assert parse("[] (a -> b)").is_safety()
+
+    def test_eventually_not_safety(self):
+        assert not parse("<> a").is_safety()
+
+    def test_response_not_safety(self):
+        assert not parse("[] (a -> <> b)").is_safety()
+
+    def test_negated_eventually_is_safety(self):
+        assert parse("! <> a").is_safety()
+
+
+class TestNeverClaim:
+    def test_invariant_claim_shape(self):
+        claim = never_claim(parse("[] (nobody_home -> door_locked)"))
+        assert claim.startswith("never {")
+        assert "accept_init" in claim
+        assert "nobody_home" in claim
+        assert claim.rstrip().endswith("}")
+
+    def test_claim_comment(self):
+        claim = never_claim(parse("[] p"), comment="P06: door locked")
+        assert "P06" in claim
+
+
+class TestAtomTable:
+    @pytest.fixture()
+    def table(self, alice_system):
+        return ltl.AtomTable(alice_system)
+
+    def test_builtin_atoms_present(self, table):
+        for name in ("nobody_home", "somebody_home", "mode_away",
+                     "door_locked", "smoke_detected"):
+            assert table.get(name) is not None
+
+    def test_nobody_home_on_initial_state(self, table, alice_system):
+        state = alice_system.initial_state()
+        assert table.get("nobody_home")(state) is False
+
+    def test_door_locked_initially(self, table, alice_system):
+        state = alice_system.initial_state()
+        assert table.get("door_locked")(state) is True
+
+    def test_composite_comparison_atom(self, table, alice_system):
+        state = alice_system.initial_state()
+        assert table.get("mode == Home")(state) is True
+        assert table.get("mode == Away")(state) is False
+
+    def test_derived_negation_atom(self, table, alice_system):
+        state = alice_system.initial_state()
+        heater_off = table.get("heater_off")
+        # no heater role bound -> three-valued None
+        assert heater_off(state) is None
+
+    def test_user_defined_atom(self, table, alice_system):
+        table.define("always_true", lambda state: True)
+        assert table.get("always_true")(alice_system.initial_state())
+
+    def test_unknown_atom_is_none(self, table):
+        assert table.get("no_such_atom_xyz") is None
+
+    def test_paper_formula_on_violating_trace(self, table, alice_system):
+        """[] (nobody_home -> door_locked) fails on the Fig-7 end state."""
+        state = alice_system.initial_state()
+        bad = state.copy()
+        bad.set_attribute("alicePresence", "presence", "not present")
+        bad.set_attribute("doorLock", "lock", "unlocked")
+        formula = parse("[] (nobody_home -> door_locked)")
+        assert formula.holds_on([state], table)
+        assert not formula.holds_on([state, bad], table)
+        assert bad_prefix(formula, [state, bad], table) == 1
+
+
+# ---------------------------------------------------------------------------
+# property-based: semantic dualities
+# ---------------------------------------------------------------------------
+
+_BOOLS = st.booleans()
+_TRACES = st.lists(
+    st.fixed_dictionaries({"p": _BOOLS, "q": _BOOLS}), min_size=1,
+    max_size=6)
+
+
+class TestDualities:
+    @given(_TRACES)
+    def test_always_dual_of_eventually(self, states):
+        always_p = parse("[] p")
+        not_ev_not_p = Not(Eventually(Not(Atom("p"))))
+        assert always_p.holds_on(states, A) == not_ev_not_p.holds_on(
+            states, A)
+
+    @given(_TRACES)
+    def test_de_morgan(self, states):
+        lhs = parse("!(p && q)")
+        rhs = parse("!p || !q")
+        assert lhs.holds_on(states, A) == rhs.holds_on(states, A)
+
+    @given(_TRACES)
+    def test_implication_material(self, states):
+        lhs = parse("p -> q")
+        rhs = parse("!p || q")
+        assert lhs.holds_on(states, A) == rhs.holds_on(states, A)
+
+    @given(_TRACES)
+    def test_weak_until_decomposition(self, states):
+        # p W q  ==  (p U q) || [] p
+        lhs = parse("p W q")
+        rhs_u = parse("p U q")
+        rhs_g = parse("[] p")
+        assert lhs.holds_on(states, A) == (
+            rhs_u.holds_on(states, A) or rhs_g.holds_on(states, A))
+
+    @given(_TRACES)
+    def test_bad_prefix_iff_violates_for_invariant(self, states):
+        formula = parse("[] p")
+        assert (bad_prefix(formula, states, A) is not None) == violates(
+            formula, states, A)

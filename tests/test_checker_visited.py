@@ -1,0 +1,125 @@
+"""Unit + property-based tests for the visited-state stores."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.checker.visited import BitStateTable, ExactVisitedSet
+
+
+class TestExactVisitedSet:
+    def test_first_visit_not_seen(self):
+        store = ExactVisitedSet()
+        assert store.seen_before(("k",), 0) is False
+
+    def test_revisit_same_depth_seen(self):
+        store = ExactVisitedSet()
+        store.seen_before(("k",), 1)
+        assert store.seen_before(("k",), 1) is True
+
+    def test_revisit_deeper_seen(self):
+        store = ExactVisitedSet()
+        store.seen_before(("k",), 1)
+        assert store.seen_before(("k",), 3) is True
+
+    def test_revisit_shallower_reexpanded(self):
+        """A state first reached near the depth bound must be re-expanded
+        when reached again closer to the root (bounded-search soundness)."""
+        store = ExactVisitedSet()
+        store.seen_before(("k",), 3)
+        assert store.seen_before(("k",), 1) is False
+        # and now the shallower depth is the recorded one
+        assert store.seen_before(("k",), 2) is True
+
+    def test_len_counts_distinct_keys(self):
+        store = ExactVisitedSet()
+        store.seen_before(("a",), 0)
+        store.seen_before(("b",), 0)
+        store.seen_before(("a",), 5)
+        assert len(store) == 2
+
+
+class TestBitStateTable:
+    def test_first_visit_not_seen(self):
+        table = BitStateTable(bits_log2=16)
+        assert table.seen_before(("k",), 0) is False
+
+    def test_revisit_seen(self):
+        table = BitStateTable(bits_log2=16)
+        table.seen_before(("k",), 0)
+        assert table.seen_before(("k",), 0) is True
+
+    def test_no_false_negatives(self):
+        """A stored state is always reported seen (Spin's guarantee)."""
+        table = BitStateTable(bits_log2=16)
+        keys = [("state", i) for i in range(500)]
+        for key in keys:
+            table.seen_before(key, 0)
+        assert all(table.seen_before(key, 0) for key in keys)
+
+    def test_fill_ratio_grows(self):
+        table = BitStateTable(bits_log2=12)
+        assert table.fill_ratio == 0.0
+        for index in range(100):
+            table.seen_before(("s", index), 0)
+        assert table.fill_ratio > 0.0
+
+    def test_collision_counter(self):
+        table = BitStateTable(bits_log2=8, hash_count=1)
+        for index in range(1000):
+            table.seen_before(("s", index), 0)
+        # 256 bits, 1000 states: collisions are certain
+        assert table.collisions > 0
+
+    def test_bits_log2_bounds(self):
+        with pytest.raises(ValueError):
+            BitStateTable(bits_log2=4)
+        with pytest.raises(ValueError):
+            BitStateTable(bits_log2=40)
+
+    def test_more_hashes_fewer_collisions(self):
+        """Holzmann: double hashing improves coverage at equal memory."""
+        single = BitStateTable(bits_log2=12, hash_count=1)
+        double = BitStateTable(bits_log2=12, hash_count=3)
+        keys = [("s", i) for i in range(300)]
+        for key in keys:
+            single.seen_before(key, 0)
+            double.seen_before(key, 0)
+        assert double.collisions <= single.collisions
+
+
+# ---------------------------------------------------------------------------
+# property-based
+# ---------------------------------------------------------------------------
+
+_KEYS = st.tuples(st.text(max_size=8), st.integers(0, 1000))
+
+
+class TestStoreProperties:
+    @given(st.lists(st.tuples(_KEYS, st.integers(0, 5)), max_size=60))
+    def test_exact_store_monotone(self, operations):
+        """Once a key is seen at depth d, it is seen at every depth >= d."""
+        store = ExactVisitedSet()
+        recorded = {}
+        for key, depth in operations:
+            expected_seen = key in recorded and recorded[key] <= depth
+            assert store.seen_before(key, depth) == expected_seen
+            if not expected_seen:
+                recorded[key] = depth
+
+    @given(st.lists(_KEYS, unique=True, max_size=80))
+    def test_bitstate_never_forgets(self, keys):
+        table = BitStateTable(bits_log2=16)
+        for key in keys:
+            table.seen_before(key, 0)
+        for key in keys:
+            assert table.seen_before(key, 0)
+
+    @given(st.lists(_KEYS, unique=True, min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_bitstate_stored_plus_collisions_is_total(self, keys):
+        table = BitStateTable(bits_log2=16)
+        for key in keys:
+            table.seen_before(key, 0)
+        assert table.stored + table.collisions == len(keys)

@@ -1,0 +1,167 @@
+"""Unit tests for the App Dependency Analyzer machinery (§5)."""
+
+from repro.deps import analyze_apps, extract_handler_io
+from repro.deps.events import ANY, EventDescriptor
+from repro.deps.graph import DependencyGraph
+from repro.deps.related import build_graph, compute_related_sets
+
+from tests.helpers import make_app
+
+_DEF = ('definition(name: "%s", namespace: "t", author: "t", '
+        'description: "d", category: "c")\n')
+
+
+def app_with(name, body, prefs=""):
+    source = _DEF % name
+    if prefs:
+        source += "preferences { section('s') { %s } }\n" % prefs
+    return make_app(source + body)
+
+
+class TestEventDescriptor:
+    def test_any_overlaps_specific(self):
+        a = EventDescriptor("switch", ANY)
+        b = EventDescriptor("switch", "on")
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_specific_overlap_requires_same_value(self):
+        on = EventDescriptor("switch", "on")
+        off = EventDescriptor("switch", "off")
+        assert on.overlaps(on)
+        assert not on.overlaps(off)
+
+    def test_different_attributes_never_overlap(self):
+        assert not EventDescriptor("switch", ANY).overlaps(
+            EventDescriptor("lock", ANY))
+
+    def test_conflicts_on_opposite_values(self):
+        on = EventDescriptor("switch", "on")
+        off = EventDescriptor("switch", "off")
+        assert on.conflicts(off)
+
+    def test_no_conflict_with_any(self):
+        assert not EventDescriptor("switch", ANY).conflicts(
+            EventDescriptor("switch", "on"))
+
+
+class TestHandlerIO:
+    def test_subscription_becomes_input(self):
+        app = app_with("A", '''
+def installed() { subscribe(contact1, "contact.open", h) }
+def h(evt) { }
+''', prefs='input "contact1", "capability.contactSensor"')
+        inputs, _outputs = extract_handler_io(app, "h")
+        assert any(d.attribute == "contact" and d.value == "open"
+                   for d in inputs)
+
+    def test_command_becomes_output(self):
+        app = app_with("A", '''
+def installed() { subscribe(contact1, "contact", h) }
+def h(evt) { switch1.on() }
+''', prefs=('input "contact1", "capability.contactSensor"\n'
+            'input "switch1", "capability.switch"'))
+        _inputs, outputs = extract_handler_io(app, "h")
+        assert any(d.attribute == "switch" and d.value == "on"
+                   for d in outputs)
+
+    def test_device_read_becomes_input(self):
+        # "identified via APIs that read states of smart devices"
+        app = app_with("A", '''
+def installed() { subscribe(contact1, "contact", h) }
+def h(evt) { if (switch1.currentSwitch == "on") { contact1.open } }
+''', prefs=('input "contact1", "capability.contactSensor"\n'
+            'input "switch1", "capability.switch"'))
+        inputs, _outputs = extract_handler_io(app, "h")
+        assert any(d.attribute == "switch" for d in inputs)
+
+    def test_mode_change_becomes_output(self):
+        app = app_with("A", '''
+def installed() { subscribe(p, "presence", h) }
+def h(evt) { setLocationMode("Away") }
+''', prefs='input "p", "capability.presenceSensor"')
+        _inputs, outputs = extract_handler_io(app, "h")
+        assert any(d.attribute == "mode" for d in outputs)
+
+    def test_helper_method_effects_included(self):
+        # output events reached through private helper calls
+        app = app_with("A", '''
+def installed() { subscribe(contact1, "contact", h) }
+def h(evt) { doIt() }
+private doIt() { switch1.off() }
+''', prefs=('input "contact1", "capability.contactSensor"\n'
+            'input "switch1", "capability.switch"'))
+        _inputs, outputs = extract_handler_io(app, "h")
+        assert any(d.value == "off" for d in outputs)
+
+
+class TestGraph:
+    def _two_vertex_graph(self):
+        graph = DependencyGraph()
+        graph.add_vertex([("A", "h")], [EventDescriptor("contact", ANY)],
+                         [EventDescriptor("switch", "on")])
+        graph.add_vertex([("B", "g")], [EventDescriptor("switch", ANY)],
+                         [])
+        return graph.build_edges()
+
+    def test_edge_on_io_overlap(self):
+        graph = self._two_vertex_graph()
+        assert graph.children[0] == {1}
+
+    def test_leaf_detection(self):
+        graph = self._two_vertex_graph()
+        assert [v.id for v in graph.leaves()] == [1]
+
+    def test_ancestors(self):
+        graph = self._two_vertex_graph()
+        assert graph.ancestors(1) == {0}
+        assert graph.ancestors(0) == set()
+
+    def test_scc_merge_of_cycle(self):
+        graph = DependencyGraph()
+        graph.add_vertex([("A", "h")], [EventDescriptor("switch", ANY)],
+                         [EventDescriptor("lock", "locked")])
+        graph.add_vertex([("B", "g")], [EventDescriptor("lock", ANY)],
+                         [EventDescriptor("switch", "on")])
+        merged = graph.build_edges().merge_sccs()
+        assert len(merged.vertices) == 1
+        assert len(merged.vertices[0].members) == 2
+
+    def test_merge_preserves_acyclic_graph(self):
+        graph = self._two_vertex_graph()
+        merged = graph.merge_sccs()
+        assert len(merged.vertices) == 2
+
+
+class TestRelatedSets:
+    def test_independent_apps_not_joined(self):
+        lock_app = app_with("LockApp", '''
+def installed() { subscribe(p, "presence", h) }
+def h(evt) { lock1.lock() }
+''', prefs=('input "p", "capability.presenceSensor"\n'
+            'input "lock1", "capability.lock"'))
+        fan_app = app_with("FanApp", '''
+def installed() { subscribe(hum, "humidity", g) }
+def g(evt) { fan.on() }
+''', prefs=('input "hum", "capability.relativeHumidityMeasurement"\n'
+            'input "fan", "capability.switch"'))
+        analysis = analyze_apps([lock_app, fan_app])
+        for group in analysis.app_groups():
+            assert not ({"LockApp", "FanApp"} <= set(group))
+
+    def test_subset_reduction(self):
+        graph = build_graph([])
+        _merged, sets = compute_related_sets(graph)
+        assert sets == []
+
+    def test_scale_ratio_of_independent_apps(self):
+        apps = []
+        for i in range(3):
+            apps.append(app_with("App%d" % i, '''
+def installed() { subscribe(d, "presence", h) }
+def h(evt) { }
+''', prefs='input "d", "capability.presenceSensor"'))
+        analysis = analyze_apps(apps)
+        assert analysis.original_size == 3
+        assert analysis.new_size == 1
+        assert analysis.scale_ratio == 3.0

@@ -1,0 +1,137 @@
+"""Reproduce the paper's §5 worked example exactly.
+
+Table 2 lists five apps and seven event handlers; Figure 4a is the
+dependency graph; Table 3 / Figure 4b derive the related sets
+{3}, {2,4}, {0,1}, {1,5}, {1,2,6} (vertex ids per Table 2).
+"""
+
+import pytest
+
+from repro.deps import analyze_apps
+from repro.deps.related import build_graph
+
+#: the Table 2 apps, in vertex-id order of their handlers
+PAPER_APPS = ["Brighten Dark Places", "Let There Be Dark!",
+              "Auto Mode Change", "Unlock Door", "Big Turn On"]
+
+#: Table 2: handler -> vertex id
+VERTEX_IDS = {
+    ("Brighten Dark Places", "contactOpenHandler"): 0,
+    ("Let There Be Dark!", "contactHandler"): 1,
+    ("Auto Mode Change", "presenceHandler"): 2,
+    ("Unlock Door", "appTouch"): 3,
+    ("Unlock Door", "changedLocationMode"): 4,
+    ("Big Turn On", "appTouch"): 5,
+    ("Big Turn On", "changedLocationMode"): 6,
+}
+
+#: Table 3c / Figure 4b
+EXPECTED_RELATED_SETS = [
+    {3},
+    {2, 4},
+    {0, 1},
+    {1, 5},
+    {1, 2, 6},
+]
+
+
+@pytest.fixture(scope="module")
+def paper_apps(request):
+    from repro.corpus import load_market_apps
+
+    market = load_market_apps()
+    return [market[name] for name in PAPER_APPS]
+
+
+@pytest.fixture(scope="module")
+def analysis(paper_apps):
+    return analyze_apps(paper_apps)
+
+
+def _paper_id(vertex):
+    (app, handler), = [(a, h) for a, h in vertex.members]
+    return VERTEX_IDS[(app, handler)]
+
+
+class TestTable2Handlers:
+    def test_seven_handlers(self, paper_apps):
+        graph = build_graph(paper_apps)
+        assert len(graph.vertices) == 7
+
+    def test_every_table2_handler_present(self, paper_apps):
+        graph = build_graph(paper_apps)
+        members = {m for v in graph.vertices for m in v.members}
+        assert members == set(VERTEX_IDS)
+
+    def test_brighten_dark_places_io(self, paper_apps):
+        graph = build_graph(paper_apps)
+        vertex = next(v for v in graph.vertices
+                      if ("Brighten Dark Places", "contactOpenHandler")
+                      in v.members)
+        inputs = {(d.attribute, d.value) for d in vertex.inputs}
+        outputs = {(d.attribute, d.value) for d in vertex.outputs}
+        assert ("contact", "open") in inputs
+        assert any(attr == "illuminance" for attr, _v in inputs)
+        assert ("switch", "on") in outputs
+
+    def test_let_there_be_dark_outputs_conflict(self, paper_apps):
+        graph = build_graph(paper_apps)
+        vertex = next(v for v in graph.vertices
+                      if ("Let There Be Dark!", "contactHandler") in v.members)
+        outputs = {(d.attribute, d.value) for d in vertex.outputs}
+        assert ("switch", "on") in outputs
+        assert ("switch", "off") in outputs
+
+    def test_auto_mode_change_emits_mode(self, paper_apps):
+        graph = build_graph(paper_apps)
+        vertex = next(v for v in graph.vertices
+                      if ("Auto Mode Change", "presenceHandler") in v.members)
+        assert any(d.attribute == "mode" for d in vertex.outputs)
+
+
+class TestFigure4aGraph:
+    def test_vertex2_children_are_4_and_6(self, analysis):
+        """Vertex 2 (presenceHandler) has children 4 and 6 via location/mode."""
+        merged = analysis.merged_graph
+        by_paper_id = {_paper_id(v): v for v in merged.vertices}
+        children = {
+            _paper_id(merged.vertices[c])
+            for c in merged.children[by_paper_id[2].id]}
+        assert children == {4, 6}
+
+    def test_leaves_match_figure(self, analysis):
+        """All vertices except 2 are leaves."""
+        merged = analysis.merged_graph
+        leaf_ids = {_paper_id(v) for v in merged.leaves()}
+        assert leaf_ids == {0, 1, 3, 4, 5, 6}
+
+
+class TestTable3RelatedSets:
+    def test_final_related_sets_match_table3c(self, analysis):
+        got = sorted(
+            tuple(sorted(_paper_id(analysis.merged_graph.vertices[vid])
+                         for vid in related))
+            for related in analysis.related_sets)
+        expected = sorted(tuple(sorted(s)) for s in EXPECTED_RELATED_SETS)
+        assert got == expected
+
+    def test_five_final_sets(self, analysis):
+        assert len(analysis.related_sets) == 5
+
+    def test_no_set_is_subset_of_another(self, analysis):
+        sets = analysis.related_sets
+        for a in sets:
+            for b in sets:
+                if a is not b:
+                    assert not a < b
+
+    def test_conflict_merge_joined_0_and_1(self, analysis):
+        """Nodes 0 and 1 conflict on switch/on vs switch/off -> same set."""
+        merged = analysis.merged_graph
+        ids = {(_paper_id(v), v.id) for v in merged.vertices}
+        id0 = next(v for p, v in ids if p == 0)
+        id1 = next(v for p, v in ids if p == 1)
+        assert any(id0 in s and id1 in s for s in analysis.related_sets)
+
+    def test_scale_ratio_above_one(self, analysis):
+        assert analysis.scale_ratio > 1.0

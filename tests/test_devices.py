@@ -1,0 +1,144 @@
+"""Unit tests for the capability catalog and device models (§8)."""
+
+import pytest
+
+from repro.devices import DEVICE_TYPES, device_spec, specs_with_capability
+from repro.devices.capabilities import (
+    CAPABILITIES,
+    capability,
+    command_effect,
+    conflicting_values,
+)
+from repro.devices.instance import DeviceInstance
+
+
+class TestCatalog:
+    def test_at_least_thirty_device_types(self):
+        # "Currently, we support 30 different IoT devices" (§8); the IFTTT
+        # extension (§11) adds the voice-assistant and VoIP services.
+        assert len(DEVICE_TYPES) >= 30
+
+    def test_every_type_resolvable(self):
+        for type_name in DEVICE_TYPES:
+            assert device_spec(type_name).type_name == type_name
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            device_spec("flux-capacitor")
+
+    def test_every_capability_resolvable(self):
+        for spec in DEVICE_TYPES.values():
+            for cap_name in spec.capabilities:
+                assert capability(cap_name) is not None
+
+    def test_specs_with_capability(self):
+        switches = specs_with_capability("switch")
+        assert any(s.type_name == "smart-outlet" for s in switches)
+        assert all(s.has_capability("switch") for s in switches)
+
+    def test_capability_prefix_form(self):
+        assert capability("capability.switch") is capability("switch")
+
+
+class TestAttributeDomains:
+    def test_every_enum_attribute_has_default_in_domain(self):
+        for cap in CAPABILITIES.values():
+            for attr in cap.attributes.values():
+                assert attr.default in attr.values
+
+    def test_lock_defaults_safe(self):
+        # safe-by-default initial states: violations need an app action
+        assert capability("lock").attributes["lock"].default == "locked"
+
+    def test_presence_defaults_present(self):
+        attr = capability("presenceSensor").attributes["presence"]
+        assert attr.default == "present"
+
+    def test_switch_defaults_off(self):
+        assert capability("switch").attributes["switch"].default == "off"
+
+    def test_numeric_domains_are_discretized(self):
+        temp = capability("temperatureMeasurement").attributes["temperature"]
+        assert temp.kind == "numeric"
+        assert len(temp.values) >= 3
+
+
+class TestCommands:
+    def test_switch_commands(self):
+        cap = capability("switch")
+        assert cap.commands["on"].value == "on"
+        assert cap.commands["off"].value == "off"
+
+    def test_command_effect_resolution(self):
+        effect = command_effect(["switch", "lock"], "unlock")
+        assert effect.attribute == "lock"
+        assert effect.value == "unlocked"
+
+    def test_command_effect_unknown(self):
+        assert command_effect(["switch"], "teleport") is None
+
+    def test_takes_arg_command(self):
+        effect = command_effect(["switchLevel"], "setLevel")
+        assert effect.takes_arg
+
+    def test_every_command_targets_known_attribute(self):
+        for cap in CAPABILITIES.values():
+            for command in cap.commands.values():
+                # the target attribute must exist in *some* capability
+                # (momentary.push targets switch, owned by capability.switch)
+                owners = [c for c in CAPABILITIES.values()
+                          if command.attribute in c.attributes]
+                assert owners, (cap.name, command.name)
+
+
+class TestConflictingValues:
+    def test_on_off_conflict(self):
+        assert conflicting_values("on", "off")
+        assert conflicting_values("off", "on")
+
+    def test_lock_unlock_conflict(self):
+        assert conflicting_values("locked", "unlocked")
+
+    def test_open_close_conflict(self):
+        assert conflicting_values("open", "closed")
+
+    def test_same_value_no_conflict(self):
+        assert not conflicting_values("on", "on")
+
+    def test_unrelated_no_conflict(self):
+        assert not conflicting_values("on", "locked")
+
+
+class TestDeviceInstance:
+    def test_initial_attributes_are_defaults(self):
+        lock = DeviceInstance("front", "zwave-lock")
+        attrs = lock.initial_attributes()
+        assert attrs["lock"] == "locked"
+
+    def test_sensor_event_values_exclude_current(self):
+        motion = DeviceInstance("m", "smartsense-motion")
+        values = motion.sensor_event_values("motion", "inactive")
+        assert "active" in values
+        assert "inactive" not in values
+
+    def test_actuator_attribute_not_a_sensor_event(self):
+        lock = DeviceInstance("l", "zwave-lock")
+        assert "lock" not in lock.spec.sensor_attributes
+
+    def test_garage_contact_is_sensor_event(self):
+        # the garage door's contact state is physically observable
+        garage = DeviceInstance("g", "garage-door-opener")
+        assert "contact" in garage.spec.sensor_attributes
+
+    def test_is_actuator_flags(self):
+        assert DeviceInstance("o", "smart-outlet").spec.is_actuator
+        assert not DeviceInstance("m", "smartsense-motion").spec.is_actuator
+
+    def test_command_lookup(self):
+        outlet = DeviceInstance("o", "smart-outlet")
+        assert outlet.command("on").value == "on"
+        assert outlet.command("warp") is None
+
+    def test_label_defaults_to_name(self):
+        device = DeviceInstance("kitchenette", "smart-outlet")
+        assert device.display_name == "kitchenette"

@@ -1,0 +1,89 @@
+"""Tests for dynamic-device-discovery detection (§11 limitation 2)."""
+
+import pytest
+
+from repro.corpus import load_discovery_apps
+from repro.smartapp import reject_discovery_apps, scan_app, scan_registry
+
+from tests.helpers import make_app
+
+
+def app_with_body(body):
+    return make_app('''
+definition(name: "D", namespace: "t", author: "t", description: "d",
+           category: "c")
+preferences { section("s") { input "m", "capability.motionSensor" } }
+def installed() { subscribe(m, "motion", h) }
+''' + body)
+
+
+class TestScanApp:
+    def test_clean_app_passes(self):
+        app = app_with_body("def h(evt) { }")
+        report = scan_app(app)
+        assert not report.uses_discovery
+        assert "no dynamic device discovery" in report.describe()
+
+    def test_get_child_devices_flagged(self):
+        app = app_with_body("def h(evt) { getChildDevices().each { } }")
+        report = scan_app(app)
+        assert report.uses_discovery
+        assert report.findings[0].kind == "api"
+
+    def test_get_all_child_devices_flagged(self):
+        app = app_with_body("def h(evt) { def d = getAllChildDevices() }")
+        assert scan_app(app).uses_discovery
+
+    def test_location_devices_property_flagged(self):
+        app = app_with_body("def h(evt) { location.devices.each { } }")
+        report = scan_app(app)
+        assert report.uses_discovery
+        assert report.findings[0].kind == "property"
+
+    def test_finding_carries_line(self):
+        app = app_with_body("def h(evt) { getChildDevices() }")
+        assert scan_app(app).findings[0].line > 0
+
+    def test_location_mode_not_flagged(self):
+        # reading location.mode is normal; only device enumeration flags
+        app = app_with_body("def h(evt) { if (location.mode == 'Home') { } }")
+        assert not scan_app(app).uses_discovery
+
+
+class TestBundledDiscoveryApps:
+    """The four §10.1 apps IotSan cannot handle must all be detected."""
+
+    def test_four_apps_bundled(self):
+        assert sorted(load_discovery_apps()) == [
+            "Alarm Manager", "Auto Camera", "Auto Camera 2",
+            "Midnight Camera"]
+
+    def test_all_four_flagged(self):
+        flagged = scan_registry(load_discovery_apps())
+        assert len(flagged) == 4
+
+    def test_main_corpus_is_clean(self, registry):
+        assert scan_registry(registry) == {}
+
+    def test_reject_splits_registry(self, registry):
+        combined = dict(registry)
+        combined.update(load_discovery_apps())
+        analyzable, flagged = reject_discovery_apps(combined)
+        assert set(flagged) == set(load_discovery_apps())
+        assert set(analyzable) == set(registry)
+
+
+class TestScanCli:
+    def test_scan_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["scan"]) == 0
+        assert "no dynamic device discovery" in capsys.readouterr().out
+
+    def test_scan_flags_bundled(self, capsys):
+        from repro.cli import main
+
+        assert main(["scan", "--include-unverifiable"]) == 1
+        out = capsys.readouterr().out
+        assert "Midnight Camera" in out
+        assert "4 app(s) flagged" in out

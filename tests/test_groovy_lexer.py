@@ -1,0 +1,147 @@
+"""Unit tests for the Groovy lexer."""
+
+import pytest
+
+from repro.groovy.errors import LexError
+from repro.groovy.lexer import Interp, TokenType, tokenize
+
+
+def types_of(source):
+    return [t.type for t in tokenize(source) if t.type not in
+            (TokenType.NEWLINE, TokenType.EOF)]
+
+
+def values_of(source):
+    return [t.value for t in tokenize(source) if t.type not in
+            (TokenType.NEWLINE, TokenType.EOF)]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert tokens[-1].type == TokenType.EOF
+
+    def test_identifier(self):
+        assert types_of("foo") == [TokenType.IDENT]
+
+    def test_keyword(self):
+        tokens = tokenize("def if else")
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:3])
+
+    def test_identifier_with_digits_and_underscore(self):
+        assert values_of("foo_bar9") == ["foo_bar9"]
+
+    def test_integer_number(self):
+        token = tokenize("42")[0]
+        assert token.type == TokenType.NUMBER
+        assert token.value == 42
+
+    def test_decimal_number(self):
+        token = tokenize("3.25")[0]
+        assert token.type == TokenType.NUMBER
+        assert token.value == pytest.approx(3.25)
+
+    def test_number_not_range(self):
+        # "1..3" is a range, not the decimal 1. followed by .3
+        values = values_of("1..3")
+        assert values == [1, "..", 3]
+
+    def test_line_and_column_positions(self):
+        tokens = tokenize("a\n  b")
+        a = tokens[0]
+        b = next(t for t in tokens if t.value == "b")
+        assert (a.line, a.col) == (1, 1)
+        assert (b.line, b.col) == (2, 3)
+
+
+class TestStrings:
+    def test_single_quoted_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type == TokenType.STRING
+        assert token.value == "hello"
+
+    def test_single_quoted_escapes(self):
+        assert tokenize(r"'a\'b\n'")[0].value == "a'b\n"
+
+    def test_double_quoted_plain_normalizes_to_string(self):
+        # a double-quoted string without interpolation is a plain STRING
+        token = tokenize('"hello"')[0]
+        assert token.type == TokenType.STRING
+        assert token.value == "hello"
+
+    def test_gstring_interpolation_braced(self):
+        token = tokenize('"a ${x + 1} b"')[0]
+        assert token.type == TokenType.GSTRING
+        assert token.value[0] == "a "
+        assert isinstance(token.value[1], Interp)
+        assert token.value[1].source.strip() == "x + 1"
+        assert token.value[2] == " b"
+
+    def test_gstring_interpolation_bare(self):
+        token = tokenize('"count: $count"')[0]
+        parts = token.value
+        assert any(isinstance(p, Interp) and "count" in p.source
+                   for p in parts)
+
+    def test_gstring_bare_property_path(self):
+        token = tokenize('"val: $evt.value"')[0]
+        interp = next(p for p in token.value if isinstance(p, Interp))
+        assert interp.source == "evt.value"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_triple_quoted_string(self):
+        token = tokenize("'''multi\nline'''")[0]
+        assert token.value == "multi\nline"
+
+
+class TestOperatorsAndComments:
+    def test_two_char_operators(self):
+        assert values_of("a == b != c") == ["a", "==", "b", "!=", "c"]
+
+    def test_elvis_operator(self):
+        assert "?:" in values_of("a ?: b")
+
+    def test_safe_navigation(self):
+        assert "?." in values_of("a?.b")
+
+    def test_spread_operator(self):
+        assert "*." in values_of("list*.name")
+
+    def test_spaceship(self):
+        assert "<=>" in values_of("a <=> b")
+
+    def test_line_comment_skipped(self):
+        assert values_of("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values_of("a /* x\ny */ b") == ["a", "b"]
+
+    def test_newline_token_emitted(self):
+        tokens = tokenize("a\nb")
+        assert any(t.type == TokenType.NEWLINE for t in tokens)
+
+    def test_semicolons_tokenized(self):
+        assert ";" in values_of("a; b")
+
+
+class TestRealAppSnippets:
+    def test_preferences_block(self):
+        source = '''
+preferences {
+    section("Choose") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+}
+'''
+        values = values_of(source)
+        assert "preferences" in values
+        assert "input" in values
+        assert "sensor" in values
+
+    def test_subscription_line(self):
+        values = values_of('subscribe(contact1, "contact.open", handler)')
+        assert values[0] == "subscribe"
+        assert "contact.open" in values

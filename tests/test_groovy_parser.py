@@ -1,0 +1,324 @@
+"""Unit tests for the Groovy recursive-descent parser."""
+
+import pytest
+
+from repro.groovy import ast, parse
+from repro.groovy.errors import ParseError
+from repro.groovy.parser import parse_expression
+
+
+def expr(source):
+    return parse_expression(source)
+
+
+def first_stmt(source):
+    return parse(source).statements[0]
+
+
+class TestLiteralsAndNames:
+    def test_integer(self):
+        node = expr("42")
+        assert isinstance(node, ast.Literal)
+        assert node.value == 42
+
+    def test_boolean_true(self):
+        assert expr("true").value is True
+
+    def test_null(self):
+        assert expr("null").value is None
+
+    def test_string(self):
+        assert expr("'hi'").value == "hi"
+
+    def test_name(self):
+        node = expr("switches")
+        assert isinstance(node, ast.Name)
+        assert node.id == "switches"
+
+    def test_list_literal(self):
+        node = expr("[1, 2, 3]")
+        assert isinstance(node, ast.ListLit)
+        assert [item.value for item in node.items] == [1, 2, 3]
+
+    def test_empty_map_literal(self):
+        node = expr("[:]")
+        assert isinstance(node, ast.MapLit)
+        assert node.entries == []
+
+    def test_map_literal(self):
+        node = expr("[a: 1, b: 2]")
+        assert isinstance(node, ast.MapLit)
+        assert [e.key for e in node.entries] == ["a", "b"]
+
+    def test_range_literal(self):
+        node = expr("1..5")
+        assert isinstance(node, ast.RangeLit)
+        assert node.lo.value == 1
+        assert node.hi.value == 5
+
+    def test_gstring(self):
+        node = expr('"x is ${x}"')
+        assert isinstance(node, ast.GString)
+        assert any(isinstance(part, ast.Expr) for part in node.parts)
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        node = expr("1 + 2 * 3")
+        assert isinstance(node, ast.Binary)
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_parenthesized(self):
+        node = expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_comparison_chain_with_logic(self):
+        node = expr("a < b && c >= d")
+        assert node.op == "&&"
+
+    def test_unary_not(self):
+        node = expr("!done")
+        assert isinstance(node, ast.Unary)
+        assert node.op == "!"
+
+    def test_unary_minus(self):
+        node = expr("-5")
+        assert isinstance(node, ast.Unary) or (
+            isinstance(node, ast.Literal) and node.value == -5)
+
+    def test_ternary(self):
+        node = expr("a ? b : c")
+        assert isinstance(node, ast.Ternary)
+
+    def test_elvis(self):
+        node = expr("a ?: b")
+        assert isinstance(node, ast.Elvis)
+
+    def test_property_access(self):
+        node = expr("evt.value")
+        assert isinstance(node, ast.Property)
+        assert node.name == "value"
+
+    def test_safe_navigation_property(self):
+        node = expr("evt?.device")
+        assert isinstance(node, ast.Property)
+
+    def test_index(self):
+        node = expr("items[0]")
+        assert isinstance(node, ast.Index)
+
+    def test_instanceof(self):
+        node = expr("x instanceof String")
+        assert isinstance(node, ast.Binary)
+        assert node.op == "instanceof"
+
+
+class TestCalls:
+    def test_function_call(self):
+        node = expr("foo(1, 2)")
+        assert isinstance(node, ast.Call)
+        assert node.name == "foo"
+        assert len(node.args) == 2
+
+    def test_method_call(self):
+        node = expr("lock1.unlock()")
+        assert isinstance(node, ast.MethodCall)
+        assert node.name == "unlock"
+
+    def test_method_call_with_args(self):
+        node = expr("sw.setLevel(50)")
+        assert node.args[0].value == 50
+
+    def test_named_arguments(self):
+        node = expr("input(name: 'x', type: 'enum')")
+        assert isinstance(node, ast.Call)
+        assert {e.key for e in node.named} == {"name", "type"}
+
+    def test_trailing_closure(self):
+        node = expr("items.each { println it }")
+        assert isinstance(node, ast.MethodCall)
+        assert node.closure is not None
+
+    def test_closure_with_params(self):
+        node = expr("items.collect { item -> item.name }")
+        assert [p.name for p in node.closure.params] == ["item"]
+
+    def test_spread_method_call(self):
+        node = expr("switches*.on()")
+        assert isinstance(node, ast.MethodCall)
+        assert node.spread
+
+    def test_command_style_call(self):
+        # SmartThings DSL: input "x", "capability.switch", title: "T"
+        stmt = first_stmt('input "x", "capability.switch", title: "T"')
+        assert isinstance(stmt, ast.ExprStmt)
+        call = stmt.value
+        assert isinstance(call, ast.Call)
+        assert call.name == "input"
+        assert call.args[0].value == "x"
+        assert call.named[0].key == "title"
+
+    def test_chained_calls(self):
+        node = expr("a.b().c()")
+        assert isinstance(node, ast.MethodCall)
+        assert node.name == "c"
+        assert isinstance(node.obj, ast.MethodCall)
+
+
+class TestStatements:
+    def test_var_decl(self):
+        stmt = first_stmt("def x = 5")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+        assert stmt.value.value == 5
+
+    def test_typed_var_decl(self):
+        stmt = first_stmt("int count = 0")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.type_name == "int"
+
+    def test_assignment(self):
+        stmt = first_stmt("x = 1")
+        assert isinstance(stmt, ast.Assign)
+
+    def test_compound_assignment(self):
+        stmt = first_stmt("x += 2")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "+="
+
+    def test_property_assignment(self):
+        stmt = first_stmt("state.count = 1")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Property)
+
+    def test_if_else(self):
+        stmt = first_stmt("if (a) { b() } else { c() }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_if_without_braces(self):
+        stmt = first_stmt("if (a)\n    b()")
+        assert isinstance(stmt, ast.If)
+
+    def test_else_if_chain(self):
+        stmt = first_stmt("if (a) { } else if (b) { } else { }")
+        assert isinstance(stmt.orelse.stmts[0], ast.If)
+
+    def test_while_loop(self):
+        stmt = first_stmt("while (x < 3) { x = x + 1 }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_in_loop(self):
+        stmt = first_stmt("for (s in switches) { s.on() }")
+        assert isinstance(stmt, ast.ForIn)
+        assert stmt.var == "s"
+
+    def test_c_style_for(self):
+        stmt = first_stmt("for (int i = 0; i < 3; i++) { foo(i) }")
+        assert isinstance(stmt, ast.ForC)
+
+    def test_return_value(self):
+        stmt = first_stmt("return 5")
+        assert isinstance(stmt, ast.Return)
+        assert stmt.value.value == 5
+
+    def test_bare_return(self):
+        stmt = first_stmt("return")
+        assert isinstance(stmt, ast.Return)
+        assert stmt.value is None
+
+    def test_switch_statement(self):
+        source = '''
+switch (mode) {
+    case "heat":
+        heaterOn()
+        break
+    case "cool":
+        acOn()
+        break
+    default:
+        idle()
+}
+'''
+        stmt = first_stmt(source)
+        assert isinstance(stmt, ast.Switch)
+        assert len(stmt.cases) == 3
+
+    def test_try_catch(self):
+        stmt = first_stmt("try { risky() } catch (e) { log(e) }")
+        assert isinstance(stmt, ast.Try)
+        assert len(stmt.catches) == 1
+
+    def test_method_def(self):
+        stmt = first_stmt("def handler(evt) { evt.value }")
+        assert isinstance(stmt, ast.MethodDef)
+        assert stmt.name == "handler"
+        assert [p.name for p in stmt.params] == ["evt"]
+
+    def test_private_method_def(self):
+        stmt = first_stmt("private helper() { return 1 }")
+        assert isinstance(stmt, ast.MethodDef)
+        assert "private" in stmt.modifiers
+
+    def test_method_def_default_param(self):
+        stmt = first_stmt("def f(x = 3) { x }")
+        assert stmt.params[0].default.value == 3
+
+
+class TestErrorsAndRecovery:
+    def test_unclosed_brace_raises(self):
+        with pytest.raises(ParseError):
+            parse("def f() { if (a) {")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("def = = =")
+
+    def test_error_carries_position(self):
+        try:
+            parse("def f() { @@@ }")
+        except (ParseError, Exception) as error:
+            assert getattr(error, "line", 1) >= 1
+
+
+class TestWholeApp:
+    def test_full_app_parses(self):
+        source = '''
+definition(
+    name: "Test App",
+    namespace: "test",
+    author: "T",
+    description: "Testing",
+    category: "Convenience")
+
+preferences {
+    section("Pick") {
+        input "switch1", "capability.switch", title: "Switch"
+        input "minutes", "number", title: "Minutes", required: false
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def initialize() {
+    subscribe(switch1, "switch.on", onHandler)
+}
+
+def onHandler(evt) {
+    if (minutes) {
+        runIn(minutes * 60, turnOff)
+    }
+}
+
+def turnOff() {
+    switch1.off()
+}
+'''
+        program = parse(source)
+        names = [s.name for s in program.statements
+                 if isinstance(s, ast.MethodDef)]
+        assert names == ["installed", "initialize", "onHandler", "turnOff"]

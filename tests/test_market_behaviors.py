@@ -1,0 +1,233 @@
+"""Behavioural tests for representative market apps.
+
+Each test installs one real corpus app in a minimal home, fires events,
+and checks the physical effect - validating that our Groovy frontend +
+interpreter reproduce each app's documented behaviour.
+"""
+
+import pytest
+
+from repro.checker.monitor import SafetyMonitor
+from repro.config.schema import SystemConfiguration
+from repro.model.cascade import Cascade
+from repro.model.events import ExternalEvent
+from repro.properties import build_properties
+
+
+def drive(generator, config, events):
+    """Build the system and apply external events; returns final state."""
+    system = generator.build(config)
+    state = system.initial_state()
+    for ext in events:
+        monitor = SafetyMonitor(system, build_properties())
+        cascade = Cascade(system, state, monitor)
+        cascade.run_external(ext)
+    return system, state
+
+
+def sensor(device, attribute, value):
+    return ExternalEvent("sensor", device=device, attribute=attribute,
+                         value=value)
+
+
+def timer(app, handler):
+    return ExternalEvent("timer", app=app, handler=handler)
+
+
+class TestVirtualThermostat:
+    def _config(self, outlets, mode):
+        config = SystemConfiguration()
+        config.add_device("t", "temperature-sensor")
+        config.add_device("heaterOutlet", "smart-outlet")
+        config.add_device("acOutlet", "smart-outlet")
+        config.add_device("m", "smartsense-motion")
+        config.add_app("Virtual Thermostat", {
+            "sensor": "t", "outlets": outlets, "setpoint": 75,
+            "motion": "m", "minutes": 10, "emergencySetpoint": 85,
+            "mode": mode})
+        return config
+
+    def test_cool_mode_turns_on_above_setpoint(self, generator):
+        # recent motion makes the comfort setpoint (75) the target
+        _system, state = drive(generator, self._config(["acOutlet"], "cool"),
+                               [sensor("m", "motion", "active"),
+                                sensor("t", "temperature", 85)])
+        assert state.attribute("acOutlet", "switch") == "on"
+
+    def test_cool_mode_off_below_setpoint(self, generator):
+        _system, state = drive(generator, self._config(["acOutlet"], "cool"),
+                               [sensor("m", "motion", "active"),
+                                sensor("t", "temperature", 85),
+                                sensor("t", "temperature", 65)])
+        assert state.attribute("acOutlet", "switch") == "off"
+
+    def test_heat_mode_turns_on_below_setpoint(self, generator):
+        _system, state = drive(generator,
+                               self._config(["heaterOutlet"], "heat"),
+                               [sensor("m", "motion", "active"),
+                                sensor("t", "temperature", 55)])
+        assert state.attribute("heaterOutlet", "switch") == "on"
+
+    def test_no_motion_uses_emergency_setpoint(self, generator):
+        # without recent motion the emergency setpoint (85) is the target:
+        # 85 is not above it, so the AC stays off
+        _system, state = drive(generator, self._config(["acOutlet"], "cool"),
+                               [sensor("t", "temperature", 85)])
+        assert state.attribute("acOutlet", "switch") == "off"
+        _system, state = drive(generator, self._config(["acOutlet"], "cool"),
+                               [sensor("t", "temperature", 95)])
+        assert state.attribute("acOutlet", "switch") == "on"
+
+    def test_misconfigured_both_outlets(self, generator):
+        """The §2.2 user-study error: both outlets bound -> both driven."""
+        _system, state = drive(
+            generator, self._config(["heaterOutlet", "acOutlet"], "cool"),
+            [sensor("m", "motion", "active"),
+             sensor("t", "temperature", 95)])
+        assert state.attribute("heaterOutlet", "switch") == "on"
+        assert state.attribute("acOutlet", "switch") == "on"
+
+
+class TestDehumidifierControl:
+    def _config(self):
+        config = SystemConfiguration()
+        config.add_device("hum", "humidity-sensor")
+        config.add_device("dehum", "smart-outlet")
+        config.add_app("Dehumidifier Control", {
+            "humiditySensor": "hum", "highHumidity": 60, "lowHumidity": 45,
+            "dehumidifier": "dehum"})
+        return config
+
+    def test_on_above_band(self, generator):
+        _s, state = drive(generator, self._config(),
+                          [sensor("hum", "humidity", 80)])
+        assert state.attribute("dehum", "switch") == "on"
+
+    def test_off_below_band(self, generator):
+        _s, state = drive(generator, self._config(),
+                          [sensor("hum", "humidity", 80),
+                           sensor("hum", "humidity", 20)])
+        assert state.attribute("dehum", "switch") == "off"
+
+    def test_hysteresis_band_no_change(self, generator):
+        _s, state = drive(generator, self._config(),
+                          [sensor("hum", "humidity", 80),
+                           sensor("hum", "humidity", 50)])
+        # 50 is inside the 45..60 band: keep running
+        assert state.attribute("dehum", "switch") == "on"
+
+
+class TestThermostatWindowWatcher:
+    def _config(self):
+        config = SystemConfiguration()
+        config.add_device("win", "smartsense-multi")
+        config.add_device("tstat", "thermostat")
+        config.add_app("Thermostat Window Watcher", {
+            "contacts": ["win"], "tstat": "tstat"})
+        return config
+
+    def test_open_window_kills_hvac(self, generator):
+        _s, state = drive(generator, self._config(),
+                          [sensor("win", "contact", "open")])
+        assert state.attribute("tstat", "thermostatMode") == "off"
+
+    def test_closing_restores_auto(self, generator):
+        _s, state = drive(generator, self._config(),
+                          [sensor("win", "contact", "open"),
+                           sensor("win", "contact", "closed")])
+        assert state.attribute("tstat", "thermostatMode") == "auto"
+
+
+class TestCurlingIronTimeout:
+    def test_schedules_then_turns_off(self, generator):
+        config = SystemConfiguration()
+        config.add_device("iron", "smart-outlet")
+        config.add_device("m", "smartsense-motion")
+        config.add_app("Curling Iron Timeout", {"outlet": "iron",
+                                                "minutes": 30})
+        config.add_app("Brighten My Path", {"motion1": "m",
+                                            "switch1": "iron"})
+        system, state = drive(generator, config,
+                              [sensor("m", "motion", "active")])
+        assert state.attribute("iron", "switch") == "on"
+        assert ("Curling Iron Timeout", "turnOff", False) in state.schedules
+        # the timer fires as an external event
+        monitor = SafetyMonitor(system, build_properties())
+        Cascade(system, state, monitor).run_external(
+            timer("Curling Iron Timeout", "turnOff"))
+        assert state.attribute("iron", "switch") == "off"
+        # one-shot: the schedule is consumed
+        assert ("Curling Iron Timeout", "turnOff", False) not in state.schedules
+
+
+class TestDoorLeftOpenAlert:
+    def test_alert_when_still_open(self, generator):
+        config = SystemConfiguration(contacts=["+1-555-0100"])
+        config.add_device("door", "smartsense-multi")
+        config.add_app("Door Left Open Alert", {
+            "contact1": "door", "openMinutes": 5, "phone1": "+1-555-0100"})
+        system, state = drive(generator, config,
+                              [sensor("door", "contact", "open")])
+        monitor = SafetyMonitor(system, build_properties())
+        cascade = Cascade(system, state, monitor)
+        cascade.run_external(timer("Door Left Open Alert", "stillOpen"))
+        assert any("SMS" in s.text for s in cascade.steps
+                   if s.kind == "message")
+
+    def test_no_alert_after_close(self, generator):
+        config = SystemConfiguration(contacts=["+1-555-0100"])
+        config.add_device("door", "smartsense-multi")
+        config.add_app("Door Left Open Alert", {
+            "contact1": "door", "openMinutes": 5, "phone1": "+1-555-0100"})
+        system, state = drive(generator, config,
+                              [sensor("door", "contact", "open"),
+                               sensor("door", "contact", "closed")])
+        monitor = SafetyMonitor(system, build_properties())
+        cascade = Cascade(system, state, monitor)
+        cascade.run_external(timer("Door Left Open Alert", "stillOpen"))
+        assert not any("SMS" in s.text for s in cascade.steps
+                       if s.kind == "message")
+
+
+class TestMotionAnnouncer:
+    def test_silent_at_home(self, generator):
+        config = SystemConfiguration(contacts=["+1-555-0100"])
+        config.add_device("m", "smartsense-motion")
+        config.add_app("Motion Announcer", {"motion1": "m",
+                                            "phone1": "+1-555-0100"})
+        system, state = drive(generator, config,
+                              [sensor("m", "motion", "active")])
+        assert state.mode == "Home"  # and no message sent while home
+
+    def test_announces_in_away_mode(self, generator):
+        config = SystemConfiguration(contacts=["+1-555-0100"])
+        config.add_device("m", "smartsense-motion")
+        config.add_device("p", "smartsense-presence")
+        config.add_app("Auto Mode Change", {"people": ["p"],
+                                            "awayMode": "Away",
+                                            "homeMode": "Home"})
+        config.add_app("Motion Announcer", {"motion1": "m",
+                                            "phone1": "+1-555-0100"})
+        system, state = drive(generator, config,
+                              [sensor("p", "presence", "not present")])
+        monitor = SafetyMonitor(system, build_properties())
+        cascade = Cascade(system, state, monitor)
+        cascade.run_external(sensor("m", "motion", "active"))
+        assert state.mode == "Away"
+        assert any("SMS" in s.text for s in cascade.steps
+                   if s.kind == "message")
+
+
+class TestThermostatModeDirector:
+    def test_setback_on_away(self, generator):
+        config = SystemConfiguration()
+        config.add_device("tstat", "thermostat")
+        config.add_device("p", "smartsense-presence")
+        config.add_app("Auto Mode Change", {"people": ["p"],
+                                            "awayMode": "Away",
+                                            "homeMode": "Home"})
+        config.add_app("Thermostat Mode Director", {
+            "tstat": "tstat", "comfortHeat": 70, "setbackHeat": 60})
+        _s, state = drive(generator, config,
+                          [sensor("p", "presence", "not present")])
+        assert float(state.attribute("tstat", "heatingSetpoint")) <= 60

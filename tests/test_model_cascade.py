@@ -1,0 +1,200 @@
+"""Unit tests for Algorithm 1: the cascade (sensor update -> dispatch ->
+actuator update), including failure injection."""
+
+import pytest
+
+from repro.checker.monitor import SafetyMonitor
+from repro.model.cascade import Cascade, FailureScenario, NO_FAILURE
+from repro.model.events import ExternalEvent
+from repro.properties import build_properties
+
+
+def run_external(system, ext, scenario=NO_FAILURE, state=None):
+    state = state or system.initial_state()
+    monitor = SafetyMonitor(system, build_properties())
+    cascade = Cascade(system, state, monitor, scenario=scenario)
+    violations = cascade.run_external(ext)
+    return state, cascade, violations
+
+
+class TestSensorStateUpdate:
+    def test_event_updates_state(self, alice_system):
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="not present")
+        state, _cascade, _violations = run_external(alice_system, ext)
+        assert state.attribute("alicePresence", "presence") == "not present"
+
+    def test_no_change_no_event(self, alice_system):
+        """Line 8: evt equal to the current state is dropped."""
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="present")
+        state, cascade, _violations = run_external(alice_system, ext)
+        kinds = [s.kind for s in cascade.steps]
+        assert "notify" not in kinds
+
+    def test_clock_advances_per_external_event(self, alice_system):
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="not present")
+        state, _c, _v = run_external(alice_system, ext)
+        assert state.time > 0
+
+
+class TestCascadePropagation:
+    def test_presence_drives_mode_and_lock(self, alice_system):
+        """The Fig-7 chain in one cascade."""
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="not present")
+        state, cascade, violations = run_external(alice_system, ext)
+        assert state.mode == "Away"
+        assert state.attribute("doorLock", "lock") == "unlocked"
+        assert any(v.property.id == "P06" for v in violations)
+
+    def test_trace_records_handler_steps(self, alice_system):
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="not present")
+        _state, cascade, _violations = run_external(alice_system, ext)
+        handlers = [s.text for s in cascade.steps if s.kind == "handler"]
+        assert any("Auto Mode Change.presenceHandler" in t for t in handlers)
+        assert any("Unlock Door.changedLocationMode" in t for t in handlers)
+
+    def test_app_touch_runs_touch_handler(self, alice_system):
+        ext = ExternalEvent("touch", app="Unlock Door")
+        state, _cascade, _violations = run_external(alice_system, ext)
+        assert state.attribute("doorLock", "lock") == "unlocked"
+
+
+class TestFailureInjection:
+    def test_sensor_drop_updates_ground_truth_silently(self, alice_system):
+        """Fig 8b: the physical world changes but no app is notified."""
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="not present")
+        scenario = FailureScenario(FailureScenario.SENSOR_DROP,
+                                   "alicePresence")
+        state, cascade, _violations = run_external(alice_system, ext,
+                                                   scenario)
+        assert state.attribute("alicePresence", "presence") == "not present"
+        assert state.mode == "Home"  # Auto Mode Change never ran
+        assert not any(s.kind == "handler" for s in cascade.steps)
+
+    def test_actuator_drop_keeps_old_state(self, alice_system):
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="not present")
+        scenario = FailureScenario(FailureScenario.ACTUATOR_DROP, "doorLock")
+        state, _cascade, violations = run_external(alice_system, ext,
+                                                   scenario)
+        assert state.attribute("doorLock", "lock") == "locked"
+
+    def test_actuator_drop_raises_robustness_violation(self, alice_system):
+        """P45: the app neither verifies the command nor notifies the user."""
+        ext = ExternalEvent("sensor", device="alicePresence",
+                            attribute="presence", value="not present")
+        scenario = FailureScenario(FailureScenario.ACTUATOR_DROP, "doorLock")
+        _state, _cascade, violations = run_external(alice_system, ext,
+                                                    scenario)
+        assert any(v.property.id == "P45" for v in violations)
+
+    def test_failure_scenario_labels(self):
+        assert NO_FAILURE.label() == ""
+        assert "offline" in FailureScenario(FailureScenario.SENSOR_DROP,
+                                            "s").label()
+
+
+class TestActuatorUpdate:
+    def test_unknown_command_is_logged_not_fatal(self, alice_system):
+        state = alice_system.initial_state()
+        monitor = SafetyMonitor(alice_system, build_properties())
+        cascade = Cascade(alice_system, state, monitor)
+        cascade.actuator_command("doorLock", "teleport", [], "App")
+        assert any("unknown command" in s.text for s in cascade.steps
+                   if s.kind == "log")
+
+    def test_no_state_change_no_notification(self, alice_system):
+        """Line 17: commanding the current state generates no event."""
+        state = alice_system.initial_state()
+        monitor = SafetyMonitor(alice_system, build_properties())
+        cascade = Cascade(alice_system, state, monitor)
+        cascade.actuator_command("doorLock", "lock", [], "App")
+        assert not any(s.kind == "notify" for s in cascade.steps)
+
+    def test_command_records_cascade_log(self, alice_system):
+        state = alice_system.initial_state()
+        monitor = SafetyMonitor(alice_system, build_properties())
+        cascade = Cascade(alice_system, state, monitor)
+        cascade.actuator_command("doorLock", "unlock", [], "App")
+        assert state.cascade_commands == (
+            ("doorLock", "unlock", (), "App"),)
+
+
+class TestModeChanges:
+    def test_unknown_mode_rejected(self, alice_system):
+        state = alice_system.initial_state()
+        monitor = SafetyMonitor(alice_system, build_properties())
+        cascade = Cascade(alice_system, state, monitor)
+        cascade.set_location_mode("Vacation", "App")
+        assert state.mode == "Home"
+
+    def test_same_mode_no_event(self, alice_system):
+        state = alice_system.initial_state()
+        monitor = SafetyMonitor(alice_system, build_properties())
+        cascade = Cascade(alice_system, state, monitor)
+        cascade.set_location_mode("Home", "App")
+        assert not any(s.kind == "mode" for s in cascade.steps)
+
+
+class TestInternalEventBudget:
+    def test_mirror_pair_converges_without_budget(self, generator):
+        """Same-polarity mirrors converge: re-commanding the current state
+        produces no event (Algorithm 1 line 17), so no infinite loop."""
+        from repro.config.schema import SystemConfiguration
+
+        config = SystemConfiguration()
+        config.add_device("a", "smart-outlet")
+        config.add_device("b", "smart-outlet")
+        config.add_device("m", "smartsense-motion")
+        config.add_app("Switch Mirror", {"master": "a", "slaves": ["b"]},
+                       instance_name="m1")
+        config.add_app("Switch Mirror", {"master": "b", "slaves": ["a"]},
+                       instance_name="m2")
+        config.add_app("Brighten My Path", {"motion1": "m", "switch1": "a"})
+        system = generator.build(config)
+        ext = ExternalEvent("sensor", device="m", attribute="motion",
+                            value="active")
+        state, cascade, _violations = run_external(system, ext)
+        assert state.attribute("b", "switch") == "on"
+        assert not any("budget" in s.text for s in cascade.steps
+                       if s.kind == "log")
+
+    def test_oscillating_apps_cut_by_budget(self, registry):
+        """A mirror plus an inverter oscillate forever; the per-cascade
+        internal-event budget cuts the loop."""
+        from repro.config.schema import SystemConfiguration
+        from repro.model.generator import ModelGenerator
+        from tests.helpers import make_app
+
+        inverter = make_app('''
+definition(name: "Inverter", namespace: "t", author: "t",
+           description: "d", category: "c")
+preferences { section("s") {
+    input "master", "capability.switch"
+    input "slave", "capability.switch"
+} }
+def installed() { subscribe(master, "switch", flip) }
+def flip(evt) {
+    if (evt.value == "on") { slave.off() } else { slave.on() }
+}
+''')
+        apps = dict(registry)
+        apps["Inverter"] = inverter
+        config = SystemConfiguration()
+        config.add_device("a", "smart-outlet")
+        config.add_device("b", "smart-outlet")
+        config.add_device("m", "smartsense-motion")
+        config.add_app("Switch Mirror", {"master": "a", "slaves": ["b"]})
+        config.add_app("Inverter", {"master": "b", "slave": "a"})
+        config.add_app("Brighten My Path", {"motion1": "m", "switch1": "a"})
+        system = ModelGenerator(apps).build(config)
+        ext = ExternalEvent("sensor", device="m", attribute="motion",
+                            value="active")
+        _state, cascade, _violations = run_external(system, ext)
+        assert any("budget" in s.text for s in cascade.steps
+                   if s.kind == "log")

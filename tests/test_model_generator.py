@@ -1,0 +1,108 @@
+"""Unit tests for the Model Generator (§8): binding configurations."""
+
+import pytest
+
+from repro.config.schema import SystemConfiguration
+from repro.model.generator import ConfigurationError, ModelGenerator
+
+
+@pytest.fixture()
+def config():
+    config = SystemConfiguration()
+    config.add_device("m", "smartsense-motion")
+    config.add_device("s", "smart-outlet")
+    config.add_app("Brighten My Path", {"motion1": "m", "switch1": "s"})
+    return config
+
+
+class TestBuild:
+    def test_builds_devices_and_apps(self, generator, config):
+        system = generator.build(config)
+        assert set(system.devices) == {"m", "s"}
+        assert [a.name for a in system.apps] == ["Brighten My Path"]
+
+    def test_unknown_app_strict_raises(self, generator, config):
+        config.add_app("Imaginary App", {})
+        with pytest.raises(ConfigurationError):
+            generator.build(config)
+
+    def test_unknown_app_lenient_skips(self, generator, config):
+        config.add_app("Imaginary App", {})
+        system = generator.build(config, strict=False)
+        assert len(system.apps) == 1
+
+    def test_unknown_device_binding_strict_raises(self, generator, config):
+        config.apps[0].bindings["switch1"] = "ghost"
+        with pytest.raises(ConfigurationError):
+            generator.build(config)
+
+    def test_capability_mismatch_strict_raises(self, generator, config):
+        config.apps[0].bindings["switch1"] = "m"  # motion sensor as switch
+        with pytest.raises(ConfigurationError):
+            generator.build(config)
+
+    def test_missing_required_input_strict_raises(self, generator, config):
+        del config.apps[0].bindings["switch1"]
+        with pytest.raises(ConfigurationError):
+            generator.build(config)
+
+    def test_unknown_input_name_strict_raises(self, generator, config):
+        config.apps[0].bindings["warpDrive"] = "s"
+        with pytest.raises(ConfigurationError):
+            generator.build(config)
+
+    def test_multiple_installs_of_same_app(self, generator, config):
+        config.add_device("s2", "smart-outlet")
+        config.add_app("Brighten My Path", {"motion1": "m", "switch1": "s2"},
+                       instance_name="second install")
+        system = generator.build(config)
+        assert len(system.apps) == 2
+        assert {a.name for a in system.apps} == {"Brighten My Path",
+                                                 "second install"}
+
+
+class TestDerivedAssociation:
+    def test_plural_roles_derived(self, generator, config):
+        system = generator.build(config)
+        assert system.role_list("motion_sensors") == ["m"]
+
+    def test_singular_role_derived_when_unique(self, generator):
+        config = SystemConfiguration()
+        config.add_device("onlyLock", "zwave-lock")
+        system = generator.build(config)
+        assert system.role("main_door_lock") == "onlyLock"
+
+    def test_singular_role_not_derived_when_ambiguous(self, generator):
+        config = SystemConfiguration()
+        config.add_device("lockA", "zwave-lock")
+        config.add_device("lockB", "zwave-lock")
+        system = generator.build(config)
+        # ambiguous: the user must associate it (§7)
+        assert system.role("main_door_lock") is None
+        assert sorted(system.role_list("locks")) == ["lockA", "lockB"]
+
+    def test_explicit_association_wins(self, generator):
+        config = SystemConfiguration(association={"main_door_lock": "lockB"})
+        config.add_device("lockA", "zwave-lock")
+        config.add_device("lockB", "zwave-lock")
+        system = generator.build(config)
+        assert system.role("main_door_lock") == "lockB"
+
+
+class TestOptions:
+    def test_failures_flag(self, generator, config):
+        assert generator.build(config, enable_failures=True).enable_failures
+        assert not generator.build(config).enable_failures
+
+    def test_user_mode_events_flag(self, generator, config):
+        system = generator.build(config, user_mode_events=True)
+        state = system.initial_state()
+        modes = [c for c in system.external_choices(state)
+                 if c.kind == "mode"]
+        assert {c.value for c in modes} == {"Away", "Night"}
+
+    def test_user_mode_events_off_by_default(self, generator, config):
+        system = generator.build(config)
+        state = system.initial_state()
+        assert not any(c.kind == "mode"
+                       for c in system.external_choices(state))

@@ -1,0 +1,207 @@
+"""Unit tests for the 45-property catalog (§8, Table 4)."""
+
+import pytest
+
+from repro.model.state import ModelState
+from repro.properties import (
+    build_properties,
+    default_properties,
+    properties_by_category,
+    select_relevant,
+)
+from repro.properties.base import KIND_INVARIANT
+from repro.properties.physical import PHYSICAL_PROPERTIES
+
+
+class TestCatalogShape:
+    def test_exactly_45_properties(self):
+        assert len(default_properties()) == 45
+
+    def test_exactly_38_physical(self):
+        assert len(PHYSICAL_PROPERTIES) == 38
+        assert all(p.kind == KIND_INVARIANT for p in PHYSICAL_PROPERTIES)
+
+    def test_table4_category_counts(self):
+        """Table 4: Thermostat 5, Lock/door 8, Location mode 3,
+        Security/alarming 14, Water/sprinkler 3, Others 5."""
+        by_category = properties_by_category()
+        counts = {name: len(props) for name, props in by_category.items()
+                  if any(p.kind == KIND_INVARIANT for p in props)}
+        assert counts["Thermostat, AC, and Heater"] == 5
+        assert counts["Lock and door control"] == 8
+        assert counts["Location mode"] == 3
+        assert counts["Security and alarming"] == 14
+        assert counts["Water and sprinkler"] == 3
+        assert counts["Others"] == 5
+
+    def test_special_property_kinds(self):
+        kinds = {p.kind for p in default_properties()}
+        assert {"conflict", "repeat", "leakage-http", "leakage-sms",
+                "security-command", "fake-event", "robustness",
+                "invariant"} == kinds
+
+    def test_unique_ids(self):
+        ids = [p.id for p in default_properties()]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_property_has_description(self):
+        for prop in default_properties():
+            assert prop.description
+            assert prop.name
+
+    def test_every_invariant_has_ltl(self):
+        for prop in PHYSICAL_PROPERTIES:
+            assert prop.ltl, prop.id
+
+
+class TestBuildProperties:
+    def test_default_is_all(self):
+        assert len(build_properties()) == 45
+
+    def test_select_by_id(self):
+        props = build_properties(["P06", "P39"])
+        assert {p.id for p in props} == {"P06", "P39"}
+
+    def test_select_by_category(self):
+        props = build_properties(["Lock and door control"])
+        assert len(props) == 8
+
+    def test_unknown_selection_raises(self):
+        with pytest.raises(KeyError):
+            build_properties(["P99"])
+
+
+class TestPredicates:
+    """Drive individual invariants with hand-built states."""
+
+    def _state(self, alice_system, **attrs):
+        state = alice_system.initial_state()
+        for spec, value in attrs.items():
+            device, attribute = spec.split("__")
+            state.set_attribute(device, attribute, value)
+        return state
+
+    def _prop(self, pid):
+        return next(p for p in default_properties() if p.id == pid)
+
+    def test_p06_holds_when_home(self, alice_system):
+        prop = self._prop("P06")
+        state = self._state(alice_system)
+        assert prop.holds(state, alice_system)
+
+    def test_p06_violated_when_away_unlocked(self, alice_system):
+        prop = self._prop("P06")
+        state = self._state(alice_system,
+                            alicePresence__presence="not present",
+                            doorLock__lock="unlocked")
+        assert not prop.holds(state, alice_system)
+
+    def test_p06_holds_when_away_locked(self, alice_system):
+        prop = self._prop("P06")
+        state = self._state(alice_system,
+                            alicePresence__presence="not present")
+        assert prop.holds(state, alice_system)
+
+    def test_p08_mode_dependent(self, alice_system):
+        prop = self._prop("P08")
+        state = self._state(alice_system, doorLock__lock="unlocked")
+        assert prop.holds(state, alice_system)  # mode is Home
+        state.mode = "Away"
+        assert not prop.holds(state, alice_system)
+
+    def test_inapplicable_property_counts_as_holding(self, alice_system):
+        # P01 needs heater_outlet + temp_sensor roles - unbound here
+        prop = self._prop("P01")
+        assert not prop.applicable(alice_system)
+        assert prop.holds(alice_system.initial_state(), alice_system)
+
+
+class TestThermostatPredicates:
+    @pytest.fixture()
+    def climate_system(self, generator):
+        from repro.config.schema import SystemConfiguration
+
+        config = SystemConfiguration()
+        config.add_device("t", "temperature-sensor")
+        config.add_device("heater", "smart-outlet")
+        config.add_device("ac", "smart-outlet")
+        config.association.update({"temp_sensor": "t",
+                                   "heater_outlet": "heater",
+                                   "ac_outlet": "ac"})
+        config.add_app("Too Hot Cooler", {"sensor": "t", "maxTemp": 85,
+                                          "ac": "ac"})
+        return generator.build(config)
+
+    def _prop(self, pid):
+        return next(p for p in default_properties() if p.id == pid)
+
+    def test_p01_heater_on_when_hot(self, climate_system):
+        state = climate_system.initial_state()
+        state.set_attribute("t", "temperature", 95)
+        state.set_attribute("heater", "switch", "on")
+        assert not self._prop("P01").holds(state, climate_system)
+
+    def test_p01_heater_on_when_cool_is_fine(self, climate_system):
+        state = climate_system.initial_state()
+        state.set_attribute("t", "temperature", 60)
+        state.set_attribute("heater", "switch", "on")
+        assert self._prop("P01").holds(state, climate_system)
+
+    def test_p03_both_on_violates(self, climate_system):
+        state = climate_system.initial_state()
+        state.set_attribute("heater", "switch", "on")
+        state.set_attribute("ac", "switch", "on")
+        assert not self._prop("P03").holds(state, climate_system)
+
+    def test_p03_one_on_holds(self, climate_system):
+        state = climate_system.initial_state()
+        state.set_attribute("ac", "switch", "on")
+        assert self._prop("P03").holds(state, climate_system)
+
+
+class TestSelection:
+    def test_monitored_properties_always_kept(self, alice_system):
+        selected = select_relevant(alice_system, default_properties())
+        kinds = {p.kind for p in selected}
+        assert "conflict" in kinds
+        assert "repeat" in kinds
+
+    def test_unbound_roles_dropped(self, alice_system):
+        selected = select_relevant(alice_system, default_properties())
+        ids = {p.id for p in selected}
+        assert "P01" not in ids  # no heater role in Alice's home
+        assert "P06" in ids
+
+    def test_uncontrolled_actuator_dropped(self, generator):
+        """A lock nobody controls cannot satisfy or violate lock duties."""
+        from repro.config.schema import SystemConfiguration
+
+        config = SystemConfiguration()
+        config.add_device("p", "smartsense-presence")
+        config.add_device("lock", "zwave-lock")
+        config.add_device("s1", "smart-outlet")
+        config.add_device("m", "smartsense-motion")
+        config.association["main_door_lock"] = "lock"
+        config.add_app("Brighten My Path", {"motion1": "m", "switch1": "s1"})
+        system = generator.build(config)
+        selected = select_relevant(system, default_properties())
+        assert "P06" not in {p.id for p in selected}
+
+    def test_mode_obligations_need_mode_app(self, generator):
+        from repro.config.schema import SystemConfiguration
+
+        config = SystemConfiguration()
+        config.add_device("p", "smartsense-presence")
+        config.add_device("m", "smartsense-motion")
+        config.add_device("s1", "smart-outlet")
+        config.association["presence_sensors"] = ["p"]
+        config.add_app("Brighten My Path", {"motion1": "m", "switch1": "s1"})
+        system = generator.build(config)
+        selected = {p.id for p in select_relevant(system,
+                                                  default_properties())}
+        assert "P14" not in selected
+
+    def test_mode_obligations_kept_with_mode_app(self, alice_system):
+        selected = {p.id for p in select_relevant(alice_system,
+                                                  default_properties())}
+        assert "P14" in selected

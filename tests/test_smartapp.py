@@ -1,0 +1,176 @@
+"""Unit tests for the SmartThings DSL extraction (§6 SmartThings Handler)."""
+
+from tests.helpers import make_app
+
+_VIRTUAL_THERMOSTAT_PREFS = '''
+definition(name: "VT", namespace: "t", author: "t",
+           description: "Control a space heater or window AC",
+           category: "Green Living")
+
+preferences {
+    section("Choose a temperature sensor ... ") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Select the heater or air conditioner outlet(s)... ") {
+        input "outlets", "capability.switch", title: "Outlets", multiple: true
+    }
+    section("Set the desired temperature ...") {
+        input "setpoint", "decimal", title: "Set Temp"
+    }
+    section("When there's been movement from (optional)") {
+        input "motion", "capability.motionSensor", title: "Motion", required: false
+    }
+    section("Within this number of minutes ...") {
+        input "minutes", "number", title: "Minutes", required: false
+    }
+    section("Select 'heat' for a heater and 'cool' for an air conditioner ...") {
+        input "mode", "enum", title: "Heating or cooling?", options: ["heat", "cool"]
+    }
+}
+def installed() { }
+'''
+
+
+class TestDefinition:
+    def test_name_extracted(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        assert app.name == "VT"
+
+    def test_description_extracted(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        assert "heater" in app.definition["description"]
+
+
+class TestInputs:
+    """The paper's Figure 1 preferences block."""
+
+    def test_all_inputs_found(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        names = [i.name for i in app.inputs]
+        assert names == ["sensor", "outlets", "setpoint", "motion",
+                         "minutes", "mode"]
+
+    def test_device_input_capability(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        sensor = app.input("sensor")
+        assert sensor.is_device
+        assert sensor.capability == "temperatureMeasurement"
+
+    def test_multiple_flag(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        assert app.input("outlets").multiple is True
+        assert app.input("sensor").multiple is False
+
+    def test_optional_flag(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        assert app.input("motion").required is False
+        assert app.input("setpoint").required is True
+
+    def test_value_input_not_device(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        assert not app.input("setpoint").is_device
+        assert app.input("setpoint").capability is None
+
+    def test_enum_options(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        assert app.input("mode").options == ["heat", "cool"]
+
+    def test_unknown_input_is_none(self):
+        app = make_app(_VIRTUAL_THERMOSTAT_PREFS)
+        assert app.input("nope") is None
+
+
+class TestSubscriptions:
+    def test_device_subscription_with_value(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+preferences { section("s") { input "contact1", "capability.contactSensor" } }
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def openHandler(evt) { }
+''')
+        (sub,) = app.subscriptions
+        assert sub.source == "contact1"
+        assert sub.attribute == "contact"
+        assert sub.value == "open"
+        assert sub.handler == "openHandler"
+
+    def test_device_subscription_any_value(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+preferences { section("s") { input "contact1", "capability.contactSensor" } }
+def installed() { subscribe(contact1, "contact", handler) }
+def handler(evt) { }
+''')
+        (sub,) = app.subscriptions
+        assert sub.attribute == "contact"
+        assert sub.value is None
+
+    def test_app_touch_subscription(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+def installed() { subscribe(app, appTouch) }
+def appTouch(evt) { }
+''')
+        (sub,) = app.subscriptions
+        assert sub.source == "app"
+        assert sub.handler == "appTouch"
+
+    def test_location_mode_subscription(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+def installed() { subscribe(location, changedLocationMode) }
+def changedLocationMode(evt) { }
+''')
+        (sub,) = app.subscriptions
+        assert sub.source == "location"
+        assert sub.attribute == "mode"
+
+    def test_duplicate_registrations_deduplicated(self):
+        # installed() and updated() both register; only one runs at a time
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+preferences { section("s") { input "m", "capability.motionSensor" } }
+def installed() { subscribe(m, "motion", h) }
+def updated() { unsubscribe()\n subscribe(m, "motion", h) }
+def h(evt) { }
+''')
+        assert len(app.subscriptions) == 1
+
+
+class TestSchedules:
+    def test_run_in_extracted(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+def h(evt) { runIn(600, turnOff) }
+def turnOff() { }
+''')
+        assert ("runIn", "turnOff") in [(api, h) for api, h, _l in app.schedules]
+
+    def test_schedule_extracted(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+def installed() { schedule("0 0 22 * * ?", nightly) }
+def nightly() { }
+''')
+        assert ("schedule", "nightly") in [(api, h) for api, h, _l in app.schedules]
+
+    def test_run_every_extracted(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+def installed() { runEvery5Minutes(poll) }
+def poll() { }
+''')
+        assert ("runEvery5Minutes", "poll") in [(api, h)
+                                                for api, h, _l in app.schedules]
+
+
+class TestHandlerNames:
+    def test_handler_names_cover_subscriptions_and_schedules(self):
+        app = make_app('''
+definition(name: "S", namespace: "t", author: "t", description: "d", category: "c")
+preferences { section("s") { input "m", "capability.motionSensor" } }
+def installed() { subscribe(m, "motion.active", onMotion)\n runIn(60, off) }
+def onMotion(evt) { }
+def off() { }
+''')
+        assert set(app.handler_names) >= {"onMotion", "off"}

@@ -1,0 +1,187 @@
+"""Unit tests for Groovy built-in utilities (§6: find, findAll, each,
+collect, first, + on lists, map, ...)."""
+
+import pytest
+
+from repro.translator.builtins import (
+    call_builtin,
+    is_groovy_truthy,
+    to_groovy_string,
+)
+
+
+def invoke(closure, args):
+    """Closure stand-in: tests pass plain Python callables."""
+    return closure(*args)
+
+
+def call(receiver, name, *args, closure=None):
+    handled, result = call_builtin(receiver, name, list(args), closure, invoke)
+    assert handled, "builtin %r not handled for %r" % (name, receiver)
+    return result
+
+
+class TestListBuiltins:
+    def test_each_visits_all(self):
+        seen = []
+        call([1, 2, 3], "each", closure=lambda it: seen.append(it))
+        assert seen == [1, 2, 3]
+
+    def test_each_with_index(self):
+        seen = []
+        call(["a", "b"], "eachWithIndex",
+             closure=lambda it, i: seen.append((it, i)))
+        assert seen == [("a", 0), ("b", 1)]
+
+    def test_find_returns_first_match(self):
+        assert call([1, 5, 8], "find", closure=lambda it: it > 3) == 5
+
+    def test_find_returns_none_when_absent(self):
+        assert call([1, 2], "find", closure=lambda it: it > 9) is None
+
+    def test_find_all(self):
+        assert call([1, 5, 8], "findAll", closure=lambda it: it > 3) == [5, 8]
+
+    def test_collect(self):
+        assert call([1, 2], "collect", closure=lambda it: it * 10) == [10, 20]
+
+    def test_any(self):
+        assert call([1, 2], "any", closure=lambda it: it == 2) is True
+        assert call([1, 2], "any", closure=lambda it: it == 9) is False
+
+    def test_every(self):
+        assert call([2, 4], "every", closure=lambda it: it % 2 == 0) is True
+        assert call([2, 3], "every", closure=lambda it: it % 2 == 0) is False
+
+    def test_first_and_last(self):
+        assert call([7, 8, 9], "first") == 7
+        assert call([7, 8, 9], "last") == 9
+
+    def test_size(self):
+        assert call([1, 2, 3], "size") == 3
+
+    def test_contains(self):
+        assert call([1, 2], "contains", 2) is True
+        assert call([1, 2], "contains", 5) is False
+
+    def test_sum(self):
+        assert call([1, 2, 3], "sum") == 6
+
+    def test_sum_with_closure(self):
+        assert call([1, 2], "sum", closure=lambda it: it * 10) == 30
+
+    def test_count(self):
+        assert call([1, 2, 2, 3], "count", 2) == 2
+
+    def test_count_with_closure(self):
+        assert call([1, 2, 3], "count", closure=lambda it: it > 1) == 2
+
+    def test_sort_is_stable_copy(self):
+        original = [3, 1, 2]
+        assert call(original, "sort") == [1, 2, 3]
+
+    def test_join(self):
+        assert call(["a", "b"], "join", ",") == "a,b"
+
+    def test_unique(self):
+        assert call([1, 2, 2, 1], "unique") == [1, 2]
+
+    def test_reverse(self):
+        assert call([1, 2, 3], "reverse") == [3, 2, 1]
+
+    def test_min_max(self):
+        assert call([5, 1, 9], "min") == 1
+        assert call([5, 1, 9], "max") == 9
+
+    def test_flatten(self):
+        assert call([[1, 2], [3]], "flatten") == [1, 2, 3]
+
+    def test_is_empty(self):
+        assert call([], "isEmpty") is True
+        assert call([1], "isEmpty") is False
+
+    def test_intersect(self):
+        assert call([1, 2, 3], "intersect", [2, 3, 4]) == [2, 3]
+
+
+class TestMapBuiltins:
+    def test_map_each_entries(self):
+        seen = {}
+        call({"a": 1}, "each", closure=lambda entry: seen.update(
+            {entry.key: entry.value}))
+        assert seen == {"a": 1}
+
+    def test_map_contains_key(self):
+        assert call({"a": 1}, "containsKey", "a") is True
+        assert call({"a": 1}, "containsKey", "b") is False
+
+    def test_map_size(self):
+        assert call({"a": 1, "b": 2}, "size") == 2
+
+    def test_map_get_with_default(self):
+        assert call({"a": 1}, "get", "b", 7) == 7
+
+
+class TestStringBuiltins:
+    def test_to_integer(self):
+        assert call("42", "toInteger") == 42
+
+    def test_to_upper_lower(self):
+        assert call("abc", "toUpperCase") == "ABC"
+        assert call("ABC", "toLowerCase") == "abc"
+
+    def test_contains(self):
+        assert call("hello", "contains", "ell") is True
+
+    def test_starts_ends_with(self):
+        assert call("hello", "startsWith", "he") is True
+        assert call("hello", "endsWith", "lo") is True
+
+    def test_trim(self):
+        assert call(" x ", "trim") == "x"
+
+    def test_split(self):
+        assert call("a,b", "split", ",") == ["a", "b"]
+
+    def test_is_number(self):
+        assert call("12", "isNumber") is True
+        assert call("twelve", "isNumber") is False
+
+
+class TestNumberBuiltins:
+    def test_to_integer_rounds_down(self):
+        assert call(3.9, "toInteger") == 3
+
+    def test_int_to_string(self):
+        assert call(42, "toString") == "42"
+
+
+class TestGroovySemantics:
+    def test_truthiness_of_collections(self):
+        assert is_groovy_truthy([1]) is True
+        assert is_groovy_truthy([]) is False
+        assert is_groovy_truthy({}) is False
+        assert is_groovy_truthy("") is False
+        assert is_groovy_truthy("x") is True
+
+    def test_truthiness_of_numbers(self):
+        assert is_groovy_truthy(0) is False
+        assert is_groovy_truthy(0.0) is False
+        assert is_groovy_truthy(-1) is True
+
+    def test_truthiness_of_null(self):
+        assert is_groovy_truthy(None) is False
+
+    def test_to_groovy_string_for_bool(self):
+        assert to_groovy_string(True) == "true"
+        assert to_groovy_string(False) == "false"
+
+    def test_to_groovy_string_for_null(self):
+        assert to_groovy_string(None) == "null"
+
+    def test_to_groovy_string_for_int_valued_float(self):
+        assert to_groovy_string(3.0) in ("3", "3.0")
+
+    def test_unknown_builtin_not_handled(self):
+        handled, _ = call_builtin([1], "definitelyNotAMethod", [], None, invoke)
+        assert handled is False

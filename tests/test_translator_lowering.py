@@ -1,0 +1,102 @@
+"""Unit tests for the lowering pass (AST -> checkable IR)."""
+
+from repro.groovy import ast, parse
+from repro.translator.lowering import lower_program
+
+
+def lower(source):
+    return lower_program(parse(source))
+
+
+def first(source):
+    return lower(source).statements[0]
+
+
+class TestForLoops:
+    def test_c_style_for_becomes_while(self):
+        block = first("for (int i = 0; i < 3; i++) { foo(i) }")
+        assert isinstance(block, ast.Block)
+        init, loop = block.stmts
+        assert isinstance(init, ast.VarDecl)
+        assert isinstance(loop, ast.While)
+
+    def test_update_appended_to_body(self):
+        block = first("for (int i = 0; i < 3; i++) { foo(i) }")
+        loop = block.stmts[1]
+        last = loop.body.stmts[-1]
+        assert isinstance(last, ast.Assign)
+
+    def test_for_in_preserved(self):
+        stmt = first("for (s in switches) { s.on() }")
+        assert isinstance(stmt, ast.ForIn)
+
+    def test_for_without_cond_gets_true(self):
+        block = first("for (int i = 0; ; i++) { break }")
+        loop = block.stmts[1]
+        assert isinstance(loop.cond, ast.Literal)
+        assert loop.cond.value is True
+
+
+class TestCompoundAssignment:
+    def test_plus_equals(self):
+        stmt = first("x += 2")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "="
+        assert isinstance(stmt.value, ast.Binary)
+        assert stmt.value.op == "+"
+
+    def test_minus_equals(self):
+        stmt = first("x -= 1")
+        assert stmt.value.op == "-"
+
+    def test_times_equals(self):
+        assert first("x *= 3").value.op == "*"
+
+
+class TestIncrementDecrement:
+    def test_postfix_increment_statement(self):
+        stmt = first("i++")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.value.op == "+"
+        assert stmt.value.right.value == 1
+
+    def test_postfix_decrement_statement(self):
+        stmt = first("i--")
+        assert stmt.value.op == "-"
+
+    def test_property_increment(self):
+        stmt = first("state.count++")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Property)
+
+
+class TestStructure:
+    def test_method_bodies_lowered(self):
+        program = lower("def f() { for (int i = 0; i < 2; i++) { g() } }")
+        method = program.statements[0]
+        assert isinstance(method, ast.MethodDef)
+        inner = method.body.stmts[0]
+        assert isinstance(inner, ast.Block)
+        assert isinstance(inner.stmts[1], ast.While)
+
+    def test_lowering_does_not_mutate_input(self):
+        program = parse("x += 1")
+        original = program.statements[0]
+        lower_program(program)
+        assert original.op == "+="  # input untouched
+
+    def test_if_branches_lowered(self):
+        stmt = first("if (a) { x += 1 } else { y++ }")
+        assert stmt.then.stmts[0].op == "="
+        assert isinstance(stmt.orelse.stmts[0], ast.Assign)
+
+    def test_closure_bodies_lowered(self):
+        stmt = first("items.each { x += 1 }")
+        closure = stmt.value.closure
+        assert closure.body.stmts[0].op == "="
+
+    def test_switch_cases_lowered(self):
+        source = 'switch (m) { case "a": x += 1\n break\n }'
+        stmt = first(source)
+        assert isinstance(stmt, ast.Switch)
+        assert stmt.cases[0].body.stmts[0].op == "="

@@ -1,0 +1,129 @@
+"""Unit tests for type inference (§6: "Implicit Types")."""
+
+from repro.translator import types as T
+from repro.translator.types import infer_app_types
+
+from tests.helpers import make_app
+
+_HEADER = '''
+definition(name: "Typed", namespace: "t", author: "t",
+           description: "d", category: "c")
+
+preferences {
+    section("devices") {
+        input "switch1", "capability.switch", title: "S"
+        input "outlets", "capability.switch", title: "O", multiple: true
+        input "setpoint", "decimal", title: "Temp"
+        input "minutes", "number", title: "Min", required: false
+        input "mode1", "enum", title: "M", options: ["heat", "cool"]
+    }
+}
+'''
+
+
+def infer(body):
+    return infer_app_types(make_app(_HEADER + body))
+
+
+class TestInputAnchors:
+    def test_single_device_input(self):
+        engine = infer("")
+        assert engine.globals["switch1"] == T.device("switch")
+
+    def test_multiple_device_input_is_list(self):
+        engine = infer("")
+        assert engine.globals["outlets"] == T.list_of(T.device("switch"))
+
+    def test_decimal_input(self):
+        assert infer("").globals["setpoint"] == T.DECIMAL
+
+    def test_number_input(self):
+        assert infer("").globals["minutes"] == T.INT
+
+    def test_enum_input_is_string(self):
+        assert infer("").globals["mode1"] == T.STRING
+
+    def test_state_is_map(self):
+        assert infer("").globals["state"] == T.MAP
+
+
+class TestLocalInference:
+    def test_constant_assignment_anchor(self):
+        # "we can infer that the type of variable a is numeric from def a = 0"
+        engine = infer("def f() { def a = 0\n return a }")
+        assert engine.methods["f"].locals["a"] == T.INT
+
+    def test_string_assignment(self):
+        engine = infer("def f() { def s = 'hi'\n return s }")
+        assert engine.methods["f"].locals["s"] == T.STRING
+
+    def test_boolean_assignment(self):
+        engine = infer("def f() { def b = true\n return b }")
+        assert engine.methods["f"].locals["b"] == T.BOOLEAN
+
+    def test_propagation_through_assignment(self):
+        engine = infer("def f() { def a = 1\n def b = a\n return b }")
+        assert engine.methods["f"].locals["b"] == T.INT
+
+    def test_input_propagates_to_local(self):
+        engine = infer("def f() { def s = switch1\n return s }")
+        assert engine.methods["f"].locals["s"] == T.device("switch")
+
+    def test_declared_type_wins(self):
+        engine = infer("def f() { int i = 0\n return i }")
+        assert engine.methods["f"].locals["i"] == T.INT
+
+
+class TestReturnInference:
+    def test_return_type_from_literal(self):
+        engine = infer("def f() { return 42 }")
+        assert engine.methods["f"].return_type == T.INT
+
+    def test_return_type_of_list_concat(self):
+        # the paper's Figure 6: switches + onSwitches -> List of STSwitch
+        engine = infer("private onSwitches() { outlets + outlets }")
+        assert engine.methods["onSwitches"].return_type == T.list_of(
+            T.device("switch"))
+
+    def test_handler_param_is_event(self):
+        source = '''
+def installed() { subscribe(switch1, "switch.on", onHandler) }
+def onHandler(evt) { evt.value }
+'''
+        engine = infer(source)
+        assert engine.methods["onHandler"].params["evt"] == T.EVENT
+
+
+class TestJoin:
+    def test_join_unknown_identity(self):
+        assert T.join(T.UNKNOWN, T.INT) == T.INT
+        assert T.join(T.INT, T.UNKNOWN) == T.INT
+
+    def test_join_same(self):
+        assert T.join(T.STRING, T.STRING) == T.STRING
+
+    def test_join_numeric_widens(self):
+        assert T.join(T.INT, T.DECIMAL) == T.DECIMAL
+
+    def test_join_conflicting_is_object(self):
+        assert T.join(T.STRING, T.INT) == T.OBJECT
+
+    def test_list_covariance(self):
+        joined = T.join(T.list_of(T.INT), T.list_of(T.DECIMAL))
+        assert joined == T.list_of(T.DECIMAL)
+
+
+class TestGType:
+    def test_equality(self):
+        assert T.GType("int") == T.GType("int")
+        assert T.GType("List", T.INT) == T.list_of(T.INT)
+
+    def test_hashable(self):
+        assert len({T.INT, T.GType("int"), T.STRING}) == 2
+
+    def test_device_type_name(self):
+        assert T.device("switch").tag == "STSwitch"
+        assert T.device("motionSensor").tag == "STMotionSensor"
+
+    def test_repr_of_list(self):
+        assert repr(T.list_of(T.INT)) == "List<int>"
