@@ -10,7 +10,7 @@
 
 import time
 
-from repro.checker.explorer import Explorer, ExplorerOptions, verify
+from repro.engine import EngineOptions, ExplorationEngine, verify
 from repro.checker.visited import BitStateTable
 from repro.corpus.groups import expert_configuration
 from repro.deps import analyze_apps
@@ -30,10 +30,10 @@ def test_ablation_dependency_analysis(registry, generator, benchmark):
 
     whole_system = generator.build(config)
     properties = select_relevant(whole_system, build_properties())
-    options = ExplorerOptions(max_events=2, max_states=100000)
+    options = EngineOptions(max_events=2, max_states=100000)
 
     started = time.monotonic()
-    whole = Explorer(whole_system, properties, options).run()
+    whole = ExplorationEngine(whole_system, properties, options).run()
     whole_elapsed = time.monotonic() - started
 
     def check_related_sets():
@@ -45,7 +45,7 @@ def test_ablation_dependency_analysis(registry, generator, benchmark):
                                if a.app in group_apps]
             system = generator.build(sub_config)
             sub_properties = select_relevant(system, build_properties())
-            result = Explorer(system, sub_properties, options).run()
+            result = ExplorationEngine(system, sub_properties, options).run()
             total_states += result.states_explored
             violated.update(result.violated_property_ids)
         return total_states, violated
@@ -75,9 +75,9 @@ def test_ablation_bitstate_sizing(generator, benchmark):
     properties = select_relevant(system, build_properties())
 
     def explore_with_bits(bits):
-        options = ExplorerOptions(max_events=3, visited="bitstate",
+        options = EngineOptions(max_events=3, visited="bitstate",
                                   bitstate_bits=bits, max_states=120000)
-        return Explorer(system, properties, options).run()
+        return ExplorationEngine(system, properties, options).run()
 
     exact = verify(system, properties, max_events=3, max_states=120000)
     rows = [("exact", "-", exact.states_explored, "-")]
@@ -109,10 +109,10 @@ def test_ablation_property_selection(generator, benchmark):
     all_properties = build_properties()
     selected = select_relevant(system, all_properties)
 
-    options = ExplorerOptions(max_events=2, max_states=60000)
-    with_all = Explorer(system, all_properties, options).run()
+    options = EngineOptions(max_events=2, max_states=60000)
+    with_all = ExplorationEngine(system, all_properties, options).run()
     with_selected = benchmark.pedantic(
-        Explorer(system, selected, options).run, iterations=1, rounds=3)
+        ExplorationEngine(system, selected, options).run, iterations=1, rounds=3)
 
     noise = set(with_all.violated_property_ids) - set(
         with_selected.violated_property_ids)

@@ -5,7 +5,7 @@ the regenerated Spin-style violation log.
 """
 
 from repro import build_system
-from repro.checker.explorer import verify
+from repro.engine import verify
 from repro.checker.trace import render_violation_log
 from repro.config.schema import SystemConfiguration
 from repro.properties import build_properties

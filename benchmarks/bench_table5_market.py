@@ -6,7 +6,7 @@ type, count, example apps).  Paper: 38 violations of 11 properties from
 app interactions, plus 9 additional properties under failures.
 """
 
-from repro.checker.explorer import Explorer, ExplorerOptions
+from repro.engine import EngineOptions, ExplorationEngine
 from repro.corpus.groups import EXPERT_GROUPS, expert_configuration
 from repro.properties import build_properties, select_relevant
 from repro.properties.base import (
@@ -34,8 +34,8 @@ def run_groups(generator, enable_failures):
         config = expert_configuration(group_name)
         system = generator.build(config, enable_failures=enable_failures)
         properties = select_relevant(system, build_properties())
-        result = Explorer(system, properties,
-                          ExplorerOptions(**_OPTIONS)).run()
+        result = ExplorationEngine(system, properties,
+                          EngineOptions(**_OPTIONS)).run()
         violations.extend(result.violations)
     return violations
 
@@ -119,8 +119,8 @@ def test_fig8b_motion_sensor_failure(generator, benchmark):
     properties = select_relevant(system, build_properties())
 
     result = benchmark.pedantic(
-        Explorer(system, properties,
-                 ExplorerOptions(max_events=2, max_states=80000)).run,
+        ExplorationEngine(system, properties,
+                 EngineOptions(max_events=2, max_states=80000)).run,
         iterations=1, rounds=2)
 
     rows = [(v.property.id, ", ".join(sorted(set(v.apps))) or "-",

@@ -6,33 +6,28 @@ states 66).  We model each volunteer as a deterministic misconfiguration
 profile; the bench sweeps all 70 configurations.
 """
 
-from repro.attribution.volunteers import (
-    VOLUNTEER_PROFILES,
-    volunteer_configuration,
-)
-from repro.checker.explorer import Explorer, ExplorerOptions
-from repro.corpus.groups import VOLUNTEER_GROUPS
-from repro.properties import build_properties, select_relevant
-from repro.properties.base import KIND_CONFLICT, KIND_INVARIANT, KIND_REPEAT
+from repro.attribution.volunteers import volunteer_verification_jobs
+from repro.engine import EngineOptions, verify_many
 
 from conftest import print_table
+from repro.properties.base import KIND_CONFLICT, KIND_INVARIANT, KIND_REPEAT
 
 _OPTIONS = dict(max_events=2, max_states=30000)
 
 
-def run_volunteer_study(registry, generator, groups=None, profiles=None):
-    """Verify every (group, profile) configuration; returns violations per
-    configuration."""
+def run_volunteer_study(registry, generator, groups=None, profiles=None,
+                        workers=1):
+    """Verify every (group, profile) configuration through the batch
+    engine; returns violations per configuration."""
+    jobs = volunteer_verification_jobs(
+        registry, options=EngineOptions(**_OPTIONS), groups=groups,
+        profiles=profiles)
+    batch = verify_many(jobs, workers=workers)
+    assert not batch.errors, batch.errors
     outcomes = {}
-    for group_name in sorted(groups or VOLUNTEER_GROUPS):
-        for profile_name in sorted(profiles or VOLUNTEER_PROFILES):
-            config = volunteer_configuration(group_name, profile_name,
-                                              registry)
-            system = generator.build(config, strict=False)
-            properties = select_relevant(system, build_properties())
-            result = Explorer(system, properties,
-                              ExplorerOptions(**_OPTIONS)).run()
-            outcomes[(group_name, profile_name)] = result.violations
+    for name, result in batch.results.items():
+        group_name, profile_name = name.split("/", 1)
+        outcomes[(group_name, profile_name)] = result.violations
     return outcomes
 
 

@@ -9,7 +9,7 @@ bound; sequential stays tractable.
 
 import time
 
-from repro.checker.explorer import CONCURRENT, SEQUENTIAL, verify
+from repro.engine import CONCURRENT, SEQUENTIAL, verify
 from repro.config.schema import SystemConfiguration
 from repro.properties import build_properties, select_relevant
 

@@ -8,7 +8,7 @@ siren that the motion rules (#1, #3) arm.
 
 import re
 
-from repro.checker.explorer import Explorer, ExplorerOptions
+from repro.engine import EngineOptions, ExplorationEngine
 from repro.ifttt import TABLE9_PROPERTIES, table9_configuration
 from repro.ifttt.table9 import TABLE9_EXPECTED, table9_registry
 from repro.model.generator import ModelGenerator
@@ -20,8 +20,8 @@ def run_table9():
     registry = table9_registry()
     config = table9_configuration()
     system = ModelGenerator(registry).build(config)
-    options = ExplorerOptions(max_events=2, max_states=150000)
-    return Explorer(system, TABLE9_PROPERTIES, options).run()
+    options = EngineOptions(max_events=2, max_states=150000)
+    return ExplorationEngine(system, TABLE9_PROPERTIES, options).run()
 
 
 def _rule_numbers(apps):

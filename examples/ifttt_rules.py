@@ -12,7 +12,7 @@ Run: ``python examples/ifttt_rules.py``
 
 import re
 
-from repro.checker.explorer import Explorer, ExplorerOptions
+from repro.engine import EngineOptions, ExplorationEngine
 from repro.ifttt import table9_applets, table9_configuration, TABLE9_PROPERTIES
 from repro.ifttt.table9 import TABLE9_EXPECTED, table9_registry
 from repro.ifttt.translator import IFTTTTranslator
@@ -46,8 +46,8 @@ def main():
     registry = table9_registry()
     config = table9_configuration()
     system = ModelGenerator(registry).build(config)
-    options = ExplorerOptions(max_events=2, max_states=100000)
-    result = Explorer(system, TABLE9_PROPERTIES, options).run()
+    options = EngineOptions(max_events=2, max_states=100000)
+    result = ExplorationEngine(system, TABLE9_PROPERTIES, options).run()
 
     print("Verification: %s" % result.summary().splitlines()[0])
     print()

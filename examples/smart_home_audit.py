@@ -17,7 +17,7 @@ Run: ``python examples/smart_home_audit.py [group-name]``
 import sys
 
 from repro import build_system
-from repro.checker.explorer import Explorer, ExplorerOptions
+from repro.engine import EngineOptions, ExplorationEngine
 from repro.corpus import load_all_apps
 from repro.corpus.groups import GROUP_BUILDERS
 from repro.deps import analyze_apps
@@ -53,15 +53,15 @@ def audit(group_name):
           len(properties))
 
     # 3. without failures
-    options = ExplorerOptions(max_events=2, max_states=100000)
-    result = Explorer(system, properties, options).run()
+    options = EngineOptions(max_events=2, max_states=100000)
+    result = ExplorationEngine(system, properties, options).run()
     print()
     print("Without device failures: %s" % result.summary().splitlines()[0])
     _print_violations(result)
 
     # 4. with failures (§8's failure enumeration)
     failing = build_system(config, registry=registry, enable_failures=True)
-    failure_result = Explorer(failing, properties, options).run()
+    failure_result = ExplorationEngine(failing, properties, options).run()
     print()
     print("With device/communication failures: %s"
           % failure_result.summary().splitlines()[0])

@@ -27,7 +27,8 @@ Quickstart::
     print(result.summary())
 """
 
-from repro.checker.explorer import ExplorerOptions
+from repro.engine import EngineOptions
+from repro.engine import EngineOptions as ExplorerOptions  # compat alias
 
 __version__ = "1.0.0"
 
@@ -39,11 +40,11 @@ def check_configuration(config, registry=None, properties=None,
     ``registry`` defaults to the bundled corpus; ``properties`` defaults to
     the 45-property catalog (filtered for relevance unless
     ``relevant_only=False``).  Remaining keyword arguments become
-    :class:`~repro.checker.explorer.ExplorerOptions` (``max_events``,
-    ``mode``, ``visited``, ...).  Returns an
-    :class:`~repro.checker.explorer.ExplorationResult`.
+    :class:`~repro.engine.EngineOptions` (``max_events``, ``mode``,
+    ``visited``, ``strategy``, ...).  Returns an
+    :class:`~repro.engine.ExplorationResult`.
     """
-    from repro.checker.explorer import Explorer
+    from repro.engine import ExplorationEngine
 
     system = build_system(config, registry=registry,
                           enable_failures=enable_failures)
@@ -53,8 +54,29 @@ def check_configuration(config, registry=None, properties=None,
     if relevant_only:
         from repro.properties import select_relevant
         properties = select_relevant(system, properties)
-    explorer = Explorer(system, properties, ExplorerOptions(**options))
-    return explorer.run()
+    engine = ExplorationEngine(system, properties, EngineOptions(**options))
+    return engine.run()
+
+
+def check_configurations(named_configs, workers=None, properties=None,
+                         relevant_only=True, enable_failures=False,
+                         **options):
+    """Verify several independent configurations, in parallel.
+
+    ``named_configs`` maps job names to configurations (or is an iterable
+    of ``(name, config)`` pairs).  Fans the jobs across a process pool
+    (:func:`repro.engine.verify_many`); returns a
+    :class:`~repro.engine.BatchResult` with merged statistics.
+    """
+    from repro.engine import VerificationJob, verify_many
+
+    if hasattr(named_configs, "items"):
+        named_configs = named_configs.items()
+    jobs = [VerificationJob(name, config, EngineOptions(**options),
+                            properties=properties, select=relevant_only,
+                            strict=False, enable_failures=enable_failures)
+            for name, config in named_configs]
+    return verify_many(jobs, workers=workers)
 
 
 def build_system(config, registry=None, enable_failures=False):
@@ -68,5 +90,5 @@ def build_system(config, registry=None, enable_failures=False):
                                           enable_failures=enable_failures)
 
 
-__all__ = ["check_configuration", "build_system", "ExplorerOptions",
-           "__version__"]
+__all__ = ["check_configuration", "check_configurations", "build_system",
+           "EngineOptions", "ExplorerOptions", "__version__"]

@@ -14,8 +14,8 @@ found along the way are offered as suggestions.
 """
 
 from repro.attribution.enumerator import ConfigurationEnumerator
-from repro.checker.explorer import Explorer, ExplorerOptions
 from repro.config.schema import SystemConfiguration
+from repro.engine import EngineOptions, ExplorationEngine
 from repro.model.generator import ModelGenerator
 from repro.properties.catalog import build_properties
 from repro.properties.selection import select_relevant
@@ -132,7 +132,7 @@ class OutputAnalyzer:
                            else build_properties())
         self.threshold = threshold
         self.max_configs = max_configs
-        self.explorer_options = explorer_options or ExplorerOptions(
+        self.explorer_options = explorer_options or EngineOptions(
             max_events=2, max_states=20000)
         self._generator = ModelGenerator(self.registry)
 
@@ -223,5 +223,5 @@ class OutputAnalyzer:
         except Exception:  # unbuildable binding combination counts clean
             return []
         properties = select_relevant(system, self.properties)
-        explorer = Explorer(system, properties, self.explorer_options)
-        return explorer.run().violations
+        engine = ExplorationEngine(system, properties, self.explorer_options)
+        return engine.run().violations

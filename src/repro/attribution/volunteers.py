@@ -298,3 +298,31 @@ def all_volunteer_configurations(registry):
             configurations[(group_name, profile_name)] = (
                 volunteer_configuration(group_name, profile_name, registry))
     return configurations
+
+
+def volunteer_verification_jobs(registry, options=None, groups=None,
+                                profiles=None, registry_spec=None):
+    """The §10.1 study as :class:`~repro.engine.VerificationJob` list.
+
+    Each of the (up to 70) volunteer configurations is one independent
+    verification; hand the list to :func:`repro.engine.verify_many` to
+    fan the user study across worker processes (Table 6).
+
+    ``registry`` produces the volunteer bindings; the *same* apps must be
+    visible inside the workers, so pass ``registry_spec`` (a
+    :mod:`repro.engine.batch` spec string) when ``registry`` is not the
+    plain bundled corpus - otherwise the jobs carry the mapping itself.
+    """
+    from repro.engine import EngineOptions, VerificationJob
+
+    options = options or EngineOptions(max_events=2, max_states=60000)
+    job_registry = registry_spec if registry_spec is not None else registry
+    jobs = []
+    for group_name in sorted(groups or VOLUNTEER_GROUPS):
+        for profile_name in (profiles or volunteer_profile_names()):
+            config = volunteer_configuration(group_name, profile_name,
+                                             registry)
+            jobs.append(VerificationJob(
+                "%s/%s" % (group_name, profile_name), config, options,
+                registry=job_registry, strict=False))
+    return jobs

@@ -1,246 +1,27 @@
-"""The explorer: bounded DFS over external-event permutations.
+"""Compatibility shim over :mod:`repro.engine`.
 
-"The model checker enumerates all possible permutations of the input
-physical events up to a maximum number of events per user's configuration
-to exhaustively verify the system." (§8, Algorithm 1.)
-
-Used as a *falsifier* (§2.3): the search records a counterexample per
-violated property and keeps exploring until the bounded state space is
-exhausted or a limit trips.  Visited states are pruned through either an
-exact hash set or the BITSTATE bitfield.
+The explorer grew into the pluggable exploration engine
+(:mod:`repro.engine`): frontier strategies, visited-store protocol,
+incremental fingerprints and parallel batch verification.  This module
+keeps the historical import surface alive - ``Explorer``,
+``ExplorerOptions``, ``ExplorationResult`` and :func:`verify` behave
+exactly as before - so existing call sites and scripts keep working.
 """
 
-import time
-
-from repro.checker.monitor import SafetyMonitor
-from repro.checker.violations import Counterexample
 from repro.checker.visited import BitStateTable, ExactVisitedSet
+from repro.engine.core import ExplorationEngine as Explorer
+from repro.engine.core import verify
+from repro.engine.options import CONCURRENT, SEQUENTIAL
+from repro.engine.options import EngineOptions as ExplorerOptions
+from repro.engine.result import ExplorationResult
 
-SEQUENTIAL = "sequential"
-CONCURRENT = "concurrent"
-
-
-class ExplorerOptions:
-    """Tunables for one exploration run."""
-
-    def __init__(self, max_events=3, mode=SEQUENTIAL, visited="exact",
-                 bitstate_bits=23, max_states=200000, max_transitions=None,
-                 time_limit=None, stop_on_first=False):
-        self.max_events = max_events
-        self.mode = mode
-        self.visited = visited
-        self.bitstate_bits = bitstate_bits
-        self.max_states = max_states
-        self.max_transitions = max_transitions
-        self.time_limit = time_limit
-        self.stop_on_first = stop_on_first
-
-    def make_visited(self):
-        if self.visited == "bitstate":
-            return BitStateTable(bits_log2=self.bitstate_bits)
-        return ExactVisitedSet()
-
-
-class ExplorationResult:
-    """Outcome of one run: violations + statistics."""
-
-    def __init__(self):
-        #: dedup key -> Counterexample (first found per distinct violation)
-        self.counterexamples = {}
-        self.states_explored = 0
-        self.transitions = 0
-        self.elapsed = 0.0
-        self.truncated = False
-        self.truncated_reason = None
-
-    @property
-    def violations(self):
-        return [ce.violation for ce in self.counterexamples.values()]
-
-    @property
-    def violated_property_ids(self):
-        return sorted({v.property.id for v in self.violations})
-
-    def counterexample_for(self, property_id):
-        """The first counterexample recorded for a property id."""
-        for ce in self.counterexamples.values():
-            if ce.violation.property.id == property_id:
-                return ce
-        return None
-
-    @property
-    def has_violations(self):
-        return bool(self.counterexamples)
-
-    def summary(self):
-        lines = ["%d distinct violation(s) of %d property(ies); "
-                 "%d states, %d transitions, %.2fs%s" % (
-                     len(self.counterexamples),
-                     len(self.violated_property_ids),
-                     self.states_explored, self.transitions, self.elapsed,
-                     " (truncated: %s)" % self.truncated_reason
-                     if self.truncated else "")]
-        for ce in self.counterexamples.values():
-            lines.append("  %s: %s" % (ce.violation.property.id,
-                                       ce.violation.message))
-        return "\n".join(lines)
-
-    def __repr__(self):
-        return "ExplorationResult(violations=%d, states=%d)" % (
-            len(self.counterexamples), self.states_explored)
-
-
-class _Node:
-    """A search node with parent links for counterexample reconstruction."""
-
-    __slots__ = ("state", "depth", "parent", "label", "steps")
-
-    def __init__(self, state, depth, parent=None, label=None, steps=()):
-        self.state = state
-        self.depth = depth
-        self.parent = parent
-        self.label = label
-        self.steps = steps
-
-    def path(self):
-        chain = []
-        node = self
-        while node.parent is not None:
-            chain.append((node.label, list(node.steps)))
-            node = node.parent
-        chain.reverse()
-        return chain
-
-
-class Explorer:
-    """Runs the bounded search on one :class:`~repro.model.system.IoTSystem`."""
-
-    def __init__(self, system, properties, options=None):
-        self.system = system
-        self.properties = list(properties)
-        self.options = options or ExplorerOptions()
-
-    def _monitor_factory(self):
-        return SafetyMonitor(self.system, self.properties)
-
-    def run(self):
-        """Explore; returns an :class:`ExplorationResult`."""
-        options = self.options
-        result = ExplorationResult()
-        started = time.monotonic()
-        visited = options.make_visited()
-
-        root = _Node(self.system.initial_state(), 0)
-        visited.seen_before(root.state.key(), 0)
-        result.states_explored = 1
-        stack = [root]
-
-        while stack:
-            if self._limits_hit(result, started):
-                break
-            node = stack.pop()
-            for transition in self._transitions_from(node):
-                label, new_state, consumed, violations, steps = transition
-                result.transitions += 1
-                depth = node.depth + (1 if consumed else 0)
-                child = _Node(new_state, depth, parent=node, label=label,
-                              steps=steps)
-                if violations:
-                    self._record(result, child, violations)
-                    if options.stop_on_first:
-                        result.elapsed = time.monotonic() - started
-                        return result
-                if depth > options.max_events:
-                    continue
-                if not visited.seen_before(new_state.key(), depth):
-                    result.states_explored += 1
-                    if depth < options.max_events or new_state.pending:
-                        stack.append(child)
-                if self._limits_hit(result, started):
-                    break
-
-        result.elapsed = time.monotonic() - started
-        return result
-
-    def _transitions_from(self, node):
-        if self.options.mode == CONCURRENT:
-            externals_left = self.options.max_events - node.depth
-            return self.system.transitions_concurrent(
-                node.state, self._monitor_factory, externals_left)
-        if node.depth >= self.options.max_events:
-            return []
-        return self.system.transitions(node.state, self._monitor_factory)
-
-    def _record(self, result, node, violations):
-        path = node.path()
-        for violation in violations:
-            refined = self._role_actors(violation, path)
-            if refined:
-                violation.apps = refined
-            elif not violation.apps:
-                # fall back to every app that acted along the path
-                violation.apps = _path_actors(path)
-            key = violation.dedup_key()
-            if key not in result.counterexamples:
-                result.counterexamples[key] = Counterexample(violation, path)
-
-    def _role_actors(self, violation, path):
-        """For invariant violations: the apps that commanded the property's
-        role devices anywhere along the violating run (Table 5/9's "apps
-        related to example")."""
-        roles = getattr(violation.property, "roles", ())
-        if not roles:
-            return ()
-        role_devices = set()
-        for role in roles:
-            for name in self.system.role_list(role):
-                if isinstance(name, str) and name in self.system.devices:
-                    role_devices.add(name)
-        if not role_devices:
-            return ()
-        actors = []
-        for _label, steps in path:
-            for step in steps:
-                if step.kind not in ("command", "mode") or not step.app:
-                    continue
-                if step.kind == "command":
-                    device = step.text.split(".", 1)[0]
-                    if device not in role_devices:
-                        continue
-                if step.app not in actors:
-                    actors.append(step.app)
-        return tuple(actors)
-
-    def _limits_hit(self, result, started):
-        options = self.options
-        if options.max_states and result.states_explored >= options.max_states:
-            result.truncated = True
-            result.truncated_reason = "max_states"
-            return True
-        if (options.max_transitions
-                and result.transitions >= options.max_transitions):
-            result.truncated = True
-            result.truncated_reason = "max_transitions"
-            return True
-        if options.time_limit and time.monotonic() - started > options.time_limit:
-            result.truncated = True
-            result.truncated_reason = "time_limit"
-            return True
-        return False
-
-
-def _path_actors(path):
-    """Apps that issued commands or mode changes along a violating run."""
-    actors = []
-    for _label, steps in path:
-        for step in steps:
-            if step.kind in ("command", "mode") and step.app:
-                if step.app not in actors:
-                    actors.append(step.app)
-    return tuple(actors)
-
-
-def verify(system, properties, **option_kwargs):
-    """Convenience: build options, run, return the result."""
-    return Explorer(system, properties,
-                    ExplorerOptions(**option_kwargs)).run()
+__all__ = [
+    "BitStateTable",
+    "CONCURRENT",
+    "ExactVisitedSet",
+    "SEQUENTIAL",
+    "ExplorationResult",
+    "Explorer",
+    "ExplorerOptions",
+    "verify",
+]

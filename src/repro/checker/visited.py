@@ -3,7 +3,13 @@
 The paper runs Spin "in verification mode with BITSTATE hashing - an
 approximate technique that stores the hash code of states in a bitfield
 instead of storing the whole states" (§2.3, citing Holzmann's analysis).
-Both stores share the same interface:
+Both stores implement the engine's VisitedStore protocol
+(:mod:`repro.engine.visited`):
+
+``state_key(state)``
+    Project a model state onto the key form this store hashes.  The exact
+    store needs the full canonical key; BITSTATE hashes the 64-bit
+    incremental fingerprint, keeping re-canonicalization off the hot path.
 
 ``seen_before(key, depth)``
     Record the state; return ``True`` when the state was already visited at
@@ -22,12 +28,19 @@ class ExactVisitedSet:
     def __init__(self):
         self._min_depth = {}
 
+    @staticmethod
+    def state_key(state):
+        return state.canonical_key()
+
     def seen_before(self, key, depth):
         best = self._min_depth.get(key)
         if best is not None and best <= depth:
             return True
         self._min_depth[key] = depth
         return False
+
+    def stats(self):
+        return {"stored": len(self._min_depth)}
 
     def __len__(self):
         return len(self._min_depth)
@@ -55,6 +68,11 @@ class BitStateTable:
         self._field = bytearray(self.bits // 8)
         self.collisions = 0
         self.stored = 0
+        self._fill_cache = None
+
+    @staticmethod
+    def state_key(state):
+        return state.fingerprint()
 
     def _bit_positions(self, key):
         digest = hashlib.blake2b(repr(key).encode("utf-8"),
@@ -83,9 +101,21 @@ class BitStateTable:
 
     @property
     def fill_ratio(self):
-        """Fraction of bits set (Spin prints this as hash-factor health)."""
-        set_bits = sum(bin(b).count("1") for b in self._field)
-        return set_bits / float(self.bits)
+        """Fraction of bits set (Spin prints this as hash-factor health).
+
+        Popcounted through one big-integer view of the field (C-speed
+        ``int.bit_count``) and cached per ``stored`` watermark, so stats
+        printing inside a run is O(1) amortized instead of a per-byte
+        ``bin().count()`` sweep every call.
+        """
+        if self._fill_cache is None or self._fill_cache[0] != self.stored:
+            set_bits = int.from_bytes(self._field, "little").bit_count()
+            self._fill_cache = (self.stored, set_bits / float(self.bits))
+        return self._fill_cache[1]
+
+    def stats(self):
+        return {"stored": self.stored, "collisions": self.collisions,
+                "fill_ratio": self.fill_ratio}
 
     def __len__(self):
         return self.stored

@@ -9,6 +9,8 @@ Commands mirror the IotSan pipeline:
   against the safety properties and print violations (§8);
 * ``emit`` - emit the Promela model for a configuration (§8);
 * ``attribute`` - run the Output Analyzer on a newly installed app (§9);
+* ``batch`` - verify several configurations in parallel across a process
+  pool (``verify_many``);
 * ``properties`` - list the 45-property catalog.
 """
 
@@ -17,20 +19,29 @@ import json
 import sys
 
 from repro import build_system
-from repro.checker.explorer import Explorer, ExplorerOptions
 from repro.checker.trace import render_violation_log
 from repro.config.schema import SystemConfiguration
+from repro.engine import (
+    EngineOptions,
+    ExplorationEngine,
+    VerificationJob,
+    strategy_names,
+    verify_many,
+)
 from repro.properties import build_properties, select_relevant
 
 
 def _load_registry(include_ifttt=False):
-    from repro.corpus import load_all_apps
+    from repro.engine.batch import (
+        REGISTRY_CORPUS,
+        REGISTRY_CORPUS_IFTTT,
+        _resolve_registry,
+    )
 
-    registry = load_all_apps()
-    if include_ifttt:
-        from repro.ifttt.table9 import table9_registry
-        registry.update(table9_registry())
-    return registry
+    spec = REGISTRY_CORPUS_IFTTT if include_ifttt else REGISTRY_CORPUS
+    # copy: some commands extend the registry (scan adds discovery apps)
+    # and must not poison the resolver's cache
+    return dict(_resolve_registry(spec))
 
 
 def _load_configuration(source):
@@ -104,10 +115,10 @@ def cmd_check(args):
     properties = build_properties(args.properties or None)
     if not args.all_properties:
         properties = select_relevant(system, properties)
-    options = ExplorerOptions(max_events=args.max_events, mode=args.mode,
-                              visited=args.visited,
-                              max_states=args.max_states)
-    result = Explorer(system, properties, options).run()
+    options = EngineOptions(max_events=args.max_events, mode=args.mode,
+                            visited=args.visited, strategy=args.strategy,
+                            max_states=args.max_states)
+    result = ExplorationEngine(system, properties, options).run()
     print(result.summary())
     if args.trace and result.counterexamples:
         for counterexample in result.counterexamples.values():
@@ -116,6 +127,34 @@ def cmd_check(args):
             if not args.all_traces:
                 break
     return 1 if result.has_violations else 0
+
+
+def cmd_batch(args):
+    """Verify several configurations in parallel (``verify_many``)."""
+    from repro.corpus.groups import GROUP_BUILDERS
+    from repro.engine.batch import REGISTRY_CORPUS, REGISTRY_CORPUS_IFTTT
+
+    sources = args.configs
+    if not sources:
+        sources = sorted(GROUP_BUILDERS)
+    options = EngineOptions(max_events=args.max_events, mode=args.mode,
+                            visited=args.visited, strategy=args.strategy,
+                            max_states=args.max_states)
+    registry = REGISTRY_CORPUS_IFTTT if args.ifttt else REGISTRY_CORPUS
+    seen, names = {}, []
+    for source in sources:  # uniquify repeated sources for result keying
+        count = seen.get(source, 0)
+        seen[source] = count + 1
+        names.append(source if count == 0 else "%s#%d" % (source, count + 1))
+    jobs = [VerificationJob(name, _load_configuration(source), options,
+                            properties=args.properties or None,
+                            registry=registry,
+                            strict=False,  # match `check` (build_system)
+                            enable_failures=args.failures)
+            for name, source in zip(names, sources)]
+    batch = verify_many(jobs, workers=args.workers)
+    print(batch.summary())
+    return 1 if (batch.has_violations or batch.errors) else 0
 
 
 def cmd_emit(args):
@@ -181,6 +220,24 @@ def cmd_attribute(args):
     return 1 if report.is_flagged else 0
 
 
+def _add_engine_arguments(parser):
+    """The engine tunables shared by ``check`` and ``batch``."""
+    parser.add_argument("--max-events", type=int, default=3)
+    parser.add_argument("--mode", choices=["sequential", "concurrent"],
+                        default="sequential")
+    parser.add_argument("--visited",
+                        choices=["exact", "bitstate", "fingerprint"],
+                        default="exact")
+    parser.add_argument("--strategy", choices=strategy_names(),
+                        default="dfs",
+                        help="frontier strategy (search order)")
+    parser.add_argument("--max-states", type=int, default=200000)
+    parser.add_argument("--failures", action="store_true",
+                        help="enumerate device/communication failures")
+    parser.add_argument("--properties", nargs="*",
+                        help="property ids or categories to verify")
+
+
 def build_parser():
     """The argparse command-line interface."""
     parser = argparse.ArgumentParser(
@@ -207,16 +264,7 @@ def build_parser():
 
     p_check = sub.add_parser("check", help="model-check a configuration")
     p_check.add_argument("config")
-    p_check.add_argument("--max-events", type=int, default=3)
-    p_check.add_argument("--mode", choices=["sequential", "concurrent"],
-                         default="sequential")
-    p_check.add_argument("--visited", choices=["exact", "bitstate"],
-                         default="exact")
-    p_check.add_argument("--max-states", type=int, default=200000)
-    p_check.add_argument("--failures", action="store_true",
-                         help="enumerate device/communication failures")
-    p_check.add_argument("--properties", nargs="*",
-                         help="property ids or categories to verify")
+    _add_engine_arguments(p_check)
     p_check.add_argument("--all-properties", action="store_true",
                          help="skip relevance-based property selection")
     p_check.add_argument("--trace", action="store_true",
@@ -225,6 +273,20 @@ def build_parser():
     p_check.add_argument("--ifttt", action="store_true",
                          help="include translated IFTTT rules in the registry")
     p_check.set_defaults(func=cmd_check)
+
+    p_batch = sub.add_parser(
+        "batch", help="verify several configurations in parallel")
+    p_batch.add_argument("configs", nargs="*",
+                         help="configuration files or bundled groups "
+                              "(default: all six expert groups)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: one per job "
+                              "up to the core count)")
+    _add_engine_arguments(p_batch)
+    p_batch.add_argument("--ifttt", action="store_true",
+                         help="include translated IFTTT rules in the "
+                              "registry")
+    p_batch.set_defaults(func=cmd_batch)
 
     p_emit = sub.add_parser("emit", help="emit the Promela model")
     p_emit.add_argument("config")

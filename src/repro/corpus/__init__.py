@@ -7,6 +7,7 @@ resulting :class:`~repro.smartapp.app.SmartApp` objects.
 """
 
 from repro.corpus.loader import (
+    CorpusMissingError,
     corpus_path,
     load_all_apps,
     load_discovery_apps,
@@ -22,6 +23,7 @@ from repro.corpus.groups import (
 )
 
 __all__ = [
+    "CorpusMissingError",
     "corpus_path",
     "load_all_apps",
     "load_discovery_apps",

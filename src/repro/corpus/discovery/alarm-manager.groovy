@@ -1,0 +1,25 @@
+/**
+ *  Alarm Manager (ContexIoT dynamic-discovery app, unverifiable)
+ */
+definition(
+    name: "Alarm Manager",
+    namespace: "repro.discovery",
+    author: "SmartThings",
+    description: "Manage every alarm-capable child device in the home dynamically.",
+    category: "Safety & Security")
+
+preferences {
+    section("When smoke is detected here...") {
+        input "detector", "capability.smokeDetector", title: "Detector"
+    }
+}
+
+def installed() {
+    subscribe(detector, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    getChildDevices().each { child ->
+        child.siren()
+    }
+}

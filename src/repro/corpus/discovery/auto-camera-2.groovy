@@ -1,0 +1,27 @@
+/**
+ *  Auto Camera 2 (ContexIoT dynamic-discovery app, unverifiable)
+ */
+definition(
+    name: "Auto Camera 2",
+    namespace: "repro.discovery",
+    author: "SmartThings",
+    description: "Enumerate the location's devices to find cameras and arm them on departure.",
+    category: "Safety & Security")
+
+preferences {
+    section("When this person leaves...") {
+        input "person", "capability.presenceSensor", title: "Who?"
+    }
+}
+
+def installed() {
+    subscribe(person, "presence.not present", departureHandler)
+}
+
+def departureHandler(evt) {
+    location.devices.each { device ->
+        if (device.hasCommand("take")) {
+            device.take()
+        }
+    }
+}

@@ -1,0 +1,26 @@
+/**
+ *  Auto Camera (ContexIoT dynamic-discovery app, unverifiable)
+ */
+definition(
+    name: "Auto Camera",
+    namespace: "repro.discovery",
+    author: "SmartThings",
+    description: "Snap a picture on every camera the platform can discover when motion is sensed.",
+    category: "Safety & Security")
+
+preferences {
+    section("When motion is sensed here...") {
+        input "motionSensor", "capability.motionSensor", title: "Motion"
+    }
+}
+
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    def cameras = getAllChildDevices()
+    cameras.each { camera ->
+        camera.take()
+    }
+}

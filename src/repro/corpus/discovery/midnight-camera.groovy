@@ -1,0 +1,26 @@
+/**
+ *  Midnight Camera (ContexIoT dynamic-discovery app, unverifiable)
+ */
+definition(
+    name: "Midnight Camera",
+    namespace: "repro.discovery",
+    author: "SmartThings",
+    description: "Photograph the house with every discovered camera at midnight.",
+    category: "Safety & Security")
+
+preferences {
+    section("Owner's phone (for the photo link)...") {
+        input "phone", "phone", title: "Phone number?", required: false
+    }
+}
+
+def installed() {
+    schedule("0 0 0 * * ?", midnightSnap)
+}
+
+def midnightSnap() {
+    def cameras = getChildDevices()
+    cameras.each { camera ->
+        camera.take()
+    }
+}

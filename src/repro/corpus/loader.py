@@ -8,6 +8,24 @@ _CORPUS_DIR = os.path.dirname(os.path.abspath(__file__))
 _CACHE = {}
 
 
+class CorpusMissingError(FileNotFoundError):
+    """A bundled corpus directory is absent from the installation.
+
+    Subclasses :class:`FileNotFoundError` so callers that guarded against
+    the old bare error keep working, while the message explains *which*
+    corpus collection is missing and where it was expected.
+    """
+
+    def __init__(self, subdir, directory):
+        self.subdir = subdir
+        self.directory = directory
+        super().__init__(
+            "corpus collection %r is missing (expected .groovy sources "
+            "under %s); the bundled corpus ships inside the repro package "
+            "- reinstall the package or restore src/repro/corpus/%s/"
+            % (subdir, directory, subdir))
+
+
 def corpus_path(*parts):
     """Absolute path inside the corpus package."""
     return os.path.join(_CORPUS_DIR, *parts)
@@ -17,6 +35,8 @@ def _load_dir(subdir):
     if subdir in _CACHE:
         return dict(_CACHE[subdir])
     directory = corpus_path(subdir)
+    if not os.path.isdir(directory):
+        raise CorpusMissingError(subdir, directory)
     apps = {}
     for filename in sorted(os.listdir(directory)):
         if not filename.endswith(".groovy"):

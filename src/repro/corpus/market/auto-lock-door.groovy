@@ -1,0 +1,40 @@
+/**
+ *  Auto Lock Door
+ */
+definition(
+    name: "Auto Lock Door",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Re-lock the door a few minutes after it closes.",
+    category: "Safety & Security")
+
+preferences {
+    section("Watch this door contact...") {
+        input "door", "capability.contactSensor", title: "Door contact"
+    }
+    section("Lock this lock...") {
+        input "doorLock", "capability.lock", title: "Lock"
+    }
+    section("After this many minutes closed...") {
+        input "delayMin", "number", title: "Minutes?"
+    }
+}
+
+def installed() {
+    subscribe(door, "contact.closed", doorClosedHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(door, "contact.closed", doorClosedHandler)
+}
+
+def doorClosedHandler(evt) {
+    runIn(delayMin * 60, lockDoor)
+}
+
+def lockDoor() {
+    if (door.currentContact == "closed") {
+        doorLock.lock()
+    }
+}

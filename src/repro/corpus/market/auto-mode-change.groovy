@@ -1,0 +1,52 @@
+/**
+ *  Auto Mode Change
+ *
+ *  Changes the location mode when everyone leaves and when someone returns.
+ */
+definition(
+    name: "Auto Mode Change",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Change the location mode when everybody has left and when someone is back home.",
+    category: "Mode Magic")
+
+preferences {
+    section("When all of these people leave home...") {
+        input "people", "capability.presenceSensor", title: "Who?", multiple: true
+    }
+    section("Change to this mode when away...") {
+        input "awayMode", "mode", title: "Away mode?"
+    }
+    section("And back to this mode on return...") {
+        input "homeMode", "mode", title: "Home mode?"
+    }
+}
+
+def installed() {
+    subscribe(people, "presence", presenceHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(people, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        if (everyoneIsAway()) {
+            setLocationMode(awayMode)
+        }
+    } else {
+        setLocationMode(homeMode)
+    }
+}
+
+def everyoneIsAway() {
+    def result = true
+    for (person in people) {
+        if (person.currentPresence == "present") {
+            result = false
+        }
+    }
+    return result
+}

@@ -1,0 +1,44 @@
+/**
+ *  Automated Light
+ */
+definition(
+    name: "Automated Light",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn a light on with motion and off after a delay without motion.",
+    category: "Convenience")
+
+preferences {
+    section("When there's movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("Turn on this light...") {
+        input "switch1", "capability.switch"
+    }
+    section("And off after this many minutes without motion...") {
+        input "delayMinutes", "number", title: "Minutes?"
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        switch1.on()
+    } else if (evt.value == "inactive") {
+        runIn(delayMinutes * 60, turnOffAfterDelay)
+    }
+}
+
+def turnOffAfterDelay() {
+    if (motion1.currentMotion == "inactive") {
+        switch1.off()
+    }
+}

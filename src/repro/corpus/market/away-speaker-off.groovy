@@ -1,0 +1,38 @@
+/**
+ *  Away Speaker Off
+ */
+definition(
+    name: "Away Speaker Off",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Stop the music when the last person leaves the house.",
+    category: "Convenience")
+
+preferences {
+    section("When all of these people leave...") {
+        input "people", "capability.presenceSensor", title: "Who?", multiple: true
+    }
+    section("Stop these players...") {
+        input "players", "capability.musicPlayer", title: "Players", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.not present", departureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(people, "presence.not present", departureHandler)
+}
+
+def departureHandler(evt) {
+    if (everyoneIsAway()) {
+        players.stop()
+    }
+}
+
+def everyoneIsAway() {
+    def values = people.currentPresence
+    return !values.contains("present")
+}

@@ -1,0 +1,37 @@
+/**
+ *  Big Turn ON
+ */
+definition(
+    name: "Big Turn On",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn your lights on when the mode changes or when the app is tapped.",
+    category: "Convenience")
+
+preferences {
+    section("Turn on all of these switches") {
+        input "switches", "capability.switch", title: "Which?", multiple: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, changedLocationMode)
+    subscribe(app, appTouch)
+}
+
+def changedLocationMode(evt) {
+    switches.on()
+}
+
+def appTouch(evt) {
+    switches.on()
+}

@@ -1,0 +1,43 @@
+/**
+ *  Bon Voyage
+ */
+definition(
+    name: "Bon Voyage",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Darken the house and switch to Away mode once everyone has departed.",
+    category: "Mode Magic")
+
+preferences {
+    section("When all of these people leave...") {
+        input "people", "capability.presenceSensor", title: "Who?", multiple: true
+    }
+    section("Turn off these lights...") {
+        input "lights", "capability.switch", multiple: true
+    }
+    section("And change to this mode...") {
+        input "awayMode", "mode", title: "Away mode?", required: false
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.not present", departureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(people, "presence.not present", departureHandler)
+}
+
+def departureHandler(evt) {
+    if (everyoneIsAway()) {
+        lights.off()
+        def target = awayMode ?: "Away"
+        setLocationMode(target)
+    }
+}
+
+def everyoneIsAway() {
+    def values = people.currentPresence
+    return !values.contains("present")
+}

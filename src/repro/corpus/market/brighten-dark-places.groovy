@@ -1,0 +1,38 @@
+/**
+ *  Brighten Dark Places
+ *
+ *  The Table 2 / Figure 4 worked example, vertex 0.
+ */
+definition(
+    name: "Brighten Dark Places",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn your lights on when an open/close sensor opens and the space is dark.",
+    category: "Convenience")
+
+preferences {
+    section("When the door opens...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("And it is dark according to...") {
+        input "lightSensor", "capability.illuminanceMeasurement", title: "Light sensor"
+    }
+    section("Turn on a light...") {
+        input "switch1", "capability.switch", title: "Which light?"
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def contactOpenHandler(evt) {
+    if (lightSensor.currentIlluminance < 30) {
+        switch1.on()
+    }
+}

@@ -1,0 +1,33 @@
+/**
+ *  Brighten My Path
+ *
+ *  Turn your lights on when motion is detected.
+ */
+definition(
+    name: "Brighten My Path",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn your lights on when motion is detected.",
+    category: "Convenience")
+
+preferences {
+    section("When there's movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("Turn on a light...") {
+        input "switch1", "capability.switch", title: "Which light?"
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion.active", motionActiveHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motion1, "motion.active", motionActiveHandler)
+}
+
+def motionActiveHandler(evt) {
+    switch1.on()
+}

@@ -1,0 +1,36 @@
+/**
+ *  Camera On Motion
+ */
+definition(
+    name: "Camera On Motion",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Capture a camera image when motion is sensed while the home is armed.",
+    category: "Safety & Security")
+
+preferences {
+    section("When motion is sensed here...") {
+        input "motionSensor", "capability.motionSensor", title: "Motion"
+    }
+    section("Take a picture with...") {
+        input "camera", "capability.imageCapture", title: "Camera"
+    }
+    section("While the home is in this mode...") {
+        input "armedMode", "mode", title: "Armed mode?"
+    }
+}
+
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (location.mode == armedMode) {
+        camera.take()
+    }
+}

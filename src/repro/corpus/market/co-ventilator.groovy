@@ -1,0 +1,35 @@
+/**
+ *  CO Ventilator
+ */
+definition(
+    name: "CO Ventilator",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Run the ventilation fan while carbon monoxide is detected.",
+    category: "Safety & Security")
+
+preferences {
+    section("When CO is detected here...") {
+        input "detector", "capability.carbonMonoxideDetector", title: "CO detector"
+    }
+    section("Run this fan...") {
+        input "fan", "capability.switch", title: "Fan outlet"
+    }
+}
+
+def installed() {
+    subscribe(detector, "carbonMonoxide", coHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(detector, "carbonMonoxide", coHandler)
+}
+
+def coHandler(evt) {
+    if (evt.value == "detected") {
+        fan.on()
+    } else {
+        fan.off()
+    }
+}

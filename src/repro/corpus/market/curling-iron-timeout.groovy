@@ -1,0 +1,35 @@
+/**
+ *  Curling Iron Timeout
+ */
+definition(
+    name: "Curling Iron Timeout",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn the curling iron outlet off automatically a while after it was switched on.",
+    category: "Safety & Security")
+
+preferences {
+    section("Watch this outlet...") {
+        input "outlet", "capability.switch", title: "Outlet"
+    }
+    section("Turn it off after...") {
+        input "minutes", "number", title: "Minutes?"
+    }
+}
+
+def installed() {
+    subscribe(outlet, "switch.on", switchedOnHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(outlet, "switch.on", switchedOnHandler)
+}
+
+def switchedOnHandler(evt) {
+    runIn(minutes * 60, turnOff)
+}
+
+def turnOff() {
+    outlet.off()
+}

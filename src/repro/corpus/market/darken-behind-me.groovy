@@ -1,0 +1,31 @@
+/**
+ *  Darken Behind Me
+ */
+definition(
+    name: "Darken Behind Me",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn your lights off after the motion stops behind you.",
+    category: "Convenience")
+
+preferences {
+    section("When there's no more movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("Turn off these lights...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion.inactive", motionInactiveHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motion1, "motion.inactive", motionInactiveHandler)
+}
+
+def motionInactiveHandler(evt) {
+    switches.off()
+}

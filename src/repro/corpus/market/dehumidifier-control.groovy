@@ -1,0 +1,42 @@
+/**
+ *  Dehumidifier Control
+ */
+definition(
+    name: "Dehumidifier Control",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Run a dehumidifier with hysteresis: on above the high band, off below the low band.",
+    category: "Convenience")
+
+preferences {
+    section("When the humidity here...") {
+        input "humiditySensor", "capability.relativeHumidityMeasurement", title: "Sensor"
+    }
+    section("Rises above...") {
+        input "highHumidity", "number", title: "High percent?"
+    }
+    section("Until it falls below...") {
+        input "lowHumidity", "number", title: "Low percent?"
+    }
+    section("Control this dehumidifier...") {
+        input "dehumidifier", "capability.switch", title: "Outlet"
+    }
+}
+
+def installed() {
+    subscribe(humiditySensor, "humidity", humidityHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(humiditySensor, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+    def value = evt.doubleValue
+    if (value >= highHumidity) {
+        dehumidifier.on()
+    } else if (value <= lowHumidity) {
+        dehumidifier.off()
+    }
+}

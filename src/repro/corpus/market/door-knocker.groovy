@@ -1,0 +1,33 @@
+/**
+ *  Door Knocker
+ */
+definition(
+    name: "Door Knocker",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Notify when someone knocks on the door but doesn't open it.",
+    category: "Convenience")
+
+preferences {
+    section("When someone knocks here...") {
+        input "knockSensor", "capability.accelerationSensor", title: "Knock sensor"
+    }
+    section("But this door stays closed...") {
+        input "openSensor", "capability.contactSensor", title: "Door contact"
+    }
+}
+
+def installed() {
+    subscribe(knockSensor, "acceleration.active", knockHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(knockSensor, "acceleration.active", knockHandler)
+}
+
+def knockHandler(evt) {
+    if (openSensor.currentContact == "closed") {
+        sendPush("Someone is knocking on ${openSensor.displayName}.")
+    }
+}

@@ -1,0 +1,40 @@
+/**
+ *  Door Left Open Alert
+ */
+definition(
+    name: "Door Left Open Alert",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Text when a door has been left standing open too long.",
+    category: "Safety & Security")
+
+preferences {
+    section("Watch this door...") {
+        input "contact1", "capability.contactSensor", title: "Door contact"
+    }
+    section("Alert after it's been open for...") {
+        input "openMinutes", "number", title: "Minutes?"
+    }
+    section("Text this number...") {
+        input "phone1", "phone", title: "Phone number?"
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.open", doorOpenHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contact1, "contact.open", doorOpenHandler)
+}
+
+def doorOpenHandler(evt) {
+    runIn(openMinutes * 60, stillOpen)
+}
+
+def stillOpen() {
+    if (contact1.currentContact == "open") {
+        sendSms(phone1, "${contact1.displayName} has been open for ${openMinutes} minutes.")
+    }
+}

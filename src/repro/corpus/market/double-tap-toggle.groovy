@@ -1,0 +1,36 @@
+/**
+ *  Double Tap Toggle
+ */
+definition(
+    name: "Double Tap Toggle",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Toggle a bank of lights when the button is pushed.",
+    category: "Convenience")
+
+preferences {
+    section("When this button is pushed...") {
+        input "button1", "capability.button", title: "Button"
+    }
+    section("Toggle these lights...") {
+        input "lights", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(button1, "button.pushed", buttonHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(button1, "button.pushed", buttonHandler)
+}
+
+def buttonHandler(evt) {
+    def values = lights.currentSwitch
+    if (values.contains("on")) {
+        lights.off()
+    } else {
+        lights.on()
+    }
+}

@@ -1,0 +1,36 @@
+/**
+ *  Energy Saver
+ */
+definition(
+    name: "Energy Saver",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn things off when the whole-home energy meter reports consumption above a threshold.",
+    category: "Green Living")
+
+preferences {
+    section("When this energy meter...") {
+        input "meter", "capability.powerMeter", title: "Meter"
+    }
+    section("Reports power above...") {
+        input "threshold", "number", title: "Watts?"
+    }
+    section("Turn off these devices...") {
+        input "devices", "capability.switch", title: "Devices", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(meter, "power", powerHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(meter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    if (evt.doubleValue > threshold) {
+        devices.off()
+    }
+}

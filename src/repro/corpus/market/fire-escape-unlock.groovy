@@ -1,0 +1,31 @@
+/**
+ *  Fire Escape Unlock
+ */
+definition(
+    name: "Fire Escape Unlock",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Unlock the escape route doors the moment smoke is detected.",
+    category: "Safety & Security")
+
+preferences {
+    section("When smoke is detected by any of...") {
+        input "detectors", "capability.smokeDetector", title: "Detectors", multiple: true
+    }
+    section("Unlock these locks...") {
+        input "locks", "capability.lock", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(detectors, "smoke.detected", smokeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(detectors, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    locks.unlock()
+}

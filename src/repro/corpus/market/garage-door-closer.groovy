@@ -1,0 +1,35 @@
+/**
+ *  Garage Door Closer
+ */
+definition(
+    name: "Garage Door Closer",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Close the garage door automatically after it has stood open for a while.",
+    category: "Safety & Security")
+
+preferences {
+    section("Watch this garage door...") {
+        input "garage", "capability.garageDoorControl", title: "Garage door"
+    }
+    section("Close it after this many minutes open...") {
+        input "openMinutes", "number", title: "Minutes?"
+    }
+}
+
+def installed() {
+    subscribe(garage, "contact.open", openHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(garage, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+    runIn(openMinutes * 60, closeGarage)
+}
+
+def closeGarage() {
+    garage.close()
+}

@@ -1,0 +1,46 @@
+/**
+ *  Good Night
+ *
+ *  Puts the home into night mode when the lights go out and the house
+ *  has quieted down.
+ */
+definition(
+    name: "Good Night",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Change the mode to night when all the lights are switched off.",
+    category: "Mode Magic")
+
+preferences {
+    section("When all of these lights are off...") {
+        input "lights", "capability.switch", title: "Lights", multiple: true
+    }
+    section("And there is no motion here...") {
+        input "motionSensor", "capability.motionSensor", title: "Motion", required: false
+    }
+    section("Change to this mode...") {
+        input "nightMode", "mode", title: "Night mode?"
+    }
+}
+
+def installed() {
+    subscribe(lights, "switch.off", lightsOffHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(lights, "switch.off", lightsOffHandler)
+}
+
+def lightsOffHandler(evt) {
+    if (allLightsOff()) {
+        if (!motionSensor || motionSensor.currentMotion != "active") {
+            setLocationMode(nightMode)
+        }
+    }
+}
+
+def allLightsOff() {
+    def values = lights.currentSwitch
+    return !values.contains("on")
+}

@@ -1,0 +1,33 @@
+/**
+ *  Goodbye Switches
+ */
+definition(
+    name: "Goodbye Switches",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn everything off when the home switches into Away mode.",
+    category: "Convenience")
+
+preferences {
+    section("Turn off these switches...") {
+        input "switches", "capability.switch", multiple: true
+    }
+    section("When the home changes to...") {
+        input "awayMode", "mode", title: "Away mode?"
+    }
+}
+
+def installed() {
+    subscribe(location, modeChangeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(location, modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == awayMode) {
+        switches.off()
+    }
+}

@@ -1,0 +1,38 @@
+/**
+ *  Humidity Fan
+ */
+definition(
+    name: "Humidity Fan",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Run the bathroom fan whenever the humidity climbs above your comfort level.",
+    category: "Convenience")
+
+preferences {
+    section("When the humidity here...") {
+        input "humidity", "capability.relativeHumidityMeasurement", title: "Sensor"
+    }
+    section("Runs this fan...") {
+        input "fan", "capability.switch", title: "Fan outlet"
+    }
+    section("When above...") {
+        input "maxHumidity", "number", title: "Percent?"
+    }
+}
+
+def installed() {
+    subscribe(humidity, "humidity", humidityHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(humidity, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+    if (evt.doubleValue > maxHumidity) {
+        fan.on()
+    } else {
+        fan.off()
+    }
+}

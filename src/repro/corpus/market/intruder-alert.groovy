@@ -1,0 +1,45 @@
+/**
+ *  Intruder Alert
+ */
+definition(
+    name: "Intruder Alert",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Sound the alarm, snap a picture and text you when the entry opens while the home is Away.",
+    category: "Safety & Security")
+
+preferences {
+    section("When this entry opens...") {
+        input "entry", "capability.contactSensor", title: "Entry contact"
+    }
+    section("Sound this alarm...") {
+        input "alarmDevice", "capability.alarm", title: "Alarm"
+    }
+    section("Take a photo with (optional)...") {
+        input "camera", "capability.imageCapture", title: "Camera", required: false
+    }
+    section("And text (optional)...") {
+        input "phone", "phone", title: "Phone number?", required: false
+    }
+}
+
+def installed() {
+    subscribe(entry, "contact.open", intrusionHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(entry, "contact.open", intrusionHandler)
+}
+
+def intrusionHandler(evt) {
+    if (location.mode == "Away") {
+        alarmDevice.both()
+        if (camera) {
+            camera.take()
+        }
+        if (phone) {
+            sendSms(phone, "Intruder alert: ${entry.displayName} opened while you were away!")
+        }
+    }
+}

@@ -1,0 +1,49 @@
+/**
+ *  It's Too Cold
+ */
+definition(
+    name: "It's Too Cold",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Monitor the temperature and when it drops below your setting get a text and/or turn on a heater.",
+    category: "Convenience")
+
+preferences {
+    section("Monitor the temperature...") {
+        input "temperatureSensor1", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("When the temperature drops below...") {
+        input "temperature1", "number", title: "Temperature?"
+    }
+    section("Text me at (optional)...") {
+        input "phone1", "phone", title: "Phone number?", required: false
+    }
+    section("Turn on a heater (optional)...") {
+        input "heater", "capability.switch", title: "Heater", required: false
+    }
+}
+
+def installed() {
+    subscribe(temperatureSensor1, "temperature", temperatureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(temperatureSensor1, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    def tooCold = temperature1
+    if (evt.doubleValue <= tooCold) {
+        if (phone1) {
+            sendSms(phone1, "${temperatureSensor1.displayName} is too cold, reported a temperature of ${evt.value}")
+        }
+        if (heater) {
+            heater.on()
+        }
+    } else {
+        if (heater) {
+            heater.off()
+        }
+    }
+}

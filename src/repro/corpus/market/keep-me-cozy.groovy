@@ -1,0 +1,41 @@
+/**
+ *  Keep Me Cozy
+ */
+definition(
+    name: "Keep Me Cozy",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Work with a thermostat to keep a remote room at your chosen temperature.",
+    category: "Green Living")
+
+preferences {
+    section("Control this thermostat...") {
+        input "thermostat", "capability.thermostat", title: "Thermostat"
+    }
+    section("Based on this remote sensor...") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Keep the room at...") {
+        input "setpoint", "number", title: "Degrees?"
+    }
+}
+
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    def currentTemp = evt.doubleValue
+    if (currentTemp < setpoint) {
+        thermostat.heat()
+        thermostat.setHeatingSetpoint(setpoint)
+    } else if (currentTemp > setpoint) {
+        thermostat.cool()
+        thermostat.setCoolingSetpoint(setpoint)
+    }
+}

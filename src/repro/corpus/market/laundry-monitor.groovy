@@ -1,0 +1,36 @@
+/**
+ *  Laundry Monitor
+ */
+definition(
+    name: "Laundry Monitor",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Notify when the washing machine's power draw shows the cycle has finished.",
+    category: "Convenience")
+
+preferences {
+    section("Watch this power meter...") {
+        input "meter", "capability.powerMeter", title: "Meter"
+    }
+    section("Running means watts above...") {
+        input "minWatts", "number", title: "Watts?"
+    }
+}
+
+def installed() {
+    subscribe(meter, "power", powerHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(meter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    if (evt.doubleValue >= minWatts) {
+        state.running = true
+    } else if (state.running) {
+        state.running = false
+        sendPush("The laundry is done!")
+    }
+}

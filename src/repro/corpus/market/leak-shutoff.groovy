@@ -1,0 +1,31 @@
+/**
+ *  Leak Shutoff
+ */
+definition(
+    name: "Leak Shutoff",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Close the main water valve the moment any leak sensor gets wet.",
+    category: "Safety & Security")
+
+preferences {
+    section("When water is sensed by any of...") {
+        input "sensors", "capability.waterSensor", title: "Leak sensors", multiple: true
+    }
+    section("Close this valve...") {
+        input "valve", "capability.valve", title: "Valve"
+    }
+}
+
+def installed() {
+    subscribe(sensors, "water.wet", waterHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(sensors, "water.wet", waterHandler)
+}
+
+def waterHandler(evt) {
+    valve.close()
+}

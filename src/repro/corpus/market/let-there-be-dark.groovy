@@ -1,0 +1,38 @@
+/**
+ *  Let There Be Dark!
+ *
+ *  The Table 2 / Figure 4 worked example, vertex 1: mirrors a door's
+ *  open/close state onto a bank of switches, inverted.
+ */
+definition(
+    name: "Let There Be Dark!",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn lights off when a door opens and back on when it closes.",
+    category: "Convenience")
+
+preferences {
+    section("When the door opens/closes...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("Turn off/on these lights...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        switches.off()
+    } else if (evt.value == "closed") {
+        switches.on()
+    }
+}

@@ -1,0 +1,49 @@
+/**
+ *  Light Follows Me
+ */
+definition(
+    name: "Light Follows Me",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn lights on when motion is detected and off again once the motion stops for a set period of time.",
+    category: "Convenience")
+
+preferences {
+    section("Turn on when there's movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("And off when there's been no movement for...") {
+        input "minutes1", "number", title: "Minutes?"
+    }
+    section("Turn on/off light(s)...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        unschedule(scheduledTurnOff)
+        switches.on()
+    } else if (evt.value == "inactive") {
+        runIn(minutes1 * 60, scheduledTurnOff)
+    }
+}
+
+def scheduledTurnOff() {
+    if (motion1.currentMotion == "inactive") {
+        switches.off()
+    }
+}

@@ -1,0 +1,31 @@
+/**
+ *  Light Off When Close
+ */
+definition(
+    name: "Light Off When Close",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn the lights off when an open/close sensor closes.",
+    category: "Convenience")
+
+preferences {
+    section("When the door closes...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("Turn off a light...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.closed", contactClosedHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contact1, "contact.closed", contactClosedHandler)
+}
+
+def contactClosedHandler(evt) {
+    switches.off()
+}

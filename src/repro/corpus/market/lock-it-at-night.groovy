@@ -1,0 +1,33 @@
+/**
+ *  Lock It At Night
+ */
+definition(
+    name: "Lock It At Night",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Lock the selected locks when the home changes to night mode.",
+    category: "Safety & Security")
+
+preferences {
+    section("Lock these locks...") {
+        input "locks", "capability.lock", multiple: true
+    }
+    section("When the home changes to this mode...") {
+        input "nightMode", "mode", title: "Night mode?"
+    }
+}
+
+def installed() {
+    subscribe(location, modeChangeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(location, modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == nightMode) {
+        locks.lock()
+    }
+}

@@ -1,0 +1,33 @@
+/**
+ *  Low Battery Alert
+ */
+definition(
+    name: "Low Battery Alert",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Push a notification when any watched device reports a low battery.",
+    category: "Convenience")
+
+preferences {
+    section("Watch the batteries of...") {
+        input "batteries", "capability.battery", title: "Devices", multiple: true
+    }
+    section("Alert below this level...") {
+        input "minLevel", "number", title: "Percent?"
+    }
+}
+
+def installed() {
+    subscribe(batteries, "battery", batteryHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(batteries, "battery", batteryHandler)
+}
+
+def batteryHandler(evt) {
+    if (evt.doubleValue <= minLevel) {
+        sendPush("${evt.displayName} battery is down to ${evt.value}%")
+    }
+}

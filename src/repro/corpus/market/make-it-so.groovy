@@ -1,0 +1,52 @@
+/**
+ *  Make It So
+ */
+definition(
+    name: "Make It So",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Lock up the house when it goes into Away mode and warn about entries while away.",
+    category: "Convenience")
+
+preferences {
+    section("Watch this motion sensor...") {
+        input "motionSensor", "capability.motionSensor", title: "Motion", required: false
+    }
+    section("And this door...") {
+        input "door", "capability.contactSensor", title: "Door contact", required: false
+    }
+    section("Lock these locks...") {
+        input "locks", "capability.lock", multiple: true
+    }
+    section("When the home changes to...") {
+        input "awayMode", "mode", title: "Away mode?"
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, modeChangeHandler)
+    if (door) {
+        subscribe(door, "contact.open", entryHandler)
+    }
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == awayMode) {
+        locks.lock()
+    }
+}
+
+def entryHandler(evt) {
+    if (location.mode == awayMode) {
+        sendPush("${door.displayName} opened while the home was away.")
+    }
+}

@@ -1,0 +1,44 @@
+/**
+ *  Medicine Reminder
+ */
+definition(
+    name: "Medicine Reminder",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Text a reminder in the evening if the medicine cabinet was never opened.",
+    category: "Health & Wellness")
+
+preferences {
+    section("Watch this cabinet...") {
+        input "cabinet", "capability.contactSensor", title: "Cabinet contact"
+    }
+    section("Text this number...") {
+        input "phone", "phone", title: "Phone number?"
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    unschedule()
+    initialize()
+}
+
+def initialize() {
+    subscribe(cabinet, "contact.open", cabinetOpened)
+    schedule("0 0 20 * * ?", eveningCheck)
+}
+
+def cabinetOpened(evt) {
+    state.opened = true
+}
+
+def eveningCheck() {
+    if (!state.opened) {
+        sendSms(phone, "Remember to take your medicine today.")
+    }
+    state.opened = false
+}

@@ -1,0 +1,33 @@
+/**
+ *  Motion Announcer
+ */
+definition(
+    name: "Motion Announcer",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Text when motion is sensed while the home is in Away mode.",
+    category: "Safety & Security")
+
+preferences {
+    section("When motion is sensed here...") {
+        input "motion1", "capability.motionSensor", title: "Motion"
+    }
+    section("Text this number...") {
+        input "phone1", "phone", title: "Phone number?"
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion.active", motionHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motion1, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (location.mode == "Away") {
+        sendSms(phone1, "Motion detected at ${motion1.displayName} while you are away!")
+    }
+}

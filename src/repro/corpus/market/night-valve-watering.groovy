@@ -1,0 +1,36 @@
+/**
+ *  Night Valve Watering
+ */
+definition(
+    name: "Night Valve Watering",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Open the irrigation valve on a nightly schedule and close it again after the run.",
+    category: "Green Living")
+
+preferences {
+    section("Open this valve...") {
+        input "valve", "capability.valve", title: "Valve"
+    }
+    section("For this many minutes...") {
+        input "duration", "number", title: "Minutes?"
+    }
+}
+
+def installed() {
+    schedule("0 0 22 * * ?", startWatering)
+}
+
+def updated() {
+    unschedule()
+    schedule("0 0 22 * * ?", startWatering)
+}
+
+def startWatering() {
+    valve.open()
+    runIn(duration * 60, stopWatering)
+}
+
+def stopWatering() {
+    valve.close()
+}

@@ -1,0 +1,41 @@
+/**
+ *  Nobody Home Lockup
+ */
+definition(
+    name: "Nobody Home Lockup",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Lock every door once the last person has left the house.",
+    category: "Safety & Security")
+
+preferences {
+    section("When all of these people leave...") {
+        input "people", "capability.presenceSensor", title: "Who?", multiple: true
+    }
+    section("Lock these locks...") {
+        input "locks", "capability.lock", multiple: true
+    }
+    section("While the away mode is...") {
+        input "awayMode", "mode", title: "Away mode?", required: false
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.not present", departureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(people, "presence.not present", departureHandler)
+}
+
+def departureHandler(evt) {
+    if (everyoneIsAway()) {
+        locks.lock()
+    }
+}
+
+def everyoneIsAway() {
+    def values = people.currentPresence
+    return !values.contains("present")
+}

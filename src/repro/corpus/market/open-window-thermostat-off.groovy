@@ -1,0 +1,43 @@
+/**
+ *  Open Window Thermostat Off
+ */
+definition(
+    name: "Open Window Thermostat Off",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Shut the thermostat off when a window or door opens and restore it when everything is closed again.",
+    category: "Green Living")
+
+preferences {
+    section("When any of these open...") {
+        input "contacts", "capability.contactSensor", title: "Windows/doors", multiple: true
+    }
+    section("Turn off this thermostat...") {
+        input "thermostat", "capability.thermostat", title: "Thermostat"
+    }
+    section("Restoring it to this mode when closed...") {
+        input "restoreMode", "enum", title: "Mode?", options: ["auto", "heat", "cool"], defaultValue: "auto"
+    }
+}
+
+def installed() {
+    subscribe(contacts, "contact", contactHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contacts, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        thermostat.setThermostatMode("off")
+    } else if (allClosed()) {
+        thermostat.setThermostatMode(restoreMode)
+    }
+}
+
+def allClosed() {
+    def values = contacts.currentContact
+    return !values.contains("open")
+}

@@ -1,0 +1,35 @@
+/**
+ *  Presence Light
+ */
+definition(
+    name: "Presence Light",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Follow a presence sensor with a light: on when present, off when gone.",
+    category: "Convenience")
+
+preferences {
+    section("When this person is home...") {
+        input "person", "capability.presenceSensor", title: "Who?"
+    }
+    section("Keep this light on...") {
+        input "light", "capability.switch", title: "Light"
+    }
+}
+
+def installed() {
+    subscribe(person, "presence", presenceHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(person, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+    if (evt.value == "present") {
+        light.on()
+    } else {
+        light.off()
+    }
+}

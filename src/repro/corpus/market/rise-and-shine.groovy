@@ -1,0 +1,40 @@
+/**
+ *  Rise And Shine
+ */
+definition(
+    name: "Rise And Shine",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Start the coffee and switch to day mode at the first morning motion.",
+    category: "Convenience")
+
+preferences {
+    section("When there's movement here...") {
+        input "motionSensor", "capability.motionSensor", title: "Motion"
+    }
+    section("Start the coffee machine...") {
+        input "coffee", "capability.switch", title: "Coffee outlet"
+    }
+    section("If the home is still in...") {
+        input "nightMode", "mode", title: "Night mode?"
+    }
+    section("Switching to...") {
+        input "dayMode", "mode", title: "Day mode?"
+    }
+}
+
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (location.mode == nightMode) {
+        setLocationMode(dayMode)
+        coffee.on()
+    }
+}

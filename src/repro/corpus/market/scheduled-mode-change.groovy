@@ -1,0 +1,28 @@
+/**
+ *  Scheduled Mode Change
+ */
+definition(
+    name: "Scheduled Mode Change",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Change the location mode on a daily schedule.",
+    category: "Mode Magic")
+
+preferences {
+    section("Change to this mode...") {
+        input "targetMode", "mode", title: "Mode?"
+    }
+}
+
+def installed() {
+    schedule("0 0 21 * * ?", changeMode)
+}
+
+def updated() {
+    unschedule()
+    schedule("0 0 21 * * ?", changeMode)
+}
+
+def changeMode() {
+    setLocationMode(targetMode)
+}

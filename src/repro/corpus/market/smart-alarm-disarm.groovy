@@ -1,0 +1,33 @@
+/**
+ *  Smart Alarm Disarm
+ */
+definition(
+    name: "Smart Alarm Disarm",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Silence the alarm whenever the home returns to your everyday mode.",
+    category: "Safety & Security")
+
+preferences {
+    section("Silence this alarm...") {
+        input "alarmDevice", "capability.alarm", title: "Alarm"
+    }
+    section("When the home changes to...") {
+        input "disarmMode", "mode", title: "Mode?"
+    }
+}
+
+def installed() {
+    subscribe(location, modeChangeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(location, modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == disarmMode) {
+        alarmDevice.off()
+    }
+}

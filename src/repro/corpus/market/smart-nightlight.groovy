@@ -1,0 +1,60 @@
+/**
+ *  Smart Nightlight
+ */
+definition(
+    name: "Smart Nightlight",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn lights on with motion when it is dark and off once the motion stops.",
+    category: "Convenience")
+
+preferences {
+    section("Control these lights...") {
+        input "lights", "capability.switch", multiple: true
+    }
+    section("Turning on when there's movement...") {
+        input "motionSensor", "capability.motionSensor", title: "Where?"
+    }
+    section("And it is dark according to...") {
+        input "lightSensor", "capability.illuminanceMeasurement", title: "Light sensor"
+    }
+    section("Dark means lux below...") {
+        input "luxLevel", "number", title: "Lux?", defaultValue: 30
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(motionSensor, "motion", motionHandler)
+    subscribe(lightSensor, "illuminance", illuminanceHandler)
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        if (lightSensor.currentIlluminance < luxLevel) {
+            lights.on()
+        }
+    } else if (evt.value == "inactive") {
+        runIn(60, turnOffIfQuiet)
+    }
+}
+
+def illuminanceHandler(evt) {
+    if (evt.integerValue >= luxLevel) {
+        lights.off()
+    }
+}
+
+def turnOffIfQuiet() {
+    if (motionSensor.currentMotion == "inactive") {
+        lights.off()
+    }
+}

@@ -1,0 +1,41 @@
+/**
+ *  Smart Sprinkler
+ */
+definition(
+    name: "Smart Sprinkler",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Water the garden when the soil is dry, skipping runs when the rain sensor is already wet.",
+    category: "Green Living")
+
+preferences {
+    section("Run this sprinkler...") {
+        input "sprinkler", "capability.switch", title: "Sprinkler outlet"
+    }
+    section("Skipping runs when this sensor is wet...") {
+        input "rain", "capability.waterSensor", title: "Rain sensor"
+    }
+    section("Based on soil moisture from...") {
+        input "soil", "capability.relativeHumidityMeasurement", title: "Soil sensor"
+    }
+    section("Watering below this moisture...") {
+        input "minMoisture", "number", title: "Percent?"
+    }
+}
+
+def installed() {
+    subscribe(soil, "humidity", moistureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(soil, "humidity", moistureHandler)
+}
+
+def moistureHandler(evt) {
+    if (evt.doubleValue < minMoisture && rain.currentWater != "wet") {
+        sprinkler.on()
+    } else if (evt.doubleValue >= minMoisture) {
+        sprinkler.off()
+    }
+}

@@ -1,0 +1,35 @@
+/**
+ *  Smoke Alarm Siren
+ */
+definition(
+    name: "Smoke Alarm Siren",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Sound the siren while smoke is detected and silence it once the air clears.",
+    category: "Safety & Security")
+
+preferences {
+    section("When smoke is detected here...") {
+        input "smoke", "capability.smokeDetector", title: "Smoke detector"
+    }
+    section("Sound this siren...") {
+        input "siren", "capability.alarm", title: "Siren"
+    }
+}
+
+def installed() {
+    subscribe(smoke, "smoke", smokeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(smoke, "smoke", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        siren.siren()
+    } else {
+        siren.off()
+    }
+}

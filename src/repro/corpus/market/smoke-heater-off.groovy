@@ -1,0 +1,31 @@
+/**
+ *  Smoke Heater Off
+ */
+definition(
+    name: "Smoke Heater Off",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Cut power to the heaters as soon as smoke is detected.",
+    category: "Safety & Security")
+
+preferences {
+    section("When smoke is detected here...") {
+        input "detector", "capability.smokeDetector", title: "Detector"
+    }
+    section("Turn off these heaters...") {
+        input "heaters", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(detector, "smoke.detected", smokeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(detector, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    heaters.off()
+}

@@ -1,0 +1,28 @@
+/**
+ *  Sunset Lights
+ */
+definition(
+    name: "Sunset Lights",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn the lights on at sunset.",
+    category: "Convenience")
+
+preferences {
+    section("Turn on these lights...") {
+        input "lights", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(location, "sunset", sunsetHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(location, "sunset", sunsetHandler)
+}
+
+def sunsetHandler(evt) {
+    lights.on()
+}

@@ -1,0 +1,35 @@
+/**
+ *  Switch Mirror
+ */
+definition(
+    name: "Switch Mirror",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Mirror the state of a master switch onto slave switches.",
+    category: "Convenience")
+
+preferences {
+    section("When this switch changes...") {
+        input "master", "capability.switch", title: "Master"
+    }
+    section("Mirror onto...") {
+        input "slaves", "capability.switch", title: "Slaves", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(master, "switch", switchHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(master, "switch", switchHandler)
+}
+
+def switchHandler(evt) {
+    if (evt.value == "on") {
+        slaves.on()
+    } else {
+        slaves.off()
+    }
+}

@@ -1,0 +1,38 @@
+/**
+ *  Thermostat Mode Director
+ */
+definition(
+    name: "Thermostat Mode Director",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Set back the heating setpoint when the home goes into Away mode and restore comfort on return.",
+    category: "Green Living")
+
+preferences {
+    section("Direct this thermostat...") {
+        input "tstat", "capability.thermostat", title: "Thermostat"
+    }
+    section("Comfort heating setpoint...") {
+        input "comfortHeat", "number", title: "Degrees?"
+    }
+    section("Setback heating setpoint when away...") {
+        input "setbackHeat", "number", title: "Degrees?"
+    }
+}
+
+def installed() {
+    subscribe(location, modeChangeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(location, modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == "Away") {
+        tstat.setHeatingSetpoint(setbackHeat)
+    } else if (evt.value == "Home") {
+        tstat.setHeatingSetpoint(comfortHeat)
+    }
+}

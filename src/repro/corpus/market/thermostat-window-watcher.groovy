@@ -1,0 +1,40 @@
+/**
+ *  Thermostat Window Watcher
+ */
+definition(
+    name: "Thermostat Window Watcher",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Kill the HVAC when a window opens and set it back to auto once every window is closed.",
+    category: "Green Living")
+
+preferences {
+    section("When any of these open...") {
+        input "contacts", "capability.contactSensor", title: "Windows", multiple: true
+    }
+    section("Shut off this thermostat...") {
+        input "tstat", "capability.thermostat", title: "Thermostat"
+    }
+}
+
+def installed() {
+    subscribe(contacts, "contact", contactHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contacts, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        tstat.setThermostatMode("off")
+    } else if (allClosed()) {
+        tstat.auto()
+    }
+}
+
+def allClosed() {
+    def values = contacts.currentContact
+    return !values.contains("open")
+}

@@ -1,0 +1,38 @@
+/**
+ *  Too Hot Cooler
+ */
+definition(
+    name: "Too Hot Cooler",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn on the air conditioner when the temperature rises above a threshold and off again once it cools down.",
+    category: "Green Living")
+
+preferences {
+    section("Monitor the temperature...") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("When the temperature rises above...") {
+        input "maxTemp", "number", title: "Temperature?"
+    }
+    section("Turn on the AC...") {
+        input "ac", "capability.switch", title: "AC outlet"
+    }
+}
+
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    if (evt.doubleValue > maxTemp) {
+        ac.on()
+    } else {
+        ac.off()
+    }
+}

@@ -1,0 +1,36 @@
+/**
+ *  Undead Early Warning
+ */
+definition(
+    name: "Undead Early Warning",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Turn on all the lights when the door opens during the night.",
+    category: "Fun & Social")
+
+preferences {
+    section("When this door opens...") {
+        input "door", "capability.contactSensor", title: "Door"
+    }
+    section("Turn on these lights...") {
+        input "lights", "capability.switch", multiple: true
+    }
+    section("During this mode...") {
+        input "nightMode", "mode", title: "Night mode?"
+    }
+}
+
+def installed() {
+    subscribe(door, "contact.open", doorOpenHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(door, "contact.open", doorOpenHandler)
+}
+
+def doorOpenHandler(evt) {
+    if (location.mode == nightMode) {
+        lights.on()
+    }
+}

@@ -1,0 +1,40 @@
+/**
+ *  Unlock Door
+ *
+ *  Unlocks the door when the location mode changes or on app touch
+ *  (the Figure 1 / Figure 7 running example).
+ */
+definition(
+    name: "Unlock Door",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Unlock the main door when the location mode changes or when the app is tapped.",
+    category: "Safety & Security")
+
+preferences {
+    section("Which lock?") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, changedLocationMode)
+    subscribe(app, appTouch)
+}
+
+def changedLocationMode(evt) {
+    lock1.unlock()
+}
+
+def appTouch(evt) {
+    lock1.unlock()
+}

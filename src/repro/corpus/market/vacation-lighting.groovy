@@ -1,0 +1,33 @@
+/**
+ *  Vacation Lighting
+ */
+definition(
+    name: "Vacation Lighting",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Simulate occupancy by lighting the house on a schedule while you are away.",
+    category: "Safety & Security")
+
+preferences {
+    section("Cycle these lights...") {
+        input "lights", "capability.switch", multiple: true
+    }
+    section("While the home is in this mode...") {
+        input "awayMode", "mode", title: "Away mode?"
+    }
+}
+
+def installed() {
+    schedule("0 30 19 * * ?", eveningTick)
+}
+
+def updated() {
+    unschedule()
+    schedule("0 30 19 * * ?", eveningTick)
+}
+
+def eveningTick() {
+    if (location.mode == awayMode) {
+        lights.on()
+    }
+}

@@ -1,0 +1,81 @@
+/**
+ *  Virtual Thermostat
+ *
+ *  The Figure 1 app: controls a space heater or an air conditioner
+ *  plugged into a smart outlet, based on a temperature sensor.
+ */
+definition(
+    name: "Virtual Thermostat",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Control a space heater or window air conditioner in conjunction with any temperature sensor, like a SmartSense Multi.",
+    category: "Green Living")
+
+preferences {
+    section("Choose a temperature sensor...") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Select the heater or air conditioner outlet(s)...") {
+        input "outlets", "capability.switch", title: "Outlets", multiple: true
+    }
+    section("Set the desired temperature...") {
+        input "setpoint", "decimal", title: "Set Temp"
+    }
+    section("When there's been movement from (optional, leave blank to not require motion)...") {
+        input "motion", "capability.motionSensor", title: "Motion", required: false
+    }
+    section("Within this number of minutes...") {
+        input "minutes", "number", title: "Minutes", required: false
+    }
+    section("But never go below (or above if A/C) this value with or without motion...") {
+        input "emergencySetpoint", "decimal", title: "Emer Temp", required: false
+    }
+    section("Select 'heat' for a heater and 'cool' for an air conditioner...") {
+        input "mode", "enum", title: "Heating or cooling?", options: ["heat", "cool"]
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(sensor, "temperature", temperatureHandler)
+    if (motion) {
+        subscribe(motion, "motion", motionHandler)
+    }
+}
+
+def temperatureHandler(evt) {
+    evaluate()
+}
+
+def motionHandler(evt) {
+    evaluate()
+}
+
+def evaluate() {
+    def target = setpoint
+    if (motion && motion.currentMotion != "active") {
+        target = emergencySetpoint ?: setpoint
+    }
+    def currentTemp = sensor.currentTemperature
+    if (mode == "cool") {
+        if (currentTemp > target) {
+            outlets.on()
+        } else {
+            outlets.off()
+        }
+    } else {
+        if (currentTemp < target) {
+            outlets.on()
+        } else {
+            outlets.off()
+        }
+    }
+}

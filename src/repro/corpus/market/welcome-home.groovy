@@ -1,0 +1,43 @@
+/**
+ *  Welcome Home
+ */
+definition(
+    name: "Welcome Home",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Unlock the front door, light the entry and switch to Home mode when you arrive.",
+    category: "Convenience")
+
+preferences {
+    section("When this person arrives...") {
+        input "person", "capability.presenceSensor", title: "Who?"
+    }
+    section("Unlock this lock...") {
+        input "frontLock", "capability.lock", title: "Front lock"
+    }
+    section("Turn on these lights...") {
+        input "lights", "capability.switch", multiple: true, required: false
+    }
+    section("And change to this mode...") {
+        input "homeMode", "mode", title: "Home mode?", required: false
+    }
+}
+
+def installed() {
+    subscribe(person, "presence.present", arrivalHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(person, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+    frontLock.unlock()
+    if (lights) {
+        lights.on()
+    }
+    if (homeMode) {
+        setLocationMode(homeMode)
+    }
+}

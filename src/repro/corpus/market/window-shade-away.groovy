@@ -1,0 +1,33 @@
+/**
+ *  Window Shade Away
+ */
+definition(
+    name: "Window Shade Away",
+    namespace: "repro.market",
+    author: "SmartThings",
+    description: "Close the window shades whenever the home goes into Away mode.",
+    category: "Safety & Security")
+
+preferences {
+    section("Close these shades...") {
+        input "shades", "capability.windowShade", title: "Shades", multiple: true
+    }
+    section("When the home changes to...") {
+        input "awayMode", "mode", title: "Away mode?"
+    }
+}
+
+def installed() {
+    subscribe(location, modeChangeHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(location, modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == awayMode) {
+        shades.close()
+    }
+}

@@ -1,0 +1,61 @@
+"""The pluggable exploration engine.
+
+The exploration machinery of the checker, carved into replaceable parts:
+
+* :mod:`repro.engine.frontier` - expansion order (DFS stack, BFS deque,
+  best-first priority heap);
+* :mod:`repro.engine.strategy` - the name -> frontier registry behind
+  ``EngineOptions(strategy=...)``;
+* :mod:`repro.engine.visited` - the VisitedStore protocol: exact
+  canonical keys, BITSTATE bitfields, or one-word fingerprints;
+* :mod:`repro.engine.core` - the bounded search itself;
+* :mod:`repro.engine.batch` - :func:`verify_many`, fanning independent
+  verification jobs across a process pool.
+
+``repro.checker.explorer`` remains as a thin compatibility shim over this
+package.
+"""
+
+from repro.engine.batch import VerificationJob, default_workers, verify_many
+from repro.engine.core import ExplorationEngine, verify
+from repro.engine.frontier import (
+    BreadthFirstFrontier,
+    DepthFirstFrontier,
+    Frontier,
+    PriorityFrontier,
+)
+from repro.engine.options import CONCURRENT, SEQUENTIAL, EngineOptions
+from repro.engine.result import BatchResult, ExplorationResult
+from repro.engine.strategy import (
+    make_frontier,
+    register_strategy,
+    strategy_names,
+)
+from repro.engine.visited import (
+    BitStateTable,
+    ExactVisitedSet,
+    FingerprintVisitedSet,
+)
+
+__all__ = [
+    "BatchResult",
+    "BitStateTable",
+    "BreadthFirstFrontier",
+    "CONCURRENT",
+    "DepthFirstFrontier",
+    "EngineOptions",
+    "ExactVisitedSet",
+    "ExplorationEngine",
+    "ExplorationResult",
+    "FingerprintVisitedSet",
+    "Frontier",
+    "PriorityFrontier",
+    "SEQUENTIAL",
+    "VerificationJob",
+    "default_workers",
+    "make_frontier",
+    "register_strategy",
+    "strategy_names",
+    "verify",
+    "verify_many",
+]

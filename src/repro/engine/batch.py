@@ -1,0 +1,172 @@
+"""Parallel batch verification: fan independent systems across processes.
+
+Every large experiment in the paper - the six market groups of Table 5,
+the 70 volunteer configurations of Table 6, the ten-rule IFTTT home of
+Table 9, the scaling points of Table 8 - verifies *independent* systems.
+:func:`verify_many` runs such a job list on a ``ProcessPoolExecutor``
+with per-job options and merges the statistics into one
+:class:`~repro.engine.result.BatchResult`.
+
+Jobs are described declaratively (a configuration + options + property
+selection) rather than as built systems, so they pickle cheaply: each
+worker process parses the bundled corpus once and builds its own systems.
+"""
+
+import os
+import time
+
+from repro.engine.options import EngineOptions
+
+#: registry specs resolvable inside a worker process
+REGISTRY_CORPUS = "corpus"
+REGISTRY_CORPUS_IFTTT = "corpus+ifttt"
+
+_REGISTRY_CACHE = {}
+
+
+class VerificationJob:
+    """One independent verification: a deployment plus run options.
+
+    ``properties`` may be ``None`` (full 45-property catalog), a list of
+    property ids/categories (resolved through the catalog) or a list of
+    property objects (must be picklable).  ``select`` applies the
+    relevance-based selection of §8 after resolution.  ``registry`` is a
+    spec string (``"corpus"`` / ``"corpus+ifttt"``) or an explicit
+    name -> SmartApp mapping.
+    """
+
+    def __init__(self, name, config, options=None, properties=None,
+                 select=True, registry=REGISTRY_CORPUS, strict=True,
+                 enable_failures=False, user_mode_events=False):
+        self.name = name
+        self.config = config
+        self.options = options or EngineOptions()
+        self.properties = properties
+        self.select = select
+        self.registry = registry
+        self.strict = strict
+        self.enable_failures = enable_failures
+        self.user_mode_events = user_mode_events
+
+    def __repr__(self):
+        return "VerificationJob(%r)" % (self.name,)
+
+
+def _resolve_registry(spec):
+    if isinstance(spec, dict):
+        return spec
+    cached = _REGISTRY_CACHE.get(spec)
+    if cached is not None:
+        return cached
+    from repro.corpus import load_all_apps
+
+    registry = load_all_apps()
+    if spec == REGISTRY_CORPUS_IFTTT:
+        from repro.ifttt.table9 import table9_registry
+        registry.update(table9_registry())
+    elif spec != REGISTRY_CORPUS:
+        raise KeyError("unknown registry spec %r" % (spec,))
+    _REGISTRY_CACHE[spec] = registry
+    return registry
+
+
+def _resolve_properties(job, system):
+    from repro.properties import build_properties, select_relevant
+
+    properties = job.properties
+    if properties is None:
+        properties = build_properties()
+    elif all(isinstance(p, str) for p in properties):
+        properties = build_properties(properties)
+    if job.select:
+        properties = select_relevant(system, properties)
+    return properties
+
+
+def execute_job(job):
+    """Build and verify one job (runs inside the worker process)."""
+    from repro.engine.core import ExplorationEngine
+    from repro.model.generator import ModelGenerator
+
+    registry = _resolve_registry(job.registry)
+    system = ModelGenerator(registry).build(
+        job.config, strict=job.strict, enable_failures=job.enable_failures,
+        user_mode_events=job.user_mode_events)
+    properties = _resolve_properties(job, system)
+    return ExplorationEngine(system, properties, job.options).run()
+
+
+def _execute_named(job):
+    return job.name, execute_job(job)
+
+
+def default_workers(job_count):
+    """Workers for a batch: one per job up to the machine's cores."""
+    return max(1, min(job_count, os.cpu_count() or 1))
+
+
+def verify_many(jobs, workers=None):
+    """Verify independent jobs in parallel; returns a :class:`BatchResult`.
+
+    ``workers=None`` sizes the pool to ``min(len(jobs), cpu_count)``;
+    ``workers=1`` (or a single job) runs inline without spawning
+    processes, which also serves as the fallback for unpicklable jobs.
+    """
+    from repro.engine.result import BatchResult
+
+    jobs = list(jobs)
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise ValueError("duplicate job name(s) %s: results are keyed by "
+                         "name, so duplicates would silently merge"
+                         % ", ".join(repr(name) for name in duplicates))
+    if workers is None:
+        workers = default_workers(len(jobs))
+    batch = BatchResult()
+    batch.workers = workers
+    started = time.monotonic()
+    if workers <= 1 or len(jobs) <= 1:
+        batch.workers = 1
+        for job in jobs:
+            try:
+                batch.add(job.name, execute_job(job))
+            except Exception as exc:  # surface per-job failures, keep going
+                batch.add_error(job.name, "%s: %s" % (type(exc).__name__, exc))
+        batch.elapsed = time.monotonic() - started
+        return batch
+
+    return _verify_many_pooled(jobs, workers, batch, started)
+
+
+def _warm_registries(jobs):
+    """Parse each referenced corpus registry once in the parent process.
+
+    Under the default fork start method the workers inherit the parsed
+    corpus through copy-on-write memory, so no worker pays the parse
+    cost; under spawn the warm-up is merely redundant.
+    """
+    for spec in {job.registry for job in jobs if isinstance(job.registry, str)}:
+        _resolve_registry(spec)
+
+
+def _verify_many_pooled(jobs, workers, batch, started):
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    _warm_registries(jobs)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(_execute_named, job): job for job in jobs}
+        outcomes = {}
+        for future in as_completed(futures):
+            job = futures[future]
+            try:
+                name, result = future.result()
+                outcomes[name] = result
+            except Exception as exc:
+                batch.add_error(job.name,
+                                "%s: %s" % (type(exc).__name__, exc))
+    for job in jobs:  # preserve submission order in the merged report
+        if job.name in outcomes:
+            batch.add(job.name, outcomes[job.name])
+    batch.elapsed = time.monotonic() - started
+    return batch

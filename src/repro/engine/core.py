@@ -1,0 +1,187 @@
+"""The exploration engine: bounded search over external-event permutations.
+
+"The model checker enumerates all possible permutations of the input
+physical events up to a maximum number of events per user's configuration
+to exhaustively verify the system." (§8, Algorithm 1.)
+
+Used as a *falsifier* (§2.3): the search records a counterexample per
+violated property and keeps exploring until the bounded state space is
+exhausted or a limit trips.  The engine is assembled from three pluggable
+parts - a :class:`~repro.engine.frontier.Frontier` (expansion order), a
+VisitedStore (pruning) and the transition relation of the system under
+test - so strategies and stores swap without touching the search itself.
+"""
+
+import time
+
+from repro.engine.options import CONCURRENT, EngineOptions
+from repro.engine.result import ExplorationResult
+
+
+class _Node:
+    """A search node with parent links for counterexample reconstruction."""
+
+    __slots__ = ("state", "depth", "parent", "label", "steps")
+
+    def __init__(self, state, depth, parent=None, label=None, steps=()):
+        self.state = state
+        self.depth = depth
+        self.parent = parent
+        self.label = label
+        self.steps = steps
+
+    def path(self):
+        chain = []
+        node = self
+        while node.parent is not None:
+            chain.append((node.label, list(node.steps)))
+            node = node.parent
+        chain.reverse()
+        return chain
+
+
+class ExplorationEngine:
+    """Runs the bounded search on one :class:`~repro.model.system.IoTSystem`."""
+
+    def __init__(self, system, properties, options=None):
+        # imported here: repro.checker's package init re-exports this
+        # module's shim, so a top-level import would be circular
+        from repro.checker.monitor import SafetyMonitor
+        from repro.checker.violations import Counterexample
+
+        self.system = system
+        self.properties = list(properties)
+        self.options = options or EngineOptions()
+        self._monitor_cls = SafetyMonitor
+        self._counterexample_cls = Counterexample
+
+    def _monitor_factory(self):
+        return self._monitor_cls(self.system, self.properties)
+
+    def run(self):
+        """Explore; returns an :class:`ExplorationResult`."""
+        options = self.options
+        result = ExplorationResult()
+        started = time.monotonic()
+        visited = options.make_visited()
+        frontier = options.make_frontier()
+
+        root = _Node(self.system.initial_state(), 0)
+        visited.seen_before(visited.state_key(root.state), 0)
+        result.states_explored = 1
+        frontier.push(root)
+
+        while frontier:
+            if self._limits_hit(result, started):
+                break
+            node = frontier.pop()
+            for transition in self._transitions_from(node):
+                label, new_state, consumed, violations, steps = transition
+                result.transitions += 1
+                depth = node.depth + (1 if consumed else 0)
+                child = _Node(new_state, depth, parent=node, label=label,
+                              steps=steps)
+                if violations:
+                    self._record(result, child, violations)
+                    if options.stop_on_first:
+                        return self._finish(result, visited, started)
+                if depth > options.max_events:
+                    continue
+                if not visited.seen_before(visited.state_key(new_state),
+                                           depth):
+                    result.states_explored += 1
+                    if depth < options.max_events or new_state.pending:
+                        frontier.push(child)
+                if self._limits_hit(result, started):
+                    break
+
+        return self._finish(result, visited, started)
+
+    def _finish(self, result, visited, started):
+        result.elapsed = time.monotonic() - started
+        result.visited_stats = visited.stats()
+        return result
+
+    def _transitions_from(self, node):
+        if self.options.mode == CONCURRENT:
+            externals_left = self.options.max_events - node.depth
+            return self.system.transitions_concurrent(
+                node.state, self._monitor_factory, externals_left)
+        if node.depth >= self.options.max_events:
+            return []
+        return self.system.transitions(node.state, self._monitor_factory)
+
+    def _record(self, result, node, violations):
+        path = node.path()
+        for violation in violations:
+            refined = self._role_actors(violation, path)
+            if refined:
+                violation.apps = refined
+            elif not violation.apps:
+                # fall back to every app that acted along the path
+                violation.apps = _path_actors(path)
+            key = violation.dedup_key()
+            if key not in result.counterexamples:
+                result.counterexamples[key] = self._counterexample_cls(
+                    violation, path)
+
+    def _role_actors(self, violation, path):
+        """For invariant violations: the apps that commanded the property's
+        role devices anywhere along the violating run (Table 5/9's "apps
+        related to example")."""
+        roles = getattr(violation.property, "roles", ())
+        if not roles:
+            return ()
+        role_devices = set()
+        for role in roles:
+            for name in self.system.role_list(role):
+                if isinstance(name, str) and name in self.system.devices:
+                    role_devices.add(name)
+        if not role_devices:
+            return ()
+        actors = []
+        for _label, steps in path:
+            for step in steps:
+                if step.kind not in ("command", "mode") or not step.app:
+                    continue
+                if step.kind == "command":
+                    device = step.text.split(".", 1)[0]
+                    if device not in role_devices:
+                        continue
+                if step.app not in actors:
+                    actors.append(step.app)
+        return tuple(actors)
+
+    def _limits_hit(self, result, started):
+        options = self.options
+        if options.max_states and result.states_explored >= options.max_states:
+            result.truncated = True
+            result.truncated_reason = "max_states"
+            return True
+        if (options.max_transitions
+                and result.transitions >= options.max_transitions):
+            result.truncated = True
+            result.truncated_reason = "max_transitions"
+            return True
+        if options.time_limit and time.monotonic() - started > options.time_limit:
+            result.truncated = True
+            result.truncated_reason = "time_limit"
+            return True
+        return False
+
+
+def _path_actors(path):
+    """Apps that issued commands or mode changes along a violating run."""
+    actors = []
+    for _label, steps in path:
+        for step in steps:
+            if step.kind in ("command", "mode") and step.app:
+                if step.app not in actors:
+                    actors.append(step.app)
+    return tuple(actors)
+
+
+def verify(system, properties, **option_kwargs):
+    """Convenience: build options, run, return the result."""
+    return ExplorationEngine(system, properties,
+                             EngineOptions(**option_kwargs)).run()

@@ -1,0 +1,68 @@
+"""Tunables for one exploration run."""
+
+from repro.engine import strategy as _strategy
+
+SEQUENTIAL = "sequential"
+CONCURRENT = "concurrent"
+
+
+# Store constructors import lazily: repro.checker re-exports the engine
+# shim, so a module-level import here would be circular.
+
+def _make_exact(options):
+    from repro.checker.visited import ExactVisitedSet
+    return ExactVisitedSet()
+
+
+def _make_fingerprint(options):
+    from repro.engine.visited import FingerprintVisitedSet
+    return FingerprintVisitedSet()
+
+
+def _make_bitstate(options):
+    from repro.checker.visited import BitStateTable
+    return BitStateTable(bits_log2=options.bitstate_bits)
+
+
+#: visited-store name -> constructor taking the options
+_VISITED_STORES = {
+    "exact": _make_exact,
+    "fingerprint": _make_fingerprint,
+    "bitstate": _make_bitstate,
+}
+
+
+class EngineOptions:
+    """Tunables for one exploration run.
+
+    ``strategy`` selects the frontier by registry name (``dfs``/``bfs``/
+    ``priority`` built in; see :func:`repro.engine.register_strategy`).
+    ``visited`` selects the store: ``exact`` (canonical keys), ``bitstate``
+    (Spin supertrace over fingerprints) or ``fingerprint`` (one word per
+    state, depth-aware).
+    """
+
+    def __init__(self, max_events=3, mode=SEQUENTIAL, visited="exact",
+                 bitstate_bits=23, max_states=200000, max_transitions=None,
+                 time_limit=None, stop_on_first=False, strategy="dfs",
+                 priority=None):
+        self.max_events = max_events
+        self.mode = mode
+        self.visited = visited
+        self.bitstate_bits = bitstate_bits
+        self.max_states = max_states
+        self.max_transitions = max_transitions
+        self.time_limit = time_limit
+        self.stop_on_first = stop_on_first
+        self.strategy = strategy
+        self.priority = priority
+
+    def make_visited(self):
+        factory = _VISITED_STORES.get(self.visited)
+        if factory is None:
+            raise KeyError("unknown visited store %r (known: %s)"
+                           % (self.visited, ", ".join(sorted(_VISITED_STORES))))
+        return factory(self)
+
+    def make_frontier(self):
+        return _strategy.make_frontier(self.strategy, self)

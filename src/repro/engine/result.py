@@ -1,0 +1,138 @@
+"""Outcome records: per-run results and merged batch statistics."""
+
+
+class ExplorationResult:
+    """Outcome of one run: violations + statistics."""
+
+    def __init__(self):
+        #: dedup key -> Counterexample (first found per distinct violation)
+        self.counterexamples = {}
+        self.states_explored = 0
+        self.transitions = 0
+        self.elapsed = 0.0
+        self.truncated = False
+        self.truncated_reason = None
+        #: store statistics snapshot ({} until the run finishes)
+        self.visited_stats = {}
+
+    @property
+    def violations(self):
+        return [ce.violation for ce in self.counterexamples.values()]
+
+    @property
+    def violated_property_ids(self):
+        return sorted({v.property.id for v in self.violations})
+
+    def counterexample_for(self, property_id):
+        """The first counterexample recorded for a property id."""
+        for ce in self.counterexamples.values():
+            if ce.violation.property.id == property_id:
+                return ce
+        return None
+
+    @property
+    def has_violations(self):
+        return bool(self.counterexamples)
+
+    @property
+    def states_per_second(self):
+        if self.elapsed <= 0:
+            return 0.0
+        return self.states_explored / self.elapsed
+
+    def summary(self):
+        lines = ["%d distinct violation(s) of %d property(ies); "
+                 "%d states, %d transitions, %.2fs%s" % (
+                     len(self.counterexamples),
+                     len(self.violated_property_ids),
+                     self.states_explored, self.transitions, self.elapsed,
+                     " (truncated: %s)" % self.truncated_reason
+                     if self.truncated else "")]
+        for ce in self.counterexamples.values():
+            lines.append("  %s: %s" % (ce.violation.property.id,
+                                       ce.violation.message))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ExplorationResult(violations=%d, states=%d)" % (
+            len(self.counterexamples), self.states_explored)
+
+
+class BatchResult:
+    """Merged outcome of a :func:`~repro.engine.batch.verify_many` run."""
+
+    def __init__(self):
+        #: job name -> ExplorationResult, in submission order
+        self.results = {}
+        #: job name -> error string for jobs that raised
+        self.errors = {}
+        #: wall-clock of the whole batch (not the sum of the jobs)
+        self.elapsed = 0.0
+        self.workers = 1
+
+    def add(self, name, result):
+        self.results[name] = result
+
+    def add_error(self, name, message):
+        self.errors[name] = message
+
+    def __getitem__(self, name):
+        return self.results[name]
+
+    def __iter__(self):
+        return iter(self.results.values())
+
+    def __len__(self):
+        return len(self.results)
+
+    # -- merged statistics ---------------------------------------------------
+
+    @property
+    def states_explored(self):
+        return sum(r.states_explored for r in self.results.values())
+
+    @property
+    def transitions(self):
+        return sum(r.transitions for r in self.results.values())
+
+    @property
+    def job_seconds(self):
+        """Sum of per-job times (the serial-equivalent cost)."""
+        return sum(r.elapsed for r in self.results.values())
+
+    @property
+    def violations(self):
+        merged = []
+        for result in self.results.values():
+            merged.extend(result.violations)
+        return merged
+
+    @property
+    def violated_property_ids(self):
+        ids = set()
+        for result in self.results.values():
+            ids.update(result.violated_property_ids)
+        return sorted(ids)
+
+    @property
+    def has_violations(self):
+        return any(r.has_violations for r in self.results.values())
+
+    def summary(self):
+        lines = ["%d job(s) on %d worker(s): %d violation(s) of %d "
+                 "property(ies); %d states, %d transitions; %.2fs wall "
+                 "(%.2fs of job time)" % (
+                     len(self.results), self.workers, len(self.violations),
+                     len(self.violated_property_ids), self.states_explored,
+                     self.transitions, self.elapsed, self.job_seconds)]
+        for name, result in self.results.items():
+            lines.append("  %-28s %d violation(s), %d states, %.2fs"
+                         % (name, len(result.counterexamples),
+                            result.states_explored, result.elapsed))
+        for name, message in self.errors.items():
+            lines.append("  %-28s ERROR: %s" % (name, message))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "BatchResult(jobs=%d, violations=%d)" % (
+            len(self.results), len(self.violations))

@@ -1,0 +1,45 @@
+"""The search-strategy registry.
+
+A *strategy* names a frontier construction.  Registering a strategy makes
+it selectable by name through :class:`~repro.engine.options.EngineOptions`
+(and therefore through the CLI's ``--strategy`` flag) without touching the
+engine core - the "pluggable" half of the pluggable engine.
+"""
+
+from repro.engine.frontier import (
+    BreadthFirstFrontier,
+    DepthFirstFrontier,
+    PriorityFrontier,
+)
+
+_STRATEGIES = {}
+
+
+def register_strategy(name, factory):
+    """Register ``factory(options) -> Frontier`` under ``name``.
+
+    Re-registering a name replaces the previous factory (latest wins), so
+    embedders can override the built-ins.
+    """
+    _STRATEGIES[name] = factory
+    return factory
+
+
+def strategy_names():
+    return sorted(_STRATEGIES)
+
+
+def make_frontier(name, options):
+    """Instantiate the frontier for a registered strategy name."""
+    factory = _STRATEGIES.get(name)
+    if factory is None:
+        raise KeyError("unknown search strategy %r (registered: %s)"
+                       % (name, ", ".join(strategy_names())))
+    return factory(options)
+
+
+register_strategy("dfs", lambda options: DepthFirstFrontier())
+register_strategy("bfs", lambda options: BreadthFirstFrontier())
+register_strategy(
+    "priority",
+    lambda options: PriorityFrontier(getattr(options, "priority", None)))

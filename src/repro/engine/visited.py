@@ -1,0 +1,36 @@
+"""The VisitedStore protocol and the fingerprint-keyed store.
+
+A visited store answers one question - "was this state already expanded
+at an equal-or-smaller depth?" - through two methods:
+
+``state_key(state)``
+    Project a :class:`~repro.model.state.ModelState` onto whatever key
+    form the store hashes.  The exact store uses the full canonical key;
+    the approximate stores use the 64-bit incremental fingerprint, which
+    keeps full re-canonicalization out of the hot path.
+
+``seen_before(key, depth)``
+    Record the key; return ``True`` when the state may be pruned.
+
+The exact and BITSTATE stores live in :mod:`repro.checker.visited` (their
+historical home, kept for compatibility); this module re-exports them and
+adds the fingerprint set.
+"""
+
+from repro.checker.visited import BitStateTable, ExactVisitedSet
+
+__all__ = ["BitStateTable", "ExactVisitedSet", "FingerprintVisitedSet"]
+
+
+class FingerprintVisitedSet(ExactVisitedSet):
+    """Depth-aware exact-set over 64-bit fingerprints.
+
+    Same depth-aware pruning as :class:`ExactVisitedSet`, but keyed by
+    one machine word per state instead of the full canonical key; like
+    BITSTATE it admits false positives (two distinct states sharing a
+    fingerprint, probability ~2^-64 per pair) but never false negatives.
+    """
+
+    @staticmethod
+    def state_key(state):
+        return state.fingerprint()

@@ -156,9 +156,11 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def _build_globals(self):
+        # "state"/"atomicState" bind lazily in _lookup: ctx.app_state()
+        # escapes the app's persistent map (forcing the model state to
+        # deep-copy it on every branch), so stateless handlers must not
+        # pay for a handle they never touch
         env = {
-            "state": handles.AppStateMap(self.ctx.app_state(self.app.name)),
-            "atomicState": handles.AppStateMap(self.ctx.app_state(self.app.name)),
             "location": handles.LocationHandle(self.ctx, self.app.name),
             "log": handles.LogHandle(self.ctx, self.app.name),
             "app": handles.AppHandle(self.app.name),
@@ -184,6 +186,11 @@ class Interpreter:
                 return True, scope[name]
         if name in self._globals:
             return True, self._globals[name]
+        if name in ("state", "atomicState"):
+            handle = handles.AppStateMap(self.ctx.app_state(self.app.name))
+            self._globals["state"] = handle
+            self._globals["atomicState"] = handle
+            return True, handle
         if self.app.method(name) is not None:
             return True, MethodRef(name)
         return False, None

@@ -7,39 +7,144 @@ monotonically increasing variable"), pending scheduled callbacks, a bounded
 per-device event history (for ``eventsSince``), and - in the concurrent
 design - the queue of pending cyber events.
 
-States are plain mutable objects copied on branch; :meth:`key` produces the
-canonical hashable form used by the visited stores (exact set or BITSTATE
-bitfield).
+Two properties make the exploration hot path cheap:
+
+* **Copy-on-write branching.**  :meth:`copy` shares the per-device
+  attribute maps and per-app state maps between parent and child instead
+  of deep-copying them; a branch that touches two devices copies two
+  small dicts, not the whole home.  Mutators unshare lazily.
+* **Incremental fingerprints.**  A 64-bit :meth:`fingerprint` is
+  maintained through :meth:`set_attribute`/mode/schedule mutations, so
+  visited-set lookups need no full re-canonicalization.  The exact
+  canonical form stays available behind :meth:`canonical_key` for the
+  exact visited store and for collision audits; equal canonical keys are
+  guaranteed to have equal fingerprints.
+
+Raw access to the underlying containers (the :attr:`devices` /
+:attr:`app_states` properties, or the dict handed out by
+:meth:`app_state`) stays supported - app code mutates its state map in
+place - but such a reference *escapes* the bookkeeping.  Escaped maps
+are therefore treated pessimistically: their fingerprint contribution is
+recomputed on every :meth:`fingerprint` call (staleness cannot be
+tracked), and :meth:`copy` gives the child its own deep copy instead of
+sharing them (a pre-copy reference must never alias the clone).
 """
+
+_MASK = (1 << 64) - 1
+
+#: FNV-1a constants used to mix the per-component hashes into one word.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+_MISSING = object()
+
+
+def _mix(parts):
+    acc = _FNV_OFFSET
+    for part in parts:
+        acc ^= part & _MASK
+        acc = (acc * _FNV_PRIME) & _MASK
+    return acc
 
 
 class ModelState:
     """Mutable model state; the checker copies it on every branch."""
 
-    __slots__ = ("devices", "mode", "app_states", "time", "schedules",
-                 "history", "pending", "cascade_commands")
+    __slots__ = (
+        "_devices", "_mode", "_app_states", "time", "_schedules", "history",
+        "_pending", "_cascade_commands",
+        # copy-on-write bookkeeping: names whose inner maps are shared
+        # with another state and must be copied before mutation
+        "_shared_devices", "_shared_apps",
+        # escape bookkeeping: raw references handed out (see module doc)
+        "_devices_escaped", "_escaped_apps", "_apps_escaped_all",
+        # fingerprint caches
+        "_dev_hash", "_dev_hash_valid", "_app_hashes", "_dirty_apps",
+    )
 
     #: bounded history length per device (enough for `eventsSince` guards)
     HISTORY_LIMIT = 4
 
     def __init__(self, devices=None, mode="Home", app_states=None, time=0,
                  schedules=(), history=None, pending=(), cascade_commands=()):
-        self.devices = devices or {}
-        self.mode = mode
-        self.app_states = app_states or {}
+        self._devices = devices or {}
+        self._mode = mode
+        self._app_states = app_states or {}
         self.time = time
-        self.schedules = tuple(schedules)
+        self._schedules = tuple(schedules)
         self.history = history or {}
-        self.pending = tuple(pending)
+        self._pending = tuple(pending)
         # commands sent since the last external event (concurrent design
         # needs this in-state; the sequential cascade keeps its own log)
-        self.cascade_commands = tuple(cascade_commands)
+        self._cascade_commands = tuple(cascade_commands)
+        self._shared_devices = set()
+        self._shared_apps = set()
+        # constructor-supplied dicts are caller-owned references
+        self._devices_escaped = devices is not None
+        self._escaped_apps = set()
+        self._apps_escaped_all = app_states is not None
+        self._dev_hash = 0
+        self._dev_hash_valid = False
+        self._app_hashes = {}
+        self._dirty_apps = set()
+
+    # -- raw-container views ---------------------------------------------------
+
+    @property
+    def devices(self):
+        if self._shared_devices:
+            for name in self._shared_devices:
+                self._devices[name] = dict(self._devices[name])
+            self._shared_devices.clear()
+        self._devices_escaped = True
+        return self._devices
+
+    @property
+    def app_states(self):
+        if self._shared_apps:
+            for name in self._shared_apps:
+                self._app_states[name] = _copy_value(self._app_states[name])
+            self._shared_apps.clear()
+        self._apps_escaped_all = True
+        return self._app_states
+
+    @property
+    def mode(self):
+        return self._mode
+
+    @mode.setter
+    def mode(self, value):
+        self._mode = value
+
+    @property
+    def schedules(self):
+        return self._schedules
+
+    @schedules.setter
+    def schedules(self, value):
+        self._schedules = tuple(value)
+
+    @property
+    def pending(self):
+        return self._pending
+
+    @pending.setter
+    def pending(self, value):
+        self._pending = tuple(value)
+
+    @property
+    def cascade_commands(self):
+        return self._cascade_commands
+
+    @cascade_commands.setter
+    def cascade_commands(self, value):
+        self._cascade_commands = tuple(value)
 
     # -- reads ---------------------------------------------------------------
 
     def attribute(self, device_name, attribute):
         """Current value of a device attribute (``None`` when unknown)."""
-        return self.devices.get(device_name, {}).get(attribute)
+        return self._devices.get(device_name, {}).get(attribute)
 
     def device_history(self, device_name):
         return self.history.get(device_name, ())
@@ -47,7 +152,20 @@ class ModelState:
     # -- writes --------------------------------------------------------------
 
     def set_attribute(self, device_name, attribute, value):
-        self.devices.setdefault(device_name, {})[attribute] = value
+        attrs = self._devices.get(device_name)
+        if attrs is None:
+            attrs = {}
+            self._devices[device_name] = attrs
+        elif device_name in self._shared_devices:
+            attrs = dict(attrs)
+            self._devices[device_name] = attrs
+            self._shared_devices.discard(device_name)
+        if self._dev_hash_valid and not self._devices_escaped:
+            old = attrs.get(attribute, _MISSING)
+            if old is not _MISSING:
+                self._dev_hash ^= hash((device_name, attribute, old))
+            self._dev_hash ^= hash((device_name, attribute, value))
+        attrs[attribute] = value
 
     def record_event(self, device_name, attribute, value):
         """Append to the bounded per-device history."""
@@ -57,36 +175,133 @@ class ModelState:
 
     def add_schedule(self, app_name, handler, periodic=False):
         entry = (app_name, handler, periodic)
-        if entry not in self.schedules:
-            self.schedules = self.schedules + (entry,)
+        if entry not in self._schedules:
+            self._schedules = self._schedules + (entry,)
 
     def remove_schedule(self, app_name, handler=None):
-        self.schedules = tuple(
-            (a, h, p) for (a, h, p) in self.schedules
+        self._schedules = tuple(
+            (a, h, p) for (a, h, p) in self._schedules
             if not (a == app_name and (handler is None or h == handler)))
 
     def app_state(self, app_name):
-        """The persistent ``state`` map of one app (created on demand)."""
-        return self.app_states.setdefault(app_name, {})
+        """The persistent ``state`` map of one app (created on demand).
+
+        The returned dict is mutated freely by app code, so a map shared
+        with a parent/child state is deep-copied here and the reference
+        counts as escaped from then on (recompute-on-fingerprint,
+        deep-copy-on-branch).
+        """
+        mapping = self._app_states.get(app_name)
+        if mapping is None:
+            mapping = {}
+            self._app_states[app_name] = mapping
+        elif app_name in self._shared_apps:
+            mapping = _copy_value(mapping)
+            self._app_states[app_name] = mapping
+            self._shared_apps.discard(app_name)
+        self._escaped_apps.add(app_name)
+        return mapping
 
     # -- copy / hash -----------------------------------------------------------
 
     def copy(self):
-        """A deep-enough copy: nested dicts are copied, values are immutable."""
-        return ModelState(
-            devices={name: dict(attrs) for name, attrs in self.devices.items()},
-            mode=self.mode,
-            app_states={name: _copy_value(mapping)
-                        for name, mapping in self.app_states.items()},
-            time=self.time,
-            schedules=self.schedules,
-            history=dict(self.history),
-            pending=self.pending,
-            cascade_commands=self.cascade_commands,
-        )
+        """A structural-sharing copy: inner maps are shared, not duplicated.
 
-    def key(self):
-        """Canonical hashable form for visited-state deduplication.
+        Both sides mark the shared maps, so whichever state mutates first
+        copies just the map it touches (copy-on-write in both directions).
+        Maps whose references escaped are deep-copied instead - an old
+        reference must keep writing into this state only, never the clone.
+        """
+        clone = ModelState.__new__(ModelState)
+        clone._mode = self._mode
+        clone.time = self.time
+        clone._schedules = self._schedules
+        clone.history = dict(self.history)
+        clone._pending = self._pending
+        clone._cascade_commands = self._cascade_commands
+
+        if self._devices_escaped:
+            clone._devices = {name: dict(attrs)
+                              for name, attrs in self._devices.items()}
+            clone._shared_devices = set()
+            clone._dev_hash = 0
+            clone._dev_hash_valid = False
+        else:
+            clone._devices = dict(self._devices)
+            shared_devices = set(self._devices)
+            self._shared_devices |= shared_devices
+            clone._shared_devices = shared_devices
+            clone._dev_hash = self._dev_hash
+            clone._dev_hash_valid = self._dev_hash_valid
+        clone._devices_escaped = False
+
+        escaped = (set(self._app_states) if self._apps_escaped_all
+                   else self._escaped_apps)
+        clone._app_states = {}
+        shared_apps = set()
+        for name, mapping in self._app_states.items():
+            if name in escaped:
+                clone._app_states[name] = _copy_value(mapping)
+            else:
+                clone._app_states[name] = mapping
+                shared_apps.add(name)
+        self._shared_apps |= shared_apps
+        clone._shared_apps = set(shared_apps)
+        clone._escaped_apps = set()
+        clone._apps_escaped_all = False
+        clone._app_hashes = dict(self._app_hashes)
+        # escaped maps may have mutated since their hash was cached
+        clone._dirty_apps = set(self._dirty_apps) | set(escaped)
+        return clone
+
+    def fingerprint(self):
+        """64-bit incremental hash of the canonical state.
+
+        Maintained through the mutator methods; components whose
+        references escaped are recomputed on every call.  Equal canonical
+        keys always produce equal fingerprints (the reverse may fail with
+        probability ~2^-64 per pair - the BITSTATE trade-off).
+
+        Built on Python's ``hash()``, so values are stable within a
+        process but vary across processes (string hashing is seeded);
+        set ``PYTHONHASHSEED`` to reproduce a fingerprint/BITSTATE run
+        bit-for-bit.
+        """
+        if self._devices_escaped or not self._dev_hash_valid:
+            dev_hash = 0
+            for name, attrs in self._devices.items():
+                for attribute, value in attrs.items():
+                    dev_hash ^= hash((name, attribute, value))
+            self._dev_hash = dev_hash
+            self._dev_hash_valid = True
+        if self._apps_escaped_all:
+            # rebuild outright: entries removed through the escaped view
+            # must not leave stale hashes behind
+            self._app_hashes = {
+                name: hash((name, _freeze(mapping)))
+                for name, mapping in self._app_states.items()}
+        else:
+            for name in self._dirty_apps | self._escaped_apps:
+                mapping = self._app_states.get(name)
+                if mapping is None:
+                    self._app_hashes.pop(name, None)
+                else:
+                    self._app_hashes[name] = hash((name, _freeze(mapping)))
+        self._dirty_apps.clear()
+        apps_hash = 0
+        for value in self._app_hashes.values():
+            apps_hash ^= value
+        return _mix((
+            self._dev_hash,
+            hash(self._mode),
+            apps_hash,
+            hash(tuple(sorted(self._schedules))),
+            hash(self._pending),
+            hash(self._cascade_commands),
+        ))
+
+    def canonical_key(self):
+        """Canonical hashable form for exact visited-state deduplication.
 
         The clock is deliberately excluded: two states differing only in the
         timestamp behave identically (time only orders history entries), and
@@ -94,18 +309,21 @@ class ModelState:
         """
         return (
             tuple(sorted((name, tuple(sorted(attrs.items())))
-                         for name, attrs in self.devices.items())),
-            self.mode,
+                         for name, attrs in self._devices.items())),
+            self._mode,
             tuple(sorted((name, _freeze(mapping))
-                         for name, mapping in self.app_states.items())),
-            tuple(sorted(self.schedules)),
-            self.pending,
-            self.cascade_commands,
+                         for name, mapping in self._app_states.items())),
+            tuple(sorted(self._schedules)),
+            self._pending,
+            self._cascade_commands,
         )
+
+    #: backwards-compatible alias (pre-engine callers used ``state.key()``)
+    key = canonical_key
 
     def __repr__(self):
         return "ModelState(mode=%r, time=%d, devices=%d)" % (
-            self.mode, self.time, len(self.devices))
+            self._mode, self.time, len(self._devices))
 
 
 def _copy_value(value):

@@ -177,11 +177,15 @@ class IoTSystem:
     # ------------------------------------------------------------------
 
     def initial_state(self):
+        # seeded through the mutator methods, not the raw dict views:
+        # a raw view marks the root state escaped, which would disable
+        # copy-on-write sharing for every depth-1 branch
         state = ModelState(mode=self.initial_mode)
         for name, instance in self.devices.items():
-            state.devices[name] = instance.initial_attributes()
+            for attribute, value in instance.initial_attributes().items():
+                state.set_attribute(name, attribute, value)
         for app in self.apps:
-            state.app_states[app.name] = {}
+            state.app_state(app.name)
             # cron-style schedules registered in installed()/initialize()
             # exist from the start; runIn timers appear dynamically
             for api, handler, _line in app.smart_app.schedules:

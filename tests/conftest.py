@@ -3,24 +3,42 @@
 import pytest
 
 from repro.config.schema import SystemConfiguration
-from repro.corpus import load_all_apps, load_malicious_apps, load_market_apps
+from repro.corpus import (
+    CorpusMissingError,
+    load_all_apps,
+    load_malicious_apps,
+    load_market_apps,
+)
 from repro.model.generator import ModelGenerator
+
+
+def _load_or_skip(loader):
+    """Load a corpus collection, skipping (not erroring) when absent.
+
+    A missing corpus is an installation problem, not a code regression;
+    corpus-dependent tests skip with a pointer instead of erroring the
+    whole collection run.
+    """
+    try:
+        return loader()
+    except CorpusMissingError as exc:
+        pytest.skip("bundled corpus unavailable: %s" % exc)
 
 
 @pytest.fixture(scope="session")
 def registry():
     """The full corpus (market + malicious), parsed once per session."""
-    return load_all_apps()
+    return _load_or_skip(load_all_apps)
 
 
 @pytest.fixture(scope="session")
 def market_apps():
-    return load_market_apps()
+    return _load_or_skip(load_market_apps)
 
 
 @pytest.fixture(scope="session")
 def malicious_apps():
-    return load_malicious_apps()
+    return _load_or_skip(load_malicious_apps)
 
 
 @pytest.fixture(scope="session")

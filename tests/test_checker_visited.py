@@ -1,11 +1,15 @@
 """Unit + property-based tests for the visited-state stores."""
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import pytest
 
 from repro.checker.visited import BitStateTable, ExactVisitedSet
+from repro.engine.visited import FingerprintVisitedSet
+from repro.model.state import ModelState
 
 
 class TestExactVisitedSet:
@@ -87,6 +91,132 @@ class TestBitStateTable:
             single.seen_before(key, 0)
             double.seen_before(key, 0)
         assert double.collisions <= single.collisions
+
+
+class TestFingerprintVisitedSet:
+    """Regression coverage for the one-word depth-aware store."""
+
+    def test_first_visit_not_seen(self):
+        store = FingerprintVisitedSet()
+        assert store.seen_before(0xDEAD, 0) is False
+
+    def test_revisit_shallower_reexpanded(self):
+        store = FingerprintVisitedSet()
+        store.seen_before(0xDEAD, 3)
+        assert store.seen_before(0xDEAD, 1) is False
+        assert store.seen_before(0xDEAD, 2) is True
+
+    def test_state_key_is_fingerprint(self):
+        state = ModelState()
+        state.set_attribute("d", "switch", "on")
+        assert FingerprintVisitedSet.state_key(state) == state.fingerprint()
+
+
+class TestStateKeyProtocol:
+    """Each store projects states onto its own key form."""
+
+    def test_exact_store_uses_canonical_key(self):
+        state = ModelState()
+        state.set_attribute("d", "lock", "locked")
+        assert ExactVisitedSet.state_key(state) == state.canonical_key()
+
+    def test_bitstate_uses_fingerprint(self):
+        state = ModelState()
+        state.set_attribute("d", "lock", "locked")
+        assert BitStateTable.state_key(state) == state.fingerprint()
+
+    def test_stats_shapes(self):
+        exact, table = ExactVisitedSet(), BitStateTable(bits_log2=12)
+        exact.seen_before(("k",), 0)
+        table.seen_before(("k",), 0)
+        assert exact.stats() == {"stored": 1}
+        stats = table.stats()
+        assert stats["stored"] == 1 and stats["collisions"] == 0
+        assert 0.0 < stats["fill_ratio"] < 1.0
+
+
+class TestFillRatioCache:
+    def test_cache_invalidated_by_stores(self):
+        table = BitStateTable(bits_log2=12, hash_count=1)
+        assert table.fill_ratio == 0.0
+        table.seen_before(("a",), 0)
+        first = table.fill_ratio
+        assert first > 0.0
+        assert table.fill_ratio == first  # served from cache
+        table.seen_before(("b",), 0)
+        assert table.fill_ratio >= first
+
+    def test_matches_per_byte_popcount(self):
+        table = BitStateTable(bits_log2=12)
+        for index in range(200):
+            table.seen_before(("s", index), 0)
+        slow = sum(bin(b).count("1") for b in table._field) / float(table.bits)
+        assert table.fill_ratio == slow
+
+
+def _random_state(rng):
+    """A ModelState built through the public mutators."""
+    state = ModelState()
+    for _ in range(rng.randrange(8)):
+        state.set_attribute("dev%d" % rng.randrange(3),
+                            rng.choice(["switch", "lock", "temp"]),
+                            rng.choice(["on", "off", "locked", 55, 95]))
+    if rng.random() < 0.5:
+        state.mode = rng.choice(["Home", "Away", "Night"])
+    for _ in range(rng.randrange(3)):
+        state.app_state("app%d" % rng.randrange(2))["k%d" % rng.randrange(3)] = (
+            rng.choice([1, "x", [1, 2], {"nested": True}]))
+    for _ in range(rng.randrange(2)):
+        state.add_schedule("app%d" % rng.randrange(2), "h", periodic=bool(rng.randrange(2)))
+    return state
+
+
+class TestFingerprintConsistency:
+    """The collision-audit contract: equal canonical keys must imply
+    equal fingerprints (the engine's stores rely on the implication)."""
+
+    def test_equal_keys_equal_fingerprints_randomized(self):
+        rng = random.Random(20260727)
+        states = [_random_state(rng) for _ in range(120)]
+        by_key = {}
+        for state in states:
+            by_key.setdefault(state.canonical_key(), []).append(state)
+        for group in by_key.values():
+            fingerprints = {state.fingerprint() for state in group}
+            assert len(fingerprints) == 1
+
+    def test_incremental_matches_from_scratch(self):
+        """A fingerprint maintained through mutations equals the one a
+        freshly canonicalized equal state computes."""
+        rng = random.Random(7)
+        for _ in range(60):
+            state = _random_state(rng)
+            state.fingerprint()  # settle caches mid-way
+            state.set_attribute("dev0", "switch", "on")
+            state.mode = "Night"
+            clone = state.copy()
+            clone.set_attribute("dev1", "lock", "unlocked")
+            rebuilt = ModelState()
+            for name, attrs in clone.devices.items():
+                for attribute, value in attrs.items():
+                    rebuilt.set_attribute(name, attribute, value)
+            rebuilt.mode = clone.mode
+            for name, mapping in clone.app_states.items():
+                rebuilt.app_state(name).update(mapping)
+            rebuilt.schedules = clone.schedules
+            assert rebuilt.canonical_key() == clone.canonical_key()
+            assert rebuilt.fingerprint() == clone.fingerprint()
+
+    def test_copy_preserves_fingerprint(self):
+        rng = random.Random(11)
+        state = _random_state(rng)
+        assert state.copy().fingerprint() == state.fingerprint()
+
+    def test_distinct_states_distinct_fingerprints(self):
+        a, b = ModelState(), ModelState()
+        a.set_attribute("d", "switch", "on")
+        b.set_attribute("d", "switch", "off")
+        assert a.fingerprint() != b.fingerprint()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,222 @@
+"""Tests for the pluggable exploration engine (frontiers, strategies,
+visited protocol wiring, and parallel batch verification)."""
+
+import pytest
+
+from repro.engine import (
+    BreadthFirstFrontier,
+    DepthFirstFrontier,
+    EngineOptions,
+    ExplorationEngine,
+    PriorityFrontier,
+    VerificationJob,
+    make_frontier,
+    register_strategy,
+    strategy_names,
+    verify,
+    verify_many,
+)
+from repro.engine.core import _Node
+from repro.model.state import ModelState
+from repro.properties import build_properties
+
+
+def _node(depth, pending=()):
+    state = ModelState(pending=pending)
+    return _Node(state, depth)
+
+
+class TestFrontiers:
+    def test_dfs_is_lifo(self):
+        frontier = DepthFirstFrontier()
+        first, second = _node(1), _node(2)
+        frontier.push(first)
+        frontier.push(second)
+        assert frontier.pop() is second
+        assert frontier.pop() is first
+
+    def test_bfs_is_fifo(self):
+        frontier = BreadthFirstFrontier()
+        first, second = _node(1), _node(2)
+        frontier.push(first)
+        frontier.push(second)
+        assert frontier.pop() is first
+        assert frontier.pop() is second
+
+    def test_priority_orders_by_key(self):
+        frontier = PriorityFrontier(priority=lambda node: -node.depth)
+        shallow, deep = _node(1), _node(5)
+        frontier.push(shallow)
+        frontier.push(deep)
+        assert frontier.pop() is deep
+
+    def test_default_priority_prefers_shallow(self):
+        frontier = PriorityFrontier()
+        shallow, deep = _node(0), _node(3)
+        frontier.push(deep)
+        frontier.push(shallow)
+        assert frontier.pop() is shallow
+
+    def test_len_and_bool(self):
+        frontier = DepthFirstFrontier()
+        assert not frontier and len(frontier) == 0
+        frontier.push(_node(0))
+        assert frontier and len(frontier) == 1
+
+
+class TestStrategyRegistry:
+    def test_builtins_registered(self):
+        assert {"dfs", "bfs", "priority"} <= set(strategy_names())
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError):
+            make_frontier("simulated-annealing", EngineOptions())
+
+    def test_registration_is_pluggable(self):
+        calls = []
+
+        def factory(options):
+            calls.append(options)
+            return DepthFirstFrontier()
+
+        register_strategy("test-strategy", factory)
+        try:
+            options = EngineOptions(strategy="test-strategy")
+            assert isinstance(options.make_frontier(), DepthFirstFrontier)
+            assert calls == [options]
+        finally:
+            from repro.engine.strategy import _STRATEGIES
+            _STRATEGIES.pop("test-strategy", None)
+
+    def test_options_build_frontier_by_name(self):
+        assert isinstance(EngineOptions(strategy="bfs").make_frontier(),
+                          BreadthFirstFrontier)
+
+
+class TestEngineStrategies:
+    """All strategies explore the same bounded space (order differs)."""
+
+    @pytest.mark.parametrize("strategy", ["dfs", "bfs", "priority"])
+    def test_same_coverage_and_findings(self, alice_system, strategy):
+        baseline = verify(alice_system, build_properties(), max_events=2)
+        result = verify(alice_system, build_properties(), max_events=2,
+                        strategy=strategy)
+        assert result.states_explored == baseline.states_explored
+        assert result.violated_property_ids == baseline.violated_property_ids
+
+    def test_fingerprint_store_matches_exact(self, alice_system):
+        exact = verify(alice_system, build_properties(), max_events=2)
+        fingerprint = verify(alice_system, build_properties(), max_events=2,
+                             visited="fingerprint")
+        assert fingerprint.states_explored == exact.states_explored
+        assert (fingerprint.violated_property_ids
+                == exact.violated_property_ids)
+
+    def test_unknown_visited_store_raises(self):
+        with pytest.raises(KeyError):
+            EngineOptions(visited="quantum").make_visited()
+
+    def test_visited_stats_on_result(self, alice_system):
+        result = verify(alice_system, build_properties(), max_events=1)
+        assert result.visited_stats.get("stored", 0) > 0
+
+    def test_states_per_second(self, alice_system):
+        result = verify(alice_system, build_properties(), max_events=1)
+        assert result.states_per_second > 0
+
+
+class TestExplorerShim:
+    def test_shim_names_are_engine_objects(self):
+        from repro.checker import explorer
+
+        assert explorer.Explorer is ExplorationEngine
+        assert explorer.ExplorerOptions is EngineOptions
+        assert explorer.verify is verify
+
+    def test_shim_verify_still_works(self, alice_system):
+        from repro.checker.explorer import verify as shim_verify
+
+        result = shim_verify(alice_system, build_properties(), max_events=1)
+        assert "P06" in result.violated_property_ids
+
+
+class TestVerifyMany:
+    @pytest.fixture()
+    def jobs(self, alice_config):
+        options = EngineOptions(max_events=1)
+        return [VerificationJob("job%d" % index, alice_config, options,
+                                strict=False)
+                for index in range(4)]
+
+    def test_serial_inline_execution(self, jobs):
+        batch = verify_many(jobs, workers=1)
+        assert len(batch) == 4 and not batch.errors
+        assert batch.workers == 1
+        for result in batch:
+            assert "P06" in result.violated_property_ids
+
+    def test_parallel_matches_serial(self, jobs):
+        serial = verify_many(jobs, workers=1)
+        parallel = verify_many(jobs, workers=2)
+        assert not parallel.errors
+        assert parallel.states_explored == serial.states_explored
+        assert (parallel.violated_property_ids
+                == serial.violated_property_ids)
+
+    def test_merged_statistics(self, jobs):
+        batch = verify_many(jobs, workers=1)
+        one = batch["job0"]
+        assert batch.states_explored == one.states_explored * 4
+        assert batch.transitions == one.transitions * 4
+        assert batch.job_seconds >= one.elapsed
+        assert batch.has_violations
+        summary = batch.summary()
+        assert "job0" in summary and "4 job(s)" in summary
+
+    def test_submission_order_preserved(self, jobs):
+        batch = verify_many(jobs, workers=2)
+        assert list(batch.results) == ["job0", "job1", "job2", "job3"]
+
+    def test_job_errors_reported_not_raised(self, alice_config):
+        bad = VerificationJob("bad", alice_config,
+                              EngineOptions(visited="quantum"))
+        good = VerificationJob("good", alice_config,
+                               EngineOptions(max_events=1), strict=False)
+        batch = verify_many([bad, good], workers=1)
+        assert "bad" in batch.errors
+        assert "KeyError" in batch.errors["bad"]
+        assert "good" in batch.results
+
+    def test_per_job_options(self, alice_config):
+        jobs = [VerificationJob("shallow", alice_config,
+                                EngineOptions(max_events=1), strict=False),
+                VerificationJob("deep", alice_config,
+                                EngineOptions(max_events=2), strict=False)]
+        batch = verify_many(jobs, workers=1)
+        assert (batch["deep"].states_explored
+                > batch["shallow"].states_explored)
+
+    def test_check_configurations_facade(self, alice_config):
+        from repro import check_configurations
+
+        batch = check_configurations({"alice": alice_config}, workers=1,
+                                     max_events=1)
+        assert "P06" in batch.violated_property_ids
+
+
+class TestVolunteerJobs:
+    def test_seventy_jobs(self, registry):
+        from repro.attribution.volunteers import volunteer_verification_jobs
+
+        jobs = volunteer_verification_jobs(registry)
+        assert len(jobs) == 70
+        names = {job.name for job in jobs}
+        assert "vgroup01/volunteer1-maximalist" in names
+
+    def test_group_filter(self, registry):
+        from repro.attribution.volunteers import volunteer_verification_jobs
+
+        jobs = volunteer_verification_jobs(registry, groups=["vgroup02"],
+                                           profiles=["volunteer1-maximalist"])
+        assert [job.name for job in jobs] == [
+            "vgroup02/volunteer1-maximalist"]
