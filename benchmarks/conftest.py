@@ -8,10 +8,39 @@ the *shape*: which configurations violate which properties, who wins
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the rows.
 """
 
+import json
+import os
+
 import pytest
 
 from repro.corpus import load_all_apps
 from repro.model.generator import ModelGenerator
+
+#: perf artifacts land at the repo root so future PRs (and the CI upload
+#: step) have a recorded baseline to compare against
+ARTIFACT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def update_bench_artifact(name, section, payload):
+    """Merge one section into ``BENCH_<name>.json`` at the repo root.
+
+    Benchmarks call this per test, so the artifact accumulates every
+    measured axis of one run (trajectory, engine modes, store costs).
+    """
+    path = os.path.join(ARTIFACT_DIR, "BENCH_%s.json" % name)
+    document = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (ValueError, OSError):
+            document = {}
+    document["benchmark"] = name
+    document[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -29,20 +29,36 @@ from repro.properties.base import (
 
 
 class SafetyMonitor:
-    """Per-cascade property monitor."""
+    """Per-cascade property monitor.
 
-    def __init__(self, system, properties):
+    ``compiled`` optionally supplies a
+    :class:`~repro.checker.compiled.CompiledProperties` set: the property
+    partition is then shared instead of being rebuilt per cascade, and
+    invariant verdicts come from its per-physical-state memo.  Without it
+    the monitor partitions and evaluates from scratch (the exact path).
+    """
+
+    __slots__ = ("system", "violations", "_compiled", "_by_kind",
+                 "_invariants", "_commands", "_dropped", "_notified",
+                 "_actors")
+
+    def __init__(self, system, properties, compiled=None):
         self.system = system
         self.violations = []
-        self._by_kind = {}
-        self._invariants = []
-        for prop in properties:
-            if not prop.applicable(system):
-                continue
-            if prop.kind == KIND_INVARIANT:
-                self._invariants.append(prop)
-            else:
-                self._by_kind[prop.kind] = prop
+        self._compiled = compiled
+        if compiled is not None:
+            self._by_kind = compiled.by_kind
+            self._invariants = compiled.invariants
+        else:
+            self._by_kind = {}
+            self._invariants = []
+            for prop in properties:
+                if not prop.applicable(system):
+                    continue
+                if prop.kind == KIND_INVARIANT:
+                    self._invariants.append(prop)
+                else:
+                    self._by_kind[prop.kind] = prop
         # per-cascade command log: (device, command, payload, app)
         self._commands = []
         # apps whose command was dropped by a failure, and apps that notified
@@ -140,12 +156,16 @@ class SafetyMonitor:
         Violations are attributed to the apps that acted during the
         cascade that produced the state (Table 5's "apps related to
         example" column)."""
-        for prop in self._invariants:
-            if not prop.holds(state, self.system):
-                apps = tuple(self._actors) or self._responsible_apps(prop)
-                self._report(prop,
-                             "unsafe physical state: %s" % prop.description,
-                             apps=apps)
+        if self._compiled is not None:
+            failed = self._compiled.failed_invariants(state)
+        else:
+            failed = [prop for prop in self._invariants
+                      if not prop.holds(state, self.system)]
+        for prop in failed:
+            apps = tuple(self._actors) or self._responsible_apps(prop)
+            self._report(prop,
+                         "unsafe physical state: %s" % prop.description,
+                         apps=apps)
 
     def finish(self, state):
         """Close per-cascade checks; returns collected violations."""

@@ -23,10 +23,28 @@ import hashlib
 
 
 class ExactVisitedSet:
-    """Stores full state keys (exhaustive within the bound)."""
+    """Stores full state keys (exhaustive within the bound).
+
+    Two entry points share one depth table semantics:
+
+    * the legacy key protocol (``state_key`` + ``seen_before``) hashes the
+      full canonical key - exact, but re-canonicalizing every state is the
+      single largest per-state cost of the search;
+    * :meth:`seen_state` is the engine's fast path: states are bucketed by
+      their incremental 64-bit fingerprint first, and the canonical key is
+      only computed when a fingerprint was already present (i.e. for
+      duplicates and the rare true collision).  A state with a fresh
+      fingerprint is stored *by reference* and canonicalized lazily on the
+      first later hit - callers must not mutate states after submitting
+      them (the engine never does: states are frozen once their cascade
+      finishes).  Exactness is preserved: equal states always collide on
+      the fingerprint and are then confirmed canonically.
+    """
 
     def __init__(self):
         self._min_depth = {}
+        #: fingerprint -> list of [canonical_key_or_state, resolved, depth]
+        self._by_fingerprint = {}
 
     @staticmethod
     def state_key(state):
@@ -39,11 +57,31 @@ class ExactVisitedSet:
         self._min_depth[key] = depth
         return False
 
+    def seen_state(self, state, depth):
+        fingerprint = state.fingerprint()
+        chain = self._by_fingerprint.get(fingerprint)
+        if chain is None:
+            self._by_fingerprint[fingerprint] = [[state, False, depth]]
+            return False
+        key = state.canonical_key()
+        for entry in chain:
+            if not entry[1]:
+                entry[0] = entry[0].canonical_key()
+                entry[1] = True
+            if entry[0] == key:
+                if entry[2] <= depth:
+                    return True
+                entry[2] = depth
+                return False
+        chain.append([key, True, depth])
+        return False
+
     def stats(self):
-        return {"stored": len(self._min_depth)}
+        return {"stored": len(self)}
 
     def __len__(self):
-        return len(self._min_depth)
+        return (len(self._min_depth)
+                + sum(len(chain) for chain in self._by_fingerprint.values()))
 
 
 class BitStateTable:
@@ -73,6 +111,9 @@ class BitStateTable:
     @staticmethod
     def state_key(state):
         return state.fingerprint()
+
+    def seen_state(self, state, depth):
+        return self.seen_before(state.fingerprint(), depth)
 
     def _bit_positions(self, key):
         digest = hashlib.blake2b(repr(key).encode("utf-8"),

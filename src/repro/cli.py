@@ -115,10 +115,7 @@ def cmd_check(args):
     properties = build_properties(args.properties or None)
     if not args.all_properties:
         properties = select_relevant(system, properties)
-    options = EngineOptions(max_events=args.max_events, mode=args.mode,
-                            visited=args.visited, strategy=args.strategy,
-                            max_states=args.max_states)
-    result = ExplorationEngine(system, properties, options).run()
+    result = ExplorationEngine(system, properties, _engine_options(args)).run()
     print(result.summary())
     if args.trace and result.counterexamples:
         for counterexample in result.counterexamples.values():
@@ -137,9 +134,7 @@ def cmd_batch(args):
     sources = args.configs
     if not sources:
         sources = sorted(GROUP_BUILDERS)
-    options = EngineOptions(max_events=args.max_events, mode=args.mode,
-                            visited=args.visited, strategy=args.strategy,
-                            max_states=args.max_states)
+    options = _engine_options(args)
     registry = REGISTRY_CORPUS_IFTTT if args.ifttt else REGISTRY_CORPUS
     seen, names = {}, []
     for source in sources:  # uniquify repeated sources for result keying
@@ -227,15 +222,35 @@ def _add_engine_arguments(parser):
                         default="sequential")
     parser.add_argument("--visited",
                         choices=["exact", "bitstate", "fingerprint"],
-                        default="exact")
+                        default="fingerprint")
     parser.add_argument("--strategy", choices=strategy_names(),
                         default="dfs",
                         help="frontier strategy (search order)")
     parser.add_argument("--max-states", type=int, default=200000)
+    parser.add_argument("--no-compile", action="store_true",
+                        help="run handlers through the tree interpreter "
+                             "instead of the closure compiler (the "
+                             "differential-testing oracle)")
+    parser.add_argument("--no-successor-cache", action="store_true",
+                        help="disable the per-state transition memo")
+    parser.add_argument("--reduction", action="store_true",
+                        help="prune one order of every commuting pair of "
+                             "external events (independence analysis; "
+                             "shrinks the explored state count)")
     parser.add_argument("--failures", action="store_true",
                         help="enumerate device/communication failures")
     parser.add_argument("--properties", nargs="*",
                         help="property ids or categories to verify")
+
+
+def _engine_options(args):
+    """Build :class:`EngineOptions` from the shared CLI arguments."""
+    return EngineOptions(max_events=args.max_events, mode=args.mode,
+                         visited=args.visited, strategy=args.strategy,
+                         max_states=args.max_states,
+                         compiled=not args.no_compile,
+                         successor_cache=not args.no_successor_cache,
+                         reduction=args.reduction)
 
 
 def build_parser():

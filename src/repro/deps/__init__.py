@@ -13,6 +13,7 @@ from repro.deps.events import (
     handler_vertices,
 )
 from repro.deps.graph import DependencyGraph, Vertex
+from repro.deps.independence import IndependenceAnalysis
 from repro.deps.related import (
     RelatedSetAnalysis,
     analyze_apps,
@@ -26,6 +27,7 @@ __all__ = [
     "extract_handler_io",
     "handler_vertices",
     "DependencyGraph",
+    "IndependenceAnalysis",
     "Vertex",
     "RelatedSetAnalysis",
     "analyze_apps",

@@ -1,0 +1,296 @@
+"""Static event-independence analysis for partial-order-style reduction.
+
+Two external events *commute* when their cascades touch disjoint parts of
+the model state: executing them in either order reaches the same state,
+and each cascade behaves identically in both orders.  The engine then
+explores only one order of every commuting pair (the ascending one under a
+canonical ordering of event identities), which shrinks the Table-8 state
+*count* rather than the per-state cost.
+
+The analysis is derived from the same static facts as the §5 dependency
+graph (:mod:`repro.deps.events`): subscriptions route trigger events to
+handlers, input bindings bound the devices a handler can read or command.
+Footprints are deliberately coarse - reads and writes are merged, a
+triggered app contributes *all* of its bound devices - so independence is
+under-approximated and the reduction stays conservative:
+
+* every app reachable (transitively, through device/mode triggering) from
+  an event contributes its whole footprint;
+* apps that fabricate events (``sendEvent``) or read the clock (``now()``
+  and friends - reordering changes the timestamps a cascade observes) make
+  the event *global*: dependent on everything;
+* failure enumeration disables the reduction entirely (the engine guards
+  this) since failure scenarios couple otherwise-unrelated actuators.
+
+One caveat is inherent to any partial-order reduction here: a violation
+occurring at the joint state of a commuting pair is reported with the
+attribution (the "apps related to example") of the explored order only.
+The set of violated properties and the per-cascade monitored violations
+are preserved; the reduction-soundness suite asserts exactly that.
+"""
+
+from repro.groovy import ast
+
+#: platform calls whose results depend on the model clock; reordering two
+#: cascades changes the clock value each observes, so apps using them are
+#: never commuted past anything
+_TIME_APIS = frozenset([
+    "now", "eventsSince", "statesSince", "statesBetween", "eventsBetween",
+])
+
+_MODE_WRITE_APIS = frozenset(["setLocationMode"])
+
+
+class IndependenceAnalysis:
+    """Per-system footprints of external events plus the skip decision."""
+
+    def __init__(self, system):
+        self.system = system
+        #: app name -> frozenset of tokens, or None for "global"
+        self._app_footprints = {}
+        #: app name -> True when the app can change the location mode
+        self._mode_writers = set()
+        self._event_footprints = {}
+        self._skip_cache = {}
+        self._label_keys = {}
+        self._analyze_apps()
+
+    # ------------------------------------------------------------------
+    # event identities
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key(ext):
+        """Canonical orderable identity of one external event."""
+        if ext.kind == "sensor":
+            return ("sensor", ext.device, ext.attribute, str(ext.value))
+        if ext.kind == "touch":
+            return ("touch", ext.app)
+        if ext.kind == "timer":
+            return ("timer", ext.app, str(ext.handler))
+        if ext.kind == "environment":
+            return ("env", str(ext.attribute))
+        if ext.kind == "mode":
+            return ("mode", str(ext.value))
+        return None
+
+    def key_for_label(self, label):
+        """The event identity parsed back from a transition label.
+
+        Labels are the engine's only record of how a node was reached;
+        they are produced by ``ExternalEvent.label()`` and parse back
+        unambiguously as long as no failure-scenario suffix is attached
+        (the engine disables the reduction when failures are enabled).
+        """
+        if label in self._label_keys:
+            return self._label_keys[label]
+        key = self._parse_label(label)
+        self._label_keys[label] = key
+        return key
+
+    @staticmethod
+    def _parse_label(label):
+        if " [" in label:
+            return None  # failure-scenario suffix: not reducible
+        if label.startswith("app/touch(") and label.endswith(")"):
+            return ("touch", label[len("app/touch("):-1])
+        if label.startswith("timer(") and label.endswith(")"):
+            inner = label[len("timer("):-1]
+            app, _dot, handler = inner.rpartition(".")
+            return ("timer", app, handler)
+        if label.startswith("user/mode="):
+            return ("mode", label[len("user/mode="):])
+        if label.startswith("environment/"):
+            return ("env", label[len("environment/"):])
+        left, sep, value = label.partition("=")
+        device, slash, attribute = left.partition("/")
+        if not sep or not slash:
+            return None
+        return ("sensor", device, attribute, value)
+
+    # ------------------------------------------------------------------
+    # the skip decision
+    # ------------------------------------------------------------------
+
+    def should_skip(self, prev_key, ext):
+        """Whether to skip ``ext`` right after the event ``prev_key``.
+
+        Skips exactly the descending order of a commuting pair, so one
+        interleaving of every independent pair survives.
+        """
+        cur_key = self.key(ext)
+        if cur_key is None or prev_key is None or cur_key >= prev_key:
+            return False
+        pair = (cur_key, prev_key)
+        cached = self._skip_cache.get(pair)
+        if cached is None:
+            cached = self.independent(cur_key, prev_key)
+            self._skip_cache[pair] = cached
+        return cached
+
+    def independent(self, key_a, key_b):
+        """Whether two event identities have disjoint footprints."""
+        if key_a == key_b:
+            return False
+        footprint_a = self.event_footprint(key_a)
+        if footprint_a is None:
+            return False
+        footprint_b = self.event_footprint(key_b)
+        if footprint_b is None:
+            return False
+        return footprint_a.isdisjoint(footprint_b)
+
+    # ------------------------------------------------------------------
+    # footprints
+    # ------------------------------------------------------------------
+
+    def event_footprint(self, key):
+        """Tokens the event's cascade may read or write (None = global)."""
+        if key in self._event_footprints:
+            return self._event_footprints[key]
+        footprint = self._compute_event_footprint(key)
+        self._event_footprints[key] = footprint
+        return footprint
+
+    def _compute_event_footprint(self, key):
+        system = self.system
+        kind = key[0]
+        tokens = set()
+        triggered = []
+        if kind == "sensor":
+            _kind, device, attribute, _value = key
+            tokens.add(("dev", device))
+            for sub in system.subscriptions:
+                if (sub.source_kind == "device" and sub.device == device
+                        and sub.attribute == attribute):
+                    triggered.append(sub.app.name)
+        elif kind == "touch":
+            triggered.append(key[1])
+        elif kind == "timer":
+            triggered.append(key[1])
+        elif kind == "env":
+            for sub in system.subscriptions:
+                if sub.source_kind == "location" and sub.attribute == key[1]:
+                    triggered.append(sub.app.name)
+        elif kind == "mode":
+            tokens.add(("mode",))
+            for sub in system.subscriptions:
+                if sub.source_kind == "location":
+                    triggered.append(sub.app.name)
+        else:
+            return None
+        for app_name in triggered:
+            app_footprint = self._app_footprints.get(app_name)
+            if app_footprint is None:
+                return None
+            tokens |= app_footprint
+        return frozenset(tokens)
+
+    # ------------------------------------------------------------------
+    # per-app analysis
+    # ------------------------------------------------------------------
+
+    def _analyze_apps(self):
+        base = {}
+        for app in self.system.apps:
+            base[app.name] = self._base_footprint(app)
+        edges = self._trigger_edges()
+        # fixpoint: absorb the footprints of transitively triggered apps
+        footprints = dict(base)
+        changed = True
+        while changed:
+            changed = False
+            for name in footprints:
+                own = footprints[name]
+                if own is None:
+                    continue
+                for child in edges.get(name, ()):
+                    other = footprints.get(child)
+                    if other is None:
+                        footprints[name] = None
+                        changed = True
+                        break
+                    if not other <= own:
+                        own = own | other
+                        footprints[name] = own
+                        changed = True
+        self._app_footprints = footprints
+
+    def _base_footprint(self, app):
+        """Static tokens of one app, or None when it must stay global."""
+        tokens = {("app", app.name)}
+        for input_name in app.binding_names():
+            for device in app.bound_devices(input_name):
+                tokens.add(("dev", device))
+        for sub in app.smart_app.subscriptions:
+            if sub.source == "location":
+                tokens.add(("mode",))
+        for node in app.smart_app.program.walk():
+            if isinstance(node, ast.Call):
+                if node.name in _TIME_APIS:
+                    return None
+                if node.name == "sendEvent":
+                    return None  # fake events route by attribute, any device
+                if node.name in _MODE_WRITE_APIS:
+                    tokens.add(("mode",))
+                    self._mode_writers.add(app.name)
+                elif node.name == "sendLocationEvent":
+                    if self._is_mode_location_event(node):
+                        tokens.add(("mode",))
+                        self._mode_writers.add(app.name)
+                    else:
+                        return None
+            elif isinstance(node, ast.MethodCall):
+                if node.name in _TIME_APIS:
+                    return None
+                if (node.name == "setMode"
+                        and isinstance(node.obj, ast.Name)
+                        and node.obj.id == "location"):
+                    tokens.add(("mode",))
+                    self._mode_writers.add(app.name)
+            elif isinstance(node, ast.New):
+                if node.type_name == "Date":
+                    return None
+            elif isinstance(node, ast.Name):
+                if node.id == "location":
+                    tokens.add(("mode",))
+            elif isinstance(node, ast.Assign):
+                target = node.target
+                if (isinstance(target, ast.Property) and target.name == "mode"
+                        and isinstance(target.obj, ast.Name)
+                        and target.obj.id == "location"):
+                    tokens.add(("mode",))
+                    self._mode_writers.add(app.name)
+        return tokens
+
+    @staticmethod
+    def _is_mode_location_event(node):
+        for entry in node.named:
+            if entry.key == "name" and isinstance(entry.value, ast.Literal):
+                return str(entry.value.value) == "mode"
+        if node.args and isinstance(node.args[0], ast.Literal):
+            return str(node.args[0].value) == "mode"
+        return False
+
+    def _trigger_edges(self):
+        """app -> apps its cascade may transitively hand events to."""
+        system = self.system
+        device_subscribers = {}
+        location_subscribers = set()
+        for sub in system.subscriptions:
+            if sub.source_kind == "device":
+                device_subscribers.setdefault(sub.device, set()).add(
+                    sub.app.name)
+            elif sub.source_kind == "location":
+                location_subscribers.add(sub.app.name)
+        edges = {}
+        for app in system.apps:
+            targets = set()
+            for input_name in app.binding_names():
+                for device in app.bound_devices(input_name):
+                    targets |= device_subscribers.get(device, set())
+            if app.name in self._mode_writers:
+                targets |= location_subscribers
+            targets.discard(app.name)
+            edges[app.name] = targets
+        return edges

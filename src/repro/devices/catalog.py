@@ -23,22 +23,32 @@ class DeviceSpec:
         self.capabilities = tuple(capabilities)
         self.description = description
         self._explicit_sensor_attrs = tuple(sensor_attrs) if sensor_attrs else None
+        # capability compositions are immutable after construction, so the
+        # derived views are computed once; the exploration hot path reads
+        # them per transition and must not rebuild dicts each time
+        self._attributes = None
+        self._commands = None
+        self._sensor_attributes = None
 
     @property
     def attributes(self):
         """All attribute specs across capabilities, keyed by name."""
-        attrs = {}
-        for cap_name in self.capabilities:
-            attrs.update(capability(cap_name).attributes)
-        return attrs
+        if self._attributes is None:
+            attrs = {}
+            for cap_name in self.capabilities:
+                attrs.update(capability(cap_name).attributes)
+            self._attributes = attrs
+        return self._attributes
 
     @property
     def commands(self):
         """All command specs across capabilities, keyed by name."""
-        commands = {}
-        for cap_name in self.capabilities:
-            commands.update(capability(cap_name).commands)
-        return commands
+        if self._commands is None:
+            commands = {}
+            for cap_name in self.capabilities:
+                commands.update(capability(cap_name).commands)
+            self._commands = commands
+        return self._commands
 
     @property
     def sensor_attributes(self):
@@ -48,12 +58,17 @@ class DeviceSpec:
         attribute (a lock's ``lock`` state is actuator-driven; a motion
         sensor's ``motion`` is environment-driven).  Specs may override.
         """
-        if self._explicit_sensor_attrs is not None:
-            return {name: spec for name, spec in self.attributes.items()
+        if self._sensor_attributes is None:
+            if self._explicit_sensor_attrs is not None:
+                self._sensor_attributes = {
+                    name: spec for name, spec in self.attributes.items()
                     if name in self._explicit_sensor_attrs}
-        commanded = {c.attribute for c in self.commands.values()}
-        return {name: spec for name, spec in self.attributes.items()
-                if name not in commanded}
+            else:
+                commanded = {c.attribute for c in self.commands.values()}
+                self._sensor_attributes = {
+                    name: spec for name, spec in self.attributes.items()
+                    if name not in commanded}
+        return self._sensor_attributes
 
     @property
     def is_actuator(self):

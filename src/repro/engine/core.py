@@ -12,6 +12,7 @@ VisitedStore (pruning) and the transition relation of the system under
 test - so strategies and stores swap without touching the search itself.
 """
 
+import gc
 import time
 
 from repro.engine.options import CONCURRENT, EngineOptions
@@ -19,16 +20,26 @@ from repro.engine.result import ExplorationResult
 
 
 class _Node:
-    """A search node with parent links for counterexample reconstruction."""
+    """A search node with parent links for counterexample reconstruction.
 
-    __slots__ = ("state", "depth", "parent", "label", "steps")
+    ``key`` caches the state's 64-bit fingerprint (the successor-cache
+    key) and ``ext_key`` the identity of the external event that produced
+    the node (the independence reduction's "previous event") - both are
+    computed at most once per node instead of per loop iteration.
+    """
 
-    def __init__(self, state, depth, parent=None, label=None, steps=()):
+    __slots__ = ("state", "depth", "parent", "label", "steps", "key",
+                 "ext_key")
+
+    def __init__(self, state, depth, parent=None, label=None, steps=(),
+                 ext_key=None):
         self.state = state
         self.depth = depth
         self.parent = parent
         self.label = label
         self.steps = steps
+        self.key = None
+        self.ext_key = ext_key
 
     def path(self):
         chain = []
@@ -46,6 +57,7 @@ class ExplorationEngine:
     def __init__(self, system, properties, options=None):
         # imported here: repro.checker's package init re-exports this
         # module's shim, so a top-level import would be circular
+        from repro.checker.compiled import CompiledProperties
         from repro.checker.monitor import SafetyMonitor
         from repro.checker.violations import Counterexample
 
@@ -54,62 +66,185 @@ class ExplorationEngine:
         self.options = options or EngineOptions()
         self._monitor_cls = SafetyMonitor
         self._counterexample_cls = Counterexample
+        # partition properties and resolve applicability once per engine;
+        # every per-cascade monitor shares this compiled set.  The verdict
+        # memo is hash-keyed (physical projection, ~2^-64 collisions), so
+        # the "exact" store - whose contract is no hash shortcuts at all -
+        # turns it off and re-evaluates invariants on every quiescent state
+        self._compiled_properties = CompiledProperties(
+            system, self.properties,
+            memoize=self.options.visited != "exact")
 
     def _monitor_factory(self):
-        return self._monitor_cls(self.system, self.properties)
+        return self._monitor_cls(self.system, self.properties,
+                                 compiled=self._compiled_properties)
 
     def run(self):
         """Explore; returns an :class:`ExplorationResult`."""
+        restore_gc = self.options.manage_gc and gc.isenabled()
+        if restore_gc:
+            # the search churns through millions of short-lived acyclic
+            # objects; gen-0 sweeps cost ~1/3 of wall clock and reclaim
+            # nothing that reference counting doesn't
+            gc.disable()
+        try:
+            return self._run()
+        finally:
+            if restore_gc:
+                gc.enable()
+
+    def _run(self):
         options = self.options
+        # the execution back-end is a per-run choice (--no-compile flips
+        # the same system back to the tree-interpreter oracle)
+        self.system.use_compiled = options.compiled
         result = ExplorationResult()
         started = time.monotonic()
         visited = options.make_visited()
         frontier = options.make_frontier()
 
+        cache = None
+        if options.successor_cache:
+            cache = {}
+            result.cache_mode = "fingerprint"
+        reducer = self._make_reducer()
+
         root = _Node(self.system.initial_state(), 0)
-        visited.seen_before(visited.state_key(root.state), 0)
+        visited.seen_state(root.state, 0)
         result.states_explored = 1
         frontier.push(root)
+
+        # wall-clock reads are hoisted out of the transition loop: the
+        # cheap integer limits stay exact per transition, the time limit
+        # is only sampled every ``check_interval`` transitions and once
+        # per expansion
+        check_interval = max(1, options.check_interval)
+        next_time_check = check_interval
 
         while frontier:
             if self._limits_hit(result, started):
                 break
             node = frontier.pop()
-            for transition in self._transitions_from(node):
+            for transition in self._node_transitions(node, cache, reducer,
+                                                     result):
                 label, new_state, consumed, violations, steps = transition
                 result.transitions += 1
                 depth = node.depth + (1 if consumed else 0)
-                child = _Node(new_state, depth, parent=node, label=label,
-                              steps=steps)
+                # nodes exist for path reconstruction; duplicates that
+                # neither violate nor get expanded never need one
+                child = None
                 if violations:
+                    child = _Node(new_state, depth, parent=node, label=label,
+                                  steps=steps,
+                                  ext_key=(reducer.key_for_label(label)
+                                           if reducer is not None else None))
                     self._record(result, child, violations)
                     if options.stop_on_first:
                         return self._finish(result, visited, started)
-                if depth > options.max_events:
-                    continue
-                if not visited.seen_before(visited.state_key(new_state),
-                                           depth):
+                if (depth <= options.max_events
+                        and not visited.seen_state(new_state, depth)):
                     result.states_explored += 1
                     if depth < options.max_events or new_state.pending:
+                        if child is None:
+                            child = _Node(
+                                new_state, depth, parent=node, label=label,
+                                steps=steps,
+                                ext_key=(reducer.key_for_label(label)
+                                         if reducer is not None else None))
                         frontier.push(child)
-                if self._limits_hit(result, started):
+                if self._cheap_limits_hit(result):
                     break
+                if result.transitions >= next_time_check:
+                    next_time_check = result.transitions + check_interval
+                    if self._time_limit_hit(result, started):
+                        break
 
         return self._finish(result, visited, started)
+
+    def _make_reducer(self):
+        """The independence analysis, when the reduction is applicable."""
+        options = self.options
+        if (not options.reduction or options.mode == CONCURRENT
+                or self.system.enable_failures):
+            return None
+        from repro.deps.independence import IndependenceAnalysis
+        return IndependenceAnalysis(self.system)
+
+    def _node_transitions(self, node, cache, reducer, result):
+        """One node's outgoing transitions, through the successor cache.
+
+        A cache entry replays the full expansion of a previously seen
+        state - labels, successor states, violations (as clones, since
+        the engine mutates violation attribution per path) and steps -
+        without executing a single cascade.  Entries are keyed by the
+        state fingerprint plus whatever else shapes the expansion: the
+        arriving event under reduction (it parameterizes the skip filter)
+        and, in concurrent mode, whether externals may still be injected.
+        """
+        event_filter = None
+        if reducer is not None and node.ext_key is not None:
+            prev_key = node.ext_key
+
+            def event_filter(ext):
+                if reducer.should_skip(prev_key, ext):
+                    result.commutes_pruned += 1
+                    return False
+                return True
+
+        if cache is None:
+            return self._transitions_from(node, event_filter)
+        if node.key is None:
+            node.key = node.state.fingerprint()
+        cache_key = (node.key, node.ext_key)
+        if self.options.mode == CONCURRENT:
+            cache_key = (node.key, node.ext_key,
+                         self.options.max_events - node.depth > 0)
+        entry = cache.get(cache_key)
+        if entry is not None:
+            result.cache_hits += 1
+            return self._replay_transitions(entry)
+        result.cache_misses += 1
+        return self._record_transitions(node, event_filter, cache, cache_key)
+
+    def _record_transitions(self, node, event_filter, cache, cache_key):
+        record = [] if len(cache) < self.options.cache_limit else None
+        for transition in self._transitions_from(node, event_filter):
+            if record is not None:
+                label, new_state, consumed, violations, steps = transition
+                # violations are cached as pristine clones: the engine
+                # mutates attribution per path, and cached entries must
+                # replay the as-executed values; steps are final once the
+                # cascade returns, so the list is shared as-is
+                record.append((label, new_state, consumed,
+                               tuple(v.clone() for v in violations)
+                               if violations else (), steps))
+            yield transition
+        if record is not None:
+            cache[cache_key] = record
+
+    @staticmethod
+    def _replay_transitions(entry):
+        for label, new_state, consumed, violations, steps in entry:
+            yield (label, new_state, consumed,
+                   [v.clone() for v in violations] if violations else (),
+                   steps)
 
     def _finish(self, result, visited, started):
         result.elapsed = time.monotonic() - started
         result.visited_stats = visited.stats()
+        result.property_stats = self._compiled_properties.stats()
         return result
 
-    def _transitions_from(self, node):
+    def _transitions_from(self, node, event_filter=None):
         if self.options.mode == CONCURRENT:
             externals_left = self.options.max_events - node.depth
             return self.system.transitions_concurrent(
-                node.state, self._monitor_factory, externals_left)
+                node.state, self._monitor_factory, externals_left,
+                event_filter=event_filter)
         if node.depth >= self.options.max_events:
             return []
-        return self.system.transitions(node.state, self._monitor_factory)
+        return self.system.transitions(node.state, self._monitor_factory,
+                                       event_filter=event_filter)
 
     def _record(self, result, node, violations):
         path = node.path()
@@ -152,7 +287,8 @@ class ExplorationEngine:
                     actors.append(step.app)
         return tuple(actors)
 
-    def _limits_hit(self, result, started):
+    def _cheap_limits_hit(self, result):
+        """The integer limits - checked exactly, every transition."""
         options = self.options
         if options.max_states and result.states_explored >= options.max_states:
             result.truncated = True
@@ -163,11 +299,19 @@ class ExplorationEngine:
             result.truncated = True
             result.truncated_reason = "max_transitions"
             return True
+        return False
+
+    def _time_limit_hit(self, result, started):
+        options = self.options
         if options.time_limit and time.monotonic() - started > options.time_limit:
             result.truncated = True
             result.truncated_reason = "time_limit"
             return True
         return False
+
+    def _limits_hit(self, result, started):
+        return (self._cheap_limits_hit(result)
+                or self._time_limit_hit(result, started))
 
 
 def _path_actors(path):

@@ -14,6 +14,15 @@ class ExplorationResult:
         self.truncated_reason = None
         #: store statistics snapshot ({} until the run finishes)
         self.visited_stats = {}
+        #: successor-cache statistics: expansions served from the memo vs
+        #: generated live, and which keying the cache ran with
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_mode = "off"
+        #: external events skipped by the independence reduction
+        self.commutes_pruned = 0
+        #: compiled-property statistics (invariant verdict memo)
+        self.property_stats = {}
 
     @property
     def violations(self):
@@ -48,6 +57,12 @@ class ExplorationResult:
                      self.states_explored, self.transitions, self.elapsed,
                      " (truncated: %s)" % self.truncated_reason
                      if self.truncated else "")]
+        if self.cache_mode != "off" or self.commutes_pruned:
+            lines.append(
+                "  engine: successor cache %s (%d hits / %d misses), "
+                "%d commuting orders pruned" % (
+                    self.cache_mode, self.cache_hits, self.cache_misses,
+                    self.commutes_pruned))
         for ce in self.counterexamples.values():
             lines.append("  %s: %s" % (ce.violation.property.id,
                                        ce.violation.message))

@@ -1,16 +1,21 @@
 """The VisitedStore protocol and the fingerprint-keyed store.
 
 A visited store answers one question - "was this state already expanded
-at an equal-or-smaller depth?" - through two methods:
+at an equal-or-smaller depth?" - through three methods:
 
-``state_key(state)``
-    Project a :class:`~repro.model.state.ModelState` onto whatever key
-    form the store hashes.  The exact store uses the full canonical key;
-    the approximate stores use the 64-bit incremental fingerprint, which
-    keeps full re-canonicalization out of the hot path.
+``seen_state(state, depth)``
+    The engine's entry point: record the state; return ``True`` when it
+    may be pruned.  Lets each store pick its own keying (the exact store
+    buckets by fingerprint first and only canonicalizes duplicates; the
+    approximate stores hash the one-word fingerprint directly).  States
+    must not be mutated after submission - the exact store may
+    canonicalize them lazily.
 
-``seen_before(key, depth)``
-    Record the key; return ``True`` when the state may be pruned.
+``state_key(state)`` / ``seen_before(key, depth)``
+    The explicit-key protocol, kept for callers that manage keys
+    themselves (tests, external tools).  ``state_key`` projects a
+    :class:`~repro.model.state.ModelState` onto the store's key form;
+    ``seen_before`` records it.
 
 The exact and BITSTATE stores live in :mod:`repro.checker.visited` (their
 historical home, kept for compatibility); this module re-exports them and
@@ -34,3 +39,6 @@ class FingerprintVisitedSet(ExactVisitedSet):
     @staticmethod
     def state_key(state):
         return state.fingerprint()
+
+    def seen_state(self, state, depth):
+        return self.seen_before(state.fingerprint(), depth)

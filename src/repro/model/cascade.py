@@ -14,6 +14,7 @@ app, an actuator may be either online or offline."
 """
 
 from repro.checker.violations import TraceStep
+from repro.model.compiler import CompiledExecutor
 from repro.model.events import APP, DEVICE, FAKE, LOCATION, TIMER, Event
 from repro.model.handles import DeviceHandle, EventHandle
 from repro.model.interpreter import ExecutionError, Interpreter
@@ -56,11 +57,13 @@ class Cascade:
     """Executes one external event against a mutable model state."""
 
     def __init__(self, system, state, monitor, scenario=NO_FAILURE,
-                 defer_dispatch=False):
+                 defer_dispatch=False, use_compiled=None):
         self.system = system
         self.state = state
         self.monitor = monitor
         self.scenario = scenario
+        self.use_compiled = (getattr(system, "use_compiled", True)
+                             if use_compiled is None else use_compiled)
         self.steps = []
         #: when True (concurrent design) generated events are parked in
         #: ``state.pending`` instead of being dispatched run-to-completion
@@ -75,7 +78,10 @@ class Cascade:
     def run_external(self, ext):
         """Apply one external event; returns the violations found."""
         self.state.time += TIME_QUANTUM_MS
-        self._step("external", ext.describe() + self.scenario.label())
+        suffix = self.scenario.label()
+        self.steps.append(TraceStep(
+            "external", ext.describe() + suffix if suffix
+            else ext.describe()))
         if ext.kind == "sensor":
             if self.scenario.kind == FailureScenario.SENSOR_DROP:
                 # The physical world changed but the report was lost: ground
@@ -134,7 +140,8 @@ class Cascade:
             return
         self.state.set_attribute(device_name, attribute, value)
         self.state.record_event(device_name, attribute, value)
-        self._step("state", "%s.%s = %s" % (device_name, attribute, value))
+        self.steps.append(TraceStep(
+            "state", "%s.%s = %s" % (device_name, attribute, value)))
         self._enqueue(Event(DEVICE, device=device_name, attribute=attribute,
                             value=value))
 
@@ -177,7 +184,7 @@ class Cascade:
         if self._dispatched > MAX_INTERNAL_EVENTS:
             self._step("log", "internal event budget exhausted; cascade cut")
             return
-        self._step("notify", event.describe())
+        self.steps.append(TraceStep("notify", event.describe()))
         for app_instance, handler, value_filter in self.system.subscribers_for(event):
             if value_filter is not None and str(event.value) != str(value_filter):
                 continue
@@ -219,12 +226,22 @@ class Cascade:
             if instance is not None:
                 device_handle = DeviceHandle(instance, self, app_instance.name)
         event_handle = EventHandle(event, self, device_handle)
-        interp = Interpreter(app_instance, self)
+        interp = self._executor(app_instance)
         try:
             interp.run_handler(handler, event_handle)
         except ExecutionError as exc:
             self._step("log", "execution error in %s.%s: %s"
                        % (app_instance.name, handler, exc.message))
+
+    def _executor(self, app_instance):
+        """The execution back-end for one handler run: compiled closures
+        when the system allows it and the app compiled, else the tree
+        interpreter (``--no-compile`` path and per-app fallback)."""
+        if self.use_compiled:
+            program = app_instance.compiled_program()
+            if program is not None:
+                return CompiledExecutor(app_instance, self, program)
+        return Interpreter(app_instance, self)
 
     def _step(self, kind, text, app=None, line=None):
         self.steps.append(TraceStep(kind, text, app=app, line=line))

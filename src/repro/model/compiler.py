@@ -1,0 +1,693 @@
+"""AST→closure compilation of smart-app handlers.
+
+The tree interpreter (:mod:`repro.model.interpreter`) re-walks the lowered
+Groovy AST on every handler invocation, paying a ``getattr`` dispatch plus
+an operation-budget tick per node.  Exploration executes the same handful
+of handlers millions of times, so this module compiles each method of an
+app's IR *once* into a tree of Python closures: per-node dispatch happens
+at compile time, and execution is plain closure calls over the live scope
+chain.
+
+Division of labour:
+
+* :func:`compile_program` walks the IR and produces a
+  :class:`CompiledProgram` (one :class:`CompiledMethod` per method, its
+  body a ``fn(rt, scopes) -> value`` closure tree);
+* :class:`CompiledExecutor` is the runtime the closures call back into.
+  It *subclasses* :class:`~repro.model.interpreter.Interpreter` and reuses
+  every semantic helper (``_lookup``, ``_binary``, ``_platform_api``,
+  ``_invoke_on``, ...) so both back-ends share one definition of the
+  language semantics - the property that makes the interpreter a
+  meaningful differential-testing oracle for the compiler.
+
+Divergences from the interpreter, by design:
+
+* the operation budget ticks once per *statement* and per loop iteration
+  instead of per AST node, so compiled code spends the 50k-op budget more
+  slowly; runaway loops still trip it;
+* a construct the compiler cannot handle raises :class:`CompileError` at
+  compile time and the whole app falls back to tree interpretation
+  (``AppInstance.compiled_program()`` memoizes the failure), whereas the
+  interpreter would fail only if the node were actually executed.
+"""
+
+from repro.groovy import ast
+from repro.model import handles
+from repro.model.interpreter import (
+    DEFAULT_OP_BUDGET,
+    ClosureValue,
+    ExecutionError,
+    Interpreter,
+    _Break,
+    _Continue,
+    _GroovyThrow,
+    _Return,
+    assign_index_value,
+    assign_property_value,
+    get_property_value,
+    index_value,
+)
+from repro.translator.builtins import is_groovy_truthy, to_groovy_string
+
+
+class CompileError(Exception):
+    """Raised when an app's IR contains a construct we cannot compile."""
+
+
+class CompiledClosure(ClosureValue):
+    """A closure literal compiled to a body function.
+
+    Subclasses :class:`ClosureValue` so every ``isinstance`` check in the
+    shared interpreter machinery (``_invoke_on``, ``_handler_arg``, the
+    local-closure call path) treats it like an ordinary closure value;
+    ``body`` holds the compiled ``fn(rt, scopes)`` instead of an AST block.
+    """
+
+    __slots__ = ()
+
+
+class CompiledMethod:
+    """One compiled method: parameters, default thunks, body closure."""
+
+    __slots__ = ("name", "params", "defaults", "body")
+
+    def __init__(self, name, params, defaults, body):
+        self.name = name
+        self.params = params
+        self.defaults = defaults
+        self.body = body
+
+    def __repr__(self):
+        return "CompiledMethod(%r)" % (self.name,)
+
+
+class CompiledProgram:
+    """All compiled methods of one app's IR."""
+
+    __slots__ = ("methods",)
+
+    def __init__(self, methods):
+        self.methods = methods
+
+    def __repr__(self):
+        return "CompiledProgram(methods=%d)" % (len(self.methods),)
+
+
+def compile_program(program):
+    """Compile a lowered IR :class:`~repro.groovy.ast.Program`.
+
+    Raises :class:`CompileError` when any method contains an
+    uncompilable construct (callers fall back to the interpreter).
+    """
+    compiler = _Compiler()
+    methods = {}
+    for method in program.methods:
+        methods[method.name] = compiler.compile_method(method)
+    return CompiledProgram(methods)
+
+
+class _Compiler:
+    """Bottom-up compiler from IR nodes to ``fn(rt, scopes)`` closures."""
+
+    # -- methods ------------------------------------------------------------
+
+    def compile_method(self, method):
+        defaults = [self.compile_expr(p.default) if p.default is not None
+                    else None for p in method.params]
+        return CompiledMethod(method.name, method.params, defaults,
+                              self.compile_block(method.body))
+
+    # -- statements ---------------------------------------------------------
+
+    def compile_block(self, block):
+        thunks = [self.compile_stmt(stmt) for stmt in block.stmts]
+        if not thunks:
+            return _const_none
+        if len(thunks) == 1:
+            single = thunks[0]
+
+            def run_one(rt, scopes):
+                rt._tick()
+                return single(rt, scopes)
+            return run_one
+
+        def run(rt, scopes):
+            tick = rt._tick
+            last = None
+            for thunk in thunks:
+                tick()
+                last = thunk(rt, scopes)
+            return last
+        return run
+
+    def compile_stmt(self, stmt):
+        method = getattr(self, "_stmt_%s" % type(stmt).__name__, None)
+        if method is None:
+            raise CompileError("cannot compile statement %s"
+                               % type(stmt).__name__)
+        return method(stmt)
+
+    def _stmt_ExprStmt(self, stmt):
+        return self.compile_expr(stmt.value)
+
+    def _stmt_VarDecl(self, stmt):
+        name = stmt.name
+        value_t = (self.compile_expr(stmt.value)
+                   if stmt.value is not None else None)
+        if value_t is None:
+            def declare_none(rt, scopes):
+                scopes[-1][name] = None
+                return None
+            return declare_none
+
+        def declare(rt, scopes):
+            scopes[-1][name] = value_t(rt, scopes)
+            return None
+        return declare
+
+    def _stmt_Assign(self, stmt):
+        value_t = self.compile_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            name = target.id
+
+            def assign_name(rt, scopes):
+                rt._assign_name(name, value_t(rt, scopes), scopes)
+                return None
+            return assign_name
+        if isinstance(target, ast.Property):
+            obj_t = self.compile_expr(target.obj)
+            prop_name, safe = target.name, target.safe
+
+            def assign_property(rt, scopes):
+                value = value_t(rt, scopes)
+                obj = obj_t(rt, scopes)
+                if obj is None and safe:
+                    return None
+                assign_property_value(obj, prop_name, value, stmt)
+                return None
+            return assign_property
+        if isinstance(target, ast.Index):
+            obj_t = self.compile_expr(target.obj)
+            index_t = self.compile_expr(target.index)
+
+            def assign_index(rt, scopes):
+                value = value_t(rt, scopes)
+                obj = obj_t(rt, scopes)
+                assign_index_value(obj, index_t(rt, scopes), value, stmt)
+                return None
+            return assign_index
+
+        def bad_target(rt, scopes):
+            raise ExecutionError("invalid assignment target",
+                                 stmt.line, stmt.col)
+        return bad_target
+
+    def _stmt_If(self, stmt):
+        cond_t = self.compile_expr(stmt.cond)
+        then_b = self.compile_block(stmt.then)
+        else_b = (self.compile_block(stmt.orelse)
+                  if stmt.orelse is not None else None)
+
+        def run_if(rt, scopes):
+            if is_groovy_truthy(cond_t(rt, scopes)):
+                return then_b(rt, scopes + [{}])
+            if else_b is not None:
+                return else_b(rt, scopes + [{}])
+            return None
+        return run_if
+
+    def _stmt_While(self, stmt):
+        cond_t = self.compile_expr(stmt.cond)
+        body_b = self.compile_block(stmt.body)
+
+        def run_while(rt, scopes):
+            while is_groovy_truthy(cond_t(rt, scopes)):
+                rt._tick()
+                try:
+                    body_b(rt, scopes + [{}])
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return None
+        return run_while
+
+    def _stmt_ForIn(self, stmt):
+        var = stmt.var
+        iter_t = self.compile_expr(stmt.iterable)
+        body_b = self.compile_block(stmt.body)
+
+        def run_for(rt, scopes):
+            for item in rt._iterate(iter_t(rt, scopes)):
+                rt._tick()
+                try:
+                    body_b(rt, scopes + [{var: item}])
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return None
+        return run_for
+
+    def _stmt_Return(self, stmt):
+        value_t = (self.compile_expr(stmt.value)
+                   if stmt.value is not None else None)
+
+        def run_return(rt, scopes):
+            raise _Return(value_t(rt, scopes) if value_t is not None else None)
+        return run_return
+
+    def _stmt_Break(self, stmt):
+        def run_break(rt, scopes):
+            raise _Break()
+        return run_break
+
+    def _stmt_Continue(self, stmt):
+        def run_continue(rt, scopes):
+            raise _Continue()
+        return run_continue
+
+    def _stmt_Block(self, stmt):
+        body_b = self.compile_block(stmt)
+
+        def run_block(rt, scopes):
+            return body_b(rt, scopes + [{}])
+        return run_block
+
+    def _stmt_Switch(self, stmt):
+        subject_t = self.compile_expr(stmt.subject)
+        arms = []
+        for case in stmt.cases:
+            value_ts = ([self.compile_expr(v) for v in case.values]
+                        if case.values else None)
+            arms.append((value_ts, self.compile_block(case.body)))
+
+        def run_switch(rt, scopes):
+            subject = subject_t(rt, scopes)
+            default_body = None
+            for value_ts, body in arms:
+                if value_ts is None:
+                    default_body = body
+                    continue
+                for value_t in value_ts:
+                    if rt._case_matches(subject, value_t(rt, scopes)):
+                        try:
+                            return body(rt, scopes + [{}])
+                        except _Break:
+                            return None
+            if default_body is not None:
+                try:
+                    return default_body(rt, scopes + [{}])
+                except _Break:
+                    return None
+            return None
+        return run_switch
+
+    def _stmt_Try(self, stmt):
+        body_b = self.compile_block(stmt.body)
+        catch_var, catch_b = None, None
+        if stmt.catches:
+            _type, catch_var, block = stmt.catches[0]
+            catch_b = self.compile_block(block)
+        finally_b = (self.compile_block(stmt.finally_body)
+                     if stmt.finally_body is not None else None)
+
+        def run_try(rt, scopes):
+            try:
+                body_b(rt, scopes + [{}])
+            except (_GroovyThrow, ExecutionError) as exc:
+                if catch_b is not None:
+                    value = (exc.value if isinstance(exc, _GroovyThrow)
+                             else str(exc))
+                    catch_b(rt, scopes + [{catch_var: value}])
+                elif isinstance(exc, ExecutionError):
+                    raise
+            finally:
+                if finally_b is not None:
+                    finally_b(rt, scopes + [{}])
+            return None
+        return run_try
+
+    def _stmt_Throw(self, stmt):
+        value_t = self.compile_expr(stmt.value)
+
+        def run_throw(rt, scopes):
+            raise _GroovyThrow(value_t(rt, scopes))
+        return run_throw
+
+    def _stmt_MethodDef(self, stmt):
+        return _const_none  # nested defs are ignored, as in the interpreter
+
+    # -- expressions ---------------------------------------------------------
+
+    def compile_expr(self, expr):
+        method = getattr(self, "_expr_%s" % type(expr).__name__, None)
+        if method is None:
+            raise CompileError("cannot compile expression %s"
+                               % type(expr).__name__)
+        return method(expr)
+
+    def _expr_Literal(self, expr):
+        value = expr.value
+        return lambda rt, scopes: value
+
+    def _expr_GString(self, expr):
+        parts = [part if isinstance(part, str) else self.compile_expr(part)
+                 for part in expr.parts]
+
+        def run_gstring(rt, scopes):
+            return "".join(
+                part if isinstance(part, str)
+                else to_groovy_string(part(rt, scopes))
+                for part in parts)
+        return run_gstring
+
+    def _expr_Name(self, expr):
+        name = expr.id
+
+        def run_name(rt, scopes):
+            found, value = rt._lookup(name, scopes)
+            return value if found else None
+        return run_name
+
+    def _expr_ListLit(self, expr):
+        item_ts = [self.compile_expr(item) for item in expr.items]
+
+        def run_list(rt, scopes):
+            return [item_t(rt, scopes) for item_t in item_ts]
+        return run_list
+
+    def _expr_MapLit(self, expr):
+        entry_ts = []
+        for entry in expr.entries:
+            key = entry.key
+            key_t = self.compile_expr(key) if isinstance(key, ast.Node) else None
+            entry_ts.append((key, key_t, self.compile_expr(entry.value)))
+
+        def run_map(rt, scopes):
+            mapping = {}
+            for key, key_t, value_t in entry_ts:
+                if key_t is not None:
+                    key = key_t(rt, scopes)
+                mapping[key] = value_t(rt, scopes)
+            return mapping
+        return run_map
+
+    def _expr_RangeLit(self, expr):
+        lo_t = self.compile_expr(expr.lo)
+        hi_t = self.compile_expr(expr.hi)
+
+        def run_range(rt, scopes):
+            lo = rt._to_number(lo_t(rt, scopes))
+            hi = rt._to_number(hi_t(rt, scopes))
+            return list(range(int(lo), int(hi) + 1))
+        return run_range
+
+    def _expr_Property(self, expr):
+        obj_t = self.compile_expr(expr.obj)
+        name = expr.name
+
+        def run_property(rt, scopes):
+            obj = obj_t(rt, scopes)
+            if obj is None:
+                # safe or not: null-tolerant, matching the interpreter
+                return None
+            return get_property_value(obj, name)
+        return run_property
+
+    def _expr_Index(self, expr):
+        obj_t = self.compile_expr(expr.obj)
+        index_t = self.compile_expr(expr.index)
+
+        def run_index(rt, scopes):
+            return index_value(obj_t(rt, scopes), index_t(rt, scopes))
+        return run_index
+
+    def _expr_Closure(self, expr):
+        params = expr.params
+        body_b = self.compile_block(expr.body)
+
+        def run_closure(rt, scopes):
+            return CompiledClosure(params, body_b, list(scopes))
+        return run_closure
+
+    def _expr_Unary(self, expr):
+        op = expr.op
+        operand_t = self.compile_expr(expr.operand)
+        if op == "!":
+            def run_not(rt, scopes):
+                return not is_groovy_truthy(operand_t(rt, scopes))
+            return run_not
+        if op in ("++", "--"):
+            delta = 1 if op == "++" else -1
+            name = expr.operand.id if isinstance(expr.operand, ast.Name) else None
+
+            def run_incr(rt, scopes):
+                value = rt._to_number(operand_t(rt, scopes)) or 0
+                new = value + delta
+                if name is not None:
+                    rt._assign_name(name, new, scopes)
+                return new
+            return run_incr
+        if op == "-":
+            return lambda rt, scopes: -rt._to_number(operand_t(rt, scopes))
+        if op == "+":
+            return lambda rt, scopes: rt._to_number(operand_t(rt, scopes))
+        if op == "~":
+            return lambda rt, scopes: ~int(rt._to_number(operand_t(rt, scopes)))
+        raise CompileError("unknown unary %r" % op)
+
+    def _expr_Postfix(self, expr):
+        delta = 1 if expr.op == "++" else -1
+        operand_t = self.compile_expr(expr.operand)
+        name = expr.operand.id if isinstance(expr.operand, ast.Name) else None
+
+        def run_postfix(rt, scopes):
+            value = rt._to_number(operand_t(rt, scopes)) or 0
+            if name is not None:
+                rt._assign_name(name, value + delta, scopes)
+            return value
+        return run_postfix
+
+    def _expr_Ternary(self, expr):
+        cond_t = self.compile_expr(expr.cond)
+        then_t = self.compile_expr(expr.then)
+        else_t = self.compile_expr(expr.orelse)
+
+        def run_ternary(rt, scopes):
+            if is_groovy_truthy(cond_t(rt, scopes)):
+                return then_t(rt, scopes)
+            return else_t(rt, scopes)
+        return run_ternary
+
+    def _expr_Elvis(self, expr):
+        value_t = self.compile_expr(expr.value)
+        fallback_t = self.compile_expr(expr.fallback)
+
+        def run_elvis(rt, scopes):
+            value = value_t(rt, scopes)
+            if is_groovy_truthy(value):
+                return value
+            return fallback_t(rt, scopes)
+        return run_elvis
+
+    def _expr_Cast(self, expr):
+        value_t = self.compile_expr(expr.value)
+        target = expr.type_name
+        if target in ("int", "Integer", "long", "Long", "short", "BigInteger"):
+            def cast_int(rt, scopes):
+                value = value_t(rt, scopes)
+                return int(float(value)) if value is not None else None
+            return cast_int
+        if target in ("float", "double", "Float", "Double", "BigDecimal"):
+            def cast_float(rt, scopes):
+                value = value_t(rt, scopes)
+                return float(value) if value is not None else None
+            return cast_float
+        if target in ("String", "GString"):
+            return lambda rt, scopes: to_groovy_string(value_t(rt, scopes))
+        if target in ("boolean", "Boolean"):
+            return lambda rt, scopes: is_groovy_truthy(value_t(rt, scopes))
+        if target in ("List", "ArrayList", "Collection"):
+            def cast_list(rt, scopes):
+                value = value_t(rt, scopes)
+                return list(rt._iterate(value)) if value is not None else []
+            return cast_list
+        return value_t
+
+    def _expr_New(self, expr):
+        arg_ts = [self.compile_expr(a) for a in expr.args]
+        type_name = expr.type_name
+
+        def run_new(rt, scopes):
+            args = [arg_t(rt, scopes) for arg_t in arg_ts]
+            return rt._construct(type_name, args, expr)
+        return run_new
+
+    def _expr_Binary(self, expr):
+        op = expr.op
+        if op == "&&":
+            left_t = self.compile_expr(expr.left)
+            right_t = self.compile_expr(expr.right)
+
+            def run_and(rt, scopes):
+                if not is_groovy_truthy(left_t(rt, scopes)):
+                    return False
+                return is_groovy_truthy(right_t(rt, scopes))
+            return run_and
+        if op == "||":
+            left_t = self.compile_expr(expr.left)
+            right_t = self.compile_expr(expr.right)
+
+            def run_or(rt, scopes):
+                if is_groovy_truthy(left_t(rt, scopes)):
+                    return True
+                return is_groovy_truthy(right_t(rt, scopes))
+            return run_or
+        left_t = self.compile_expr(expr.left)
+        right_t = self.compile_expr(expr.right)
+        if op == "==":
+            def run_eq(rt, scopes):
+                return rt._equals(left_t(rt, scopes), right_t(rt, scopes))
+            return run_eq
+        if op == "!=":
+            def run_ne(rt, scopes):
+                return not rt._equals(left_t(rt, scopes), right_t(rt, scopes))
+            return run_ne
+        if op in ("<", "<=", ">", ">="):
+            def run_cmp(rt, scopes):
+                return rt._compare(op, left_t(rt, scopes), right_t(rt, scopes))
+            return run_cmp
+        if op == "+":
+            def run_plus(rt, scopes):
+                return rt._plus(left_t(rt, scopes), right_t(rt, scopes))
+            return run_plus
+
+        def run_binary(rt, scopes):
+            return rt._binary(op, left_t(rt, scopes), right_t(rt, scopes),
+                              expr)
+        return run_binary
+
+    def _expr_Call(self, expr):
+        name = expr.name
+        arg_ts = [self.compile_expr(a) for a in expr.args]
+        named_ts = [(entry.key, self.compile_expr(entry.value))
+                    for entry in expr.named if isinstance(entry.key, str)]
+        closure_t = (self._expr_Closure(expr.closure)
+                     if expr.closure is not None else None)
+
+        def run_call(rt, scopes):
+            args = [arg_t(rt, scopes) for arg_t in arg_ts]
+            named = {key: value_t(rt, scopes) for key, value_t in named_ts}
+            closure = closure_t(rt, scopes) if closure_t is not None else None
+
+            method = rt._compiled.methods.get(name)
+            if method is not None:
+                if named and not args:
+                    args = [named]
+                if closure is not None:
+                    args.append(closure)
+                return rt._call_compiled(method, args)
+
+            found, value = rt._lookup(name, scopes)
+            if found and isinstance(value, ClosureValue):
+                return rt.invoke_closure(value, args)
+
+            return rt._platform_api(name, args, named, closure, expr)
+        return run_call
+
+    def _expr_MethodCall(self, expr):
+        obj_t = self.compile_expr(expr.obj)
+        name = expr.name
+        spread = expr.spread
+        arg_ts = [self.compile_expr(a) for a in expr.args]
+        named_ts = [(entry.key, self.compile_expr(entry.value))
+                    for entry in expr.named if isinstance(entry.key, str)]
+        closure_t = (self._expr_Closure(expr.closure)
+                     if expr.closure is not None else None)
+
+        def run_method_call(rt, scopes):
+            obj = obj_t(rt, scopes)
+            if obj is None:
+                return None  # safe or not: null-tolerant, as interpreted
+            args = [arg_t(rt, scopes) for arg_t in arg_ts]
+            named = {key: value_t(rt, scopes) for key, value_t in named_ts}
+            closure = closure_t(rt, scopes) if closure_t is not None else None
+            if spread:
+                return [rt._invoke_on(item, name, args, named, closure, expr)
+                        for item in rt._iterate(obj)]
+            return rt._invoke_on(obj, name, args, named, closure, expr)
+        return run_method_call
+
+
+def _const_none(rt, scopes):
+    return None
+
+
+class CompiledExecutor(Interpreter):
+    """Executes one app's *compiled* handlers.
+
+    Construction, environment building, lookup/assignment rules, the
+    platform-API surface and the built-in dispatch are all inherited from
+    :class:`Interpreter`; only the code paths that would walk the AST are
+    replaced by compiled-closure calls.
+    """
+
+    def __init__(self, app_instance, ctx, program, op_budget=DEFAULT_OP_BUDGET):
+        super().__init__(app_instance, ctx, op_budget)
+        self._compiled = program
+
+    # -- entry points --------------------------------------------------------
+
+    def run_handler(self, handler_name, event_handle):
+        method = self._compiled.methods.get(handler_name)
+        if method is None:
+            self.ctx.log(self.app.name, "warn",
+                         "handler %s not found" % handler_name)
+            return None
+        args = []
+        if method.params:
+            args = [event_handle] + [None] * (len(method.params) - 1)
+        return self._call_compiled(method, args)
+
+    def call_method(self, method, args, named=None):
+        """AST-level entry used by shared machinery (``_invoke_on``)."""
+        compiled = self._compiled.methods.get(method.name)
+        if compiled is None:
+            return super().call_method(method, args, named)
+        return self._call_compiled(compiled, args)
+
+    def _call_compiled(self, method, args):
+        scope = {}
+        for index, param in enumerate(method.params):
+            if index < len(args):
+                scope[param.name] = args[index]
+            else:
+                default_t = method.defaults[index]
+                scope[param.name] = (default_t(self, [scope])
+                                     if default_t is not None else None)
+        try:
+            return method.body(self, [scope])
+        except _Return as ret:
+            return ret.value
+
+    def invoke_closure(self, closure, args):
+        if not isinstance(closure, CompiledClosure):
+            return super().invoke_closure(closure, args)
+        scope = {}
+        params = closure.params
+        if not params:
+            scope["it"] = args[0] if args else None
+        else:
+            if len(args) < len(params) and len(params) == 2 and len(args) == 1:
+                entry = args[0]
+                if isinstance(entry, handles.StateRecord):
+                    args = [entry.name, entry.value]
+            for index, param in enumerate(params):
+                scope[param.name] = args[index] if index < len(args) else None
+        scopes = list(closure.scopes) + [scope]
+        try:
+            return closure.body(self, scopes)
+        except _Return as ret:
+            return ret.value

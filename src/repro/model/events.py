@@ -57,7 +57,8 @@ class ExternalEvent:
     * ``"environment"`` - sunrise/sunset (``attribute`` = event name).
     """
 
-    __slots__ = ("kind", "device", "attribute", "value", "app", "handler")
+    __slots__ = ("kind", "device", "attribute", "value", "app", "handler",
+                 "_label")
 
     def __init__(self, kind, device=None, attribute=None, value=None,
                  app=None, handler=None):
@@ -67,17 +68,26 @@ class ExternalEvent:
         self.value = value
         self.app = app
         self.handler = handler
+        self._label = None
 
     def describe(self):
-        if self.kind == "sensor":
-            return "%s/%s=%s" % (self.device, self.attribute, self.value)
-        if self.kind == "touch":
-            return "app/touch(%s)" % (self.app,)
-        if self.kind == "timer":
-            return "timer(%s.%s)" % (self.app, self.handler)
-        if self.kind == "mode":
-            return "user/mode=%s" % (self.value,)
-        return "environment/%s" % (self.attribute,)
+        # cached: external events are immutable and (via the system's
+        # pre-built choice tables) shared across many transitions, each of
+        # which stamps the label into its trace
+        label = self._label
+        if label is None:
+            if self.kind == "sensor":
+                label = "%s/%s=%s" % (self.device, self.attribute, self.value)
+            elif self.kind == "touch":
+                label = "app/touch(%s)" % (self.app,)
+            elif self.kind == "timer":
+                label = "timer(%s.%s)" % (self.app, self.handler)
+            elif self.kind == "mode":
+                label = "user/mode=%s" % (self.value,)
+            else:
+                label = "environment/%s" % (self.attribute,)
+            self._label = label
+        return label
 
     def label(self):
         return self.describe()

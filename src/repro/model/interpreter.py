@@ -72,6 +72,77 @@ class ClosureValue:
 #: maximum interpreter operations per handler invocation
 DEFAULT_OP_BUDGET = 50000
 
+
+# ---------------------------------------------------------------------------
+# shared value semantics
+#
+# Pure value-level operations used identically by the tree interpreter and
+# by the closure compiler (:mod:`repro.model.compiler`).  Keeping them as
+# module functions means both execution back-ends share one definition of
+# the semantics, which is what makes differential testing meaningful.
+# ---------------------------------------------------------------------------
+
+
+def get_property_value(obj, name):
+    """``obj.name`` for a non-``None`` receiver (the ``_eval_Property`` core)."""
+    if hasattr(obj, "get_property"):
+        handled, value = obj.get_property(name)
+        if handled:
+            return value
+    if isinstance(obj, dict):
+        return obj.get(name)
+    if isinstance(obj, handles.DeviceGroup):
+        return [get_property_value(h, name) for h in obj.handles]
+    if isinstance(obj, list):
+        if name == "size":
+            return len(obj)
+        return [get_property_value(item, name) for item in obj]
+    if isinstance(obj, str) and name == "length":
+        return len(obj)
+    return None
+
+
+def index_value(obj, index):
+    """``obj[index]`` (the ``_eval_Index`` core)."""
+    if isinstance(obj, (list, tuple, str)):
+        if isinstance(index, (int, float)) and -len(obj) <= index < len(obj):
+            return obj[int(index)]
+        return None
+    if isinstance(obj, dict):
+        return obj.get(index)
+    if isinstance(obj, handles.AppStateMap):
+        return obj.mapping.get(index)
+    if isinstance(obj, handles.DeviceGroup):
+        return obj[int(index)] if int(index) < len(obj) else None
+    return None
+
+
+def assign_property_value(obj, name, value, node):
+    """``obj.name = value`` (the property branch of ``_exec_Assign``)."""
+    if hasattr(obj, "set_property") and obj.set_property(name, value):
+        pass
+    elif isinstance(obj, dict):
+        obj[name] = value
+    else:
+        raise ExecutionError(
+            "cannot assign property %r on %r" % (name, obj),
+            node.line, node.col)
+
+
+def assign_index_value(obj, index, value, node):
+    """``obj[index] = value`` (the index branch of ``_exec_Assign``)."""
+    if isinstance(obj, list):
+        while len(obj) <= index:
+            obj.append(None)
+        obj[index] = value
+    elif isinstance(obj, dict):
+        obj[index] = value
+    elif isinstance(obj, handles.AppStateMap):
+        obj.mapping[index] = value
+    else:
+        raise ExecutionError("cannot index-assign %r" % (obj,),
+                             node.line, node.col)
+
 #: platform APIs that register subscriptions at runtime (already statically
 #: extracted, so they are no-ops during model execution)
 _RUNTIME_NOOPS = frozenset([
@@ -79,6 +150,10 @@ _RUNTIME_NOOPS = frozenset([
     "label", "mode", "initialize_marker", "mappings", "dynamicPage",
     "updated_marker", "refresh",
 ])
+
+
+#: the ``Math`` handle is stateless, so one instance serves every executor
+_MATH = handles.MathHandle()
 
 
 class Interpreter:
@@ -160,15 +235,31 @@ class Interpreter:
         # escapes the app's persistent map (forcing the model state to
         # deep-copy it on every branch), so stateless handlers must not
         # pay for a handle they never touch
+        ctx = self.ctx
+        app_name = self.app.name
         env = {
-            "location": handles.LocationHandle(self.ctx, self.app.name),
-            "log": handles.LogHandle(self.ctx, self.app.name),
-            "app": handles.AppHandle(self.app.name),
-            "Math": handles.MathHandle(),
+            "location": handles.LocationHandle(ctx, app_name),
+            "log": handles.LogHandle(ctx, app_name),
+            "app": handles.AppHandle(app_name),
+            "Math": _MATH,
         }
         settings = {}
-        for input_name in self.app.binding_names():
-            value = self.app.materialize(input_name, self.ctx)
+        devices = ctx.system.devices
+        for input_name, is_device, payload, wants_group in (
+                self.app.binding_plan()):
+            if is_device:
+                bound = []
+                for name in payload:
+                    instance = devices.get(name)
+                    if instance is not None:
+                        bound.append(handles.DeviceHandle(instance, ctx,
+                                                          app_name))
+                if wants_group or len(bound) > 1:
+                    value = handles.DeviceGroup(bound)
+                else:
+                    value = bound[0] if bound else None
+            else:
+                value = payload
             env[input_name] = value
             settings[input_name] = value
         env["settings"] = settings
@@ -244,28 +335,11 @@ class Interpreter:
             obj = self.eval(target.obj, scopes)
             if obj is None and target.safe:
                 return None
-            if hasattr(obj, "set_property") and obj.set_property(target.name, value):
-                pass
-            elif isinstance(obj, dict):
-                obj[target.name] = value
-            else:
-                raise ExecutionError(
-                    "cannot assign property %r on %r" % (target.name, obj),
-                    stmt.line, stmt.col)
+            assign_property_value(obj, target.name, value, stmt)
         elif isinstance(target, ast.Index):
             obj = self.eval(target.obj, scopes)
             index = self.eval(target.index, scopes)
-            if isinstance(obj, list):
-                while len(obj) <= index:
-                    obj.append(None)
-                obj[index] = value
-            elif isinstance(obj, dict):
-                obj[index] = value
-            elif isinstance(obj, handles.AppStateMap):
-                obj.mapping[index] = value
-            else:
-                raise ExecutionError("cannot index-assign %r" % (obj,),
-                                     stmt.line, stmt.col)
+            assign_index_value(obj, index, value, stmt)
         else:
             raise ExecutionError("invalid assignment target", stmt.line, stmt.col)
         return None
@@ -419,36 +493,12 @@ class Interpreter:
         return self._get_property(obj, expr.name, expr)
 
     def _get_property(self, obj, name, node):
-        if hasattr(obj, "get_property"):
-            handled, value = obj.get_property(name)
-            if handled:
-                return value
-        if isinstance(obj, dict):
-            return obj.get(name)
-        if isinstance(obj, handles.DeviceGroup):
-            return [self._get_property(h, name, node) for h in obj.handles]
-        if isinstance(obj, list):
-            if name == "size":
-                return len(obj)
-            return [self._get_property(item, name, node) for item in obj]
-        if isinstance(obj, str) and name == "length":
-            return len(obj)
-        return None
+        return get_property_value(obj, name)
 
     def _eval_Index(self, expr, scopes):
         obj = self.eval(expr.obj, scopes)
         index = self.eval(expr.index, scopes)
-        if isinstance(obj, (list, tuple, str)):
-            if isinstance(index, (int, float)) and -len(obj) <= index < len(obj):
-                return obj[int(index)]
-            return None
-        if isinstance(obj, dict):
-            return obj.get(index)
-        if isinstance(obj, handles.AppStateMap):
-            return obj.mapping.get(index)
-        if isinstance(obj, handles.DeviceGroup):
-            return obj[int(index)] if int(index) < len(obj) else None
-        return None
+        return index_value(obj, index)
 
     def _eval_Closure(self, expr, scopes):
         return ClosureValue(expr.params, expr.body, list(scopes))
@@ -507,23 +557,26 @@ class Interpreter:
 
     def _eval_New(self, expr, scopes):
         args = [self.eval(a, scopes) for a in expr.args]
-        if expr.type_name == "Date":
+        return self._construct(expr.type_name, args, expr)
+
+    def _construct(self, type_name, args, node):
+        if type_name == "Date":
             if args:
                 millis = args[0]
                 if isinstance(millis, handles.DateValue):
                     millis = millis.millis
                 return handles.DateValue(self._to_number(millis))
             return handles.DateValue(self.ctx.now_millis())
-        if expr.type_name in ("ArrayList", "LinkedList"):
+        if type_name in ("ArrayList", "LinkedList"):
             return list(args[0]) if args else []
-        if expr.type_name in ("HashMap", "LinkedHashMap", "TreeMap"):
+        if type_name in ("HashMap", "LinkedHashMap", "TreeMap"):
             return dict(args[0]) if args else {}
-        if expr.type_name in ("HashSet", "TreeSet"):
+        if type_name in ("HashSet", "TreeSet"):
             return list(args[0]) if args else []
-        if expr.type_name in ("String", "StringBuilder", "StringBuffer"):
+        if type_name in ("String", "StringBuilder", "StringBuffer"):
             return to_groovy_string(args[0]) if args else ""
-        raise ExecutionError("cannot construct %r" % expr.type_name,
-                             expr.line, expr.col)
+        raise ExecutionError("cannot construct %r" % type_name,
+                             node.line, node.col)
 
     def _eval_Binary(self, expr, scopes):
         op = expr.op

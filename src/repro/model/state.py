@@ -51,15 +51,17 @@ class ModelState:
     """Mutable model state; the checker copies it on every branch."""
 
     __slots__ = (
-        "_devices", "_mode", "_app_states", "time", "_schedules", "history",
+        "_devices", "_mode", "_app_states", "time", "_schedules", "_history",
         "_pending", "_cascade_commands",
         # copy-on-write bookkeeping: names whose inner maps are shared
         # with another state and must be copied before mutation
-        "_shared_devices", "_shared_apps",
+        "_shared_devices", "_shared_apps", "_history_shared",
+        "_history_escaped",
         # escape bookkeeping: raw references handed out (see module doc)
         "_devices_escaped", "_escaped_apps", "_apps_escaped_all",
         # fingerprint caches
         "_dev_hash", "_dev_hash_valid", "_app_hashes", "_dirty_apps",
+        "_fp_cache", "_sched_hash",
     )
 
     #: bounded history length per device (enough for `eventsSince` guards)
@@ -72,7 +74,9 @@ class ModelState:
         self._app_states = app_states or {}
         self.time = time
         self._schedules = tuple(schedules)
-        self.history = history or {}
+        self._history = history or {}
+        self._history_shared = False
+        self._history_escaped = history is not None
         self._pending = tuple(pending)
         # commands sent since the last external event (concurrent design
         # needs this in-state; the sequential cascade keeps its own log)
@@ -87,6 +91,8 @@ class ModelState:
         self._dev_hash_valid = False
         self._app_hashes = {}
         self._dirty_apps = set()
+        self._fp_cache = None
+        self._sched_hash = None
 
     # -- raw-container views ---------------------------------------------------
 
@@ -97,6 +103,7 @@ class ModelState:
                 self._devices[name] = dict(self._devices[name])
             self._shared_devices.clear()
         self._devices_escaped = True
+        self._fp_cache = None
         return self._devices
 
     @property
@@ -106,7 +113,28 @@ class ModelState:
                 self._app_states[name] = _copy_value(self._app_states[name])
             self._shared_apps.clear()
         self._apps_escaped_all = True
+        self._fp_cache = None
         return self._app_states
+
+    @property
+    def history(self):
+        """The per-device event history map (unshared on access).
+
+        The outer dict is shared copy-on-write between parent and child
+        states; handing out the raw reference forces a private copy so
+        direct writes can never leak into a sibling branch.
+        """
+        if self._history_shared:
+            self._history = dict(self._history)
+            self._history_shared = False
+        self._history_escaped = True
+        return self._history
+
+    @history.setter
+    def history(self, value):
+        self._history = value
+        self._history_shared = False
+        self._history_escaped = True
 
     @property
     def mode(self):
@@ -115,6 +143,7 @@ class ModelState:
     @mode.setter
     def mode(self, value):
         self._mode = value
+        self._fp_cache = None
 
     @property
     def schedules(self):
@@ -123,6 +152,8 @@ class ModelState:
     @schedules.setter
     def schedules(self, value):
         self._schedules = tuple(value)
+        self._fp_cache = None
+        self._sched_hash = None
 
     @property
     def pending(self):
@@ -131,6 +162,7 @@ class ModelState:
     @pending.setter
     def pending(self, value):
         self._pending = tuple(value)
+        self._fp_cache = None
 
     @property
     def cascade_commands(self):
@@ -139,6 +171,7 @@ class ModelState:
     @cascade_commands.setter
     def cascade_commands(self, value):
         self._cascade_commands = tuple(value)
+        self._fp_cache = None
 
     # -- reads ---------------------------------------------------------------
 
@@ -147,7 +180,7 @@ class ModelState:
         return self._devices.get(device_name, {}).get(attribute)
 
     def device_history(self, device_name):
-        return self.history.get(device_name, ())
+        return self._history.get(device_name, ())
 
     # -- writes --------------------------------------------------------------
 
@@ -166,22 +199,32 @@ class ModelState:
                 self._dev_hash ^= hash((device_name, attribute, old))
             self._dev_hash ^= hash((device_name, attribute, value))
         attrs[attribute] = value
+        self._fp_cache = None
 
     def record_event(self, device_name, attribute, value):
         """Append to the bounded per-device history."""
-        old = self.history.get(device_name, ())
+        history = self._history
+        if self._history_shared:
+            history = dict(history)
+            self._history = history
+            self._history_shared = False
+        old = history.get(device_name, ())
         entry = (attribute, value, self.time)
-        self.history[device_name] = (old + (entry,))[-self.HISTORY_LIMIT:]
+        history[device_name] = (old + (entry,))[-self.HISTORY_LIMIT:]
 
     def add_schedule(self, app_name, handler, periodic=False):
         entry = (app_name, handler, periodic)
         if entry not in self._schedules:
             self._schedules = self._schedules + (entry,)
+            self._fp_cache = None
+            self._sched_hash = None
 
     def remove_schedule(self, app_name, handler=None):
         self._schedules = tuple(
             (a, h, p) for (a, h, p) in self._schedules
             if not (a == app_name and (handler is None or h == handler)))
+        self._fp_cache = None
+        self._sched_hash = None
 
     def app_state(self, app_name):
         """The persistent ``state`` map of one app (created on demand).
@@ -200,6 +243,7 @@ class ModelState:
             self._app_states[app_name] = mapping
             self._shared_apps.discard(app_name)
         self._escaped_apps.add(app_name)
+        self._fp_cache = None
         return mapping
 
     # -- copy / hash -----------------------------------------------------------
@@ -216,7 +260,18 @@ class ModelState:
         clone._mode = self._mode
         clone.time = self.time
         clone._schedules = self._schedules
-        clone.history = dict(self.history)
+        clone._sched_hash = self._sched_hash
+        # the history map is shared COW like the device maps: both sides
+        # mark it shared, whichever records an event first copies it; an
+        # escaped reference (raw .history access) forces a private copy
+        if self._history_escaped:
+            clone._history = dict(self._history)
+            clone._history_shared = False
+        else:
+            clone._history = self._history
+            clone._history_shared = True
+            self._history_shared = True
+        clone._history_escaped = False
         clone._pending = self._pending
         clone._cascade_commands = self._cascade_commands
 
@@ -237,21 +292,36 @@ class ModelState:
 
         escaped = (set(self._app_states) if self._apps_escaped_all
                    else self._escaped_apps)
-        clone._app_states = {}
-        shared_apps = set()
-        for name, mapping in self._app_states.items():
-            if name in escaped:
-                clone._app_states[name] = _copy_value(mapping)
-            else:
-                clone._app_states[name] = mapping
-                shared_apps.add(name)
+        if escaped:
+            clone._app_states = {}
+            shared_apps = set()
+            for name, mapping in self._app_states.items():
+                if name in escaped:
+                    clone._app_states[name] = _copy_value(mapping)
+                else:
+                    clone._app_states[name] = mapping
+                    shared_apps.add(name)
+            clone._dirty_apps = set(self._dirty_apps) | set(escaped)
+        else:
+            # fast path: every app map is clean, share them all
+            clone._app_states = dict(self._app_states)
+            shared_apps = set(self._app_states)
+            clone._dirty_apps = (set(self._dirty_apps)
+                                 if self._dirty_apps else set())
         self._shared_apps |= shared_apps
         clone._shared_apps = set(shared_apps)
         clone._escaped_apps = set()
         clone._apps_escaped_all = False
         clone._app_hashes = dict(self._app_hashes)
-        # escaped maps may have mutated since their hash was cached
-        clone._dirty_apps = set(self._dirty_apps) | set(escaped)
+        # content is identical at copy time, so the clone inherits the
+        # whole-state fingerprint when this state's is trustworthy (no
+        # escaped references that could mutate behind the caches)
+        if (self._fp_cache is not None and not self._devices_escaped
+                and not self._apps_escaped_all and not self._escaped_apps
+                and not self._dirty_apps):
+            clone._fp_cache = self._fp_cache
+        else:
+            clone._fp_cache = None
         return clone
 
     def fingerprint(self):
@@ -267,6 +337,10 @@ class ModelState:
         set ``PYTHONHASHSEED`` to reproduce a fingerprint/BITSTATE run
         bit-for-bit.
         """
+        if (self._fp_cache is not None and not self._devices_escaped
+                and not self._apps_escaped_all and not self._escaped_apps
+                and not self._dirty_apps):
+            return self._fp_cache
         if self._devices_escaped or not self._dev_hash_valid:
             dev_hash = 0
             for name, attrs in self._devices.items():
@@ -291,14 +365,35 @@ class ModelState:
         apps_hash = 0
         for value in self._app_hashes.values():
             apps_hash ^= value
-        return _mix((
+        if self._sched_hash is None:
+            self._sched_hash = hash(tuple(sorted(self._schedules)))
+        mixed = _mix((
             self._dev_hash,
             hash(self._mode),
             apps_hash,
-            hash(tuple(sorted(self._schedules))),
+            self._sched_hash,
             hash(self._pending),
             hash(self._cascade_commands),
         ))
+        self._fp_cache = mixed
+        return mixed
+
+    def physical_key(self):
+        """Hashable key of the *physical* projection: device attributes + mode.
+
+        This is the part of the state the safe-physical-state invariants
+        read, so it keys the compiled property evaluators' verdict memo.
+        Shares the incremental device hash with :meth:`fingerprint` (same
+        ~2^-64 collision trade-off on the device component).
+        """
+        if self._devices_escaped or not self._dev_hash_valid:
+            dev_hash = 0
+            for name, attrs in self._devices.items():
+                for attribute, value in attrs.items():
+                    dev_hash ^= hash((name, attribute, value))
+            self._dev_hash = dev_hash
+            self._dev_hash_valid = True
+        return (self._dev_hash, self._mode)
 
     def canonical_key(self):
         """Canonical hashable form for exact visited-state deduplication.

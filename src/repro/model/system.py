@@ -14,6 +14,10 @@ from repro.model.state import ModelState
 from repro.translator.lowering import lower_program
 
 
+#: "compilation not yet attempted" marker for AppInstance._compiled
+_UNCOMPILED = object()
+
+
 class AppInstance:
     """One installed app: parsed definition + lowered IR + input bindings."""
 
@@ -23,9 +27,27 @@ class AppInstance:
         self.bindings = dict(bindings)
         self._ir = lower_program(smart_app.program)
         self._methods = {m.name: m for m in self._ir.methods}
+        self._input_decls = {i.name: i for i in smart_app.inputs}
+        self._compiled = _UNCOMPILED
+        self._binding_plan = None
 
     def method(self, name):
         return self._methods.get(name)
+
+    def compiled_program(self):
+        """The app's handlers compiled to closures (once per instance).
+
+        Returns ``None`` when compilation failed; callers fall back to the
+        tree interpreter for this app (the failure is memoized, so the
+        compile is attempted at most once).
+        """
+        if self._compiled is _UNCOMPILED:
+            from repro.model.compiler import CompileError, compile_program
+            try:
+                self._compiled = compile_program(self._ir)
+            except CompileError:
+                self._compiled = None
+        return self._compiled
 
     def binding_names(self):
         return list(self.bindings.keys())
@@ -34,22 +56,48 @@ class AppInstance:
         return self.bindings.get(input_name)
 
     def materialize(self, input_name, ctx):
-        """Turn a binding into the runtime value app code sees."""
-        value = self.bindings.get(input_name)
-        if value is None:
-            return None
-        declaration = self.smart_app.input(input_name)
-        if declaration is not None and declaration.is_device:
-            names = value if isinstance(value, list) else [value]
-            handles = []
-            for name in names:
-                instance = ctx.system.devices.get(name)
+        """Turn one binding into the runtime value app code sees.
+
+        Single-input view over :meth:`binding_plan` (the executors build
+        their whole environment from the plan directly); both paths share
+        one definition of the binding -> runtime-value rules.
+        """
+        for name, is_device, payload, wants_group in self.binding_plan():
+            if name != input_name:
+                continue
+            if not is_device:
+                return payload
+            bound = []
+            for device_name in payload:
+                instance = ctx.system.devices.get(device_name)
                 if instance is not None:
-                    handles.append(DeviceHandle(instance, ctx, self.name))
-            if declaration.multiple or len(handles) > 1:
-                return DeviceGroup(handles)
-            return handles[0] if handles else None
-        return value
+                    bound.append(DeviceHandle(instance, ctx, self.name))
+            if wants_group or len(bound) > 1:
+                return DeviceGroup(bound)
+            return bound[0] if bound else None
+        return None
+
+    def binding_plan(self):
+        """Static shape of every binding: ``(name, is_device, payload,
+        wants_group)`` tuples, computed once per instance.
+
+        The executors rebuild their environment per handler run (handles
+        wrap the per-cascade context); this plan hoists the per-input
+        declaration lookups and shape checks out of that inner loop.
+        """
+        if self._binding_plan is None:
+            plan = []
+            for input_name, value in self.bindings.items():
+                declaration = self._input_decls.get(input_name)
+                if (value is not None and declaration is not None
+                        and declaration.is_device):
+                    names = value if isinstance(value, list) else [value]
+                    plan.append((input_name, True, list(names),
+                                 declaration.multiple))
+                else:
+                    plan.append((input_name, False, value, False))
+            self._binding_plan = plan
+        return self._binding_plan
 
     def bound_devices(self, input_name):
         """Device names bound to a device input (empty for value inputs)."""
@@ -88,9 +136,14 @@ class IoTSystem:
 
     def __init__(self, devices, apps, contacts=(), modes=("Home", "Away", "Night"),
                  initial_mode="Home", association=None, http_allowed=(),
-                 enable_failures=False, user_mode_events=False):
+                 enable_failures=False, user_mode_events=False,
+                 use_compiled=True):
         #: name -> DeviceInstance
         self.devices = dict(devices)
+        #: execute handlers through the closure compiler (the tree
+        #: interpreter remains available as the ``--no-compile`` fallback
+        #: and differential-testing oracle)
+        self.use_compiled = use_compiled
         #: installed apps in install order
         self.apps = list(apps)
         self.contacts = list(contacts)
@@ -104,6 +157,12 @@ class IoTSystem:
         #: mode-triggered apps can be vetted in isolation, §9/§10.3)
         self.user_mode_events = user_mode_events
         self.subscriptions = self._resolve_subscriptions()
+        # transition-relation caches, built lazily on first use; all derive
+        # from construction-time data (subscriptions, specs, association)
+        self._sub_index = None
+        self._interesting_pairs = None
+        self._sensor_event_table = None
+        self._static_choices = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -193,35 +252,57 @@ class IoTSystem:
                     state.add_schedule(app.name, handler, periodic=True)
         return state
 
+    def _subscriber_index(self):
+        """Routing tables keyed by event source, preserving install order."""
+        if self._sub_index is None:
+            device_index, app_index, fake_index, location_subs = {}, {}, {}, []
+            for sub in self.subscriptions:
+                if sub.source_kind == "device":
+                    device_index.setdefault(
+                        (sub.device, sub.attribute), []).append(
+                            (sub.app, sub.handler, sub.value))
+                    # Fake events reach every subscription on the attribute.
+                    fake_index.setdefault(sub.attribute, []).append(
+                        (sub.app, sub.handler, sub.value))
+                elif sub.source_kind == "location":
+                    location_subs.append(sub)
+                elif sub.source_kind == "app":
+                    app_index.setdefault(sub.app.name, []).append(
+                        (sub.app, sub.handler, None))
+            self._sub_index = (device_index, location_subs, app_index,
+                               fake_index)
+        return self._sub_index
+
     def subscribers_for(self, event):
         """Subscribed (app, handler, value filter) triples, install order."""
-        matches = []
-        for sub in self.subscriptions:
-            if event.source == DEVICE:
-                if (sub.source_kind == "device" and sub.device == event.device
-                        and sub.attribute == event.attribute):
-                    matches.append((sub.app, sub.handler, sub.value))
-            elif event.source == LOCATION:
-                if sub.source_kind == "location" and sub.attribute in (
-                        event.attribute, None, "mode"):
+        device_index, location_subs, app_index, fake_index = (
+            self._subscriber_index())
+        if event.source == DEVICE:
+            return device_index.get((event.device, event.attribute), [])
+        if event.source == LOCATION:
+            matches = []
+            for sub in location_subs:
+                if sub.attribute in (event.attribute, None, "mode"):
                     if event.attribute == "mode" and sub.attribute != "mode":
                         continue
-                    if event.attribute != "mode" and sub.attribute != event.attribute:
+                    if (event.attribute != "mode"
+                            and sub.attribute != event.attribute):
                         continue
                     matches.append((sub.app, sub.handler, sub.value))
-            elif event.source == APP:
-                if sub.source_kind == "app" and sub.app.name == event.app:
-                    matches.append((sub.app, sub.handler, None))
-            elif event.source == FAKE:
-                # Fake events reach every subscription on the same attribute.
-                if (sub.source_kind == "device"
-                        and sub.attribute == event.attribute):
-                    matches.append((sub.app, sub.handler, sub.value))
-        return matches
+            return matches
+        if event.source == APP:
+            return app_index.get(event.app, [])
+        if event.source == FAKE:
+            return fake_index.get(event.attribute, [])
+        return []
 
     def _interesting_device_attributes(self):
         """(device, attribute) pairs worth generating external events for:
-        subscribed attributes plus attributes referenced by property roles."""
+        subscribed attributes plus attributes referenced by property roles.
+
+        Depends only on construction-time data, so it is computed once."""
+        if self._interesting_pairs is not None:
+            return self._interesting_pairs
         pairs = []
         seen = set()
         for sub in self.subscriptions:
@@ -250,27 +331,55 @@ class IoTSystem:
             for name, device in self.devices.items():
                 for attribute in device.spec.sensor_attributes:
                     pairs.append((name, attribute))
+        self._interesting_pairs = pairs
         return pairs
+
+    def _sensor_events(self):
+        """Pre-built sensor :class:`ExternalEvent` objects per attribute.
+
+        Events are immutable, so one object per (device, attribute, value)
+        is shared by every transition that injects it; the per-state work
+        in :meth:`external_choices` reduces to filtering out the current
+        value."""
+        if self._sensor_event_table is None:
+            table = []
+            for device_name, attribute in self._interesting_device_attributes():
+                spec = self.devices[device_name].spec.sensor_attributes.get(
+                    attribute)
+                values = list(spec.values) if spec is not None else []
+                table.append((device_name, attribute, [
+                    (value, ExternalEvent("sensor", device=device_name,
+                                          attribute=attribute, value=value))
+                    for value in values]))
+            self._sensor_event_table = table
+        return self._sensor_event_table
+
+    def _state_independent_choices(self):
+        """App-touch and sunrise/sunset choices (fixed per system)."""
+        if self._static_choices is None:
+            choices = []
+            touched = set()
+            for sub in self.subscriptions:
+                if sub.source_kind == "app" and sub.app.name not in touched:
+                    touched.add(sub.app.name)
+                    choices.append(ExternalEvent("touch", app=sub.app.name))
+            for sub in self.subscriptions:
+                if sub.source_kind == "location" and sub.attribute in (
+                        "sunrise", "sunset"):
+                    choices.append(ExternalEvent("environment",
+                                                 attribute=sub.attribute))
+            self._static_choices = choices
+        return self._static_choices
 
     def external_choices(self, state):
         """Algorithm 1 line 2: the environment's choices at this point."""
         choices = []
-        for device_name, attribute in self._interesting_device_attributes():
-            instance = self.devices[device_name]
+        for device_name, attribute, events in self._sensor_events():
             current = state.attribute(device_name, attribute)
-            for value in instance.sensor_event_values(attribute, current):
-                choices.append(ExternalEvent("sensor", device=device_name,
-                                             attribute=attribute, value=value))
-        touched = set()
-        for sub in self.subscriptions:
-            if sub.source_kind == "app" and sub.app.name not in touched:
-                touched.add(sub.app.name)
-                choices.append(ExternalEvent("touch", app=sub.app.name))
-        for sub in self.subscriptions:
-            if sub.source_kind == "location" and sub.attribute in (
-                    "sunrise", "sunset"):
-                choices.append(ExternalEvent("environment",
-                                             attribute=sub.attribute))
+            for value, event in events:
+                if value != current:
+                    choices.append(event)
+        choices.extend(self._state_independent_choices())
         for app_name, handler, _periodic in state.schedules:
             choices.append(ExternalEvent("timer", app=app_name, handler=handler))
         if self.user_mode_events:
@@ -297,19 +406,28 @@ class IoTSystem:
     # transition relations
     # ------------------------------------------------------------------
 
-    def transitions(self, state, monitor_factory):
-        """Sequential design: yield (label, new_state, violations, steps)."""
+    def transitions(self, state, monitor_factory, event_filter=None):
+        """Sequential design: yield (label, new_state, violations, steps).
+
+        ``event_filter`` (optional) vetoes external events *before* their
+        cascades execute - the engine's independence reduction plugs in
+        here so skipped interleavings cost nothing.
+        """
         for ext in self.external_choices(state):
+            if event_filter is not None and not event_filter(ext):
+                continue
             for scenario in self.failure_scenarios(ext):
                 new_state = state.copy()
                 new_state.cascade_commands = ()
                 monitor = monitor_factory()
                 cascade = Cascade(self, new_state, monitor, scenario=scenario)
                 violations = cascade.run_external(ext)
-                yield (ext.label() + scenario.label(), new_state, True,
-                       violations, cascade.steps)
+                suffix = scenario.label()
+                yield (ext.label() + suffix if suffix else ext.label(),
+                       new_state, True, violations, cascade.steps)
 
-    def transitions_concurrent(self, state, monitor_factory, externals_left):
+    def transitions_concurrent(self, state, monitor_factory, externals_left,
+                               event_filter=None):
         """Concurrent design: interleave pending dispatches and injections."""
         for index in range(len(state.pending)):
             new_state = state.copy()
@@ -326,6 +444,8 @@ class IoTSystem:
         # preserved (Algorithm 1 line 16).
         if externals_left > 0 and not state.pending:
             for ext in self.external_choices(state):
+                if event_filter is not None and not event_filter(ext):
+                    continue
                 for scenario in self.failure_scenarios(ext):
                     new_state = state.copy()
                     new_state.cascade_commands = ()

@@ -14,7 +14,18 @@ in violations no app could have caused or prevented.  Monitored
 properties (conflicts, repeats, leakage, robustness) are always relevant.
 """
 
+import weakref
+
 from repro.properties.base import KIND_INVARIANT
+
+#: system -> {property-identity tuple: selected list}.  Selection depends
+#: only on construction-time facts of the system (bindings, subscriptions,
+#: association), so repeated ``verify()`` calls over the same system (CLI
+#: batch loops, benchmarks, the Output Analyzer's configuration sweeps)
+#: reuse the first result instead of re-walking every property.  Keyed by
+#: the property objects' identities: the catalog hands out identity-stable
+#: objects, while ad-hoc property lists naturally miss and recompute.
+_SELECTION_CACHE = weakref.WeakKeyDictionary()
 
 
 def select_relevant(system, properties):
@@ -22,8 +33,27 @@ def select_relevant(system, properties):
 
     Keeps every monitored (non-invariant) property, and every invariant
     whose roles are bound *and* whose actuator roles point at devices some
-    installed app controls.
+    installed app controls.  Memoized per system (see module cache).
     """
+    properties = list(properties)
+    try:
+        per_system = _SELECTION_CACHE.setdefault(system, {})
+    except TypeError:  # un-weakref-able stand-ins (tests): no memo
+        per_system = None
+    cache_key = tuple(id(prop) for prop in properties)
+    if per_system is not None:
+        cached = per_system.get(cache_key)
+        if cached is not None:
+            return list(cached[1])
+    selected = _select_relevant(system, properties)
+    if per_system is not None:
+        # the keyed property objects are retained alongside the result so
+        # their ids can never be recycled onto different objects
+        per_system[cache_key] = (tuple(properties), tuple(selected))
+    return selected
+
+
+def _select_relevant(system, properties):
     app_devices = app_bound_devices(system)
     subscribed = subscribed_attributes(system)
     selected = []

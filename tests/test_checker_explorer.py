@@ -18,11 +18,14 @@ class TestOptions:
         options = ExplorerOptions()
         assert options.max_events == 3
         assert options.mode == SEQUENTIAL
-        assert options.visited == "exact"
+        # one word per state is the default since the compiled-transition
+        # engine: the store is the hash-compact trade-off Spin makes
+        assert options.visited == "fingerprint"
 
     def test_make_visited_exact(self):
         from repro.checker.visited import ExactVisitedSet
-        assert isinstance(ExplorerOptions().make_visited(), ExactVisitedSet)
+        store = ExplorerOptions(visited="exact").make_visited()
+        assert type(store) is ExactVisitedSet
 
     def test_make_visited_bitstate(self):
         from repro.checker.visited import BitStateTable

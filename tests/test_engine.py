@@ -105,7 +105,8 @@ class TestEngineStrategies:
         assert result.violated_property_ids == baseline.violated_property_ids
 
     def test_fingerprint_store_matches_exact(self, alice_system):
-        exact = verify(alice_system, build_properties(), max_events=2)
+        exact = verify(alice_system, build_properties(), max_events=2,
+                       visited="exact")
         fingerprint = verify(alice_system, build_properties(), max_events=2,
                              visited="fingerprint")
         assert fingerprint.states_explored == exact.states_explored
@@ -123,6 +124,118 @@ class TestEngineStrategies:
     def test_states_per_second(self, alice_system):
         result = verify(alice_system, build_properties(), max_events=1)
         assert result.states_per_second > 0
+
+
+class TestSuccessorCache:
+    """The per-state transition memo: identical outcomes, fewer cascades."""
+
+    def test_cache_stats_on_result(self, alice_system):
+        result = verify(alice_system, build_properties(), max_events=2)
+        assert result.cache_mode == "fingerprint"
+        assert result.cache_misses > 0
+
+    def test_cache_off_is_identical(self, alice_system):
+        cached = verify(alice_system, build_properties(), max_events=2)
+        uncached = verify(alice_system, build_properties(), max_events=2,
+                          successor_cache=False)
+        assert uncached.cache_mode == "off"
+        assert uncached.cache_misses == 0
+        assert cached.states_explored == uncached.states_explored
+        assert cached.transitions == uncached.transitions
+        assert (sorted(cached.counterexamples)
+                == sorted(uncached.counterexamples))
+
+    def test_replayed_expansions_match_live(self, generator, alice_config):
+        """Force re-expansion (a state reached again at smaller depth via
+        BFS-after-DFS ordering is rare at tiny bounds, so compare a deeper
+        run): hit or not, outcomes must be identical."""
+        system = generator.build(alice_config)
+        deep_cached = verify(system, build_properties(), max_events=3)
+        deep_uncached = verify(system, build_properties(), max_events=3,
+                               successor_cache=False)
+        assert deep_cached.states_explored == deep_uncached.states_explored
+        assert deep_cached.transitions == deep_uncached.transitions
+        assert (sorted(deep_cached.counterexamples)
+                == sorted(deep_uncached.counterexamples))
+
+    def test_cache_limit_zero_records_nothing(self, alice_system):
+        result = verify(alice_system, build_properties(), max_events=2,
+                        cache_limit=0)
+        assert result.cache_hits == 0
+
+
+class TestCompiledOption:
+    def test_no_compile_flag_switches_backend(self, alice_system):
+        compiled = verify(alice_system, build_properties(), max_events=2)
+        interpreted = verify(alice_system, build_properties(), max_events=2,
+                             compiled=False)
+        assert compiled.states_explored == interpreted.states_explored
+        assert (sorted(compiled.counterexamples)
+                == sorted(interpreted.counterexamples))
+
+    def test_engine_toggles_system_backend(self, alice_system):
+        verify(alice_system, build_properties(), max_events=1, compiled=False)
+        assert alice_system.use_compiled is False
+        verify(alice_system, build_properties(), max_events=1)
+        assert alice_system.use_compiled is True
+
+
+class TestExactModeHasNoHashShortcuts:
+    def test_exact_store_disables_invariant_memo(self, alice_system):
+        exact = verify(alice_system, build_properties(), max_events=2,
+                       visited="exact")
+        assert exact.property_stats.get("invariant_memo_misses", 0) == 0
+        assert exact.property_stats.get("invariant_memo_hits", 0) == 0
+        memoized = verify(alice_system, build_properties(), max_events=2)
+        assert memoized.property_stats["invariant_memo_misses"] > 0
+        assert (sorted(exact.counterexamples)
+                == sorted(memoized.counterexamples))
+
+
+class TestEngineGc:
+    def test_gc_restored_after_run(self, alice_system):
+        import gc
+
+        assert gc.isenabled()
+        verify(alice_system, build_properties(), max_events=1)
+        assert gc.isenabled()
+
+    def test_gc_left_alone_when_unmanaged(self, alice_system):
+        import gc
+
+        verify(alice_system, build_properties(), max_events=1,
+               manage_gc=False)
+        assert gc.isenabled()
+
+
+class TestSeenState:
+    """The hybrid fingerprint-first path of the exact store."""
+
+    def test_exact_seen_state_depth_aware(self):
+        from repro.checker.visited import ExactVisitedSet
+
+        store = ExactVisitedSet()
+        state = ModelState()
+        state.set_attribute("d", "a", 1)
+        assert store.seen_state(state, 2) is False
+        dup = state.copy()
+        assert store.seen_state(dup, 3) is True   # deeper: prune
+        assert store.seen_state(dup, 1) is False  # shallower: re-expand
+        assert store.seen_state(dup, 1) is True
+        assert len(store) == 1
+
+    def test_exact_seen_state_distinguishes_states(self):
+        from repro.checker.visited import ExactVisitedSet
+
+        store = ExactVisitedSet()
+        one = ModelState()
+        one.set_attribute("d", "a", 1)
+        two = ModelState()
+        two.set_attribute("d", "a", 2)
+        assert store.seen_state(one, 0) is False
+        assert store.seen_state(two, 0) is False
+        assert store.seen_state(two.copy(), 0) is True
+        assert len(store) == 2
 
 
 class TestExplorerShim:

@@ -1,0 +1,177 @@
+"""The static event-independence analysis and the engine reduction.
+
+Soundness contract: pruning one order of every commuting pair must never
+drop a *violation* - the set of violated property ids (and the monitored
+per-cascade violations behind them) is preserved, only the explored state
+count shrinks.  Attribution of a joint-state invariant violation may
+differ (only one interleaving is explored), which is why the assertions
+compare property ids rather than full dedup keys.
+"""
+
+import pytest
+
+from repro.config.schema import SystemConfiguration
+from repro.corpus import load_all_apps
+from repro.corpus.groups import GROUP_BUILDERS
+from repro.deps.independence import IndependenceAnalysis
+from repro.engine import EngineOptions, ExplorationEngine
+from repro.model.events import ExternalEvent
+from repro.model.generator import ModelGenerator
+from repro.properties import build_properties, select_relevant
+
+from tests.conftest import _load_or_skip
+from tests.helpers import app_source, make_app
+
+
+def _build(config, registry=None):
+    registry = registry or _load_or_skip(load_all_apps)
+    return ModelGenerator(registry).build(config, strict=False)
+
+
+def _two_island_system():
+    """Two apps on disjoint devices: their trigger events commute."""
+    left = make_app(app_source(
+        name="Left", preferences='section("s") {\n'
+        'input "motion1", "capability.motionSensor"\n'
+        'input "switch1", "capability.switch"\n}',
+        body='''
+preferences { }
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) { switch1.on() }
+'''), "left.groovy")
+    right = make_app(app_source(
+        name="Right", preferences='section("s") {\n'
+        'input "contact1", "capability.contactSensor"\n'
+        'input "switch1", "capability.switch"\n}',
+        body='''
+def installed() { subscribe(contact1, "contact.open", onOpen) }
+def onOpen(evt) { switch1.off() }
+'''), "right.groovy")
+    config = SystemConfiguration()
+    config.add_device("m", "smartsense-motion")
+    config.add_device("c", "smartsense-multi")
+    config.add_device("s1", "smart-outlet")
+    config.add_device("s2", "smart-outlet")
+    config.add_app("Left", {"motion1": "m", "switch1": "s1"})
+    config.add_app("Right", {"contact1": "c", "switch1": "s2"})
+    return ModelGenerator({"Left": left, "Right": right}).build(config)
+
+
+class TestEventKeys:
+    def test_key_matches_label_parse(self):
+        analysis = IndependenceAnalysis(_two_island_system())
+        events = [
+            ExternalEvent("sensor", device="m", attribute="motion",
+                          value="active"),
+            ExternalEvent("touch", app="Left"),
+            ExternalEvent("timer", app="Left", handler="tick"),
+            ExternalEvent("environment", attribute="sunrise"),
+            ExternalEvent("mode", value="Away"),
+        ]
+        for ext in events:
+            assert analysis.key_for_label(ext.label()) == analysis.key(ext)
+
+    def test_failure_label_is_not_reducible(self):
+        analysis = IndependenceAnalysis(_two_island_system())
+        assert analysis.key_for_label(
+            "m/motion=active [sensor offline]") is None
+
+
+class TestFootprints:
+    def test_disjoint_islands_commute(self):
+        analysis = IndependenceAnalysis(_two_island_system())
+        motion = ("sensor", "m", "motion", "active")
+        contact = ("sensor", "c", "contact", "open")
+        assert analysis.independent(motion, contact)
+
+    def test_same_device_events_are_dependent(self):
+        analysis = IndependenceAnalysis(_two_island_system())
+        active = ("sensor", "m", "motion", "active")
+        inactive = ("sensor", "m", "motion", "inactive")
+        assert not analysis.independent(active, inactive)
+
+    def test_shared_actuator_breaks_independence(self):
+        """Two apps commanding the same switch must stay ordered."""
+        config = SystemConfiguration()
+        config.add_device("m", "smartsense-motion")
+        config.add_device("c", "smartsense-multi")
+        config.add_device("shared", "smart-outlet")
+        config.add_app("Brighten My Path", {"motion1": "m",
+                                            "switch1": "shared"})
+        config.add_app("Light Off When Close", {"contact1": "c",
+                                                "switches": ["shared"]})
+        analysis = IndependenceAnalysis(_build(config))
+        motion = ("sensor", "m", "motion", "active")
+        contact = ("sensor", "c", "contact", "open")
+        assert not analysis.independent(motion, contact)
+
+    def test_clock_reading_app_is_global(self):
+        clock_app = make_app(app_source(
+            name="Clocky", preferences='section("s") {\n'
+            'input "motion1", "capability.motionSensor"\n}',
+            body='''
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) { state.last = now() }
+'''), "clocky.groovy")
+        config = SystemConfiguration()
+        config.add_device("m", "smartsense-motion")
+        config.add_device("c", "smartsense-multi")
+        config.add_app("Clocky", {"motion1": "m"})
+        system = ModelGenerator({"Clocky": clock_app}).build(config)
+        analysis = IndependenceAnalysis(system)
+        assert analysis.event_footprint(
+            ("sensor", "m", "motion", "active")) is None
+        assert not analysis.independent(
+            ("sensor", "m", "motion", "active"),
+            ("sensor", "c", "contact", "open"))
+
+    def test_should_skip_prunes_exactly_one_order(self):
+        analysis = IndependenceAnalysis(_two_island_system())
+        motion = ExternalEvent("sensor", device="m", attribute="motion",
+                               value="active")
+        contact = ExternalEvent("sensor", device="c", attribute="contact",
+                                value="open")
+        motion_key = analysis.key(motion)
+        contact_key = analysis.key(contact)
+        first, second = sorted([(motion_key, motion), (contact_key, contact)])
+        # ascending order explored, descending skipped
+        assert not analysis.should_skip(first[0], second[1])
+        assert analysis.should_skip(second[0], first[1])
+
+
+class TestReductionSoundness:
+    """Independence pruning never drops a violated property."""
+
+    @pytest.mark.parametrize("group_name", sorted(GROUP_BUILDERS))
+    def test_groups_keep_all_violations(self, group_name):
+        system = _build(GROUP_BUILDERS[group_name]())
+        properties = select_relevant(system, build_properties())
+        full = ExplorationEngine(system, properties, EngineOptions(
+            max_events=2)).run()
+        reduced = ExplorationEngine(system, properties, EngineOptions(
+            max_events=2, reduction=True)).run()
+        assert (reduced.violated_property_ids
+                == full.violated_property_ids), group_name
+        assert reduced.states_explored <= full.states_explored
+        assert reduced.transitions <= full.transitions
+
+    def test_islands_shrink_without_losing_states_semantics(self):
+        system = _two_island_system()
+        properties = select_relevant(system, build_properties())
+        full = ExplorationEngine(system, properties, EngineOptions(
+            max_events=3)).run()
+        reduced = ExplorationEngine(system, properties, EngineOptions(
+            max_events=3, reduction=True)).run()
+        assert reduced.commutes_pruned > 0
+        assert reduced.transitions < full.transitions
+        assert (reduced.violated_property_ids
+                == full.violated_property_ids)
+
+    def test_reduction_disabled_with_failures(self):
+        config = GROUP_BUILDERS["group1-entry-and-mode"]()
+        registry = _load_or_skip(load_all_apps)
+        system = ModelGenerator(registry).build(config, enable_failures=True)
+        properties = select_relevant(system, build_properties())
+        result = ExplorationEngine(system, properties, EngineOptions(
+            max_events=1, reduction=True)).run()
+        assert result.commutes_pruned == 0
