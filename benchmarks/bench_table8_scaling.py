@@ -13,6 +13,8 @@ fanning independent scaling points across worker processes).
 """
 
 import os
+import resource
+import sys
 import time
 
 from repro.engine import EngineOptions, VerificationJob, verify, verify_many
@@ -20,6 +22,20 @@ from repro.config.schema import SystemConfiguration
 from repro.properties import build_properties, select_relevant
 
 from conftest import print_table, update_bench_artifact
+
+
+def peak_rss_kb():
+    """Peak resident set size of this process so far, in KiB.
+
+    ``ru_maxrss`` is a high-water mark, so per-phase readings are only
+    meaningful as a monotone sequence: a phase that did not raise the
+    peak repeats the previous value.  Linux reports the counter in KiB,
+    macOS in bytes; normalized here so the artifact is comparable.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return peak
 
 #: Table 8 as published (seconds)
 PAPER = {6: 6.61, 7: 50.9, 8: 396, 9: 2989.8, 10: 21204, 11: 84204}
@@ -79,6 +95,11 @@ def test_table8_growth_curve(generator, benchmark):
             "cache_mode": result.cache_mode,
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,
+            "cache_hit_rate": round(result.cache_hit_rate, 4),
+            "cache_auto_disabled": result.cache_auto_disabled,
+            "visited_bytes_per_state": result.visited_stats.get(
+                "bytes_per_state", 0.0),
+            "peak_rss_kb": peak_rss_kb(),
         })
     for events, paper_seconds in sorted(PAPER.items()):
         rows.append(("%d (paper)" % events, "%.2fs" % paper_seconds,
@@ -238,6 +259,98 @@ def test_table8_fingerprint_store_per_state_cost(generator, benchmark):
     # ...at a per-state cost no worse than full canonicalization
     # (measured ~1.6x faster; 0.8 bound absorbs shared-runner noise)
     assert fingerprint.states_per_second >= exact.states_per_second * 0.8
+
+
+def test_table8_memory_lean_deep_run(generator, benchmark):
+    """The deep-exploration axis (the paper's Table-8 wall): at
+    ``max_events=4`` the visited store dominates memory, so this measures
+    bytes/state and throughput for the fingerprint default, the
+    collapse-compressed store, and the recommended deep-run configuration
+    (collapse + sleep-set reduction).
+
+    All three must report identical verdicts; collapse must undercut the
+    exact store's canonical keys by an order of magnitude while keeping
+    its no-false-positive contract.
+    """
+    system = five_app_system(generator)
+    properties = select_relevant(system, build_properties())
+
+    def run(**kwargs):
+        return verify(system, properties, max_events=4,
+                      max_states=3000000, **kwargs)
+
+    fingerprint = run()
+    collapse = run(visited="collapse")
+    reduced = run(visited="collapse", reduction=True)
+    # the exact store at depth 4 pins full canonical keys - measured at
+    # depth 3 where it is still tractable, for the bytes/state contrast
+    exact_shallow = verify(system, properties, max_events=3,
+                           visited="exact")
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    def bytes_per_state(result):
+        return result.visited_stats.get("bytes_per_state", 0.0)
+
+    rows = [
+        ("fingerprint (default)", 4, fingerprint.states_explored,
+         "%.0f" % fingerprint.states_per_second,
+         "%.0f" % bytes_per_state(fingerprint)),
+        ("collapse", 4, collapse.states_explored,
+         "%.0f" % collapse.states_per_second,
+         "%.0f" % bytes_per_state(collapse)),
+        ("collapse + reduction", 4, reduced.states_explored,
+         "%.0f" % reduced.states_per_second,
+         "%.0f" % bytes_per_state(reduced)),
+        ("exact (depth 3)", 3, exact_shallow.states_explored,
+         "%.0f" % exact_shallow.states_per_second,
+         "%.0f" % bytes_per_state(exact_shallow)),
+    ]
+    print_table("Memory-lean deep exploration at 4 events",
+                ["store", "events", "states", "states/sec", "bytes/state"],
+                rows)
+    update_bench_artifact("table8", "deep_run", {
+        "events": 4,
+        "fingerprint": {
+            "states": fingerprint.states_explored,
+            "transitions": fingerprint.transitions,
+            "states_per_second": round(fingerprint.states_per_second, 1),
+            "bytes_per_state": bytes_per_state(fingerprint),
+            "cache_auto_disabled": fingerprint.cache_auto_disabled,
+        },
+        "collapse": {
+            "states": collapse.states_explored,
+            "transitions": collapse.transitions,
+            "states_per_second": round(collapse.states_per_second, 1),
+            "bytes_per_state": bytes_per_state(collapse),
+        },
+        "collapse_reduction": {
+            "states": reduced.states_explored,
+            "transitions": reduced.transitions,
+            "states_per_second": round(reduced.states_per_second, 1),
+            "bytes_per_state": bytes_per_state(reduced),
+            "commutes_pruned": reduced.commutes_pruned,
+        },
+        "exact_depth3_bytes_per_state": bytes_per_state(exact_shallow),
+        "peak_rss_kb": peak_rss_kb(),
+    })
+
+    # identical coverage and verdicts between the exact-contract collapse
+    # store and the fingerprint default on the unreduced space
+    assert collapse.states_explored == fingerprint.states_explored
+    assert collapse.transitions == fingerprint.transitions
+    assert (collapse.violated_property_ids
+            == fingerprint.violated_property_ids)
+    # the reduction only prunes, never changes the verdicts
+    assert reduced.violated_property_ids == collapse.violated_property_ids
+    assert reduced.transitions < collapse.transitions
+    assert reduced.commutes_pruned > 0
+    # memory: collapse entries must stay within a small multiple of the
+    # one-word fingerprint entries and an order of magnitude under the
+    # exact store's canonical keys
+    assert bytes_per_state(collapse) < bytes_per_state(exact_shallow) / 5
+    assert bytes_per_state(collapse) < bytes_per_state(fingerprint) * 4
+    # the depth-4 hit rate is why the successor cache auto-disables
+    assert fingerprint.cache_auto_disabled
 
 
 def test_table8_parallel_batch(generator, benchmark):

@@ -39,15 +39,23 @@ class ExactVisitedSet:
       them (the engine never does: states are frozen once their cascade
       finishes).  Exactness is preserved: equal states always collide on
       the fingerprint and are then confirmed canonically.
+
+    ``schema`` (a :class:`~repro.model.schema.StateSchema`, optional)
+    switches the canonical form from ``canonical_key()``'s sorting walk to
+    the schema's precompiled packed layout - same exactness, fixed slot
+    order instead of per-state sorting.  The engine passes the system's
+    schema; key-protocol callers without one keep the legacy form.
     """
 
-    def __init__(self):
+    def __init__(self, schema=None):
         self._min_depth = {}
         #: fingerprint -> list of [canonical_key_or_state, resolved, depth]
         self._by_fingerprint = {}
+        self._schema = schema
 
-    @staticmethod
-    def state_key(state):
+    def state_key(self, state):
+        if self._schema is not None:
+            return self._schema.pack(state)
         return state.canonical_key()
 
     def seen_before(self, key, depth):
@@ -63,10 +71,10 @@ class ExactVisitedSet:
         if chain is None:
             self._by_fingerprint[fingerprint] = [[state, False, depth]]
             return False
-        key = state.canonical_key()
+        key = self.state_key(state)
         for entry in chain:
             if not entry[1]:
-                entry[0] = entry[0].canonical_key()
+                entry[0] = self.state_key(entry[0])
                 entry[1] = True
             if entry[0] == key:
                 if entry[2] <= depth:
@@ -76,8 +84,46 @@ class ExactVisitedSet:
         chain.append([key, True, depth])
         return False
 
+    def approx_bytes(self):
+        """Recursive size of the stored keys (and pinned states).
+
+        Honest but O(stored): meant for end-of-run statistics, not the
+        hot path.  Shared sub-objects are counted once.
+        """
+        import sys
+
+        seen = set()
+
+        def size(obj):
+            if id(obj) in seen:
+                return 0
+            seen.add(id(obj))
+            total = sys.getsizeof(obj)
+            if isinstance(obj, (tuple, list)):
+                total += sum(size(item) for item in obj)
+            elif isinstance(obj, dict):
+                total += sum(size(k) + size(v) for k, v in obj.items())
+            return total
+
+        total = sys.getsizeof(self._min_depth) + sys.getsizeof(
+            self._by_fingerprint)
+        for key in self._min_depth:
+            total += size(key)
+        for chain in self._by_fingerprint.values():
+            for entry in chain:
+                if entry[1]:
+                    total += size(entry[0])
+                else:
+                    # an unresolved entry pins the whole state; count its
+                    # canonical key as the comparable storage cost
+                    total += size(entry[0].canonical_key())
+        return total
+
     def stats(self):
-        return {"stored": len(self)}
+        stored = len(self)
+        approx = self.approx_bytes()
+        return {"stored": stored, "approx_bytes": approx,
+                "bytes_per_state": round(approx / stored, 1) if stored else 0.0}
 
     def __len__(self):
         return (len(self._min_depth)
@@ -155,8 +201,12 @@ class BitStateTable:
         return self._fill_cache[1]
 
     def stats(self):
-        return {"stored": self.stored, "collisions": self.collisions,
-                "fill_ratio": self.fill_ratio}
+        stored = self.stored
+        approx = len(self._field)
+        return {"stored": stored, "collisions": self.collisions,
+                "fill_ratio": self.fill_ratio,
+                "approx_bytes": approx,
+                "bytes_per_state": round(approx / stored, 1) if stored else 0.0}
 
     def __len__(self):
         return self.stored

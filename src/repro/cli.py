@@ -27,6 +27,7 @@ from repro.engine import (
     VerificationJob,
     strategy_names,
     verify_many,
+    visited_store_names,
 )
 from repro.properties import build_properties, select_relevant
 
@@ -220,9 +221,14 @@ def _add_engine_arguments(parser):
     parser.add_argument("--max-events", type=int, default=3)
     parser.add_argument("--mode", choices=["sequential", "concurrent"],
                         default="sequential")
-    parser.add_argument("--visited",
-                        choices=["exact", "bitstate", "fingerprint"],
-                        default="fingerprint")
+    parser.add_argument("--visited", choices=visited_store_names(),
+                        default="fingerprint",
+                        help="visited-state store: fingerprint (one 64-bit "
+                             "word per state, ~2^-64 false positives; the "
+                             "default), collapse (exact dedup at a few "
+                             "machine words per state - the deep-run "
+                             "choice), exact (full canonical keys, no hash "
+                             "shortcuts) or bitstate (Spin supertrace)")
     parser.add_argument("--strategy", choices=strategy_names(),
                         default="dfs",
                         help="frontier strategy (search order)")
@@ -233,10 +239,18 @@ def _add_engine_arguments(parser):
                              "differential-testing oracle)")
     parser.add_argument("--no-successor-cache", action="store_true",
                         help="disable the per-state transition memo")
+    parser.add_argument("--cache-limit", type=int, default=100000,
+                        help="live successor-cache entries before LRU "
+                             "eviction kicks in")
+    parser.add_argument("--cache-min-hit-rate", type=float, default=0.05,
+                        help="auto-disable (and empty) the successor cache "
+                             "when its hit rate is below this after the "
+                             "warmup window; 0 keeps it unconditionally")
     parser.add_argument("--reduction", action="store_true",
-                        help="prune one order of every commuting pair of "
-                             "external events (independence analysis; "
-                             "shrinks the explored state count)")
+                        help="sleep-set partial-order reduction over the "
+                             "static independence relation: prunes every "
+                             "redundant interleaving of commuting external "
+                             "events (shrinks the explored state count)")
     parser.add_argument("--failures", action="store_true",
                         help="enumerate device/communication failures")
     parser.add_argument("--properties", nargs="*",
@@ -250,6 +264,8 @@ def _engine_options(args):
                          max_states=args.max_states,
                          compiled=not args.no_compile,
                          successor_cache=not args.no_successor_cache,
+                         cache_limit=args.cache_limit,
+                         cache_min_hit_rate=args.cache_min_hit_rate,
                          reduction=args.reduction)
 
 

@@ -2,10 +2,13 @@
 
 Two external events *commute* when their cascades touch disjoint parts of
 the model state: executing them in either order reaches the same state,
-and each cascade behaves identically in both orders.  The engine then
-explores only one order of every commuting pair (the ascending one under a
-canonical ordering of event identities), which shrinks the Table-8 state
-*count* rather than the per-state cost.
+and each cascade behaves identically in both orders.  The engine layers
+*sleep sets* (:mod:`repro.engine.core`) over this relation: each search
+node carries the set of event identities whose exploration is provably
+redundant there, so entire commuting suffixes are pruned - not just one
+order per adjacent pair - which shrinks the Table-8 state *count* rather
+than the per-state cost.  The pairwise :meth:`should_skip` decision
+remains for key-protocol callers.
 
 The analysis is derived from the same static facts as the §5 dependency
 graph (:mod:`repro.deps.events`): subscriptions route trigger events to
@@ -53,6 +56,7 @@ class IndependenceAnalysis:
         self._event_footprints = {}
         self._skip_cache = {}
         self._label_keys = {}
+        self._independent_cache = {}
         self._analyze_apps()
 
     # ------------------------------------------------------------------
@@ -139,6 +143,17 @@ class IndependenceAnalysis:
         if footprint_b is None:
             return False
         return footprint_a.isdisjoint(footprint_b)
+
+    def independent_cached(self, key_a, key_b):
+        """Memoized symmetric :meth:`independent` (the sleep-set hot path:
+        every inherited sleep-set entry is tested against every chosen
+        event, so the same unordered pair recurs constantly)."""
+        pair = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+        cached = self._independent_cache.get(pair)
+        if cached is None:
+            cached = self.independent(key_a, key_b)
+            self._independent_cache[pair] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # footprints

@@ -7,7 +7,9 @@ The exploration machinery of the checker, carved into replaceable parts:
 * :mod:`repro.engine.strategy` - the name -> frontier registry behind
   ``EngineOptions(strategy=...)``;
 * :mod:`repro.engine.visited` - the VisitedStore protocol: exact
-  canonical keys, BITSTATE bitfields, or one-word fingerprints;
+  canonical keys, BITSTATE bitfields, one-word fingerprints, or
+  collapse-compressed component interning (exact dedup at a few machine
+  words per state);
 * :mod:`repro.engine.core` - the bounded search itself;
 * :mod:`repro.engine.batch` - :func:`verify_many`, fanning independent
   verification jobs across a process pool.
@@ -24,7 +26,12 @@ from repro.engine.frontier import (
     Frontier,
     PriorityFrontier,
 )
-from repro.engine.options import CONCURRENT, SEQUENTIAL, EngineOptions
+from repro.engine.options import (
+    CONCURRENT,
+    SEQUENTIAL,
+    EngineOptions,
+    visited_store_names,
+)
 from repro.engine.result import BatchResult, ExplorationResult
 from repro.engine.strategy import (
     make_frontier,
@@ -33,6 +40,7 @@ from repro.engine.strategy import (
 )
 from repro.engine.visited import (
     BitStateTable,
+    CollapseVisitedSet,
     ExactVisitedSet,
     FingerprintVisitedSet,
 )
@@ -42,6 +50,7 @@ __all__ = [
     "BitStateTable",
     "BreadthFirstFrontier",
     "CONCURRENT",
+    "CollapseVisitedSet",
     "DepthFirstFrontier",
     "EngineOptions",
     "ExactVisitedSet",
@@ -58,4 +67,5 @@ __all__ = [
     "strategy_names",
     "verify",
     "verify_many",
+    "visited_store_names",
 ]

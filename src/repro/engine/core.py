@@ -10,36 +10,56 @@ exhausted or a limit trips.  The engine is assembled from three pluggable
 parts - a :class:`~repro.engine.frontier.Frontier` (expansion order), a
 VisitedStore (pruning) and the transition relation of the system under
 test - so strategies and stores swap without touching the search itself.
+
+Two optional accelerators layer on top:
+
+* the **successor cache** memoizes whole expansions keyed by state
+  fingerprint, with LRU eviction and a hit-rate watchdog that disables
+  and empties the memo when a run turns out not to revisit expanded
+  states (deep bounds mostly do not);
+* the **sleep-set reduction** (``reduction=True``) prunes redundant
+  interleavings of commuting external events using the static
+  independence relation: each search node carries a *sleep set* of event
+  identities whose exploration is provably redundant here, and sleep
+  sets propagate to children so entire commuting suffixes disappear, not
+  just one order per adjacent pair.  State matching follows Godefroid's
+  combination: the visited store remembers the sleep set each state was
+  expanded with, and a revisit with a *weaker* sleep set re-expands with
+  the intersection instead of pruning.
 """
 
 import gc
 import time
+from collections import OrderedDict
 
 from repro.engine.options import CONCURRENT, EngineOptions
 from repro.engine.result import ExplorationResult
+
+#: shared empty sleep set (most nodes sleep nothing)
+_NO_SLEEP = frozenset()
 
 
 class _Node:
     """A search node with parent links for counterexample reconstruction.
 
     ``key`` caches the state's 64-bit fingerprint (the successor-cache
-    key) and ``ext_key`` the identity of the external event that produced
-    the node (the independence reduction's "previous event") - both are
-    computed at most once per node instead of per loop iteration.
+    key) and ``sleep`` the node's sleep set under the partial-order
+    reduction - both are computed at most once per node instead of per
+    loop iteration.
     """
 
     __slots__ = ("state", "depth", "parent", "label", "steps", "key",
-                 "ext_key")
+                 "sleep")
 
     def __init__(self, state, depth, parent=None, label=None, steps=(),
-                 ext_key=None):
+                 sleep=None):
         self.state = state
         self.depth = depth
         self.parent = parent
         self.label = label
         self.steps = steps
         self.key = None
-        self.ext_key = ext_key
+        self.sleep = sleep
 
     def path(self):
         chain = []
@@ -49,6 +69,94 @@ class _Node:
             node = node.parent
         chain.reverse()
         return chain
+
+
+class _SuccessorCache:
+    """Fingerprint-keyed expansion memo: LRU eviction + hit-rate watchdog.
+
+    ``capacity`` bounds the number of live entries; storing beyond it
+    evicts the least-recently-hit expansion instead of refusing new ones
+    (the old hard stop froze the cache with whatever happened to be
+    expanded first).  After ``warmup`` lookups the observed hit rate is
+    checked against ``min_hit_rate`` once per miss: a cold cache is
+    disabled *and emptied*, because every recorded expansion pins all of
+    its successor states - at depth >= 4 that is hundreds of thousands
+    of retained states for a hit rate in the low percent.
+    """
+
+    __slots__ = ("entries", "capacity", "min_hit_rate", "warmup", "hits",
+                 "misses", "enabled", "auto_disabled")
+
+    def __init__(self, options):
+        self.entries = OrderedDict()
+        self.capacity = options.cache_limit
+        self.min_hit_rate = options.cache_min_hit_rate
+        self.warmup = options.cache_warmup
+        self.hits = 0
+        self.misses = 0
+        self.enabled = True
+        self.auto_disabled = False
+
+    def lookup(self, key):
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self.entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        if (self.min_hit_rate and self.warmup
+                and self.hits + self.misses >= self.warmup
+                and self.hits < (self.hits + self.misses) * self.min_hit_rate):
+            self.enabled = False
+            self.auto_disabled = True
+            self.entries = OrderedDict()  # release the pinned successors
+        return None
+
+    def store(self, key, record):
+        if len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[key] = record
+
+
+class _SleepStateMatcher:
+    """Godefroid-style combination of sleep sets with visited matching.
+
+    The wrapped store keeps its depth-aware pruning; this layer remembers
+    the sleep set each state was last queued for expansion with.  A
+    revisit prunes only when both the depth *and* the sleep set allow it:
+    arriving with a sleep set that is not a superset of the recorded one
+    means some transition slept before must now be explored, so the state
+    re-expands with the intersection of both sleep sets.
+    """
+
+    __slots__ = ("store", "_sleeps")
+
+    def __init__(self, store):
+        self.store = store
+        #: store key -> sleep set of the last queued expansion
+        self._sleeps = {}
+
+    def seen_state(self, state, depth, sleep):
+        """Returns ``(pruned, effective_sleep, is_new)``; records the visit.
+
+        ``is_new`` distinguishes a genuinely unseen state from a
+        re-expansion (depth improvement or sleep-set weakening) so the
+        engine can keep ``states_explored`` a distinct-state count under
+        the reduction.
+        """
+        key = self.store.state_key(state)
+        pruned = self.store.seen_before(key, depth)
+        old = self._sleeps.get(key)
+        if old is None:
+            # first sighting under this key (or an approximate store's
+            # collision with an untracked key: prune as the store says)
+            self._sleeps[key] = sleep
+            return pruned, sleep, not pruned
+        if pruned and sleep >= old:
+            return True, sleep, False
+        effective = sleep & old
+        self._sleeps[key] = effective
+        return False, effective, False
 
 
 class ExplorationEngine:
@@ -100,17 +208,22 @@ class ExplorationEngine:
         self.system.use_compiled = options.compiled
         result = ExplorationResult()
         started = time.monotonic()
-        visited = options.make_visited()
+        visited = options.make_visited(self.system)
         frontier = options.make_frontier()
 
         cache = None
         if options.successor_cache:
-            cache = {}
+            cache = _SuccessorCache(options)
             result.cache_mode = "fingerprint"
         reducer = self._make_reducer()
+        matcher = _SleepStateMatcher(visited) if reducer is not None else None
 
-        root = _Node(self.system.initial_state(), 0)
-        visited.seen_state(root.state, 0)
+        root = _Node(self.system.initial_state(), 0,
+                     sleep=_NO_SLEEP if reducer is not None else None)
+        if matcher is None:
+            visited.seen_state(root.state, 0)
+        else:
+            matcher.seen_state(root.state, 0, _NO_SLEEP)
         result.states_explored = 1
         frontier.push(root)
 
@@ -125,33 +238,44 @@ class ExplorationEngine:
             if self._limits_hit(result, started):
                 break
             node = frontier.pop()
+            # event keys already expanded from this node, in order (the
+            # sleep sets of later siblings absorb the independent ones)
+            expanded_keys = [] if reducer is not None else None
             for transition in self._node_transitions(node, cache, reducer,
                                                      result):
                 label, new_state, consumed, violations, steps = transition
                 result.transitions += 1
                 depth = node.depth + (1 if consumed else 0)
+                child_sleep = None
+                if reducer is not None:
+                    child_sleep = self._child_sleep(node, reducer, label,
+                                                    expanded_keys)
                 # nodes exist for path reconstruction; duplicates that
                 # neither violate nor get expanded never need one
                 child = None
                 if violations:
                     child = _Node(new_state, depth, parent=node, label=label,
-                                  steps=steps,
-                                  ext_key=(reducer.key_for_label(label)
-                                           if reducer is not None else None))
+                                  steps=steps, sleep=child_sleep)
                     self._record(result, child, violations)
                     if options.stop_on_first:
-                        return self._finish(result, visited, started)
-                if (depth <= options.max_events
-                        and not visited.seen_state(new_state, depth)):
-                    result.states_explored += 1
-                    if depth < options.max_events or new_state.pending:
-                        if child is None:
-                            child = _Node(
-                                new_state, depth, parent=node, label=label,
-                                steps=steps,
-                                ext_key=(reducer.key_for_label(label)
-                                         if reducer is not None else None))
-                        frontier.push(child)
+                        return self._finish(result, visited, cache, started)
+                if depth <= options.max_events:
+                    if matcher is None:
+                        fresh = not visited.seen_state(new_state, depth)
+                        is_new = fresh
+                    else:
+                        pruned, child_sleep, is_new = matcher.seen_state(
+                            new_state, depth, child_sleep)
+                        fresh = not pruned
+                    if fresh:
+                        if is_new:
+                            result.states_explored += 1
+                        if depth < options.max_events or new_state.pending:
+                            if child is None:
+                                child = _Node(new_state, depth, parent=node,
+                                              label=label, steps=steps)
+                            child.sleep = child_sleep
+                            frontier.push(child)
                 if self._cheap_limits_hit(result):
                     break
                 if result.transitions >= next_time_check:
@@ -159,7 +283,7 @@ class ExplorationEngine:
                     if self._time_limit_hit(result, started):
                         break
 
-        return self._finish(result, visited, started)
+        return self._finish(result, visited, cache, started)
 
     def _make_reducer(self):
         """The independence analysis, when the reduction is applicable."""
@@ -170,6 +294,25 @@ class ExplorationEngine:
         from repro.deps.independence import IndependenceAnalysis
         return IndependenceAnalysis(self.system)
 
+    @staticmethod
+    def _child_sleep(node, reducer, label, expanded_keys):
+        """The sleep set a child inherits through this transition.
+
+        Events slept at the node or expanded earlier from it stay asleep
+        below the chosen event exactly when they commute with it - the
+        other interleaving order reaches the same states and is already
+        (or will be) covered by the sibling branch.
+        """
+        key = reducer.key_for_label(label)
+        if key is None:
+            # unidentifiable transition: dependence unknown, wake all
+            return _NO_SLEEP
+        independent = reducer.independent_cached
+        sleeping = [k for k in node.sleep if independent(k, key)]
+        sleeping += [k for k in expanded_keys if independent(k, key)]
+        expanded_keys.append(key)
+        return frozenset(sleeping) if sleeping else _NO_SLEEP
+
     def _node_transitions(self, node, cache, reducer, result):
         """One node's outgoing transitions, through the successor cache.
 
@@ -178,36 +321,36 @@ class ExplorationEngine:
         the engine mutates violation attribution per path) and steps -
         without executing a single cascade.  Entries are keyed by the
         state fingerprint plus whatever else shapes the expansion: the
-        arriving event under reduction (it parameterizes the skip filter)
-        and, in concurrent mode, whether externals may still be injected.
+        node's sleep set under reduction (it parameterizes the skip
+        filter) and, in concurrent mode, whether externals may still be
+        injected.
         """
         event_filter = None
-        if reducer is not None and node.ext_key is not None:
-            prev_key = node.ext_key
+        if reducer is not None and node.sleep:
+            sleep = node.sleep
+            reducer_key = reducer.key
 
             def event_filter(ext):
-                if reducer.should_skip(prev_key, ext):
+                if reducer_key(ext) in sleep:
                     result.commutes_pruned += 1
                     return False
                 return True
 
-        if cache is None:
+        if cache is None or not cache.enabled:
             return self._transitions_from(node, event_filter)
         if node.key is None:
             node.key = node.state.fingerprint()
-        cache_key = (node.key, node.ext_key)
+        cache_key = (node.key, node.sleep)
         if self.options.mode == CONCURRENT:
-            cache_key = (node.key, node.ext_key,
+            cache_key = (node.key, node.sleep,
                          self.options.max_events - node.depth > 0)
-        entry = cache.get(cache_key)
+        entry = cache.lookup(cache_key)
         if entry is not None:
-            result.cache_hits += 1
             return self._replay_transitions(entry)
-        result.cache_misses += 1
         return self._record_transitions(node, event_filter, cache, cache_key)
 
     def _record_transitions(self, node, event_filter, cache, cache_key):
-        record = [] if len(cache) < self.options.cache_limit else None
+        record = [] if cache.enabled and cache.capacity > 0 else None
         for transition in self._transitions_from(node, event_filter):
             if record is not None:
                 label, new_state, consumed, violations, steps = transition
@@ -219,8 +362,8 @@ class ExplorationEngine:
                                tuple(v.clone() for v in violations)
                                if violations else (), steps))
             yield transition
-        if record is not None:
-            cache[cache_key] = record
+        if record is not None and cache.enabled:
+            cache.store(cache_key, record)
 
     @staticmethod
     def _replay_transitions(entry):
@@ -229,10 +372,14 @@ class ExplorationEngine:
                    [v.clone() for v in violations] if violations else (),
                    steps)
 
-    def _finish(self, result, visited, started):
+    def _finish(self, result, visited, cache, started):
         result.elapsed = time.monotonic() - started
         result.visited_stats = visited.stats()
         result.property_stats = self._compiled_properties.stats()
+        if cache is not None:
+            result.cache_hits = cache.hits
+            result.cache_misses = cache.misses
+            result.cache_auto_disabled = cache.auto_disabled
         return result
 
     def _transitions_from(self, node, event_filter=None):

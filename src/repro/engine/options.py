@@ -9,27 +9,42 @@ CONCURRENT = "concurrent"
 # Store constructors import lazily: repro.checker re-exports the engine
 # shim, so a module-level import here would be circular.
 
-def _make_exact(options):
+def _make_exact(options, system):
     from repro.checker.visited import ExactVisitedSet
-    return ExactVisitedSet()
+    return ExactVisitedSet(
+        schema=system.state_schema() if system is not None else None)
 
 
-def _make_fingerprint(options):
+def _make_fingerprint(options, system):
     from repro.engine.visited import FingerprintVisitedSet
     return FingerprintVisitedSet()
 
 
-def _make_bitstate(options):
+def _make_bitstate(options, system):
     from repro.checker.visited import BitStateTable
     return BitStateTable(bits_log2=options.bitstate_bits)
 
 
-#: visited-store name -> constructor taking the options
+def _make_collapse(options, system):
+    from repro.engine.visited import CollapseVisitedSet
+    if system is None:
+        raise ValueError("the collapse store packs states against the "
+                         "system's schema; pass the system to make_visited")
+    return CollapseVisitedSet(system.state_schema())
+
+
+#: visited-store name -> constructor taking (options, system-or-None)
 _VISITED_STORES = {
     "exact": _make_exact,
     "fingerprint": _make_fingerprint,
     "bitstate": _make_bitstate,
+    "collapse": _make_collapse,
 }
+
+
+def visited_store_names():
+    """The registered visited-store names (CLI choices)."""
+    return sorted(_VISITED_STORES)
 
 
 class EngineOptions:
@@ -40,8 +55,12 @@ class EngineOptions:
     ``visited`` selects the store: ``fingerprint`` (the default: one
     64-bit word per state, depth-aware - the hash-compact trade-off Spin
     makes at scale, false-positive pruning probability ~2^-64 per pair),
-    ``exact`` (full canonical keys, exhaustive within the bound) or
-    ``bitstate`` (Spin supertrace bitfield).
+    ``collapse`` (Spin COLLAPSE-style component interning - *exact*
+    dedup at a few machine words per state, the recommended store for
+    deep bounds where the exact store's full canonical keys no longer
+    fit), ``exact`` (full canonical keys and no hash shortcuts anywhere,
+    including the invariant-verdict memo) or ``bitstate`` (Spin
+    supertrace bitfield).
 
     The compiled-transition-relation knobs:
 
@@ -53,12 +72,21 @@ class EngineOptions:
         Memoize each expanded state's full transition set keyed by its
         64-bit fingerprint, so depth-improved revisits replay successors
         without re-executing any cascade.  ``cache_limit`` bounds the
-        number of memoized expansions.
+        number of live memoized expansions (least-recently-hit entries
+        are evicted beyond it).  The cache watches its own hit rate:
+        after ``cache_warmup`` lookups, a hit rate below
+        ``cache_min_hit_rate`` disables and empties it for the rest of
+        the run (deep bounds revisit expanded states rarely, so the memo
+        would burn memory for nothing); set ``cache_min_hit_rate=0`` to
+        keep it unconditionally.
     ``reduction``
-        Enable the static event-independence reduction: of two commuting
-        external events only one order is explored.  Off by default (it
-        changes the explored state *count*); ignored in concurrent mode
-        and when failure enumeration is on.
+        Enable the sleep-set partial-order reduction over the static
+        event-independence relation: of the interleavings of commuting
+        external events only one representative order is explored, and
+        entire commuting suffixes are pruned (not just one order per
+        adjacent pair).  Off by default (it changes the explored state
+        *count*); ignored in concurrent mode and when failure
+        enumeration is on.
     ``check_interval``
         How many transitions may elapse between wall-clock limit checks
         (state/transition limits stay exact; only ``time_limit`` detection
@@ -75,7 +103,8 @@ class EngineOptions:
                  bitstate_bits=23, max_states=200000, max_transitions=None,
                  time_limit=None, stop_on_first=False, strategy="dfs",
                  priority=None, compiled=True, successor_cache=True,
-                 cache_limit=100000, reduction=False, check_interval=256,
+                 cache_limit=100000, cache_min_hit_rate=0.05,
+                 cache_warmup=4096, reduction=False, check_interval=256,
                  manage_gc=True):
         self.max_events = max_events
         self.mode = mode
@@ -90,16 +119,18 @@ class EngineOptions:
         self.compiled = compiled
         self.successor_cache = successor_cache
         self.cache_limit = cache_limit
+        self.cache_min_hit_rate = cache_min_hit_rate
+        self.cache_warmup = cache_warmup
         self.reduction = reduction
         self.check_interval = check_interval
         self.manage_gc = manage_gc
 
-    def make_visited(self):
+    def make_visited(self, system=None):
         factory = _VISITED_STORES.get(self.visited)
         if factory is None:
             raise KeyError("unknown visited store %r (known: %s)"
                            % (self.visited, ", ".join(sorted(_VISITED_STORES))))
-        return factory(self)
+        return factory(self, system)
 
     def make_frontier(self):
         return _strategy.make_frontier(self.strategy, self)

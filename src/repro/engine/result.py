@@ -19,10 +19,18 @@ class ExplorationResult:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_mode = "off"
-        #: external events skipped by the independence reduction
+        #: True when the hit-rate watchdog disabled the cache mid-run
+        self.cache_auto_disabled = False
+        #: external events skipped by the sleep-set reduction
         self.commutes_pruned = 0
         #: compiled-property statistics (invariant verdict memo)
         self.property_stats = {}
+
+    @property
+    def cache_hit_rate(self):
+        """Fraction of expansion lookups served from the successor cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     @property
     def violations(self):
@@ -59,10 +67,17 @@ class ExplorationResult:
                      if self.truncated else "")]
         if self.cache_mode != "off" or self.commutes_pruned:
             lines.append(
-                "  engine: successor cache %s (%d hits / %d misses), "
-                "%d commuting orders pruned" % (
+                "  engine: successor cache %s (%d hits / %d misses, "
+                "%.1f%% hit rate%s), %d commuting interleavings pruned" % (
                     self.cache_mode, self.cache_hits, self.cache_misses,
+                    self.cache_hit_rate * 100.0,
+                    ", auto-disabled" if self.cache_auto_disabled else "",
                     self.commutes_pruned))
+        if self.visited_stats.get("bytes_per_state"):
+            lines.append(
+                "  visited store: %d states stored, ~%.0f bytes/state" % (
+                    self.visited_stats.get("stored", 0),
+                    self.visited_stats["bytes_per_state"]))
         for ce in self.counterexamples.values():
             lines.append("  %s: %s" % (ce.violation.property.id,
                                        ce.violation.message))

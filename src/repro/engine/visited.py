@@ -1,4 +1,4 @@
-"""The VisitedStore protocol and the fingerprint-keyed store.
+"""The VisitedStore protocol, the fingerprint store and COLLAPSE store.
 
 A visited store answers one question - "was this state already expanded
 at an equal-or-smaller depth?" - through three methods:
@@ -13,18 +13,24 @@ at an equal-or-smaller depth?" - through three methods:
 
 ``state_key(state)`` / ``seen_before(key, depth)``
     The explicit-key protocol, kept for callers that manage keys
-    themselves (tests, external tools).  ``state_key`` projects a
+    themselves (tests, external tools, the engine's sleep-set state
+    matcher).  ``state_key`` projects a
     :class:`~repro.model.state.ModelState` onto the store's key form;
     ``seen_before`` records it.
 
 The exact and BITSTATE stores live in :mod:`repro.checker.visited` (their
 historical home, kept for compatibility); this module re-exports them and
-adds the fingerprint set.
+adds the fingerprint set and the collapse-compressed store.
 """
 
-from repro.checker.visited import BitStateTable, ExactVisitedSet
+import struct
+import sys
 
-__all__ = ["BitStateTable", "ExactVisitedSet", "FingerprintVisitedSet"]
+from repro.checker.visited import BitStateTable, ExactVisitedSet
+from repro.model.schema import ABSENT as _ABSENT
+
+__all__ = ["BitStateTable", "CollapseVisitedSet", "ExactVisitedSet",
+           "FingerprintVisitedSet"]
 
 
 class FingerprintVisitedSet(ExactVisitedSet):
@@ -42,3 +48,161 @@ class FingerprintVisitedSet(ExactVisitedSet):
 
     def seen_state(self, state, depth):
         return self.seen_before(state.fingerprint(), depth)
+
+    def stats(self):
+        stored = len(self._min_depth)
+        # dict table + one boxed 64-bit int key per state (depth values
+        # are small ints, interned by CPython)
+        approx = sys.getsizeof(self._min_depth) + stored * 32
+        return {"stored": stored, "approx_bytes": approx,
+                "bytes_per_state": round(approx / stored, 1) if stored else 0.0}
+
+
+class CollapseVisitedSet:
+    """Spin-COLLAPSE-style visited store: exact dedup in a few words/state.
+
+    Each *component block* of a state - one device's attribute vector,
+    one app's persistent state map, the schedule queue, the pending and
+    cascade-command tuples, the mode - is interned to a small integer id
+    in a shared arena; a visited entry is the fixed-width byte string of
+    those ids (4 bytes per component).  Because interning is exact (full
+    block values are the arena keys), the store has the *exact* store's
+    verdict contract - no hash collisions, no false positives - while a
+    visited entry costs a few machine words like the fingerprint store:
+    the bounded search revisits the same blocks constantly, so the arena
+    stays tiny while the entry table carries millions of states.
+
+    Keying walks the system's precompiled
+    :class:`~repro.model.schema.StateSchema` (fixed slot order, no
+    sorting); off-schema components fall back to the schema's sorted
+    overflow form, preserving exactness for hand-built states.
+
+    Copy-on-write branching makes sibling states share the *same* inner
+    container objects for every component a cascade did not touch, so the
+    store keeps a bounded identity-keyed memo (object -> block id) in
+    front of the value arena: the common unchanged component costs one
+    dict probe instead of a rebuild.  Memo entries pin their container
+    (an object id can never be reused while the entry lives, and the memo
+    is dropped wholesale when full, releasing every pin together), and
+    the usual store contract - states are not mutated after submission -
+    keeps the memoized contents stable.
+    """
+
+    #: bounded identity-memo entries (each pins one small container);
+    #: the memo is cleared outright when full - hot shared containers are
+    #: re-memoized within one expansion, so eviction policy is moot
+    MEMO_LIMIT = 1 << 16
+
+    def __init__(self, schema):
+        self.schema = schema
+        #: block value -> small integer id (one arena for all components)
+        self._blocks = {}
+        #: id(container) -> (container, block id): the COW fast path
+        self._ident = {}
+        #: packed id vector (bytes) -> minimum depth seen
+        self._min_depth = {}
+        self._pack = struct.Struct("<%dI" % schema.component_count).pack
+
+    def state_key(self, state):
+        """The packed component-id vector of one state (bytes)."""
+        schema = self.schema
+        memo = self._ident
+        ids = []
+        append = ids.append
+        devices = state._devices
+        off_schema = len(devices)
+        for entry in schema.device_layout:
+            amap = devices.get(entry[0])
+            if amap is None:
+                append(self._intern(_ABSENT))
+                continue
+            off_schema -= 1
+            memoized = memo.get(id(amap))
+            if memoized is not None:
+                append(memoized[1])
+                continue
+            block_id = self._intern(schema.device_block(entry, amap))
+            self._memoize(amap, block_id)
+            append(block_id)
+        append(self._intern(
+            schema.unknown_devices(devices) if off_schema else ()))
+        append(self._intern(state._mode))
+        apps = state._app_states
+        off_schema = len(apps)
+        for name in schema.app_names:
+            mapping = apps.get(name)
+            if mapping is None:
+                append(self._intern(_ABSENT))
+                continue
+            off_schema -= 1
+            memoized = memo.get(id(mapping))
+            if memoized is not None:
+                append(memoized[1])
+                continue
+            block_id = self._intern(schema.app_block(mapping))
+            self._memoize(mapping, block_id)
+            append(block_id)
+        if off_schema:
+            append(self._intern(tuple(sorted(
+                (name, schema.app_block(mapping))
+                for name, mapping in apps.items()
+                if name not in schema._app_index))))
+        else:
+            append(self._intern(()))
+        schedules = state._schedules
+        memoized = memo.get(id(schedules))
+        if memoized is not None:
+            append(memoized[1])
+        else:
+            block_id = self._intern(tuple(sorted(schedules)))
+            self._memoize(schedules, block_id)
+            append(block_id)
+        append(self._intern(state._pending))
+        append(self._intern(state._cascade_commands))
+        return self._pack(*ids)
+
+    def _intern(self, block):
+        blocks = self._blocks
+        block_id = blocks.get(block)
+        if block_id is None:
+            block_id = len(blocks)
+            blocks[block] = block_id
+        return block_id
+
+    def _memoize(self, container, block_id):
+        memo = self._ident
+        if len(memo) >= self.MEMO_LIMIT:
+            memo.clear()
+        memo[id(container)] = (container, block_id)
+
+    def seen_state(self, state, depth):
+        return self.seen_before(self.state_key(state), depth)
+
+    def seen_before(self, key, depth):
+        best = self._min_depth.get(key)
+        if best is not None and best <= depth:
+            return True
+        self._min_depth[key] = depth
+        return False
+
+    def stats(self):
+        stored = len(self._min_depth)
+        entry_bytes = 0
+        if stored:
+            # fixed-width keys: measure one, multiply (depth values are
+            # small interned ints)
+            entry_bytes = sys.getsizeof(next(iter(self._min_depth)))
+        arena_bytes = sys.getsizeof(self._blocks) + sum(
+            sys.getsizeof(block) for block in self._blocks)
+        approx = (sys.getsizeof(self._min_depth) + stored * entry_bytes
+                  + arena_bytes)
+        return {
+            "stored": stored,
+            "blocks": len(self._blocks),
+            "arena_bytes": arena_bytes,
+            "approx_bytes": approx,
+            "bytes_per_state": round(approx / stored, 1) if stored else 0.0,
+        }
+
+    def __len__(self):
+        return len(self._min_depth)

@@ -246,6 +246,39 @@ class ModelState:
         self._fp_cache = None
         return mapping
 
+    def seal(self):
+        """Declare every raw reference handed out so far dropped.
+
+        The transition relation calls this once a cascade has finished:
+        the executors' ``state``/``atomicState`` views and any raw
+        container references die with the cascade, so the pessimistic
+        escape treatment (recompute-per-fingerprint, deep-copy-on-branch)
+        can stop.  Escaped components are marked dirty so their hashes
+        recompute once, lazily; afterwards the state fingerprints from
+        cache and branches with copy-on-write sharing again.
+
+        Callers must guarantee no live raw reference remains - a write
+        through one after sealing could leak into shared children.
+        """
+        if self._devices_escaped:
+            self._devices_escaped = False
+            self._dev_hash_valid = False
+            self._fp_cache = None
+        if self._apps_escaped_all:
+            # entries may have been removed through the escaped view;
+            # drop every memoized hash and rebuild on the next call
+            self._app_hashes.clear()
+            self._dirty_apps = set(self._app_states)
+            self._apps_escaped_all = False
+            self._escaped_apps = set()
+            self._fp_cache = None
+        elif self._escaped_apps:
+            self._dirty_apps |= self._escaped_apps
+            self._escaped_apps = set()
+            self._fp_cache = None
+        self._history_escaped = False
+        return self
+
     # -- copy / hash -----------------------------------------------------------
 
     def copy(self):

@@ -163,6 +163,7 @@ class IoTSystem:
         self._interesting_pairs = None
         self._sensor_event_table = None
         self._static_choices = None
+        self._state_schema = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -250,7 +251,18 @@ class IoTSystem:
             for api, handler, _line in app.smart_app.schedules:
                 if api.startswith(("schedule", "runEvery", "runDaily")):
                     state.add_schedule(app.name, handler, periodic=True)
-        return state
+        return state.seal()
+
+    def state_schema(self):
+        """The packed-state layout of this system (compiled once).
+
+        Keys every visited store that packs or interns states; derives
+        only from construction-time data (device specs, installed apps).
+        """
+        if self._state_schema is None:
+            from repro.model.schema import StateSchema
+            self._state_schema = StateSchema(self)
+        return self._state_schema
 
     def _subscriber_index(self):
         """Routing tables keyed by event source, preserving install order."""
@@ -422,6 +434,10 @@ class IoTSystem:
                 monitor = monitor_factory()
                 cascade = Cascade(self, new_state, monitor, scenario=scenario)
                 violations = cascade.run_external(ext)
+                # the cascade's executors are gone: drop the pessimistic
+                # escaped-reference treatment so the state fingerprints
+                # from cache and branches with full COW sharing
+                new_state.seal()
                 suffix = scenario.label()
                 yield (ext.label() + suffix if suffix else ext.label(),
                        new_state, True, violations, cascade.steps)
@@ -436,6 +452,7 @@ class IoTSystem:
             violations = cascade.dispatch_one_pending(index)
             if not new_state.pending:
                 new_state.cascade_commands = ()
+            new_state.seal()
             yield ("dispatch %s" % state.pending[index].describe(), new_state,
                    False, violations, cascade.steps)
         # A new external event is only injected once the previous event's
@@ -453,6 +470,7 @@ class IoTSystem:
                     cascade = Cascade(self, new_state, monitor,
                                       scenario=scenario, defer_dispatch=True)
                     violations = cascade.run_external(ext)
+                    new_state.seal()
                     yield (ext.label() + scenario.label(), new_state, True,
                            violations, cascade.steps)
 

@@ -118,7 +118,7 @@ class TestStateKeyProtocol:
     def test_exact_store_uses_canonical_key(self):
         state = ModelState()
         state.set_attribute("d", "lock", "locked")
-        assert ExactVisitedSet.state_key(state) == state.canonical_key()
+        assert ExactVisitedSet().state_key(state) == state.canonical_key()
 
     def test_bitstate_uses_fingerprint(self):
         state = ModelState()
@@ -129,10 +129,14 @@ class TestStateKeyProtocol:
         exact, table = ExactVisitedSet(), BitStateTable(bits_log2=12)
         exact.seen_before(("k",), 0)
         table.seen_before(("k",), 0)
-        assert exact.stats() == {"stored": 1}
+        exact_stats = exact.stats()
+        assert exact_stats["stored"] == 1
+        assert exact_stats["approx_bytes"] > 0
+        assert exact_stats["bytes_per_state"] > 0
         stats = table.stats()
         assert stats["stored"] == 1 and stats["collisions"] == 0
         assert 0.0 < stats["fill_ratio"] < 1.0
+        assert stats["approx_bytes"] == (1 << 12) // 8
 
 
 class TestFillRatioCache:

@@ -163,6 +163,56 @@ class TestSuccessorCache:
                         cache_limit=0)
         assert result.cache_hits == 0
 
+    def test_hit_rate_on_result(self, alice_system):
+        result = verify(alice_system, build_properties(), max_events=2)
+        lookups = result.cache_hits + result.cache_misses
+        assert lookups > 0
+        assert result.cache_hit_rate == result.cache_hits / lookups
+
+    def test_auto_disable_below_threshold(self, alice_system):
+        """A cold cache is switched off (and emptied) after the warmup
+        window instead of burning memory for the rest of the run."""
+        cold = verify(alice_system, build_properties(), max_events=2,
+                      cache_warmup=4, cache_min_hit_rate=0.99)
+        assert cold.cache_auto_disabled
+        baseline = verify(alice_system, build_properties(), max_events=2,
+                          successor_cache=False)
+        assert cold.states_explored == baseline.states_explored
+        assert cold.transitions == baseline.transitions
+        assert (sorted(cold.counterexamples)
+                == sorted(baseline.counterexamples))
+
+    def test_auto_disable_off_when_threshold_zero(self, alice_system):
+        result = verify(alice_system, build_properties(), max_events=2,
+                        cache_warmup=4, cache_min_hit_rate=0)
+        assert not result.cache_auto_disabled
+
+    def test_lru_evicts_oldest_entry(self):
+        from repro.engine.core import _SuccessorCache
+
+        cache = _SuccessorCache(EngineOptions(cache_limit=2,
+                                              cache_min_hit_rate=0))
+        cache.store("a", ["expansion-a"])
+        cache.store("b", ["expansion-b"])
+        assert cache.lookup("a") == ["expansion-a"]  # refreshes "a"
+        cache.store("c", ["expansion-c"])            # evicts "b", not "a"
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == ["expansion-a"]
+        assert cache.lookup("c") == ["expansion-c"]
+        assert len(cache.entries) == 2
+
+    def test_lru_keeps_working_past_old_hard_stop(self, alice_system):
+        """cache_limit now bounds *live* entries (LRU), not total
+        recordings: a tiny limit must not freeze or break the search."""
+        small = verify(alice_system, build_properties(), max_events=2,
+                       cache_limit=3, cache_min_hit_rate=0)
+        unlimited = verify(alice_system, build_properties(), max_events=2,
+                           cache_min_hit_rate=0)
+        assert small.states_explored == unlimited.states_explored
+        assert small.transitions == unlimited.transitions
+        assert (sorted(small.counterexamples)
+                == sorted(unlimited.counterexamples))
+
 
 class TestCompiledOption:
     def test_no_compile_flag_switches_backend(self, alice_system):

@@ -1,0 +1,242 @@
+"""The packed state schema and the collapse-compressed visited store.
+
+Two contracts pin the tentpole down:
+
+* **Round-trip**: ``schema.unpack(schema.pack(state))`` is canonically
+  equal to ``state`` - exercised property-based over arbitrary device
+  grids, attribute values, app states, schedules and off-schema
+  components.
+* **Store equivalence**: the collapse store, the exact store and the
+  fingerprint store agree on every verdict over the whole bundled corpus,
+  with and without the sleep-set reduction (the issue's "identical
+  violation verdicts" acceptance bar).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.schema import SystemConfiguration
+from repro.corpus import load_all_apps
+from repro.corpus.groups import GROUP_BUILDERS
+from repro.engine import CollapseVisitedSet, verify
+from repro.model.generator import ModelGenerator
+from repro.model.state import ModelState
+
+from tests.conftest import _load_or_skip
+
+
+@pytest.fixture(scope="module")
+def system(generator):
+    config = SystemConfiguration()
+    config.add_device("frontDoor", "smartsense-multi")
+    config.add_device("hallSwitch", "smart-outlet")
+    config.add_device("motion", "smartsense-motion")
+    config.add_app("Brighten My Path", {"motion1": "motion",
+                                        "switch1": "hallSwitch"})
+    return generator.build(config)
+
+
+@pytest.fixture(scope="module")
+def schema(system):
+    return system.state_schema()
+
+
+# -- deterministic schema shape ---------------------------------------------
+
+
+class TestSchemaShape:
+    def test_compiled_once_per_system(self, system):
+        assert system.state_schema() is system.state_schema()
+
+    def test_layout_covers_every_spec_attribute(self, system, schema):
+        for name, attrs, attr_set in schema.device_layout:
+            assert set(attrs) == set(system.devices[name].spec.attributes)
+            assert attr_set == frozenset(attrs)
+
+    def test_component_count_matches_layout(self, schema):
+        assert schema.component_count == (len(schema.device_layout)
+                                          + len(schema.app_names) + 6)
+
+    def test_initial_state_roundtrip(self, system, schema):
+        state = system.initial_state()
+        packed = schema.pack(state)
+        assert schema.unpack(packed).canonical_key() == state.canonical_key()
+        assert schema.pack(schema.unpack(packed)) == packed
+
+    def test_pack_equality_matches_canonical_equality(self, system, schema):
+        base = system.initial_state()
+        twin = system.initial_state()
+        assert schema.pack(base) == schema.pack(twin)
+        twin.set_attribute("hallSwitch", "switch", "on")
+        assert schema.pack(base) != schema.pack(twin)
+
+    def test_pack_does_not_escape_containers(self, system, schema):
+        state = system.initial_state()
+        schema.pack(state)
+        # packing must not disable COW sharing for subsequent branches
+        assert not state._devices_escaped
+        assert not state._apps_escaped_all and not state._escaped_apps
+
+
+# -- property-based round-trip ----------------------------------------------
+
+_VALUES = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-1000, 1000),
+    st.text(max_size=8),
+)
+
+_APP_VALUES = st.one_of(
+    _VALUES,
+    st.lists(_VALUES, max_size=3),
+    st.dictionaries(st.text(max_size=4), _VALUES, max_size=3),
+)
+
+
+def _arbitrary_states(schema):
+    """States over (and deliberately off) one schema's grid."""
+    device_names = [name for name, _, _ in schema.device_layout]
+    all_attrs = sorted({attr for _, attrs, _ in schema.device_layout
+                        for attr in attrs})
+
+    @st.composite
+    def states(draw):
+        state = ModelState(mode=draw(st.sampled_from(["Home", "Away",
+                                                      "Night"])))
+        for name in draw(st.lists(st.sampled_from(
+                device_names + ["ghostDevice"]), max_size=6, unique=True)):
+            state._devices.setdefault(name, {})
+            for attr in draw(st.lists(st.sampled_from(
+                    all_attrs + ["offSchemaAttr"]), max_size=4, unique=True)):
+                state.set_attribute(name, attr, draw(_VALUES))
+        for name in draw(st.lists(st.sampled_from(
+                list(schema.app_names) + ["Ghost App"]),
+                max_size=3, unique=True)):
+            mapping = state.app_state(name)
+            mapping.update(draw(st.dictionaries(
+                st.text(max_size=4), _APP_VALUES, max_size=3)))
+        for handler in draw(st.lists(st.sampled_from(
+                ["tick", "poll", "sunriseHandler"]), max_size=2,
+                unique=True)):
+            state.add_schedule("Ghost App", handler,
+                               periodic=draw(st.booleans()))
+        return state
+
+    return states()
+
+
+class TestPackRoundTripProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_unpack_pack_is_canonical_identity(self, data, schema):
+        state = data.draw(_arbitrary_states(schema))
+        packed = schema.pack(state)
+        restored = schema.unpack(packed)
+        assert restored.canonical_key() == state.canonical_key()
+        # packing is stable through the round trip (pack o unpack = id)
+        assert schema.pack(restored) == packed
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_collapse_key_separates_exactly_like_canonical(self, data,
+                                                           schema):
+        left = data.draw(_arbitrary_states(schema))
+        right = data.draw(_arbitrary_states(schema))
+        store = CollapseVisitedSet(schema)
+        same_key = store.state_key(left) == store.state_key(right)
+        assert same_key == (left.canonical_key() == right.canonical_key())
+
+
+# -- collapse store behavior -------------------------------------------------
+
+class TestCollapseStore:
+    def test_depth_aware_revisits(self, system, schema):
+        store = CollapseVisitedSet(schema)
+        state = system.initial_state()
+        assert store.seen_state(state, 2) is False
+        assert store.seen_state(state.copy(), 3) is True
+        assert store.seen_state(state.copy(), 1) is False
+        assert store.seen_state(state.copy(), 1) is True
+        assert len(store) == 1
+
+    def test_distinguishes_states_exactly(self, system, schema):
+        store = CollapseVisitedSet(schema)
+        base = system.initial_state()
+        changed = base.copy()
+        changed.set_attribute("hallSwitch", "switch", "on")
+        assert store.seen_state(base, 0) is False
+        assert store.seen_state(changed, 0) is False
+        assert store.seen_state(changed.copy(), 0) is True
+        assert len(store) == 2
+
+    def test_blocks_shared_across_states(self, system, schema):
+        """COLLAPSE economics: states reusing component blocks add one
+        fixed-width entry, not new arena blocks."""
+        store = CollapseVisitedSet(schema)
+        base = system.initial_state()
+        store.seen_state(base, 0)
+        blocks_before = len(store._blocks)
+        toggled = base.copy()
+        toggled.set_attribute("hallSwitch", "switch", "on")
+        store.seen_state(toggled, 1)
+        # exactly one device block differs; everything else interned
+        assert len(store._blocks) == blocks_before + 1
+
+    def test_stats_report_memory(self, system, schema):
+        store = CollapseVisitedSet(schema)
+        store.seen_state(system.initial_state(), 0)
+        stats = store.stats()
+        assert stats["stored"] == 1
+        assert stats["blocks"] > 0
+        assert stats["approx_bytes"] > 0
+        assert stats["bytes_per_state"] > 0
+
+    def test_memo_limit_bounds_pinning(self, system, schema):
+        store = CollapseVisitedSet(schema)
+        store.MEMO_LIMIT = 4
+        state = system.initial_state()
+        for index in range(8):
+            branch = state.copy()
+            branch.set_attribute("hallSwitch", "switch", "value%d" % index)
+            store.seen_state(branch, 1)
+        assert len(store._ident) <= 4
+        # correctness survives eviction: a revisit still deduplicates
+        again = state.copy()
+        again.set_attribute("hallSwitch", "switch", "value7")
+        assert store.seen_state(again, 1) is True
+
+
+# -- corpus-wide verdict equivalence -----------------------------------------
+
+class TestCorpusVerdictEquivalence:
+    """All visited stores and reduction on/off: identical verdicts."""
+
+    @pytest.mark.parametrize("group_name", sorted(GROUP_BUILDERS))
+    def test_stores_and_reduction_agree(self, group_name):
+        registry = _load_or_skip(load_all_apps)
+        system = ModelGenerator(registry).build(
+            GROUP_BUILDERS[group_name](), strict=False)
+        from repro.properties import build_properties, select_relevant
+        properties = select_relevant(system, build_properties())
+
+        runs = {}
+        for store in ("exact", "fingerprint", "collapse"):
+            for reduction in (False, True):
+                runs[(store, reduction)] = verify(
+                    system, properties, max_events=2, visited=store,
+                    reduction=reduction)
+
+        baseline = runs[("exact", False)]
+        for (store, reduction), result in runs.items():
+            assert (result.violated_property_ids
+                    == baseline.violated_property_ids), (group_name, store,
+                                                         reduction)
+            if not reduction:
+                # unreduced runs cover the identical bounded space
+                assert result.states_explored == baseline.states_explored, (
+                    group_name, store)
+            else:
+                assert result.states_explored <= baseline.states_explored, (
+                    group_name, store)
