@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI smoke test for the continuous vetting service.
+
+Boots ``repro serve`` as a real subprocess on a free port, submits two
+bundled corpus configurations - one of them twice, so the second
+submission must be answered from the content-addressed result store -
+and asserts that every service verdict matches a direct in-process
+``repro check`` of the same configuration.
+
+Exit code 0 on success; the populated result store is left at
+``--store`` (CI uploads it as an artifact).
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [--store PATH]
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+
+GROUPS = ("group1-entry-and-mode", "group2-lighting")
+MAX_EVENTS = 2
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for(url, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=2) as resp:
+                if json.loads(resp.read())["status"] == "ok":
+                    return
+        except Exception:
+            time.sleep(0.2)
+    raise SystemExit("service did not come up within %.0fs" % timeout)
+
+
+def post(url, path, payload):
+    request = urllib.request.Request(
+        url + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return json.loads(response.read())
+
+
+def direct_verdict(group):
+    """The same verification, run in-process (the `repro check` path)."""
+    from repro import build_system
+    from repro.corpus.groups import GROUP_BUILDERS
+    from repro.engine import EngineOptions, ExplorationEngine
+    from repro.properties import build_properties, select_relevant
+
+    system = build_system(GROUP_BUILDERS[group]())
+    properties = select_relevant(system, build_properties())
+    result = ExplorationEngine(system, properties,
+                               EngineOptions(max_events=MAX_EVENTS)).run()
+    return result.verdict, result.violated_property_ids
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default="service-smoke-results.sqlite")
+    args = parser.parse_args()
+
+    port = free_port()
+    url = "http://127.0.0.1:%d" % port
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--store", args.store, "--workers", "1"], env=env)
+    failures = []
+    try:
+        wait_for(url)
+        submissions = [GROUPS[0], GROUPS[1], GROUPS[0]]  # third is a re-submit
+        snapshots = []
+        for index, group in enumerate(submissions):
+            snapshot = post(url, "/submit", {
+                "group": group, "wait": 600,
+                "options": {"max_events": MAX_EVENTS}})
+            print("submission %d (%s): status=%s verdict=%s cached=%s"
+                  % (index + 1, group, snapshot["status"],
+                     snapshot.get("verdict"), snapshot.get("from_cache")))
+            if snapshot["status"] != "done":
+                failures.append("%s did not finish: %s" % (group, snapshot))
+            snapshots.append(snapshot)
+
+        if not snapshots[2].get("from_cache"):
+            failures.append("re-submitting %s was not served from the "
+                            "result store" % GROUPS[0])
+        if snapshots[2].get("verdict") != snapshots[0].get("verdict"):
+            failures.append("cached verdict diverged from the original run")
+
+        for group, snapshot in zip(GROUPS, snapshots[:2]):
+            verdict, property_ids = direct_verdict(group)
+            print("direct check (%s): verdict=%s properties=%s"
+                  % (group, verdict, property_ids))
+            if snapshot.get("verdict") != verdict:
+                failures.append(
+                    "service verdict %r != direct check verdict %r for %s"
+                    % (snapshot.get("verdict"), verdict, group))
+            if sorted(snapshot.get("violated_property_ids") or []) != \
+                    property_ids:
+                failures.append("violated property ids diverged for %s"
+                                % group)
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+    # reopening checkpoints the WAL into the main database file (the
+    # server got SIGTERM, not a clean close) and proves the artifact the
+    # CI uploads is a readable, populated store
+    sys.path.insert(0, "src")
+    from repro.service import ResultStore
+
+    with ResultStore(args.store) as store:
+        stats = store.stats()
+        print("result store: %d entries (%d violated / %d safe)"
+              % (stats["entries"], stats["violated"], stats["safe"]))
+        if stats["entries"] != len(GROUPS):
+            failures.append("expected %d store entries, found %d"
+                            % (len(GROUPS), stats["entries"]))
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("service smoke OK: %d submissions, 1 cache hit, verdicts match "
+          "direct checks; store at %s" % (len(submissions), args.store))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,38 @@
-"""Violation, trace-step and counterexample records."""
+"""Violation, trace-step and counterexample records.
+
+Everything here round-trips through JSON (``to_dict``/``from_dict``) so
+stored results replay byte-identically: a deserialized violation resolves
+its property back to the live catalog object when the catalog still
+carries an identical definition, and degrades to a detached
+:class:`~repro.properties.base.SafetyProperty` carrying the serialized
+signature otherwise (old results stay renderable across catalog edits).
+"""
+
+
+def resolve_property(data):
+    """A property object for a serialized signature.
+
+    Prefers the catalog instance (predicates and roles stay usable) when
+    id, name and LTL are unchanged; otherwise reconstructs a detached
+    property from the stored fields.
+    """
+    from repro.properties import build_properties
+    from repro.properties.base import SafetyProperty
+
+    prop_id = data["id"]
+    try:
+        matches = build_properties([prop_id])
+    except KeyError:
+        matches = []
+    for prop in matches:
+        if (prop.id == prop_id and prop.name == data.get("name")
+                and prop.ltl == data.get("ltl")):
+            return prop
+    prop = SafetyProperty(prop_id, data.get("name", prop_id),
+                          data.get("category"), data.get("kind"),
+                          data.get("description", ""), ltl=data.get("ltl"))
+    prop.roles = tuple(data.get("roles", ()))
+    return prop
 
 
 class TraceStep:
@@ -15,6 +49,19 @@ class TraceStep:
         self.text = text
         self.app = app
         self.line = line
+
+    def to_dict(self):
+        data = {"kind": self.kind, "text": self.text}
+        if self.app is not None:
+            data["app"] = self.app
+        if self.line is not None:
+            data["line"] = self.line
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["kind"], data["text"], app=data.get("app"),
+                   line=data.get("line"))
 
     def __repr__(self):
         return "TraceStep(%s: %s)" % (self.kind, self.text)
@@ -48,6 +95,31 @@ class Violation:
         return Violation(self.property, self.message, apps=self.apps,
                          step_index=self.step_index)
 
+    def to_dict(self):
+        prop = self.property
+        data = {
+            "property": {
+                "id": prop.id,
+                "name": prop.name,
+                "category": getattr(prop, "category", None),
+                "kind": getattr(prop, "kind", None),
+                "description": getattr(prop, "description", ""),
+                "ltl": getattr(prop, "ltl", None),
+                "roles": list(getattr(prop, "roles", ())),
+            },
+            "message": self.message,
+            "apps": list(self.apps),
+        }
+        if self.step_index is not None:
+            data["step_index"] = self.step_index
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(resolve_property(data["property"]), data["message"],
+                   apps=data.get("apps", ()),
+                   step_index=data.get("step_index"))
+
     def __repr__(self):
         return "Violation(%s: %s)" % (self.property.id, self.message)
 
@@ -73,6 +145,21 @@ class Counterexample:
         for _label, cascade_steps in self.path:
             steps.extend(cascade_steps)
         return steps
+
+    def to_dict(self):
+        return {
+            "violation": self.violation.to_dict(),
+            "path": [{"label": label,
+                      "steps": [step.to_dict() for step in steps]}
+                     for label, steps in self.path],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        path = [(level["label"],
+                 [TraceStep.from_dict(s) for s in level.get("steps", ())])
+                for level in data.get("path", ())]
+        return cls(Violation.from_dict(data["violation"]), path)
 
     def describe(self):
         lines = ["Counterexample for %s (%s):" % (

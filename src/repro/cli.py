@@ -10,13 +10,19 @@ Commands mirror the IotSan pipeline:
 * ``emit`` - emit the Promela model for a configuration (§8);
 * ``attribute`` - run the Output Analyzer on a newly installed app (§9);
 * ``batch`` - verify several configurations in parallel across a process
-  pool (``verify_many``);
-* ``properties`` - list the 45-property catalog.
+  pool (``verify_many``); ``--json`` emits the machine-readable schema;
+* ``properties`` - list the 45-property catalog;
+* ``serve`` - run the continuous vetting service (content-addressed
+  result store + incremental scheduler behind a JSON API);
+* ``submit`` / ``results`` / ``gc`` - talk to a running service: submit
+  configurations (optionally with out-of-corpus ``.groovy`` files),
+  fetch stored verdicts and counterexamples, evict old store entries.
 """
 
 import argparse
 import json
 import sys
+import time
 
 from repro import build_system
 from repro.checker.trace import render_violation_log
@@ -149,7 +155,10 @@ def cmd_batch(args):
                             enable_failures=args.failures)
             for name, source in zip(names, sources)]
     batch = verify_many(jobs, workers=args.workers)
-    print(batch.summary())
+    if args.json:
+        print(batch.to_json(indent=2))
+    else:
+        print(batch.summary())
     return 1 if (batch.has_violations or batch.errors) else 0
 
 
@@ -214,6 +223,161 @@ def cmd_attribute(args):
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     return 1 if report.is_flagged else 0
+
+
+def cmd_serve(args):
+    """Run the continuous vetting service (``repro serve``)."""
+    from repro.service import ResultStore, create_server
+
+    store = ResultStore(args.store)
+    server, service = create_server(store=store, host=args.host,
+                                    port=args.port, workers=args.workers,
+                                    verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print("repro vetting service on http://%s:%d (result store: %s)"
+          % (host, port, args.store))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.shutdown()
+        store.close()
+    return 0
+
+
+def _submit_payload(args):
+    """The ``POST /submit`` body for the shared engine arguments."""
+    from repro.corpus.groups import GROUP_BUILDERS
+
+    payload = {
+        "options": {
+            "max_events": args.max_events,
+            "mode": args.mode,
+            "visited": args.visited,
+            "strategy": args.strategy,
+            "max_states": args.max_states,
+            "compiled": not args.no_compile,
+            "successor_cache": not args.no_successor_cache,
+            "cache_limit": args.cache_limit,
+            "cache_min_hit_rate": args.cache_min_hit_rate,
+            "reduction": args.reduction,
+        },
+        "failures": args.failures,
+        "priority": args.priority,
+    }
+    if args.config in GROUP_BUILDERS:
+        payload["group"] = args.config
+    else:
+        payload["config"] = _load_configuration(args.config).to_dict()
+    if args.properties:
+        payload["properties"] = args.properties
+    if args.all_properties:
+        payload["all_properties"] = True
+    if args.name:
+        payload["name"] = args.name
+    if args.app:
+        from repro.corpus import read_app_sources
+        payload["sources"] = read_app_sources(args.app)
+    if args.wait:
+        payload["wait"] = args.wait
+    return payload
+
+
+def cmd_submit(args):
+    """Submit a configuration to a running vetting service."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=max(60.0, (args.wait or 0) + 30))
+    try:
+        snapshot = client.submit(_submit_payload(args))
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    print("job %s (%s): %s%s" % (
+        snapshot["id"], snapshot["name"], snapshot["status"],
+        " [cached]" if snapshot.get("from_cache") else ""))
+    print("cache key: %s" % snapshot["cache_key"])
+    if snapshot.get("verdict"):
+        print("verdict: %s (%d violation(s): %s; %d states, %.2fs)" % (
+            snapshot["verdict"], snapshot.get("violations", 0),
+            ", ".join(snapshot.get("violated_property_ids", [])) or "-",
+            snapshot.get("states_explored", 0), snapshot.get("elapsed", 0.0)))
+    return 1 if snapshot.get("verdict") in ("violated", "error") else 0
+
+
+def cmd_results(args):
+    """Fetch a stored result (by cache key or job id) from the service."""
+    from repro.engine.result import ExplorationResult
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        key = args.key
+        if key is None:
+            entries = client.results()
+            if not entries:
+                print("result store is empty")
+                return 0
+            for entry in entries:
+                print("%s  %-9s %-28s %d violation(s), %d states, hits=%d"
+                      % (entry["cache_key"][:16], entry["verdict"],
+                         (entry["name"] or "-")[:28], entry["violations"],
+                         entry["states_explored"], entry["hits"]))
+            return 0
+        if key.startswith("job-"):
+            snapshot = client.job(key)
+            if not snapshot.get("cache_key"):
+                raise SystemExit("job %s has no cache key yet" % key)
+            key = snapshot["cache_key"]
+        stored = client.result(key)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    result = ExplorationResult.from_dict(stored["result"])
+    print("%s (%s), stored %s, hits=%d" % (
+        stored["cache_key"][:16], stored["verdict"],
+        time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stored["created"])),
+        stored["hits"]))
+    print(result.summary())
+    if args.trace and result.counterexamples and stored.get("config"):
+        from repro.engine.batch import overlay_sources
+
+        config = SystemConfiguration.from_dict(stored["config"])
+        # rebuild the same registry the job ran with (including any
+        # out-of-corpus overlays) so the rendered system matches the trace
+        registry = overlay_sources(_load_registry(), stored.get("sources"))
+        system = build_system(config, registry=registry)
+        for counterexample in result.counterexamples.values():
+            print()
+            print(render_violation_log(system, counterexample))
+            if not args.all_traces:
+                break
+    return 1 if stored["verdict"] == "violated" else 0
+
+
+def cmd_gc(args):
+    """Evict result-store entries, via the service or a store file."""
+    max_age = (args.max_age_days * 86400.0
+               if args.max_age_days is not None else None)
+    if args.store:
+        from repro.service import ResultStore
+
+        with ResultStore(args.store) as store:
+            removed = store.gc(max_age=max_age, keep=args.keep)
+            stats = store.stats()
+    else:
+        from repro.service import ServiceClient, ServiceError
+
+        try:
+            answer = ServiceClient(args.url).gc(max_age=max_age,
+                                                keep=args.keep)
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+        removed, stats = answer["removed"], answer["store"]
+    print("removed %d entr%s; %d left (%d violated / %d safe)"
+          % (removed, "y" if removed == 1 else "ies", stats["entries"],
+             stats["violated"], stats["safe"]))
+    return 0
 
 
 def _add_engine_arguments(parser):
@@ -317,7 +481,75 @@ def build_parser():
     p_batch.add_argument("--ifttt", action="store_true",
                          help="include translated IFTTT rules in the "
                               "registry")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the machine-readable BatchResult "
+                              "schema instead of the text summary (the "
+                              "exit code stays nonzero when any job "
+                              "reports a violation)")
     p_batch.set_defaults(func=cmd_batch)
+
+    from repro.service.defaults import DEFAULT_PORT
+    default_url = "http://127.0.0.1:%d" % DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve", help="run the continuous vetting service (JSON API)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help="TCP port (0 binds an ephemeral free port)")
+    p_serve.add_argument("--store", default="repro-results.sqlite",
+                         help="result-store SQLite file (':memory:' for "
+                              "an ephemeral store)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="engine process-pool size per drain cycle")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a configuration to a running service")
+    p_submit.add_argument("config",
+                          help="configuration JSON file or bundled group")
+    p_submit.add_argument("--url", default=default_url,
+                          help="service base URL")
+    p_submit.add_argument("--app", action="append", default=[],
+                          metavar="GROOVY_FILE",
+                          help="overlay an out-of-corpus .groovy app onto "
+                               "the registry (repeatable)")
+    p_submit.add_argument("--name", help="display name for the job")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="scheduling priority (higher runs first)")
+    p_submit.add_argument("--wait", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="block up to SECONDS for the verdict "
+                               "(0: return the job id immediately)")
+    _add_engine_arguments(p_submit)
+    p_submit.add_argument("--all-properties", action="store_true",
+                          help="skip relevance-based property selection")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_results = sub.add_parser(
+        "results", help="fetch stored verdicts and counterexamples")
+    p_results.add_argument("key", nargs="?",
+                           help="cache key or job id (omit to list "
+                                "recent store entries)")
+    p_results.add_argument("--url", default=default_url)
+    p_results.add_argument("--trace", action="store_true",
+                           help="re-render the stored counterexample as a "
+                                "Fig-7 style violation log")
+    p_results.add_argument("--all-traces", action="store_true")
+    p_results.set_defaults(func=cmd_results)
+
+    p_gc = sub.add_parser(
+        "gc", help="evict result-store entries by age / count")
+    p_gc.add_argument("--url", default=default_url)
+    p_gc.add_argument("--store",
+                      help="operate directly on a store file instead of a "
+                           "running service")
+    p_gc.add_argument("--max-age-days", type=float, default=None,
+                      help="drop entries recorded more than N days ago")
+    p_gc.add_argument("--keep", type=int, default=None,
+                      help="retain only the N most recently used entries")
+    p_gc.set_defaults(func=cmd_gc)
 
     p_emit = sub.add_parser("emit", help="emit the Promela model")
     p_emit.add_argument("config")

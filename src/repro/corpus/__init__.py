@@ -10,9 +10,11 @@ from repro.corpus.loader import (
     CorpusMissingError,
     corpus_path,
     load_all_apps,
+    load_app_files,
     load_discovery_apps,
     load_malicious_apps,
     load_market_apps,
+    read_app_sources,
 )
 from repro.corpus.groups import (
     EXPERT_GROUPS,
@@ -26,9 +28,11 @@ __all__ = [
     "CorpusMissingError",
     "corpus_path",
     "load_all_apps",
+    "load_app_files",
     "load_discovery_apps",
     "load_malicious_apps",
     "load_market_apps",
+    "read_app_sources",
     "EXPERT_GROUPS",
     "VOLUNTEER_GROUPS",
     "expert_configuration",

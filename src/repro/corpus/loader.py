@@ -70,6 +70,34 @@ def load_discovery_apps():
     return _load_dir("discovery")
 
 
+def _parse_app_files(paths):
+    """Yield ``(SmartApp, raw source)`` per ``.groovy`` file.
+
+    The submit-from-file path of the vetting service: apps a user uploads
+    for vetting are parsed exactly like bundled corpus sources and can be
+    overlaid onto the corpus registry.
+    """
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        yield load_app(source, os.path.basename(path)), source
+
+
+def load_app_files(paths):
+    """name -> SmartApp for arbitrary ``.groovy`` files outside the corpus."""
+    return {app.name: app for app, _source in _parse_app_files(paths)}
+
+
+def read_app_sources(paths):
+    """name -> raw Groovy source for ``.groovy`` files outside the corpus.
+
+    The wire form of submit-from-file: raw text serializes into a
+    ``POST /submit`` payload (and pickles into worker processes) without
+    shipping parsed ASTs; each consumer parses on first use.
+    """
+    return {app.name: source for app, source in _parse_app_files(paths)}
+
+
 def load_all_apps():
     """The combined *analyzable* registry (market + malicious).
 

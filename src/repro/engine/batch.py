@@ -32,12 +32,16 @@ class VerificationJob:
     property objects (must be picklable).  ``select`` applies the
     relevance-based selection of §8 after resolution.  ``registry`` is a
     spec string (``"corpus"`` / ``"corpus+ifttt"``) or an explicit
-    name -> SmartApp mapping.
+    name -> SmartApp mapping.  ``sources`` optionally overlays raw Groovy
+    sources (name -> text) onto the registry - the submit-from-file path
+    of the vetting service: raw text pickles cheaply and each worker
+    parses it on first use.
     """
 
     def __init__(self, name, config, options=None, properties=None,
                  select=True, registry=REGISTRY_CORPUS, strict=True,
-                 enable_failures=False, user_mode_events=False):
+                 enable_failures=False, user_mode_events=False,
+                 sources=None):
         self.name = name
         self.config = config
         self.options = options or EngineOptions()
@@ -47,6 +51,23 @@ class VerificationJob:
         self.strict = strict
         self.enable_failures = enable_failures
         self.user_mode_events = user_mode_events
+        self.sources = dict(sources) if sources else None
+
+    def cache_key(self):
+        """The content-addressed result-store key of this job.
+
+        A SHA-256 over the canonical serialization of the configuration
+        (declaration-order independent), the referenced apps' handler
+        sources, the property selection and the semantic engine options -
+        see :mod:`repro.service.digest` for the exact rules.
+        """
+        from repro.service.digest import job_cache_key
+        return job_cache_key(self)
+
+    def config_digest(self):
+        """Digest of the deployment alone (groups results across options)."""
+        from repro.service.digest import job_config_digest
+        return job_config_digest(self)
 
     def __repr__(self):
         return "VerificationJob(%r)" % (self.name,)
@@ -83,12 +104,35 @@ def _resolve_properties(job, system):
     return properties
 
 
+def overlay_sources(registry, sources):
+    """A registry copy with raw Groovy sources (name -> text) parsed in.
+
+    Shared by job execution, cache-key derivation and trace re-rendering:
+    all three must rebuild the *same* registry for a job, so the parse
+    order and synthesized file names live in exactly one place.
+    """
+    if not sources:
+        return registry
+    from repro.smartapp import load_app
+
+    registry = dict(registry)
+    for name in sorted(sources):
+        app = load_app(sources[name], "%s.groovy" % name)
+        registry[app.name] = app
+    return registry
+
+
+def resolve_job_registry(job):
+    """The registry a job runs against: spec plus raw-source overlays."""
+    return overlay_sources(_resolve_registry(job.registry), job.sources)
+
+
 def execute_job(job):
     """Build and verify one job (runs inside the worker process)."""
     from repro.engine.core import ExplorationEngine
     from repro.model.generator import ModelGenerator
 
-    registry = _resolve_registry(job.registry)
+    registry = resolve_job_registry(job)
     system = ModelGenerator(registry).build(
         job.config, strict=job.strict, enable_failures=job.enable_failures,
         user_mode_events=job.user_mode_events)

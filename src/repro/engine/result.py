@@ -1,4 +1,25 @@
-"""Outcome records: per-run results and merged batch statistics."""
+"""Outcome records: per-run results and merged batch statistics.
+
+Both record types round-trip through JSON with a stable, versioned
+schema (``to_json``/``from_json``), counterexample traces included, so
+the vetting service's :class:`~repro.service.store.ResultStore` and the
+``repro batch --json`` output are consumable by machines and replay
+byte-identically.
+"""
+
+import json
+
+#: bump when the serialized result layout changes; deserialization
+#: refuses newer schemas instead of misreading them
+RESULT_SCHEMA_VERSION = 1
+
+
+def _check_schema(data, kind):
+    version = data.get("schema", RESULT_SCHEMA_VERSION)
+    if version > RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            "%s payload has schema version %d; this build reads <= %d"
+            % (kind, version, RESULT_SCHEMA_VERSION))
 
 
 class ExplorationResult:
@@ -56,6 +77,64 @@ class ExplorationResult:
         if self.elapsed <= 0:
             return 0.0
         return self.states_explored / self.elapsed
+
+    # -- serialization -------------------------------------------------------
+
+    @property
+    def verdict(self):
+        """``"violated"`` or ``"safe"`` - the service-facing outcome."""
+        return "violated" if self.counterexamples else "safe"
+
+    def to_dict(self):
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "verdict": self.verdict,
+            "counterexamples": [ce.to_dict()
+                                for ce in self.counterexamples.values()],
+            "states_explored": self.states_explored,
+            "transitions": self.transitions,
+            "elapsed": self.elapsed,
+            "truncated": self.truncated,
+            "truncated_reason": self.truncated_reason,
+            "visited_stats": dict(self.visited_stats),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_mode": self.cache_mode,
+            "cache_auto_disabled": self.cache_auto_disabled,
+            "commutes_pruned": self.commutes_pruned,
+            "property_stats": dict(self.property_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        from repro.checker.violations import Counterexample
+
+        _check_schema(data, "ExplorationResult")
+        result = cls()
+        for ce_data in data.get("counterexamples", ()):
+            counterexample = Counterexample.from_dict(ce_data)
+            result.counterexamples[
+                counterexample.violation.dedup_key()] = counterexample
+        result.states_explored = data.get("states_explored", 0)
+        result.transitions = data.get("transitions", 0)
+        result.elapsed = data.get("elapsed", 0.0)
+        result.truncated = data.get("truncated", False)
+        result.truncated_reason = data.get("truncated_reason")
+        result.visited_stats = dict(data.get("visited_stats", {}))
+        result.cache_hits = data.get("cache_hits", 0)
+        result.cache_misses = data.get("cache_misses", 0)
+        result.cache_mode = data.get("cache_mode", "off")
+        result.cache_auto_disabled = data.get("cache_auto_disabled", False)
+        result.commutes_pruned = data.get("commutes_pruned", 0)
+        result.property_stats = dict(data.get("property_stats", {}))
+        return result
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
 
     def summary(self):
         lines = ["%d distinct violation(s) of %d property(ies); "
@@ -147,6 +226,58 @@ class BatchResult:
     @property
     def has_violations(self):
         return any(r.has_violations for r in self.results.values())
+
+    @property
+    def cache_hits(self):
+        return sum(r.cache_hits for r in self.results.values())
+
+    @property
+    def cache_misses(self):
+        return sum(r.cache_misses for r in self.results.values())
+
+    @property
+    def cache_hit_rate(self):
+        """Batch-wide successor-cache hit rate; 0.0 when no job answered
+        any cache query (e.g. every run violated immediately at depth 0)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "verdict": "violated" if self.has_violations else (
+                "error" if self.errors else "safe"),
+            "workers": self.workers,
+            "elapsed": self.elapsed,
+            "job_seconds": self.job_seconds,
+            "states_explored": self.states_explored,
+            "transitions": self.transitions,
+            "violated_property_ids": self.violated_property_ids,
+            "results": {name: result.to_dict()
+                        for name, result in self.results.items()},
+            "errors": dict(self.errors),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        _check_schema(data, "BatchResult")
+        batch = cls()
+        for name, result_data in data.get("results", {}).items():
+            batch.add(name, ExplorationResult.from_dict(result_data))
+        for name, message in data.get("errors", {}).items():
+            batch.add_error(name, message)
+        batch.elapsed = data.get("elapsed", 0.0)
+        batch.workers = data.get("workers", 1)
+        return batch
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
 
     def summary(self):
         lines = ["%d job(s) on %d worker(s): %d violation(s) of %d "

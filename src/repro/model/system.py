@@ -253,6 +253,20 @@ class IoTSystem:
                     state.add_schedule(app.name, handler, periodic=True)
         return state.seal()
 
+    def digest(self, properties=None, options=None):
+        """Deterministic content digest of this bound system.
+
+        Canonical serialization of devices (full spec surface), installed
+        apps (handler sources + bindings) and deployment data, hashed with
+        SHA-256 - invariant under device/app declaration order, changed by
+        any handler body, device attribute or deployment edit.  Passing
+        ``properties``/``options`` extends the digest to a full
+        verification identity (the vetting service's cache key space);
+        see :mod:`repro.service.digest`.
+        """
+        from repro.service.digest import system_digest
+        return system_digest(self, properties=properties, options=options)
+
     def state_schema(self):
         """The packed-state layout of this system (compiled once).
 

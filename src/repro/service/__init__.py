@@ -1,0 +1,56 @@
+"""Continuous vetting service: persistent, incremental verification.
+
+The paper's end goal is market-scale vetting - every submitted
+SmartApp/IFTTT configuration checked against the safety-property
+catalog, continuously, not one CLI run at a time.  This package wraps
+the exploration engine in a service layer:
+
+* :mod:`repro.service.digest` - deterministic content digests of
+  verification inputs (system + properties + options);
+* :mod:`repro.service.store` - a SQLite-backed content-addressed
+  :class:`ResultStore` (schema-versioned, WAL) holding verdicts,
+  counterexample traces and engine statistics;
+* :mod:`repro.service.scheduler` - in-flight dedup, cache
+  short-circuiting and priority/cost ordering over the engine's
+  process-pool batch runner;
+* :mod:`repro.service.api` - the ``repro serve`` JSON API plus the
+  urllib client the ``repro submit``/``results``/``gc`` CLI verbs use.
+"""
+
+from repro.service.api import (
+    DEFAULT_PORT,
+    ServiceClient,
+    ServiceError,
+    SubmissionError,
+    VettingHTTPServer,
+    VettingService,
+    create_server,
+)
+from repro.service.digest import (
+    DIGEST_SCHEMA_VERSION,
+    job_cache_key,
+    job_config_digest,
+    system_digest,
+)
+from repro.service.scheduler import ScheduledJob, Scheduler, estimate_cost
+from repro.service.store import STORE_SCHEMA_VERSION, ResultStore, StoredResult
+
+__all__ = [
+    "DEFAULT_PORT",
+    "DIGEST_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "StoredResult",
+    "ScheduledJob",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "SubmissionError",
+    "VettingHTTPServer",
+    "VettingService",
+    "create_server",
+    "estimate_cost",
+    "job_cache_key",
+    "job_config_digest",
+    "system_digest",
+]

@@ -1,0 +1,9 @@
+"""Light constants importable without pulling the HTTP stack.
+
+The CLI builds its argument parser (and its ``--url`` defaults) on every
+invocation, including commands that never touch the service; keeping the
+shared constants dependency-free keeps ``repro apps`` & co. unaffected.
+"""
+
+#: default TCP port of ``repro serve``
+DEFAULT_PORT = 8378
