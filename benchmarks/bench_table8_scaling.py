@@ -353,6 +353,75 @@ def test_table8_memory_lean_deep_run(generator, benchmark):
     assert fingerprint.cache_auto_disabled
 
 
+def test_table8_sharded_workers(benchmark):
+    """The swarm axis: one deep run sharded across worker processes.
+
+    State ownership is partitioned by fingerprint (``--workers N``), so
+    a single verification scales with cores instead of clock speed.
+    Verdicts and the distinct-state count must match the single-worker
+    run exactly; the speedup row is recorded in ``BENCH_table8.json``
+    (``workers`` section) and only *gated* when real cores exist -
+    single-core CI records the numbers without judging them.
+    """
+    from repro.engine.batch import execute_job_inline
+    from repro.engine.parallel import explore_sharded
+
+    config = five_app_config()
+    depth = 4
+
+    def job(workers):
+        return VerificationJob(
+            "sharded", config, EngineOptions(max_events=depth,
+                                             max_states=3000000,
+                                             workers=workers))
+
+    single = execute_job_inline(job(1))
+    sharded = benchmark.pedantic(explore_sharded, args=(job(2),),
+                                 iterations=1, rounds=1)
+
+    rows = [("1 worker", single.states_explored,
+             "%.2fs" % single.elapsed,
+             "%.0f" % single.states_per_second),
+            ("2 workers (sharded)", sharded.states_explored,
+             "%.2fs" % sharded.elapsed,
+             "%.0f" % sharded.states_per_second)]
+    print_table("Sharded swarm exploration at %d events (%d cores)"
+                % (depth, os.cpu_count() or 1),
+                ["run", "states", "wall clock", "states/sec"], rows)
+    update_bench_artifact("table8", "workers", {
+        "events": depth,
+        "cores": os.cpu_count() or 1,
+        "single": {
+            "states": single.states_explored,
+            "seconds": round(single.elapsed, 4),
+            "states_per_second": round(single.states_per_second, 1),
+        },
+        "sharded_2": {
+            "states": sharded.states_explored,
+            "seconds": round(sharded.elapsed, 4),
+            "states_per_second": round(sharded.states_per_second, 1),
+            "speedup": round(single.elapsed / sharded.elapsed, 3)
+            if sharded.elapsed else 0.0,
+            "handoffs": sum(s["handoffs_sent"]
+                            for s in sharded.shard_stats),
+        },
+    })
+
+    # ownership partitioning preserves coverage and verdicts exactly
+    assert sharded.states_explored == single.states_explored
+    assert sharded.violated_property_ids == single.violated_property_ids
+    assert sharded.workers == 2
+    assert len(sharded.shard_stats) == 2
+    if (os.cpu_count() or 1) >= 2:
+        # with real cores the acceptance bar is >= 1.5x at depth 4
+        assert sharded.elapsed < single.elapsed / 1.5
+    else:
+        # a single core can only demonstrate bounded sharding overhead
+        # (two processes time-slicing one core plus handoff pickling;
+        # measured ~2.7x - the bound only catches pathological blowups)
+        assert sharded.elapsed < single.elapsed * 4.0
+
+
 def test_table8_parallel_batch(generator, benchmark):
     """The whole-run axis: scaling points are independent verification
     jobs, so ``verify_many`` fans them across a process pool."""

@@ -7,6 +7,10 @@ least one regression" so the workflow step can surface it while staying
 ``continue-on-error`` (absolute numbers shift with runner hardware, so
 this is a reviewer signal, never a gate).
 
+The artifact's field-by-field meaning (including the ``workers``
+section this script reads for the sharded-run rows) is documented in
+``docs/schemas.md``; keep the two in sync when adding axes.
+
 Usage: ``python benchmarks/check_perf_regression.py BASELINE FRESH``
 """
 
@@ -28,6 +32,9 @@ def _modes(document):
     for name, stats in document.get("deep_run", {}).items():
         if isinstance(stats, dict):
             modes["deep_run.%s" % name] = stats.get("states_per_second")
+    for name, stats in document.get("workers", {}).items():
+        if isinstance(stats, dict):
+            modes["workers.%s" % name] = stats.get("states_per_second")
     return {name: value for name, value in modes.items()
             if isinstance(value, (int, float)) and value > 0}
 

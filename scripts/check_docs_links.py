@@ -1,0 +1,105 @@
+"""Offline link check for the docs site (and the README).
+
+`mkdocs build --strict` already fails the CI docs job on broken
+internal links, but it needs the mkdocs dependency; this script does
+the same check with the standard library only, so it runs in the plain
+test environment and as a pre-push sanity command:
+
+    python scripts/check_docs_links.py
+
+Checked, for every ``docs/*.md`` page plus ``README.md``:
+
+* relative markdown links resolve to an existing file;
+* fragment links (``page.md#section``) resolve to a heading that
+  actually renders that anchor (GitHub/mkdocs slug rules: lowercase,
+  punctuation stripped, spaces to hyphens);
+* pages referenced by ``mkdocs.yml``'s nav exist, and every docs page
+  is reachable from the nav (no orphans).
+
+External (``http(s)://``) links are deliberately *not* fetched - CI
+must not flake on third-party outages.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS = os.path.join(ROOT, "docs")
+
+#: ``[text](target)`` - images excluded via the negative lookbehind
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_NAV_PAGE = re.compile(r"^\s+-\s+[^:]+:\s+(\S+\.md)\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading):
+    """The anchor a markdown heading renders to (GitHub/mkdocs rules)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+def page_anchors(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        text = _CODE_FENCE.sub("", handle.read())
+    return {slugify(match) for match in _HEADING.findall(text)}
+
+
+def page_links(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        text = _CODE_FENCE.sub("", handle.read())
+    return _LINK.findall(text)
+
+
+def check_page(path, problems):
+    base = os.path.dirname(path)
+    for target in page_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        name = os.path.relpath(path, ROOT)
+        file_part, _, fragment = target.partition("#")
+        resolved = (os.path.normpath(os.path.join(base, file_part))
+                    if file_part else path)
+        if not os.path.exists(resolved):
+            problems.append("%s: broken link %r (no such file)"
+                            % (name, target))
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment not in page_anchors(resolved):
+                problems.append("%s: broken anchor %r (no heading renders "
+                                "#%s)" % (name, target, fragment))
+
+
+def check_nav(problems):
+    nav_path = os.path.join(ROOT, "mkdocs.yml")
+    with open(nav_path, "r", encoding="utf-8") as handle:
+        nav_pages = set(_NAV_PAGE.findall(handle.read()))
+    disk_pages = {entry for entry in os.listdir(DOCS)
+                  if entry.endswith(".md")}
+    for page in sorted(nav_pages - disk_pages):
+        problems.append("mkdocs.yml: nav references missing page %r" % page)
+    for page in sorted(disk_pages - nav_pages):
+        problems.append("docs/%s: not reachable from the mkdocs nav" % page)
+
+
+def main():
+    problems = []
+    pages = [os.path.join(DOCS, entry) for entry in sorted(os.listdir(DOCS))
+             if entry.endswith(".md")]
+    pages.append(os.path.join(ROOT, "README.md"))
+    for path in pages:
+        check_page(path, problems)
+    check_nav(problems)
+    for problem in problems:
+        print("LINKCHECK: %s" % problem)
+    if problems:
+        return 1
+    print("docs linkcheck: %d page(s), all internal links and anchors "
+          "resolve" % len(pages))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ class ExactVisitedSet:
         #: fingerprint -> list of [canonical_key_or_state, resolved, depth]
         self._by_fingerprint = {}
         self._schema = schema
+        self._distinct = 0
 
     def state_key(self, state):
         if self._schema is not None:
@@ -62,6 +63,8 @@ class ExactVisitedSet:
         best = self._min_depth.get(key)
         if best is not None and best <= depth:
             return True
+        if best is None:
+            self._distinct += 1
         self._min_depth[key] = depth
         return False
 
@@ -70,6 +73,7 @@ class ExactVisitedSet:
         chain = self._by_fingerprint.get(fingerprint)
         if chain is None:
             self._by_fingerprint[fingerprint] = [[state, False, depth]]
+            self._distinct += 1
             return False
         key = self.state_key(state)
         for entry in chain:
@@ -82,7 +86,13 @@ class ExactVisitedSet:
                 entry[2] = depth
                 return False
         chain.append([key, True, depth])
+        self._distinct += 1
         return False
+
+    def distinct_count(self):
+        """Distinct states stored so far - O(1), the engine's per-state
+        counter (a depth-improved revisit does not grow it)."""
+        return self._distinct
 
     def approx_bytes(self):
         """Recursive size of the stored keys (and pinned states).
@@ -207,6 +217,10 @@ class BitStateTable:
                 "fill_ratio": self.fill_ratio,
                 "approx_bytes": approx,
                 "bytes_per_state": round(approx / stored, 1) if stored else 0.0}
+
+    def distinct_count(self):
+        """Distinct bit signatures stored (the bitfield's state count)."""
+        return self.stored
 
     def __len__(self):
         return self.stored

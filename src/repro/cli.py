@@ -115,16 +115,41 @@ def cmd_analyze(args):
 
 def cmd_check(args):
     """Model-check a configuration against the safety properties (§8)."""
-    registry = _load_registry(include_ifttt=args.ifttt)
     config = _load_configuration(args.config)
-    system = build_system(config, registry=registry,
-                          enable_failures=args.failures)
-    properties = build_properties(args.properties or None)
-    if not args.all_properties:
-        properties = select_relevant(system, properties)
-    result = ExplorationEngine(system, properties, _engine_options(args)).run()
+    options = _engine_options(args)
+    system = None
+    if options.workers and options.workers > 1:
+        # the sharded engine's workers rebuild the system from the
+        # declarative job description, exactly like `repro batch` -
+        # building one in the parent too would double the startup cost
+        from repro.engine import explore_sharded
+        from repro.engine.batch import REGISTRY_CORPUS, REGISTRY_CORPUS_IFTTT
+
+        job = VerificationJob(
+            args.config, config, options,
+            properties=args.properties or None,
+            select=not args.all_properties,
+            registry=REGISTRY_CORPUS_IFTTT if args.ifttt else REGISTRY_CORPUS,
+            strict=False, enable_failures=args.failures)
+        result = explore_sharded(job, keep_replay_system=True)
+    else:
+        system = build_system(config,
+                              registry=_load_registry(
+                                  include_ifttt=args.ifttt),
+                              enable_failures=args.failures)
+        properties = build_properties(args.properties or None)
+        if not args.all_properties:
+            properties = select_relevant(system, properties)
+        result = ExplorationEngine(system, properties, options).run()
     print(result.summary())
     if args.trace and result.counterexamples:
+        if system is None:
+            # sharded path: prefer the system the canonical trace
+            # replay already built; build one only as a last resort
+            system = getattr(result, "replay_system", None) or build_system(
+                config,
+                registry=_load_registry(include_ifttt=args.ifttt),
+                enable_failures=args.failures)
         for counterexample in result.counterexamples.values():
             print()
             print(render_violation_log(system, counterexample))
@@ -232,6 +257,7 @@ def cmd_serve(args):
     store = ResultStore(args.store)
     server, service = create_server(store=store, host=args.host,
                                     port=args.port, workers=args.workers,
+                                    shard_workers=args.shard_workers,
                                     verbose=args.verbose)
     host, port = server.server_address[:2]
     print("repro vetting service on http://%s:%d (result store: %s)"
@@ -267,6 +293,8 @@ def _submit_payload(args):
         "failures": args.failures,
         "priority": args.priority,
     }
+    if args.shard_workers:
+        payload["options"]["workers"] = args.shard_workers
     if args.config in GROUP_BUILDERS:
         payload["group"] = args.config
     else:
@@ -422,7 +450,14 @@ def _add_engine_arguments(parser):
 
 
 def _engine_options(args):
-    """Build :class:`EngineOptions` from the shared CLI arguments."""
+    """Build :class:`EngineOptions` from the shared CLI arguments.
+
+    ``check`` exposes shard workers as ``--workers``; ``batch`` and
+    ``submit`` (whose ``--workers`` means the job-level process pool)
+    expose the same option as ``--shard-workers``.
+    """
+    shard_workers = (getattr(args, "shard_workers", None)
+                     or getattr(args, "engine_workers", None) or 1)
     return EngineOptions(max_events=args.max_events, mode=args.mode,
                          visited=args.visited, strategy=args.strategy,
                          max_states=args.max_states,
@@ -430,7 +465,8 @@ def _engine_options(args):
                          successor_cache=not args.no_successor_cache,
                          cache_limit=args.cache_limit,
                          cache_min_hit_rate=args.cache_min_hit_rate,
-                         reduction=args.reduction)
+                         reduction=args.reduction,
+                         workers=shard_workers)
 
 
 def build_parser():
@@ -459,6 +495,12 @@ def build_parser():
 
     p_check = sub.add_parser("check", help="model-check a configuration")
     p_check.add_argument("config")
+    p_check.add_argument("--workers", type=int, default=1,
+                         dest="engine_workers", metavar="N",
+                         help="shard this one run across N worker "
+                              "processes (state ownership partitioned "
+                              "by fingerprint; verdicts, violation sets "
+                              "and traces are identical to --workers 1)")
     _add_engine_arguments(p_check)
     p_check.add_argument("--all-properties", action="store_true",
                          help="skip relevance-based property selection")
@@ -477,6 +519,12 @@ def build_parser():
     p_batch.add_argument("--workers", type=int, default=None,
                          help="process-pool size (default: one per job "
                               "up to the core count)")
+    p_batch.add_argument("--shard-workers", type=int, default=None,
+                         metavar="N",
+                         help="additionally shard each job's own search "
+                              "across N processes (multiplies with "
+                              "--workers; useful when the batch has "
+                              "fewer jobs than cores)")
     _add_engine_arguments(p_batch)
     p_batch.add_argument("--ifttt", action="store_true",
                          help="include translated IFTTT rules in the "
@@ -501,6 +549,12 @@ def build_parser():
                               "an ephemeral store)")
     p_serve.add_argument("--workers", type=int, default=None,
                          help="engine process-pool size per drain cycle")
+    p_serve.add_argument("--shard-workers", type=int, default=None,
+                         metavar="N",
+                         help="shard each executed job's search across N "
+                              "processes instead of pooling across jobs "
+                              "(best when submissions trickle in one at "
+                              "a time on a multi-core host)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=cmd_serve)
@@ -522,6 +576,12 @@ def build_parser():
                           metavar="SECONDS",
                           help="block up to SECONDS for the verdict "
                                "(0: return the job id immediately)")
+    p_submit.add_argument("--shard-workers", type=int, default=None,
+                          metavar="N",
+                          help="ask the service to shard this job's "
+                               "search across N processes (a pure "
+                               "performance knob: it does not change "
+                               "the cache key)")
     _add_engine_arguments(p_submit)
     p_submit.add_argument("--all-properties", action="store_true",
                           help="skip relevance-based property selection")

@@ -12,7 +12,10 @@ The exploration machinery of the checker, carved into replaceable parts:
   words per state);
 * :mod:`repro.engine.core` - the bounded search itself;
 * :mod:`repro.engine.batch` - :func:`verify_many`, fanning independent
-  verification jobs across a process pool.
+  verification jobs across a process pool;
+* :mod:`repro.engine.parallel` - :func:`explore_sharded`, sharding a
+  *single* run across worker processes by fingerprint ownership
+  (``EngineOptions(workers=N)`` / ``repro check --workers N``).
 
 ``repro.checker.explorer`` remains as a thin compatibility shim over this
 package.
@@ -20,6 +23,11 @@ package.
 
 from repro.engine.batch import VerificationJob, default_workers, verify_many
 from repro.engine.core import ExplorationEngine, verify
+from repro.engine.parallel import (
+    ShardError,
+    default_shard_workers,
+    explore_sharded,
+)
 from repro.engine.frontier import (
     BreadthFirstFrontier,
     DepthFirstFrontier,
@@ -60,8 +68,11 @@ __all__ = [
     "Frontier",
     "PriorityFrontier",
     "SEQUENTIAL",
+    "ShardError",
     "VerificationJob",
+    "default_shard_workers",
     "default_workers",
+    "explore_sharded",
     "make_frontier",
     "register_strategy",
     "strategy_names",

@@ -127,17 +127,45 @@ def resolve_job_registry(job):
     return overlay_sources(_resolve_registry(job.registry), job.sources)
 
 
-def execute_job(job):
-    """Build and verify one job (runs inside the worker process)."""
-    from repro.engine.core import ExplorationEngine
+def build_job_context(job):
+    """``(system, properties)`` for one job, built in this process.
+
+    The declarative job description resolves to a live bound system:
+    registry spec plus raw-source overlays, a strict-or-lenient model
+    build, then property resolution and relevance selection.  Shared by
+    inline execution, every shard worker of a sharded run, and the
+    parent-side counterexample replay - all of which must rebuild the
+    *same* system for a job.
+    """
     from repro.model.generator import ModelGenerator
 
     registry = resolve_job_registry(job)
     system = ModelGenerator(registry).build(
         job.config, strict=job.strict, enable_failures=job.enable_failures,
         user_mode_events=job.user_mode_events)
-    properties = _resolve_properties(job, system)
+    return system, _resolve_properties(job, system)
+
+
+def execute_job_inline(job):
+    """Build and verify one job in this process, one worker, no routing."""
+    from repro.engine.core import ExplorationEngine
+
+    system, properties = build_job_context(job)
     return ExplorationEngine(system, properties, job.options).run()
+
+
+def execute_job(job):
+    """Build and verify one job (runs inside the worker process).
+
+    A job whose options request shard workers (``workers > 1``) runs
+    through the sharded multi-process engine
+    (:func:`repro.engine.parallel.explore_sharded`); everything else
+    runs the classic in-process search.
+    """
+    if getattr(job.options, "workers", 1) and job.options.workers > 1:
+        from repro.engine.parallel import explore_sharded
+        return explore_sharded(job)
+    return execute_job_inline(job)
 
 
 def _execute_named(job):

@@ -38,6 +38,10 @@ from repro.engine.result import ExplorationResult
 #: shared empty sleep set (most nodes sleep nothing)
 _NO_SLEEP = frozenset()
 
+#: longest counterexample the trace canonicalization will permute
+#: (factorial growth; beyond this the recorded path is kept as-is)
+PERMUTE_TRACE_LIMIT = 6
+
 
 class _Node:
     """A search node with parent links for counterexample reconstruction.
@@ -62,12 +66,19 @@ class _Node:
         self.sleep = sleep
 
     def path(self):
+        """Root-to-here as ``[(event label, [TraceStep, ...]), ...]``."""
         chain = []
         node = self
         while node.parent is not None:
             chain.append((node.label, list(node.steps)))
             node = node.parent
         chain.reverse()
+        # a sharded worker's seed nodes carry the event prefix that led
+        # to them in some other shard (see repro.engine.parallel); plain
+        # roots have no such attribute
+        base = getattr(node, "base_path", None)
+        if base:
+            return list(base) + chain
         return chain
 
 
@@ -98,6 +109,8 @@ class _SuccessorCache:
         self.auto_disabled = False
 
     def lookup(self, key):
+        """The memoized expansion for ``key``; None (and counted as a
+        miss, feeding the watchdog) when absent."""
         entry = self.entries.get(key)
         if entry is not None:
             self.hits += 1
@@ -201,22 +214,42 @@ class ExplorationEngine:
             if restore_gc:
                 gc.enable()
 
-    def _run(self):
+    def _setup_search(self, result):
+        """Assemble one run's moving parts; shared with the shard
+        workers (:mod:`repro.engine.parallel`) so the two search loops
+        cannot drift in what they initialize.
+
+        Returns ``(visited, frontier, cache, reducer, matcher)`` and
+        applies the per-run execution back-end choice to the system.
+        """
         options = self.options
         # the execution back-end is a per-run choice (--no-compile flips
         # the same system back to the tree-interpreter oracle)
         self.system.use_compiled = options.compiled
-        result = ExplorationResult()
-        started = time.monotonic()
         visited = options.make_visited(self.system)
         frontier = options.make_frontier()
-
         cache = None
         if options.successor_cache:
             cache = _SuccessorCache(options)
             result.cache_mode = "fingerprint"
         reducer = self._make_reducer()
         matcher = _SleepStateMatcher(visited) if reducer is not None else None
+        return visited, frontier, cache, reducer, matcher
+
+    def _run(self):
+        options = self.options
+        result = ExplorationResult()
+        started = time.monotonic()
+        visited, frontier, cache, reducer, matcher = self._setup_search(
+            result)
+
+        # third-party stores without the O(1) distinct counter degrade
+        # to the legacy fresh-equals-new accounting.  The counter is
+        # only sampled on *fresh* admissions (a pruned revisit can never
+        # have grown the store), keeping the per-transition hot path at
+        # exactly one store call
+        count_distinct = getattr(visited, "distinct_count", None)
+        last_distinct = count_distinct() if count_distinct is not None else 0
 
         root = _Node(self.system.initial_state(), 0,
                      sleep=_NO_SLEEP if reducer is not None else None)
@@ -261,8 +294,17 @@ class ExplorationEngine:
                         return self._finish(result, visited, cache, started)
                 if depth <= options.max_events:
                     if matcher is None:
+                        # states_explored counts *distinct* states (an
+                        # order-independent metric: depth-improved
+                        # revisits re-expand but do not re-count), so a
+                        # sharded run sums to the single-worker number
                         fresh = not visited.seen_state(new_state, depth)
-                        is_new = fresh
+                        if fresh and count_distinct is not None:
+                            now = count_distinct()
+                            is_new = now > last_distinct
+                            last_distinct = now
+                        else:
+                            is_new = fresh
                     else:
                         pruned, child_sleep, is_new = matcher.seen_state(
                             new_state, depth, child_sleep)
@@ -372,7 +414,16 @@ class ExplorationEngine:
                    [v.clone() for v in violations] if violations else (),
                    steps)
 
+    #: subclasses (the shard workers) defer trace canonicalization to
+    #: the parent-side merge instead of paying for it per shard
+    canonicalize_traces = True
+
     def _finish(self, result, visited, cache, started):
+        # canonicalization is part of the run, so it is timed: elapsed
+        # (and the states/sec figures derived from it in the bench
+        # artifact) must not hide the permutation-replay cost
+        if self.canonicalize_traces:
+            self._canonicalize_traces(result)
         result.elapsed = time.monotonic() - started
         result.visited_stats = visited.stats()
         result.property_stats = self._compiled_properties.stats()
@@ -381,6 +432,44 @@ class ExplorationEngine:
             result.cache_misses = cache.misses
             result.cache_auto_disabled = cache.auto_disabled
         return result
+
+    def _canonicalize_traces(self, result):
+        """Make recorded traces independent of the expansion order.
+
+        The search records, per violation, the path of whichever
+        expansion reached it - under commuting events the same
+        violating state can hang below several equal-length prefixes,
+        and which one got recorded is an artifact of search (or, in a
+        sharded run, queue-arrival) order.  This pass replays every
+        valid permutation of each recorded event sequence and keeps the
+        canonical minimum via :meth:`_record`'s ordering, so the
+        rendered trace is a function of the state space alone - the
+        property that lets sharded runs reproduce single-worker traces.
+
+        Keys never appear or disappear: permutations only compete for
+        the trace of violations the search itself proved.
+        """
+        if not result.counterexamples:
+            return
+        import itertools
+
+        keys_before = set(result.counterexamples)
+        for counterexample in list(result.counterexamples.values()):
+            labels = counterexample.event_labels()
+            if not 1 < len(labels) <= PERMUTE_TRACE_LIMIT:
+                continue
+            for permuted in sorted(set(itertools.permutations(labels))):
+                if list(permuted) == labels:
+                    continue
+                replayed = replay_path(self, permuted)
+                if replayed is None:
+                    continue
+                node, violations = replayed
+                self._record(result, node, violations)
+        # a permuted path may end in a violation the (e.g. truncated)
+        # search never recorded; canonicalization must not invent keys
+        for key in set(result.counterexamples) - keys_before:
+            del result.counterexamples[key]
 
     def _transitions_from(self, node, event_filter=None):
         if self.options.mode == CONCURRENT:
@@ -395,6 +484,7 @@ class ExplorationEngine:
 
     def _record(self, result, node, violations):
         path = node.path()
+        order = path_order_key(path)
         for violation in violations:
             refined = self._role_actors(violation, path)
             if refined:
@@ -403,7 +493,13 @@ class ExplorationEngine:
                 # fall back to every app that acted along the path
                 violation.apps = _path_actors(path)
             key = violation.dedup_key()
-            if key not in result.counterexamples:
+            existing = result.counterexamples.get(key)
+            # keep the *canonical* counterexample per distinct violation:
+            # the shortest path, ties broken by the event-label sequence.
+            # Content-based selection (instead of first-found) makes the
+            # reported trace independent of expansion order, so sharded
+            # multi-worker runs reproduce the single-worker trace
+            if existing is None or order < path_order_key(existing.path):
                 result.counterexamples[key] = self._counterexample_cls(
                     violation, path)
 
@@ -459,6 +555,46 @@ class ExplorationEngine:
     def _limits_hit(self, result, started):
         return (self._cheap_limits_hit(result)
                 or self._time_limit_hit(result, started))
+
+
+def replay_path(engine, labels):
+    """Drive the transition relation along one event-label sequence.
+
+    Returns ``(final node, violations of the final transition)`` or
+    ``None`` when the sequence does not replay to a violating
+    transition.  Labels deterministically identify transitions, so a
+    successful replay regenerates the exact cascade steps - this is how
+    the trace canonicalization and the sharded parent rebuild rendered
+    counterexamples without trusting any recorded path.
+    """
+    node = _Node(engine.system.initial_state(), 0)
+    violations = []
+    for label in labels:
+        matched = None
+        for transition in engine._transitions_from(node):
+            if transition[0] == label:
+                matched = transition
+                break
+        if matched is None:
+            return None
+        _label, new_state, consumed, violations, steps = matched
+        node = _Node(new_state, node.depth + (1 if consumed else 0),
+                     parent=node, label=label, steps=steps)
+    if not violations:
+        return None
+    return node, violations
+
+
+def path_order_key(path):
+    """The canonical order of counterexample paths: shortest first, then
+    by the external-event label sequence.
+
+    Both the sequential recorder and the sharded merge
+    (:mod:`repro.engine.parallel`) select the minimum under this key, so
+    every run of the same system reports the same trace per violation
+    regardless of worker count or expansion order.
+    """
+    return (len(path), tuple(label for label, _steps in path))
 
 
 def _path_actors(path):

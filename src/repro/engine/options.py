@@ -97,6 +97,21 @@ class EngineOptions:
         short-lived, almost entirely acyclic objects, so generation-0
         sweeps cost ~30% of wall clock while reclaiming nothing that
         reference counting does not already reclaim.
+    ``workers``
+        Shard *one* run across this many worker processes
+        (:mod:`repro.engine.parallel`): state ownership is partitioned
+        by fingerprint, each shard runs the full engine (its own
+        frontier, visited store, successor cache and sleep sets) and
+        cross-shard frontier states travel in batches over
+        multiprocessing queues.  ``1`` (the default) runs the classic
+        in-process search.  A pure performance knob: verdicts,
+        violation sets and the canonical counterexample traces are
+        identical to a single-worker run, so it does not participate in
+        the vetting service's content digests.  Consumed by the
+        job-based runners (``execute_job``/``explore_sharded`` - shard
+        workers rebuild the system from the declarative job); a bare
+        :class:`~repro.engine.core.ExplorationEngine` always runs
+        in-process.
     """
 
     def __init__(self, max_events=3, mode=SEQUENTIAL, visited="fingerprint",
@@ -105,7 +120,7 @@ class EngineOptions:
                  priority=None, compiled=True, successor_cache=True,
                  cache_limit=100000, cache_min_hit_rate=0.05,
                  cache_warmup=4096, reduction=False, check_interval=256,
-                 manage_gc=True):
+                 manage_gc=True, workers=1):
         self.max_events = max_events
         self.mode = mode
         self.visited = visited
@@ -124,8 +139,11 @@ class EngineOptions:
         self.reduction = reduction
         self.check_interval = check_interval
         self.manage_gc = manage_gc
+        self.workers = workers
 
     def make_visited(self, system=None):
+        """Build the selected visited store (some stores need the
+        system's state schema, hence the argument)."""
         factory = _VISITED_STORES.get(self.visited)
         if factory is None:
             raise KeyError("unknown visited store %r (known: %s)"
@@ -133,4 +151,5 @@ class EngineOptions:
         return factory(self, system)
 
     def make_frontier(self):
+        """Build the frontier selected by ``strategy`` (registry name)."""
         return _strategy.make_frontier(self.strategy, self)

@@ -1,0 +1,731 @@
+"""Swarm exploration: sharding one verification run across processes.
+
+The classic SPIN multi-core gap: ``verify_many`` scales *across*
+independent jobs, but a single deep ``repro check`` still explores its
+state space on one core.  This module partitions one run instead:
+
+* **ownership by fingerprint** - every reachable state is owned by
+  exactly one of N worker processes (``fingerprint % N``), so the
+  distinct-state count and the depth-aware revisit semantics are
+  preserved globally while each shard keeps its own frontier, visited
+  store (exact / fingerprint / collapse all work unchanged), successor
+  cache and sleep sets;
+* **batched handoff** - successors owned by another shard travel in
+  batches over multiprocessing queues, carrying their depth, sleep set
+  and the full event prefix (labels + trace steps) so the receiving
+  shard records violations with complete paths;
+* **counting termination with a confirmation round** - workers report
+  ``(idle, sent, received)`` snapshots to the parent; when every worker
+  is idle and the global sent/received handoff counters agree, the
+  parent holds the tentative verdict until every worker re-reports
+  *after* that observation with unchanged counters (stale reports can
+  balance spuriously - the classic distributed-termination pitfall);
+  only the confirmed double-barrier guarantees nothing is buffered, in
+  flight or unprocessed anywhere, i.e. the bounded space is exhausted;
+* **deterministic traces** - shards report counterexamples as event
+  sequences; the parent selects the canonical one per violation (the
+  shortest path, ties broken by label order - the same rule the
+  sequential recorder applies) and *replays* it on its own system, so
+  the rendered trace is independent of shard scheduling races.
+
+Sharding is a pure performance knob: verdicts, violation sets and the
+canonical traces match the single-worker run, which is why
+``EngineOptions.workers`` is excluded from the vetting service's content
+digests.
+
+Worker processes prefer the ``fork`` start method: children inherit the
+parent's hash seed, which keeps :meth:`ModelState.fingerprint` - and
+therefore state ownership - consistent across every shard.  Where only
+``spawn`` exists the parent pins ``PYTHONHASHSEED`` for its children
+instead.
+"""
+
+import os
+import queue as _queue_mod
+import time
+import traceback
+
+from repro.engine.core import (
+    _NO_SLEEP,
+    _Node,
+    ExplorationEngine,
+    path_order_key,
+    replay_path,
+)
+from repro.engine.result import ExplorationResult
+
+#: cross-shard handoffs per queue message (batching amortizes pickling)
+HANDOFF_BATCH = 64
+#: frontier nodes expanded between inbox polls
+EXPAND_CHUNK = 256
+#: transitions between unsolicited worker status reports
+STATUS_EVERY = 4096
+#: seconds a blocked worker waits on its inbox per poll
+IDLE_POLL = 0.1
+
+
+#: hard ceiling on shards per run: beyond this, per-shard queues and
+#: model rebuilds cost more than any realistic core count returns, and
+#: an unbounded request (e.g. through the service API) must never fork
+#: the host to death
+MAX_SHARD_WORKERS = 64
+
+
+def default_shard_workers(requested=None):
+    """Resolve a worker count: ``None``/0 means one shard per core;
+    explicit requests are clamped to :data:`MAX_SHARD_WORKERS`."""
+    if requested:
+        return max(1, min(int(requested), MAX_SHARD_WORKERS))
+    return max(1, min(os.cpu_count() or 1, MAX_SHARD_WORKERS))
+
+
+def _mp_context():
+    """A start-method context with cross-worker-consistent hashing.
+
+    ``fork`` children inherit the parent's hash seed, so fingerprints
+    (built on ``hash()``) agree across shards for free.  Under ``spawn``
+    the children re-exec, so the parent pins ``PYTHONHASHSEED`` in the
+    environment they inherit; :func:`explore_sharded` verifies agreement
+    after the fact via each shard's reported root fingerprint.
+    """
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork"), None
+    return multiprocessing.get_context("spawn"), "0"
+
+
+class _SeedNode(_Node):
+    """A shard-local root for a state handed off by another shard.
+
+    ``base_path`` is the event prefix (label + trace steps per level)
+    that led to this state wherever it was discovered;
+    :meth:`_Node.path` prepends it, so violations found below a seed
+    report complete root-to-violation paths.
+    """
+
+    __slots__ = ("base_path",)
+
+    def __init__(self, state, depth, base_path, sleep=None):
+        super().__init__(state, depth, sleep=sleep)
+        self.base_path = base_path
+
+
+class _ShardEngine(ExplorationEngine):
+    """One shard's search loop: the sequential engine plus routing.
+
+    Reuses the parent class's transition generation (successor cache
+    included), sleep-set propagation, violation recording and limit
+    checks; only the admission step changes - successors owned by
+    another shard are exported instead of explored.
+    """
+
+    #: shards report raw candidates; the parent canonicalizes once
+    #: after the merge instead of every shard permuting its own
+    canonicalize_traces = False
+
+    def __init__(self, system, properties, options, worker_id, shards,
+                 inbox, peer_queues, control, stop_event):
+        super().__init__(system, properties, options)
+        self.worker_id = worker_id
+        self.shards = shards
+        self.inbox = inbox
+        self.peer_queues = peer_queues
+        self.control = control
+        #: the parent's stop broadcast.  Deliberately an Event, not an
+        #: inbox message: a queue's cross-process writelock can be
+        #: orphaned by a peer that exits while its feeder thread is
+        #: blocked on a full pipe, and a stop that has to wait for that
+        #: lock would deadlock the swarm - an Event has no lock to lose
+        self.stop_event = stop_event
+        #: peer id -> buffered handoffs awaiting a batched flush
+        self._outbox = {peer: [] for peer in range(shards)
+                        if peer != worker_id}
+        self.sent = 0
+        self.received = 0
+        self._seq = 0
+        self._last_status = None
+        self._halted = False
+        self._found = False
+        self._last_distinct = 0
+
+    # ------------------------------------------------------------------
+    # the sharded search loop
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        result = self._result = ExplorationResult()
+        self._started = time.monotonic()
+        (self._visited, self._frontier, self._cache, self._reducer,
+         self._matcher) = self._setup_search(result)
+        # same graceful degradation as the sequential loop: third-party
+        # stores without the O(1) counter fall back to fresh-equals-new
+        self._count_distinct = getattr(self._visited, "distinct_count", None)
+
+        root = self.system.initial_state()
+        self._root_fp = root.fingerprint()
+        if self._root_fp % self.shards == self.worker_id:
+            self._admit(root, 0,
+                        _NO_SLEEP if self._reducer is not None else None, ())
+
+        while not self.stop_event.is_set():
+            progressed = self._poll_inbox(block=False)
+            if self._frontier and not self._halted:
+                self._expand_chunk()
+                continue
+            if progressed:
+                continue
+            # locally exhausted: flush partial batches, report idle and
+            # wait for more work or the stop broadcast.  The idle report
+            # repeats once per empty poll (``force``): the parent's
+            # termination confirmation round needs a fresh post-decision
+            # report from every worker, not just a deduplicated one
+            self._flush_outboxes()
+            self._send_status(idle=True, force=True)
+            self._poll_inbox(block=True)
+        return self._finish_shard()
+
+    def _expand_chunk(self):
+        """Expand up to :data:`EXPAND_CHUNK` nodes, routing successors."""
+        result = self._result
+        options = self.options
+        frontier = self._frontier
+        status_mark = result.transitions
+        for _ in range(EXPAND_CHUNK):
+            if not frontier or self._halted:
+                break
+            if self._limits_hit(result, self._started):
+                self._halt()
+                break
+            node = frontier.pop()
+            expanded_keys = [] if self._reducer is not None else None
+            #: root-to-node event prefix, shared by every export from
+            #: this node (computed on the first foreign-owned successor)
+            node_path = None
+            for transition in self._node_transitions(node, self._cache,
+                                                     self._reducer, result):
+                label, new_state, consumed, violations, steps = transition
+                result.transitions += 1
+                depth = node.depth + (1 if consumed else 0)
+                child_sleep = None
+                if self._reducer is not None:
+                    child_sleep = self._child_sleep(node, self._reducer,
+                                                    label, expanded_keys)
+                if violations:
+                    child = _Node(new_state, depth, parent=node, label=label,
+                                  steps=steps, sleep=child_sleep)
+                    self._record(result, child, violations)
+                    if options.stop_on_first:
+                        self._found = True
+                        self._halt()
+                        break
+                if depth <= options.max_events:
+                    owner = new_state.fingerprint() % self.shards
+                    if owner == self.worker_id:
+                        self._admit_child(node, label, steps, new_state,
+                                          depth, child_sleep)
+                    else:
+                        if node_path is None:
+                            node_path = node.path()
+                        self._export(owner, node_path, label, steps,
+                                     new_state, depth, child_sleep)
+                if self._cheap_limits_hit(result):
+                    self._halt()
+                    break
+        if result.transitions - status_mark or self._halted:
+            if (result.transitions // STATUS_EVERY
+                    != status_mark // STATUS_EVERY) or self._halted:
+                self._send_status(idle=False)
+
+    def _visit(self, state, depth, sleep):
+        """Shared visited/matcher bookkeeping; ``(fresh, sleep, is_new)``.
+
+        ``is_new`` is the distinct-state signal (same accounting as the
+        sequential engine: depth-improved revisits re-expand without
+        re-counting), so the summed shard counts equal the single-worker
+        ``states_explored``.
+        """
+        if self._matcher is None:
+            fresh = not self._visited.seen_state(state, depth)
+            is_new = fresh
+            if fresh and self._count_distinct is not None:
+                # a pruned revisit can never have grown the store
+                now = self._count_distinct()
+                is_new = now > self._last_distinct
+                self._last_distinct = now
+            return fresh, sleep, is_new
+        pruned, sleep, is_new = self._matcher.seen_state(
+            state, depth, sleep if sleep is not None else _NO_SLEEP)
+        return not pruned, sleep, is_new
+
+    def _admit_child(self, node, label, steps, state, depth, sleep):
+        """Local admission of a successor this shard owns (the engine's
+        child-admission block, minus the violation half already done)."""
+        fresh, sleep, is_new = self._visit(state, depth, sleep)
+        if not fresh:
+            return
+        if is_new:
+            self._result.states_explored += 1
+        if depth < self.options.max_events or state.pending:
+            child = _Node(state, depth, parent=node, label=label,
+                          steps=steps, sleep=sleep)
+            self._frontier.push(child)
+
+    def _admit(self, state, depth, sleep, base_path):
+        """Admission of a state arriving over the wire (or the root)."""
+        fresh, sleep, is_new = self._visit(state, depth, sleep)
+        if not fresh:
+            return
+        if is_new:
+            self._result.states_explored += 1
+        if depth < self.options.max_events or state.pending:
+            self._frontier.push(_SeedNode(state, depth, tuple(base_path),
+                                          sleep=sleep))
+
+    def _export(self, owner, node_path, label, steps, state, depth, sleep):
+        """Buffer one handoff; the shared per-node prefix is extended
+        with this transition's (label, steps) tail only."""
+        path = list(node_path)
+        path.append((label, list(steps)))
+        buffered = self._outbox[owner]
+        buffered.append((state, depth, sleep, path))
+        if len(buffered) >= HANDOFF_BATCH:
+            self._flush_peer(owner)
+
+    def _flush_peer(self, owner):
+        buffered = self._outbox[owner]
+        if not buffered:
+            return
+        self.peer_queues[owner].put(("states", buffered))
+        self.sent += len(buffered)
+        self._outbox[owner] = []
+
+    def _flush_outboxes(self):
+        for peer in self._outbox:
+            self._flush_peer(peer)
+
+    # ------------------------------------------------------------------
+    # inbox + control plumbing
+    # ------------------------------------------------------------------
+
+    def _poll_inbox(self, block):
+        """Drain available inbox messages; True when any state arrived."""
+        progressed = False
+        while True:
+            try:
+                message = self.inbox.get(timeout=IDLE_POLL if block else 0)
+            except _queue_mod.Empty:
+                return progressed
+            kind = message[0]
+            if kind == "states":
+                batch = message[1]
+                self.received += len(batch)
+                if not self._halted:
+                    for state, depth, sleep, path in batch:
+                        self._admit(state, depth, sleep, path)
+                progressed = True
+            # drain the rest without waiting; the stop broadcast is an
+            # Event checked by the main loop, never an inbox message
+            block = False
+
+    def _halt(self):
+        """Stop expanding (limit hit / first violation) but keep
+        draining the inbox so peers and the parent never stall."""
+        self._halted = True
+
+    def _send_status(self, idle, force=False):
+        snapshot = (idle, self.sent, self.received,
+                    self._result.states_explored, self._result.transitions,
+                    self._found, self._result.truncated)
+        if snapshot == self._last_status and not force:
+            return
+        self._last_status = snapshot
+        self._seq += 1
+        self.control.put(("status", self.worker_id, self._seq) + snapshot)
+
+    def _finish_shard(self):
+        return self._finish(self._result, self._visited, self._cache,
+                            self._started)
+
+
+def _worker_main(worker_id, shards, job, queues, control, stop_event):
+    """Process entry point of one shard."""
+    from repro.engine.batch import build_job_context
+
+    inbox = queues[worker_id]
+    try:
+        system, properties = build_job_context(job)
+        engine = _ShardEngine(system, properties, job.options, worker_id,
+                              shards, inbox, queues, control, stop_event)
+        result = engine.run()
+        payload = {
+            "result": result.to_dict(),
+            "sent": engine.sent,
+            "received": engine.received,
+            "root_fp": engine._root_fp,
+        }
+        control.put(("result", worker_id, payload))
+    except Exception:
+        control.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        # exit must never hang on undelivered handoffs: receivers may
+        # already be gone, and the data is meaningless after stop
+        for peer, peer_queue in enumerate(queues):
+            if peer != worker_id:
+                peer_queue.cancel_join_thread()
+        try:  # drain what peers managed to enqueue, unblocking their feeders
+            while True:
+                inbox.get_nowait()
+        except (_queue_mod.Empty, OSError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# parent-side orchestration
+# ---------------------------------------------------------------------------
+
+
+class ShardError(RuntimeError):
+    """A shard worker died or reported an exception."""
+
+
+def explore_sharded(job, workers=None, keep_replay_system=False):
+    """Verify one job with a sharded multi-process search.
+
+    ``job`` is a picklable :class:`~repro.engine.batch.VerificationJob`
+    (the same contract as ``verify_many``: workers rebuild the system
+    from the declarative description).  Returns a merged
+    :class:`~repro.engine.result.ExplorationResult` whose verdict,
+    violation set and counterexample traces match the single-worker
+    run; ``workers``/``shard_stats`` carry the per-shard accounting.
+
+    ``keep_replay_system=True`` attaches the system the canonical trace
+    replay ran against as ``result.replay_system``, so an in-process
+    caller rendering traces need not build another one.  Off by
+    default: a bound system does not pickle, and batch/service runs
+    ship results across process boundaries.
+    """
+    from repro.engine.batch import _warm_registries, build_job_context
+
+    workers = default_shard_workers(workers or job.options.workers)
+    if workers <= 1:
+        from repro.engine.batch import execute_job_inline
+        return execute_job_inline(job)
+
+    ctx, hash_seed = _mp_context()
+    _warm_registries([job])  # fork children inherit the parsed corpus
+    queues = [ctx.Queue() for _ in range(workers)]
+    control = ctx.Queue()
+    stop_event = ctx.Event()
+    restore_seed = _pin_hash_seed(hash_seed)
+    try:
+        procs = [ctx.Process(target=_worker_main,
+                             args=(wid, workers, job, queues, control,
+                                   stop_event),
+                             daemon=True, name="repro-shard-%d" % wid)
+                 for wid in range(workers)]
+        for proc in procs:
+            proc.start()
+    finally:
+        if restore_seed is not None:
+            restore_seed()
+
+    started = time.monotonic()
+    try:
+        payloads, stop_reason = _coordinate(job.options, workers, stop_event,
+                                            control, procs, started)
+    finally:
+        stop_event.set()  # no worker may outlive a coordination error
+        _shutdown(procs, queues, control)
+
+    merged, candidates = _merge_shards(payloads, workers)
+    if stop_reason is not None and not merged.truncated:
+        merged.truncated = True
+        merged.truncated_reason = stop_reason
+    replay_system = _rebuild_counterexamples(job, merged, candidates)
+    if keep_replay_system:
+        merged.replay_system = replay_system
+    # stamped after the trace rebuild: the canonical replay is part of
+    # the sharded run's cost, and states/sec must not hide it
+    merged.elapsed = time.monotonic() - started
+    return merged
+
+
+def _pin_hash_seed(hash_seed):
+    """Pin ``PYTHONHASHSEED`` for spawn children; returns the undo."""
+    if hash_seed is None:
+        return None
+    previous = os.environ.get("PYTHONHASHSEED")
+    os.environ["PYTHONHASHSEED"] = hash_seed
+
+    def restore():
+        if previous is None:
+            os.environ.pop("PYTHONHASHSEED", None)
+        else:
+            os.environ["PYTHONHASHSEED"] = previous
+
+    return restore
+
+
+def _coordinate(options, workers, stop_event, control, procs, started):
+    """The parent's event loop: statuses in, one stop decision out.
+
+    Exhaustive termination needs two barriers.  The *tentative* verdict
+    fires when every worker's latest report says idle and the summed
+    sent/received handoff counters agree.  Reports are stale snapshots,
+    though: a worker may have woken on a late handoff and be flushing
+    new work that neither counter reflects yet, so a lone balanced
+    observation can be spurious (the classic pitfall of naive counting
+    termination detection).  The parent therefore *confirms*: it stops
+    only once every worker has reported again - strictly after the
+    tentative observation - still idle with unchanged counters.  Any
+    counter movement in between cancels the confirmation.  A send after
+    a worker's first report would change its counters; a receipt
+    implies such a send; so double-barrier equality proves nothing is
+    buffered, in flight or unprocessed anywhere.
+
+    Global limits (state/transition counts aggregated across shards,
+    the wall clock) and ``stop_on_first`` route through the same stop
+    broadcast without confirmation - they do not claim exhaustiveness.
+    Returns ``(per-worker result payloads, stop reason)``.
+    """
+    statuses = {}   # wid -> (seq, snapshot)
+    payloads = {}
+    stop_reason = None
+    #: wid -> (seq, sent, received) at the tentative balanced
+    #: observation; None when no confirmation round is open
+    confirming = None
+    confirmed = set()
+    suspects = set()
+    next_liveness = time.monotonic() + 1.0
+
+    def broadcast_stop(reason):
+        nonlocal stop_reason
+        if not stop_event.is_set():
+            stop_reason = reason
+            stop_event.set()
+
+    while len(payloads) < workers:
+        now = time.monotonic()
+        if now >= next_liveness:
+            next_liveness = now + 1.0
+            # a worker flushes its result before exiting, so a dead
+            # worker without one is a crash; requiring two sweeps ~1s
+            # apart bridges the flush-visible-to-exit-visible race
+            suspects = _check_liveness(procs, payloads, suspects,
+                                       broadcast_stop)
+        try:
+            message = control.get(timeout=IDLE_POLL)
+        except _queue_mod.Empty:
+            if not stop_event.is_set() and _time_limit_exceeded(options,
+                                                                started):
+                broadcast_stop("time_limit")
+            continue
+        kind = message[0]
+        if kind == "result":
+            payloads[message[1]] = message[2]
+            continue
+        if kind == "error":
+            broadcast_stop(None)
+            raise ShardError("shard worker %d failed:\n%s"
+                             % (message[1], message[2]))
+        if kind == "status":
+            statuses[message[1]] = (message[2], message[3:])
+        if stop_event.is_set():
+            continue
+        if _time_limit_exceeded(options, started):
+            broadcast_stop("time_limit")
+            continue
+        snapshots = {wid: entry[1] for wid, entry in statuses.items()}
+        reason = _limits_tripped(options, snapshots)
+        if reason is not None:
+            broadcast_stop(reason)
+            continue
+        if options.stop_on_first and any(s[5] for s in snapshots.values()):
+            broadcast_stop(None)
+            continue
+        balanced = (len(statuses) == workers
+                    and all(s[0] for s in snapshots.values())
+                    and sum(s[1] for s in snapshots.values())
+                    == sum(s[2] for s in snapshots.values()))
+        if not balanced:
+            confirming = None
+            continue
+        if confirming is None:
+            confirming = {wid: (seq, snap[1], snap[2])
+                          for wid, (seq, snap) in statuses.items()}
+            confirmed = set()
+            continue
+        wid = message[1]
+        seq, snap = statuses[wid]
+        first_seq, first_sent, first_received = confirming[wid]
+        if (snap[0], snap[1], snap[2]) != (True, first_sent, first_received):
+            # counters moved (or the worker woke): the balance was a
+            # stale mirage; re-arm from scratch
+            confirming = None
+            continue
+        if seq > first_seq:
+            confirmed.add(wid)
+            if len(confirmed) == workers:
+                broadcast_stop(None)
+    return payloads, stop_reason
+
+
+def _time_limit_exceeded(options, started):
+    return (options.time_limit
+            and time.monotonic() - started > options.time_limit)
+
+
+def _limits_tripped(options, statuses):
+    """A global limit reached by the *aggregate* shard counters."""
+    states = sum(s[3] for s in statuses.values())
+    transitions = sum(s[4] for s in statuses.values())
+    if options.max_states and states >= options.max_states:
+        return "max_states"
+    if options.max_transitions and transitions >= options.max_transitions:
+        return "max_transitions"
+    if any(s[6] for s in statuses.values()):  # a shard-local backstop hit
+        return "max_states"
+    return None
+
+
+def _check_liveness(procs, payloads, suspects, broadcast_stop):
+    """Crash detection: returns the new suspect set, raises on repeat.
+
+    A dead worker without a result is suspicious once and fatal twice -
+    the worker's exit joins its control-queue feeder, so by the second
+    sweep (~1s later) a legitimately finished worker's result would
+    have been read from the control queue already.
+    """
+    dead = {wid for wid, proc in enumerate(procs)
+            if wid not in payloads and not proc.is_alive()}
+    repeat = dead & suspects
+    if repeat:
+        broadcast_stop(None)
+        raise ShardError(
+            "shard worker(s) %s exited (codes %s) without reporting a "
+            "result" % (sorted(repeat),
+                        [procs[wid].exitcode for wid in sorted(repeat)]))
+    return dead
+
+
+def _shutdown(procs, queues, control):
+    for proc in procs:
+        proc.join(timeout=10.0)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for peer_queue in queues:
+        peer_queue.cancel_join_thread()
+        peer_queue.close()
+    control.cancel_join_thread()
+    control.close()
+
+
+# ---------------------------------------------------------------------------
+# merging + deterministic trace reconstruction
+# ---------------------------------------------------------------------------
+
+
+def _merge_shards(payloads, workers):
+    """Sum shard statistics into one result; collect trace candidates."""
+    merged = ExplorationResult()
+    merged.workers = workers
+    candidates = []
+    root_fps = set()
+    visited_stored = 0
+    visited_bytes = 0
+    for wid in sorted(payloads):
+        payload = payloads[wid]
+        shard = ExplorationResult.from_dict(payload["result"])
+        root_fps.add(payload.get("root_fp"))
+        merged.states_explored += shard.states_explored
+        merged.transitions += shard.transitions
+        merged.cache_hits += shard.cache_hits
+        merged.cache_misses += shard.cache_misses
+        merged.cache_auto_disabled |= shard.cache_auto_disabled
+        merged.commutes_pruned += shard.commutes_pruned
+        if shard.cache_mode != "off":
+            merged.cache_mode = shard.cache_mode
+        if shard.truncated and not merged.truncated:
+            merged.truncated = True
+            merged.truncated_reason = shard.truncated_reason
+        visited_stored += shard.visited_stats.get("stored", 0)
+        visited_bytes += shard.visited_stats.get("approx_bytes", 0)
+        for key, value in shard.property_stats.items():
+            if isinstance(value, (int, float)):
+                merged.property_stats[key] = (
+                    merged.property_stats.get(key, 0) + value)
+        merged.shard_stats.append({
+            "worker": wid,
+            "states_explored": shard.states_explored,
+            "transitions": shard.transitions,
+            "handoffs_sent": payload.get("sent", 0),
+            "handoffs_received": payload.get("received", 0),
+            "cache_hits": shard.cache_hits,
+            "cache_misses": shard.cache_misses,
+            "commutes_pruned": shard.commutes_pruned,
+            "visited_stats": dict(shard.visited_stats),
+        })
+        candidates.extend(shard.counterexamples.values())
+    if len(root_fps) > 1:
+        raise ShardError(
+            "shards disagree on the root fingerprint (%s): state ownership "
+            "was inconsistent, results are unsound - the worker start "
+            "method must give every shard the same hash seed" % root_fps)
+    merged.visited_stats = {
+        "stored": visited_stored,
+        "approx_bytes": visited_bytes,
+        "bytes_per_state": (round(visited_bytes / visited_stored, 1)
+                            if visited_stored else 0.0),
+    }
+    return merged, candidates
+
+
+def _rebuild_counterexamples(job, merged, candidates):
+    """Replay the canonical violating paths in the parent process.
+
+    Shard-reported counterexamples are complete, but which shard found a
+    given violation first - and through which of several equal-length
+    commuting prefixes - is a scheduling race.  The parent therefore
+    replays each candidate event sequence on its own freshly built
+    system, records the violations through the engine's canonical-
+    minimum recorder, and then runs the shared trace canonicalization
+    (permutation replay), so the rendered traces are a function of the
+    state space alone - byte-identical to the single-worker run's.
+
+    Returns the replay system (None when there was nothing to replay)
+    so callers that render traces need not build yet another one.
+    """
+    if not candidates:
+        return None
+    from repro.engine.batch import build_job_context
+
+    system, properties = build_job_context(job)
+    engine = ExplorationEngine(system, properties, job.options)
+    engine.system.use_compiled = job.options.compiled
+    paths = {}
+    for candidate in candidates:
+        paths.setdefault(tuple(candidate.event_labels()), candidate)
+    for labels in sorted(paths, key=lambda L: (len(L), L)):
+        replayed = replay_path(engine, labels)
+        if replayed is None:
+            _fallback_record(merged, paths[labels])
+            continue
+        node, violations = replayed
+        engine._record(merged, node, violations)
+    # safety net: a replay must never *lose* a violation a shard proved
+    for candidate in candidates:
+        if candidate.violation.dedup_key() not in merged.counterexamples:
+            _fallback_record(merged, candidate)
+    engine._canonicalize_traces(merged)
+    return system
+
+
+def _fallback_record(merged, candidate):
+    key = candidate.violation.dedup_key()
+    existing = merged.counterexamples.get(key)
+    if (existing is None
+            or path_order_key(candidate.path) < path_order_key(existing.path)):
+        merged.counterexamples[key] = candidate

@@ -46,6 +46,13 @@ class ExplorationResult:
         self.commutes_pruned = 0
         #: compiled-property statistics (invariant verdict memo)
         self.property_stats = {}
+        #: shard processes this run was partitioned across (1 = classic
+        #: in-process search)
+        self.workers = 1
+        #: per-shard statistics of a sharded run: one dict per worker
+        #: (states, transitions, handoffs sent/received, cache and
+        #: visited counters); empty for single-worker runs
+        self.shard_stats = []
 
     @property
     def cache_hit_rate(self):
@@ -103,10 +110,14 @@ class ExplorationResult:
             "cache_auto_disabled": self.cache_auto_disabled,
             "commutes_pruned": self.commutes_pruned,
             "property_stats": dict(self.property_stats),
+            "workers": self.workers,
+            "shard_stats": [dict(shard) for shard in self.shard_stats],
         }
 
     @classmethod
     def from_dict(cls, data):
+        """Rebuild a result from its serialized form (missing optional
+        fields default; newer schema versions are refused)."""
         from repro.checker.violations import Counterexample
 
         _check_schema(data, "ExplorationResult")
@@ -127,6 +138,9 @@ class ExplorationResult:
         result.cache_auto_disabled = data.get("cache_auto_disabled", False)
         result.commutes_pruned = data.get("commutes_pruned", 0)
         result.property_stats = dict(data.get("property_stats", {}))
+        result.workers = data.get("workers", 1)
+        result.shard_stats = [dict(shard)
+                              for shard in data.get("shard_stats", ())]
         return result
 
     def to_json(self, indent=None):
@@ -137,6 +151,8 @@ class ExplorationResult:
         return cls.from_dict(json.loads(text))
 
     def summary(self):
+        """Human-readable digest: verdict counts, engine stats, one
+        line per violation."""
         lines = ["%d distinct violation(s) of %d property(ies); "
                  "%d states, %d transitions, %.2fs%s" % (
                      len(self.counterexamples),
@@ -144,6 +160,13 @@ class ExplorationResult:
                      self.states_explored, self.transitions, self.elapsed,
                      " (truncated: %s)" % self.truncated_reason
                      if self.truncated else "")]
+        if self.workers > 1:
+            shards = ", ".join(
+                "#%s %d states" % (shard.get("worker", index),
+                                   shard.get("states_explored", 0))
+                for index, shard in enumerate(self.shard_stats))
+            lines.append("  sharded across %d workers (%s)"
+                         % (self.workers, shards or "no shard stats"))
         if self.cache_mode != "off" or self.commutes_pruned:
             lines.append(
                 "  engine: successor cache %s (%d hits / %d misses, "
@@ -211,6 +234,7 @@ class BatchResult:
 
     @property
     def violations(self):
+        """Every job's violations, concatenated in submission order."""
         merged = []
         for result in self.results.values():
             merged.extend(result.violations)
@@ -218,6 +242,7 @@ class BatchResult:
 
     @property
     def violated_property_ids(self):
+        """Sorted union of violated property ids across all jobs."""
         ids = set()
         for result in self.results.values():
             ids.update(result.violated_property_ids)
@@ -262,6 +287,7 @@ class BatchResult:
 
     @classmethod
     def from_dict(cls, data):
+        """Rebuild a merged batch (and every per-job result) from JSON."""
         _check_schema(data, "BatchResult")
         batch = cls()
         for name, result_data in data.get("results", {}).items():
@@ -280,6 +306,7 @@ class BatchResult:
         return cls.from_dict(json.loads(text))
 
     def summary(self):
+        """Human-readable digest: batch totals plus one line per job."""
         lines = ["%d job(s) on %d worker(s): %d violation(s) of %d "
                  "property(ies); %d states, %d transitions; %.2fs wall "
                  "(%.2fs of job time)" % (

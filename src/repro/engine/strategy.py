@@ -26,6 +26,7 @@ def register_strategy(name, factory):
 
 
 def strategy_names():
+    """The registered strategy names (CLI choices), sorted."""
     return sorted(_STRATEGIES)
 
 

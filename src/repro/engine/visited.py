@@ -18,6 +18,13 @@ at an equal-or-smaller depth?" - through three methods:
     :class:`~repro.model.state.ModelState` onto the store's key form;
     ``seen_before`` records it.
 
+``distinct_count()``
+    O(1) count of distinct states stored so far (a depth-improved
+    revisit does not grow it).  The engine samples it around each
+    ``seen_state`` call to keep ``states_explored`` a *distinct-state*
+    count - an order-independent metric, which is what lets a sharded
+    multi-worker run report exactly the single-worker number.
+
 The exact and BITSTATE stores live in :mod:`repro.checker.visited` (their
 historical home, kept for compatibility); this module re-exports them and
 adds the fingerprint set and the collapse-compressed store.
@@ -44,12 +51,15 @@ class FingerprintVisitedSet(ExactVisitedSet):
 
     @staticmethod
     def state_key(state):
+        """The one-word 64-bit fingerprint (this store's key form)."""
         return state.fingerprint()
 
     def seen_state(self, state, depth):
+        """Record by fingerprint; True when prunable at this depth."""
         return self.seen_before(state.fingerprint(), depth)
 
     def stats(self):
+        """``stored``/``approx_bytes``/``bytes_per_state`` counters."""
         stored = len(self._min_depth)
         # dict table + one boxed 64-bit int key per state (depth values
         # are small ints, interned by CPython)
@@ -176,16 +186,24 @@ class CollapseVisitedSet:
         memo[id(container)] = (container, block_id)
 
     def seen_state(self, state, depth):
+        """Record by packed component-id vector; True when prunable."""
         return self.seen_before(self.state_key(state), depth)
 
     def seen_before(self, key, depth):
+        """Depth-aware recording of an explicit key: True prunes, False
+        means the state must be (re)expanded at this smaller depth."""
         best = self._min_depth.get(key)
         if best is not None and best <= depth:
             return True
         self._min_depth[key] = depth
         return False
 
+    def distinct_count(self):
+        """Distinct states stored so far - O(1) (see the protocol doc)."""
+        return len(self._min_depth)
+
     def stats(self):
+        """Store counters incl. arena size and honest bytes/state."""
         stored = len(self._min_depth)
         entry_bytes = 0
         if stored:

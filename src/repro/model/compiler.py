@@ -120,6 +120,7 @@ class _Compiler:
     # -- statements ---------------------------------------------------------
 
     def compile_block(self, block):
+        """One closure running a statement list; returns its last value."""
         thunks = [self.compile_stmt(stmt) for stmt in block.stmts]
         if not thunks:
             return _const_none
@@ -141,6 +142,7 @@ class _Compiler:
         return run
 
     def compile_stmt(self, stmt):
+        """Dispatch one IR statement to its ``_stmt_<Type>`` compiler."""
         method = getattr(self, "_stmt_%s" % type(stmt).__name__, None)
         if method is None:
             raise CompileError("cannot compile statement %s"
@@ -342,6 +344,7 @@ class _Compiler:
     # -- expressions ---------------------------------------------------------
 
     def compile_expr(self, expr):
+        """Dispatch one IR expression to its ``_expr_<Type>`` compiler."""
         method = getattr(self, "_expr_%s" % type(expr).__name__, None)
         if method is None:
             raise CompileError("cannot compile expression %s"
@@ -641,6 +644,8 @@ class CompiledExecutor(Interpreter):
     # -- entry points --------------------------------------------------------
 
     def run_handler(self, handler_name, event_handle):
+        """Run one subscribed handler through its compiled closure tree
+        (missing handlers log a warning, exactly like the interpreter)."""
         method = self._compiled.methods.get(handler_name)
         if method is None:
             self.ctx.log(self.app.name, "warn",
@@ -673,6 +678,8 @@ class CompiledExecutor(Interpreter):
             return ret.value
 
     def invoke_closure(self, closure, args):
+        """Call a closure value; AST closures fall back to the
+        interpreter, compiled ones run their thunk with a fresh scope."""
         if not isinstance(closure, CompiledClosure):
             return super().invoke_closure(closure, args)
         scope = {}

@@ -42,12 +42,14 @@ from repro.service.defaults import DEFAULT_PORT
 from repro.service.scheduler import Scheduler
 from repro.service.store import STORE_SCHEMA_VERSION, ResultStore
 
-#: EngineOptions keyword arguments a submission may set
+#: EngineOptions keyword arguments a submission may set (``workers``
+#: shards the job's own search - a pure performance knob, excluded from
+#: the content digest, so it never splits the result cache)
 _ALLOWED_OPTIONS = (
     "max_events", "mode", "visited", "bitstate_bits", "max_states",
     "max_transitions", "time_limit", "stop_on_first", "strategy",
     "compiled", "successor_cache", "cache_limit", "cache_min_hit_rate",
-    "cache_warmup", "reduction",
+    "cache_warmup", "reduction", "workers",
 )
 
 
@@ -58,9 +60,10 @@ class SubmissionError(ValueError):
 class VettingService:
     """Scheduler + store glue shared by every handler thread."""
 
-    def __init__(self, store, workers=None):
+    def __init__(self, store, workers=None, shard_workers=None):
         self.store = store
-        self.scheduler = Scheduler(store, workers=workers)
+        self.scheduler = Scheduler(store, workers=workers,
+                                   shard_workers=shard_workers)
 
     def start(self):
         self.scheduler.start()
@@ -145,6 +148,17 @@ class VettingService:
                 raise SubmissionError(
                     "bad %r option %r (allowed: %s)"
                     % (key, options[key], ", ".join(allowed)))
+        if "workers" in options:
+            from repro.engine.parallel import MAX_SHARD_WORKERS
+
+            workers = options["workers"]
+            # one HTTP submission must never fork the host to death:
+            # bound the shard count here, before the engine sees it
+            if (not isinstance(workers, int) or isinstance(workers, bool)
+                    or not 1 <= workers <= MAX_SHARD_WORKERS):
+                raise SubmissionError(
+                    "bad 'workers' option %r (an integer 1..%d)"
+                    % (workers, MAX_SHARD_WORKERS))
         try:
             return EngineOptions(**options)
         except (TypeError, ValueError) as exc:
@@ -282,17 +296,21 @@ class VettingHTTPServer(ThreadingHTTPServer):
 
 
 def create_server(store_path=":memory:", host="127.0.0.1", port=DEFAULT_PORT,
-                  workers=None, verbose=False, store=None):
+                  workers=None, shard_workers=None, verbose=False,
+                  store=None):
     """Build (but don't run) a vetting server; returns ``(server, service)``.
 
     ``port=0`` binds an ephemeral free port (``server.server_address``
     reports the real one) - the tests and the CI smoke job use that.
     The scheduler's worker thread is started; call
     ``server.serve_forever()`` to serve and ``service.shutdown()`` +
-    ``server.server_close()`` to tear down.
+    ``server.server_close()`` to tear down.  ``shard_workers`` selects
+    the scheduler's sharded execution mode (each job's own search split
+    across N processes, jobs drained one at a time).
     """
     store = store if store is not None else ResultStore(store_path)
-    service = VettingService(store, workers=workers)
+    service = VettingService(store, workers=workers,
+                             shard_workers=shard_workers)
     service.start()
     server = VettingHTTPServer((host, port), service, verbose=verbose)
     return server, service
@@ -363,6 +381,7 @@ class ServiceClient:
         return self._request("/results/%s" % cache_key)
 
     def gc(self, max_age=None, keep=None):
+        """POST /gc: evict stored entries by age (seconds) / kept count."""
         payload = {}
         if max_age is not None:
             payload["max_age"] = max_age

@@ -20,6 +20,7 @@ tests and one-shot CLI flows) or by its own worker thread
 (:meth:`start`/:meth:`stop`, used by ``repro serve``).
 """
 
+import copy
 import heapq
 import itertools
 import os
@@ -62,6 +63,7 @@ class ScheduledJob:
 
     @property
     def verdict(self):
+        """``"violated"``/``"safe"``/``"error"``; None while running."""
         if self.status == ERROR:
             return "error"
         if self.result is None:
@@ -110,15 +112,31 @@ def estimate_cost(job):
 
 
 class Scheduler:
-    """Drives submissions through the store and the batch worker pool."""
+    """Drives submissions through the store and the batch worker pool.
 
-    def __init__(self, store, workers=None, batch_size=None):
+    ``shard_workers`` flips the execution model from *inter*-job to
+    *intra*-job parallelism: instead of fanning a batch of jobs across
+    the process pool, jobs drain one at a time and each runs through the
+    sharded engine (:mod:`repro.engine.parallel`) on ``shard_workers``
+    processes.  That is the right trade when submissions trickle in one
+    at a time on a multi-core host - the pool would idle N-1 cores per
+    drain cycle, the shards use them.  A submission whose own options
+    request ``workers > 1`` shards regardless of the scheduler default.
+    """
+
+    def __init__(self, store, workers=None, batch_size=None,
+                 shard_workers=None):
         self.store = store
         self.workers = workers
+        self.shard_workers = shard_workers
         #: jobs drained per cycle: enough to keep the pool busy, small
         #: enough that a high-priority arrival waits one batch at most
         self.batch_size = batch_size or max(
             1, (workers or os.cpu_count() or 1) * 4)
+        if shard_workers and shard_workers > 1:
+            # shards already saturate the cores; draining many jobs at
+            # once would multiply processes instead of throughput
+            self.batch_size = 1
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._jobs = {}          # job id -> ScheduledJob
@@ -227,15 +245,31 @@ class Scheduler:
         jobs = []
         for record in batch:
             source = record.job
+            options = source.options
+            if (self.shard_workers and self.shard_workers > 1
+                    and getattr(options, "workers", 1) <= 1):
+                options = copy.copy(options)
+                options.workers = self.shard_workers
             jobs.append(VerificationJob(
-                record.id, source.config, source.options,
+                record.id, source.config, options,
                 properties=source.properties, select=source.select,
                 registry=source.registry, strict=source.strict,
                 enable_failures=source.enable_failures,
                 user_mode_events=source.user_mode_events,
                 sources=source.sources))
         try:
-            outcome = verify_many(jobs, workers=self.workers)
+            # sharded jobs run inline (workers=1 pool): each already
+            # spawns its own shard processes via execute_job.  This
+            # also covers submissions that request options.workers
+            # themselves - pool parallelism must never *multiply* with
+            # per-job shard counts, or a batch of API submissions could
+            # fork pool x shards processes at once
+            sharded_batch = any(getattr(job.options, "workers", 1) > 1
+                                for job in jobs)
+            pool_workers = (1 if sharded_batch
+                            or (self.shard_workers and self.shard_workers > 1)
+                            else self.workers)
+            outcome = verify_many(jobs, workers=pool_workers)
         except Exception as exc:
             # verify_many catches per-job failures itself; this guards
             # batch-level failures (e.g. a dead process pool) so the
@@ -248,6 +282,15 @@ class Scheduler:
             if result is not None:
                 record.result = result
                 record.status = DONE
+                if result.workers > 1 and (
+                        result.truncated
+                        or record.job.options.stop_on_first):
+                    # a truncated (or stop-on-first) sharded run stopped
+                    # at a scheduling-dependent point, so its partial
+                    # result is not reproducible under the
+                    # (worker-agnostic) cache key - answer the
+                    # submitter, cache nothing
+                    continue
                 try:
                     self.store.put(record.cache_key, result,
                                    name=record.job.name,
@@ -362,4 +405,5 @@ class Scheduler:
                 "cache_hits": self.cache_hits,
                 "dedup_hits": self.dedup_hits,
                 "workers": self.workers,
+                "shard_workers": self.shard_workers,
             }

@@ -87,6 +87,8 @@ class StoredResult:
         return self._result
 
     def to_dict(self, include_result=True):
+        """JSON-safe view; ``include_result`` adds the full result JSON,
+        the submitted config and any uploaded sources."""
         data = {
             "cache_key": self.cache_key,
             "config_digest": self.config_digest,
@@ -234,6 +236,7 @@ class ResultStore:
         return [dict(row) for row in rows]
 
     def stats(self):
+        """Store counters: entries, verdict split, hits, saved seconds."""
         with self._lock:
             row = self._conn.execute(
                 "SELECT COUNT(*) AS entries, "

@@ -85,6 +85,26 @@ class TestCheck:
                             "--properties", "P39", "P40", capsys=capsys)
         assert "P06" not in out
 
+    def test_workers_flag_shards_and_matches_single(self, capsys):
+        """`repro check --workers 2` must report identical verdicts and
+        identical rendered traces to the plain run (the swarm tentpole's
+        CLI surface), plus the per-shard summary line."""
+        code, out = run_cli("check", "group1-entry-and-mode",
+                            "--max-events", "2", "--trace", capsys=capsys)
+        code2, out2 = run_cli("check", "group1-entry-and-mode",
+                              "--max-events", "2", "--trace",
+                              "--workers", "2", capsys=capsys)
+        assert (code, code2) == (1, 1)
+        assert "sharded across 2 workers" in out2
+        # the violation lines and the rendered violation log are
+        # byte-identical; only the stats lines may differ
+        def tail(text):
+            return text[text.index("SmartThings0.prom"):]
+        assert tail(out) == tail(out2)
+        for line in out.splitlines():
+            if line.startswith("  P"):
+                assert line in out2
+
     def test_config_from_json_file(self, tmp_path, capsys):
         from repro.config.schema import SystemConfiguration
 

@@ -1,0 +1,223 @@
+"""The sharded multi-process engine (:mod:`repro.engine.parallel`).
+
+The acceptance bar of the swarm tentpole, pinned as tests:
+
+* **corpus-wide equivalence** - ``workers=2`` reports the same verdict,
+  the same violation set (dedup keys) and byte-identical rendered
+  counterexample traces as the single-worker run, for every bundled
+  expert group and all three full-coverage visited stores;
+* **termination** - a system whose states are reachable through many
+  commuting orders (maximal cross-shard handoff traffic) still
+  terminates exhaustively: the counting protocol only stops when every
+  shard is idle and the global sent/received handoff counters agree;
+* **stats accounting** - the merged result accounts for every shard
+  (states, transitions, handoffs), and the merged counters survive the
+  versioned JSON round trip;
+* **digest neutrality** - ``workers`` is a pure performance knob, so it
+  must not change a job's content-addressed cache key.
+"""
+
+import pytest
+
+from repro.config.schema import SystemConfiguration
+from repro.corpus import load_all_apps
+from repro.corpus.groups import GROUP_BUILDERS
+from repro.engine import (
+    EngineOptions,
+    ExplorationResult,
+    VerificationJob,
+    explore_sharded,
+)
+from repro.engine.batch import execute_job, execute_job_inline
+
+from tests.conftest import _load_or_skip
+
+
+def _group_job(group_name, workers=1, **option_kwargs):
+    _load_or_skip(load_all_apps)
+    return VerificationJob(group_name, GROUP_BUILDERS[group_name](),
+                           EngineOptions(max_events=2, workers=workers,
+                                         **option_kwargs),
+                           strict=False)
+
+
+def _rendered_traces(result):
+    return {key: ce.describe() for key, ce in result.counterexamples.items()}
+
+
+# -- corpus-wide equivalence --------------------------------------------------
+
+
+class TestCorpusEquivalence:
+    """workers=2 == workers=1: verdicts, violation sets, traces, states."""
+
+    @pytest.mark.parametrize("group_name", sorted(GROUP_BUILDERS))
+    def test_sharded_matches_single_worker(self, group_name):
+        for store in ("exact", "fingerprint", "collapse"):
+            single = execute_job_inline(_group_job(group_name, visited=store))
+            sharded = explore_sharded(_group_job(group_name, visited=store,
+                                                 workers=2))
+            assert sharded.verdict == single.verdict, (group_name, store)
+            assert (sorted(sharded.counterexamples)
+                    == sorted(single.counterexamples)), (group_name, store)
+            # ownership partitioning preserves the distinct-state count
+            assert (sharded.states_explored
+                    == single.states_explored), (group_name, store)
+            # the canonical trace per violation is scheduling-independent
+            assert _rendered_traces(sharded) == _rendered_traces(single), (
+                group_name, store)
+
+    def test_sharded_with_reduction_keeps_verdicts(self):
+        group_name = sorted(GROUP_BUILDERS)[0]
+        single = execute_job_inline(_group_job(group_name, reduction=True))
+        sharded = explore_sharded(_group_job(group_name, reduction=True,
+                                             workers=2))
+        assert (sharded.violated_property_ids
+                == single.violated_property_ids)
+        assert sorted(sharded.counterexamples) == sorted(single.counterexamples)
+
+
+# -- termination under heavy cross-shard traffic ------------------------------
+
+
+def _commuting_config():
+    """Many independent sensors: states are reachable through every
+    permutation of the triggering events, so almost every successor is
+    owned by another shard and handoffs dominate the run."""
+    config = SystemConfiguration()
+    for index in range(4):
+        config.add_device("motion%d" % index, "smartsense-motion")
+        config.add_device("switch%d" % index, "smart-outlet")
+        config.add_app("Brighten My Path", {"motion1": "motion%d" % index,
+                                            "switch1": "switch%d" % index})
+    return config
+
+
+def _diamond_violation_config():
+    """Commuting diamond prefixes *above* a violating suffix: the same
+    violating state hangs below several equal-length event orders, so
+    which prefix a shard's admission recorded is a queue-arrival race -
+    exactly the case the trace canonicalization must neutralize."""
+    config = _commuting_config()
+    config.contacts.append("+1-555-0100")
+    config.add_device("alicePresence", "smartsense-presence")
+    config.add_device("doorLock", "zwave-lock")
+    config.association["main_door_lock"] = "doorLock"
+    config.add_app("Auto Mode Change", {"people": ["alicePresence"],
+                                        "awayMode": "Away",
+                                        "homeMode": "Home"})
+    config.add_app("Unlock Door", {"lock1": "doorLock"})
+    return config
+
+
+class TestTraceDeterminism:
+    def test_diamond_prefix_races_render_identically(self):
+        """Sharded traces equal the single-worker traces even when the
+        violating states are reachable through many commuting prefixes,
+        and repeated sharded runs agree with each other."""
+        _load_or_skip(load_all_apps)
+        config = _diamond_violation_config()
+
+        def job(workers):
+            return VerificationJob("diamond-violation", config,
+                                   EngineOptions(max_events=3,
+                                                 workers=workers),
+                                   strict=False)
+
+        single = execute_job_inline(job(1))
+        assert single.has_violations
+        runs = [explore_sharded(job(3)) for _ in range(3)]
+        for sharded in runs:
+            assert (sorted(sharded.counterexamples)
+                    == sorted(single.counterexamples))
+            assert _rendered_traces(sharded) == _rendered_traces(single)
+
+
+class TestTermination:
+    def test_heavy_cross_shard_edges_terminate_exhaustively(self):
+        _load_or_skip(load_all_apps)
+        config = _commuting_config()
+        single = execute_job_inline(VerificationJob(
+            "diamonds", config, EngineOptions(max_events=3), strict=False))
+        sharded = explore_sharded(VerificationJob(
+            "diamonds", config, EngineOptions(max_events=3, workers=3),
+            strict=False))
+        assert sharded.states_explored == single.states_explored
+        assert sharded.verdict == single.verdict
+        # the lattice really exercised the handoff path: most successors
+        # were owned by another shard
+        sent = sum(s["handoffs_sent"] for s in sharded.shard_stats)
+        received = sum(s["handoffs_received"] for s in sharded.shard_stats)
+        assert sent == received
+        assert sent > sharded.states_explored / 2
+
+    def test_stop_on_first_stops_every_shard(self):
+        group_name = sorted(GROUP_BUILDERS)[0]
+        sharded = explore_sharded(_group_job(group_name, workers=2,
+                                             stop_on_first=True))
+        assert sharded.has_violations
+
+    def test_global_state_limit_truncates(self):
+        group_name = sorted(GROUP_BUILDERS)[0]
+        sharded = explore_sharded(_group_job(group_name, workers=2,
+                                             max_states=50))
+        assert sharded.truncated
+        assert sharded.truncated_reason in ("max_states", "max_transitions")
+
+
+# -- merged statistics --------------------------------------------------------
+
+
+class TestMergedStats:
+    def test_every_shard_accounted(self):
+        group_name = sorted(GROUP_BUILDERS)[1]
+        sharded = explore_sharded(_group_job(group_name, workers=2))
+        assert sharded.workers == 2
+        assert [s["worker"] for s in sharded.shard_stats] == [0, 1]
+        assert sharded.states_explored == sum(
+            s["states_explored"] for s in sharded.shard_stats)
+        assert sharded.transitions == sum(
+            s["transitions"] for s in sharded.shard_stats)
+        assert sharded.visited_stats["stored"] == sharded.states_explored
+
+    def test_shard_stats_round_trip_json(self):
+        group_name = sorted(GROUP_BUILDERS)[1]
+        sharded = explore_sharded(_group_job(group_name, workers=2))
+        restored = ExplorationResult.from_json(sharded.to_json())
+        assert restored.workers == 2
+        assert restored.shard_stats == sharded.shard_stats
+        assert (sorted(restored.counterexamples)
+                == sorted(sharded.counterexamples))
+
+    def test_execute_job_dispatches_on_workers_option(self):
+        group_name = sorted(GROUP_BUILDERS)[2]
+        result = execute_job(_group_job(group_name, workers=2))
+        assert result.workers == 2
+        inline = execute_job(_group_job(group_name))
+        assert inline.workers == 1
+        assert inline.shard_stats == []
+
+
+# -- digest neutrality --------------------------------------------------------
+
+
+class TestDigestNeutrality:
+    def test_workers_does_not_change_the_cache_key(self):
+        group_name = sorted(GROUP_BUILDERS)[0]
+        assert (_group_job(group_name).cache_key()
+                == _group_job(group_name, workers=4).cache_key())
+
+
+class TestWorkerCountResolution:
+    def test_requests_are_clamped(self):
+        from repro.engine.parallel import (
+            MAX_SHARD_WORKERS,
+            default_shard_workers,
+        )
+
+        assert default_shard_workers(2) == 2
+        assert default_shard_workers(0) >= 1
+        # an absurd request (e.g. relayed from an API payload) must
+        # never fork the host to death
+        assert default_shard_workers(10**6) == MAX_SHARD_WORKERS
+        assert default_shard_workers() <= MAX_SHARD_WORKERS
