@@ -149,13 +149,16 @@ def test_table8_bitstate_keeps_up(generator, benchmark):
     assert len(bitstate.violations) == len(exact.violations)
 
 
-def test_table8_compiled_transition_relation(generator, benchmark):
-    """The compiled-transition-relation axis: closure-compiled handlers
-    vs the tree-interpreter oracle, plus the independence reduction.
+def test_table8_compiled_transition_relation(generator, benchmark, tmp_path):
+    """The execution-tier axis: generated per-app Python modules and
+    closure-compiled handlers vs the tree-interpreter oracle, plus the
+    independence reduction.
 
-    The compiled default must not lose to the interpreter, and the
-    reduction must shrink the transition count while keeping the run
-    violation-free (this system is violation-free by construction).
+    The compiled default must not lose to the interpreter, the codegen
+    tier must clearly beat the closure compiler (it exists for exactly
+    that), and the reduction must shrink the transition count while
+    keeping the run violation-free (this system is violation-free by
+    construction).
     """
     system = five_app_system(generator)
     properties = select_relevant(system, build_properties())
@@ -167,18 +170,26 @@ def test_table8_compiled_transition_relation(generator, benchmark):
     def best(results):
         return min(results, key=lambda r: r.elapsed)
 
-    # compiled/interpreted samples are interleaved so slow drift on a
-    # shared runner (thermal, noisy neighbours) biases neither side
-    compiled_runs, interpreted_runs = [], []
+    codegen_kwargs = {"engine": "codegen",
+                      "codegen_cache": str(tmp_path / "codegen")}
+    run(**codegen_kwargs)  # warm the source cache before timing
+    # tier samples are interleaved so slow drift on a shared runner
+    # (thermal, noisy neighbours) biases no tier
+    codegen_runs, compiled_runs, interpreted_runs = [], [], []
     for _ in range(3):
+        codegen_runs.append(run(**codegen_kwargs))
         compiled_runs.append(run())
         interpreted_runs.append(run(compiled=False))
+    codegen = best(codegen_runs)
     compiled = best(compiled_runs)
     interpreted = best(interpreted_runs)
     reduced = best([run(reduction=True), run(reduction=True)])
-    benchmark.pedantic(run, iterations=1, rounds=2)
+    benchmark.pedantic(lambda: run(**codegen_kwargs),
+                       iterations=1, rounds=2)
 
     rows = [
+        ("codegen (generated modules)", codegen.states_explored,
+         codegen.transitions, "%.0f" % codegen.states_per_second),
         ("compiled (default)", compiled.states_explored,
          compiled.transitions, "%.0f" % compiled.states_per_second),
         ("interpreted (--no-compile)", interpreted.states_explored,
@@ -186,9 +197,14 @@ def test_table8_compiled_transition_relation(generator, benchmark):
         ("compiled + reduction", reduced.states_explored,
          reduced.transitions, "%.0f" % reduced.states_per_second),
     ]
-    print_table("Compiled transition relation at 3 events",
+    print_table("Execution tiers at 3 events",
                 ["engine", "states", "transitions", "states/sec"], rows)
     update_bench_artifact("table8", "engine_modes", {
+        "codegen": {
+            "states": codegen.states_explored,
+            "transitions": codegen.transitions,
+            "states_per_second": round(codegen.states_per_second, 1),
+        },
         "compiled": {
             "states": compiled.states_explored,
             "transitions": compiled.transitions,
@@ -212,6 +228,10 @@ def test_table8_compiled_transition_relation(generator, benchmark):
     assert compiled.transitions == interpreted.transitions
     assert (sorted(compiled.counterexamples)
             == sorted(interpreted.counterexamples))
+    assert codegen.states_explored == compiled.states_explored
+    assert codegen.transitions == compiled.transitions
+    assert (sorted(codegen.counterexamples)
+            == sorted(compiled.counterexamples))
     # the reduction prunes commuting orders and keeps soundness
     assert reduced.commutes_pruned > 0
     assert reduced.transitions < compiled.transitions
@@ -223,6 +243,13 @@ def test_table8_compiled_transition_relation(generator, benchmark):
     # generous enough for single-core shared-runner jitter
     assert (compiled.states_per_second
             >= interpreted.states_per_second * 0.6)
+    # the codegen tier's slab evaluation and pooled generated executors
+    # must deliver a clear win over the closure compiler on the same
+    # space - the speedup the tier exists for
+    assert (codegen.states_per_second
+            >= compiled.states_per_second * 1.5), (
+        "codegen %.0f st/s vs compiled %.0f st/s"
+        % (codegen.states_per_second, compiled.states_per_second))
 
 
 def test_table8_fingerprint_store_per_state_cost(generator, benchmark):

@@ -27,6 +27,7 @@ import time
 from repro import build_system
 from repro.checker.trace import render_violation_log
 from repro.config.schema import SystemConfiguration
+from repro.engine.options import ENGINE_MODES
 from repro.engine import (
     EngineOptions,
     ExplorationEngine,
@@ -115,7 +116,10 @@ def cmd_analyze(args):
 
 def cmd_check(args):
     """Model-check a configuration against the safety properties (§8)."""
+    phase_times = {}
+    phase_started = time.monotonic()
     config = _load_configuration(args.config)
+    phase_times["parse"] = time.monotonic() - phase_started
     options = _engine_options(args)
     system = None
     if options.workers and options.workers > 1:
@@ -133,6 +137,7 @@ def cmd_check(args):
             strict=False, enable_failures=args.failures)
         result = explore_sharded(job, keep_replay_system=True)
     else:
+        phase_started = time.monotonic()
         system = build_system(config,
                               registry=_load_registry(
                                   include_ifttt=args.ifttt),
@@ -140,8 +145,23 @@ def cmd_check(args):
         properties = build_properties(args.properties or None)
         if not args.all_properties:
             properties = select_relevant(system, properties)
+        phase_times["build"] = time.monotonic() - phase_started
         result = ExplorationEngine(system, properties, options).run()
+    # result.profile carries the engine-side phases (codegen, explore,
+    # canonicalize); the CLI prepends its own parse/build phases
+    phase_times.update(result.profile)
+    result.profile = phase_times
+    if getattr(args, "json", False):
+        print(result.to_json(indent=2))
+        return 1 if result.has_violations else 0
     print(result.summary())
+    if args.profile:
+        total = sum(phase_times.values()) or 1.0
+        print("phase breakdown:")
+        for name, seconds in sorted(phase_times.items(),
+                                    key=lambda kv: -kv[1]):
+            print("  %-14s %8.3fs  %5.1f%%"
+                  % (name, seconds, 100.0 * seconds / total))
     if args.trace and result.counterexamples:
         if system is None:
             # sharded path: prefer the system the canonical trace
@@ -286,6 +306,7 @@ def _submit_payload(args):
             "max_states": args.max_states,
             "compiled": not args.no_compile,
             "successor_cache": not args.no_successor_cache,
+            "slab_size": args.slab_size,
             "cache_limit": args.cache_limit,
             "cache_min_hit_rate": args.cache_min_hit_rate,
             "reduction": args.reduction,
@@ -293,6 +314,8 @@ def _submit_payload(args):
         "failures": args.failures,
         "priority": args.priority,
     }
+    if args.engine:
+        payload["options"]["engine"] = args.engine
     if args.shard_workers:
         payload["options"]["workers"] = args.shard_workers
     if args.config in GROUP_BUILDERS:
@@ -425,10 +448,25 @@ def _add_engine_arguments(parser):
                         default="dfs",
                         help="frontier strategy (search order)")
     parser.add_argument("--max-states", type=int, default=200000)
+    parser.add_argument("--engine", choices=list(ENGINE_MODES), default=None,
+                        help="execution tier for the transition relation: "
+                             "interpreted (tree-walking oracle), compiled "
+                             "(closure compiler; the default) or codegen "
+                             "(per-app generated Python modules with slab "
+                             "evaluation - the fastest tier).  Verdicts and "
+                             "traces are identical across tiers")
+    parser.add_argument("--codegen-cache", default=None, metavar="DIR",
+                        help="directory for digest-keyed generated modules "
+                             "(default: $REPRO_CODEGEN_CACHE or "
+                             "~/.cache/repro/codegen)")
+    parser.add_argument("--slab-size", type=int, default=64,
+                        help="frontier nodes drained per batch by the "
+                             "codegen tier (1 = node-at-a-time)")
     parser.add_argument("--no-compile", action="store_true",
                         help="run handlers through the tree interpreter "
                              "instead of the closure compiler (the "
-                             "differential-testing oracle)")
+                             "differential-testing oracle; alias for "
+                             "--engine interpreted)")
     parser.add_argument("--no-successor-cache", action="store_true",
                         help="disable the per-state transition memo")
     parser.add_argument("--cache-limit", type=int, default=100000,
@@ -458,10 +496,14 @@ def _engine_options(args):
     """
     shard_workers = (getattr(args, "shard_workers", None)
                      or getattr(args, "engine_workers", None) or 1)
+    engine = args.engine or ("interpreted" if args.no_compile
+                             else "compiled")
     return EngineOptions(max_events=args.max_events, mode=args.mode,
                          visited=args.visited, strategy=args.strategy,
                          max_states=args.max_states,
-                         compiled=not args.no_compile,
+                         engine=engine,
+                         codegen_cache=args.codegen_cache,
+                         slab_size=args.slab_size,
                          successor_cache=not args.no_successor_cache,
                          cache_limit=args.cache_limit,
                          cache_min_hit_rate=args.cache_min_hit_rate,
@@ -507,6 +549,13 @@ def build_parser():
     p_check.add_argument("--trace", action="store_true",
                          help="print a Fig-7 style violation log")
     p_check.add_argument("--all-traces", action="store_true")
+    p_check.add_argument("--profile", action="store_true",
+                         help="print a per-phase wall-time breakdown "
+                              "(parse, build, codegen, explore, "
+                              "canonicalize)")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit the machine-readable result schema "
+                              "(profile included) instead of the summary")
     p_check.add_argument("--ifttt", action="store_true",
                          help="include translated IFTTT rules in the registry")
     p_check.set_defaults(func=cmd_check)

@@ -88,15 +88,25 @@ class _SuccessorCache:
     ``capacity`` bounds the number of live entries; storing beyond it
     evicts the least-recently-hit expansion instead of refusing new ones
     (the old hard stop froze the cache with whatever happened to be
-    expanded first).  After ``warmup`` lookups the observed hit rate is
-    checked against ``min_hit_rate`` once per miss: a cold cache is
-    disabled *and emptied*, because every recorded expansion pins all of
-    its successor states - at depth >= 4 that is hundreds of thousands
-    of retained states for a hit rate in the low percent.
+    expanded first).
+
+    The watchdog judges the cache by *post-warmup rolling windows*: the
+    first ``warmup`` lookups are exempt from the decision entirely (a
+    search necessarily starts with a cold streak of compulsory misses -
+    at depth >= 4 the old all-time-rate check condemned the cache on
+    that streak alone, before a single revisit was even possible), and
+    thereafter each completed window of ``warmup`` lookups must clear
+    ``min_hit_rate`` or the cache is disabled *and emptied*, because
+    every recorded expansion pins all of its successor states - hundreds
+    of thousands of retained states for a hit rate in the low percent.
+    A passing window resets the counters, so a long hot phase cannot
+    mask a later cold one.  :attr:`disable_reason` records the verdict
+    for the run report.
     """
 
     __slots__ = ("entries", "capacity", "min_hit_rate", "warmup", "hits",
-                 "misses", "enabled", "auto_disabled")
+                 "misses", "enabled", "auto_disabled", "disable_reason",
+                 "_window_hits", "_window_total")
 
     def __init__(self, options):
         self.entries = OrderedDict()
@@ -107,6 +117,9 @@ class _SuccessorCache:
         self.misses = 0
         self.enabled = True
         self.auto_disabled = False
+        self.disable_reason = None
+        self._window_hits = 0
+        self._window_total = 0
 
     def lookup(self, key):
         """The memoized expansion for ``key``; None (and counted as a
@@ -114,15 +127,28 @@ class _SuccessorCache:
         entry = self.entries.get(key)
         if entry is not None:
             self.hits += 1
+            if self.hits + self.misses > self.warmup:
+                self._window_hits += 1
+                self._window_total += 1
             self.entries.move_to_end(key)
             return entry
         self.misses += 1
-        if (self.min_hit_rate and self.warmup
-                and self.hits + self.misses >= self.warmup
-                and self.hits < (self.hits + self.misses) * self.min_hit_rate):
-            self.enabled = False
-            self.auto_disabled = True
-            self.entries = OrderedDict()  # release the pinned successors
+        if self.min_hit_rate and self.warmup \
+                and self.hits + self.misses > self.warmup:
+            self._window_total += 1
+            if self._window_total >= self.warmup:
+                if self._window_hits < self._window_total * self.min_hit_rate:
+                    self.enabled = False
+                    self.auto_disabled = True
+                    self.disable_reason = (
+                        "post-warmup hit rate %.1f%% < %.1f%% over the last "
+                        "%d lookups" % (
+                            100.0 * self._window_hits / self._window_total,
+                            100.0 * self.min_hit_rate, self._window_total))
+                    self.entries = OrderedDict()  # release pinned successors
+                else:
+                    self._window_hits = 0
+                    self._window_total = 0
         return None
 
     def store(self, key, record):
@@ -187,6 +213,12 @@ class ExplorationEngine:
         self.options = options or EngineOptions()
         self._monitor_cls = SafetyMonitor
         self._counterexample_cls = Counterexample
+        #: the codegen tier's plan (generated programs + pooled
+        #: executors + lean relation); None on the other tiers
+        self._plan = None
+        #: per-phase wall time (``codegen`` setup, ``canonicalize``);
+        #: merged into ``result.profile`` by ``_finish``
+        self._phase_times = {}
         # partition properties and resolve applicability once per engine;
         # every per-cascade monitor shares this compiled set.  The verdict
         # memo is hash-keyed (physical projection, ~2^-64 collisions), so
@@ -226,6 +258,21 @@ class ExplorationEngine:
         # the execution back-end is a per-run choice (--no-compile flips
         # the same system back to the tree-interpreter oracle)
         self.system.use_compiled = options.compiled
+        self.system.executor_factory = None
+        self._plan = None
+        if options.engine == "codegen":
+            # generation is digest-keyed and disk-cached, so this is a
+            # cache read on every run after the first for a given system
+            from repro.model.codegen import CodegenPlan
+            generation_started = time.monotonic()
+            self._plan = CodegenPlan(self.system,
+                                     cache_dir=options.codegen_cache)
+            # traced cascades (counterexample replay, canonicalization)
+            # run the generated modules too - one relation, two step
+            # recording modes
+            self.system.executor_factory = self._plan.executor_factory
+            self._phase_times["codegen"] = (time.monotonic()
+                                            - generation_started)
         visited = options.make_visited(self.system)
         frontier = options.make_frontier()
         cache = None
@@ -267,63 +314,91 @@ class ExplorationEngine:
         check_interval = max(1, options.check_interval)
         next_time_check = check_interval
 
+        # the codegen tier drains the frontier slab-at-a-time: a batch
+        # of nodes is popped together and its cache misses evaluate
+        # event-class-major through the lean relation.  Per-node
+        # transition lists are identical to the node-at-a-time path;
+        # only the node *expansion* order changes, which the engine's
+        # order-invariant recording already absorbs (it is the same
+        # freedom a frontier strategy or a sharded run exercises).
+        slab_size = 1
+        if self._plan is not None and options.mode != CONCURRENT:
+            slab_size = max(1, options.slab_size)
+
         while frontier:
             if self._limits_hit(result, started):
                 break
-            node = frontier.pop()
-            # event keys already expanded from this node, in order (the
-            # sleep sets of later siblings absorb the independent ones)
-            expanded_keys = [] if reducer is not None else None
-            for transition in self._node_transitions(node, cache, reducer,
-                                                     result):
-                label, new_state, consumed, violations, steps = transition
-                result.transitions += 1
-                depth = node.depth + (1 if consumed else 0)
-                child_sleep = None
-                if reducer is not None:
-                    child_sleep = self._child_sleep(node, reducer, label,
-                                                    expanded_keys)
-                # nodes exist for path reconstruction; duplicates that
-                # neither violate nor get expanded never need one
-                child = None
-                if violations:
-                    child = _Node(new_state, depth, parent=node, label=label,
-                                  steps=steps, sleep=child_sleep)
-                    self._record(result, child, violations)
-                    if options.stop_on_first:
-                        return self._finish(result, visited, cache, started)
-                if depth <= options.max_events:
-                    if matcher is None:
-                        # states_explored counts *distinct* states (an
-                        # order-independent metric: depth-improved
-                        # revisits re-expand but do not re-count), so a
-                        # sharded run sums to the single-worker number
-                        fresh = not visited.seen_state(new_state, depth)
-                        if fresh and count_distinct is not None:
-                            now = count_distinct()
-                            is_new = now > last_distinct
-                            last_distinct = now
+            nodes = [frontier.pop()]
+            while len(nodes) < slab_size and frontier:
+                nodes.append(frontier.pop())
+            if slab_size > 1:
+                expansions = self._slab_expansions(nodes, cache, reducer,
+                                                   result)
+            else:
+                expansions = (self._node_transitions(nodes[0], cache,
+                                                     reducer, result),)
+            aborted = False
+            for node, transitions in zip(nodes, expansions):
+                # event keys already expanded from this node, in order
+                # (the sleep sets of later siblings absorb the
+                # independent ones)
+                expanded_keys = [] if reducer is not None else None
+                for transition in transitions:
+                    label, new_state, consumed, violations, steps = transition
+                    result.transitions += 1
+                    depth = node.depth + (1 if consumed else 0)
+                    child_sleep = None
+                    if reducer is not None:
+                        child_sleep = self._child_sleep(node, reducer, label,
+                                                        expanded_keys)
+                    # nodes exist for path reconstruction; duplicates that
+                    # neither violate nor get expanded never need one
+                    child = None
+                    if violations:
+                        child = _Node(new_state, depth, parent=node,
+                                      label=label, steps=steps,
+                                      sleep=child_sleep)
+                        self._record(result, child, violations)
+                        if options.stop_on_first:
+                            return self._finish(result, visited, cache,
+                                                started)
+                    if depth <= options.max_events:
+                        if matcher is None:
+                            # states_explored counts *distinct* states (an
+                            # order-independent metric: depth-improved
+                            # revisits re-expand but do not re-count), so a
+                            # sharded run sums to the single-worker number
+                            fresh = not visited.seen_state(new_state, depth)
+                            if fresh and count_distinct is not None:
+                                now = count_distinct()
+                                is_new = now > last_distinct
+                                last_distinct = now
+                            else:
+                                is_new = fresh
                         else:
-                            is_new = fresh
-                    else:
-                        pruned, child_sleep, is_new = matcher.seen_state(
-                            new_state, depth, child_sleep)
-                        fresh = not pruned
-                    if fresh:
-                        if is_new:
-                            result.states_explored += 1
-                        if depth < options.max_events or new_state.pending:
-                            if child is None:
-                                child = _Node(new_state, depth, parent=node,
-                                              label=label, steps=steps)
-                            child.sleep = child_sleep
-                            frontier.push(child)
-                if self._cheap_limits_hit(result):
-                    break
-                if result.transitions >= next_time_check:
-                    next_time_check = result.transitions + check_interval
-                    if self._time_limit_hit(result, started):
+                            pruned, child_sleep, is_new = matcher.seen_state(
+                                new_state, depth, child_sleep)
+                            fresh = not pruned
+                        if fresh:
+                            if is_new:
+                                result.states_explored += 1
+                            if depth < options.max_events or new_state.pending:
+                                if child is None:
+                                    child = _Node(new_state, depth,
+                                                  parent=node, label=label,
+                                                  steps=steps)
+                                child.sleep = child_sleep
+                                frontier.push(child)
+                    if self._cheap_limits_hit(result):
+                        aborted = True
                         break
+                    if result.transitions >= next_time_check:
+                        next_time_check = result.transitions + check_interval
+                        if self._time_limit_hit(result, started):
+                            aborted = True
+                            break
+                if aborted:
+                    break
 
         return self._finish(result, visited, cache, started)
 
@@ -355,6 +430,22 @@ class ExplorationEngine:
         expanded_keys.append(key)
         return frozenset(sleeping) if sleeping else _NO_SLEEP
 
+    @staticmethod
+    def _sleep_filter(node, reducer, result):
+        """The event veto implementing this node's sleep set (None when
+        nothing sleeps here)."""
+        if reducer is None or not node.sleep:
+            return None
+        sleep = node.sleep
+        reducer_key = reducer.key
+
+        def event_filter(ext):
+            if reducer_key(ext) in sleep:
+                result.commutes_pruned += 1
+                return False
+            return True
+        return event_filter
+
     def _node_transitions(self, node, cache, reducer, result):
         """One node's outgoing transitions, through the successor cache.
 
@@ -367,19 +458,9 @@ class ExplorationEngine:
         filter) and, in concurrent mode, whether externals may still be
         injected.
         """
-        event_filter = None
-        if reducer is not None and node.sleep:
-            sleep = node.sleep
-            reducer_key = reducer.key
-
-            def event_filter(ext):
-                if reducer_key(ext) in sleep:
-                    result.commutes_pruned += 1
-                    return False
-                return True
-
+        event_filter = self._sleep_filter(node, reducer, result)
         if cache is None or not cache.enabled:
-            return self._transitions_from(node, event_filter)
+            return self._search_transitions_from(node, event_filter)
         if node.key is None:
             node.key = node.state.fingerprint()
         cache_key = (node.key, node.sleep)
@@ -393,7 +474,7 @@ class ExplorationEngine:
 
     def _record_transitions(self, node, event_filter, cache, cache_key):
         record = [] if cache.enabled and cache.capacity > 0 else None
-        for transition in self._transitions_from(node, event_filter):
+        for transition in self._search_transitions_from(node, event_filter):
             if record is not None:
                 label, new_state, consumed, violations, steps = transition
                 # violations are cached as pristine clones: the engine
@@ -414,24 +495,117 @@ class ExplorationEngine:
                    [v.clone() for v in violations] if violations else (),
                    steps)
 
+    def _slab_expansions(self, nodes, cache, reducer, result):
+        """Transition lists for a whole frontier slab (codegen tier).
+
+        Cache lookups, empty-expansion stores and recorded entries are
+        exactly what the node-at-a-time path would produce; only the
+        evaluation of the cache misses is batched (event-class-major)
+        through the plan's lean relation.
+        """
+        options = self.options
+        out = [()] * len(nodes)
+        jobs = []
+        slots = []
+        for index, node in enumerate(nodes):
+            event_filter = self._sleep_filter(node, reducer, result)
+            cache_key = None
+            if cache is not None and cache.enabled:
+                if node.key is None:
+                    node.key = node.state.fingerprint()
+                cache_key = (node.key, node.sleep)
+                entry = cache.lookup(cache_key)
+                if entry is not None:
+                    out[index] = self._replay_transitions(entry)
+                    continue
+                if not cache.enabled:  # the lookup tripped the watchdog
+                    cache_key = None
+            if node.depth >= options.max_events:
+                if cache_key is not None and cache.capacity > 0:
+                    cache.store(cache_key, [])
+                continue
+            jobs.append((node.state, event_filter, None))
+            slots.append((index, cache_key))
+        if not jobs:
+            return out
+        evaluated = self._plan.evaluate_slab(jobs, self._monitor_factory)
+        for (index, cache_key), transitions in zip(slots, evaluated):
+            out[index] = transitions
+            if (cache_key is not None and cache.enabled
+                    and cache.capacity > 0):
+                cache.store(cache_key, [
+                    (label, new_state, consumed,
+                     tuple(v.clone() for v in violations)
+                     if violations else (), steps)
+                    for label, new_state, consumed, violations, steps
+                    in transitions])
+        return out
+
+    def _search_transitions_from(self, node, event_filter=None):
+        """The relation the search loop expands: the codegen plan's
+        lean (skeleton-trace) relation when active, the traced relation
+        otherwise.  Replays and canonicalization always go through
+        :meth:`_transitions_from` for full traces."""
+        plan = self._plan
+        if plan is not None and self.options.mode != CONCURRENT:
+            if node.depth >= self.options.max_events:
+                return []
+            return plan.transitions(node.state, self._monitor_factory,
+                                    event_filter)
+        return self._transitions_from(node, event_filter)
+
     #: subclasses (the shard workers) defer trace canonicalization to
     #: the parent-side merge instead of paying for it per shard
     canonicalize_traces = True
 
     def _finish(self, result, visited, cache, started):
-        # canonicalization is part of the run, so it is timed: elapsed
+        # trace finalization is part of the run, so it is timed: elapsed
         # (and the states/sec figures derived from it in the bench
-        # artifact) must not hide the permutation-replay cost
+        # artifact) must not hide the replay/permutation cost
+        finalize_started = time.monotonic()
+        if self._plan is not None:
+            self._rehydrate_lean_traces(result)
         if self.canonicalize_traces:
             self._canonicalize_traces(result)
+        self._phase_times["canonicalize"] = (time.monotonic()
+                                             - finalize_started)
         result.elapsed = time.monotonic() - started
         result.visited_stats = visited.stats()
         result.property_stats = self._compiled_properties.stats()
+        profile = dict(self._phase_times)
+        profile["explore"] = max(0.0, result.elapsed
+                                 - sum(self._phase_times.values()))
+        result.profile = profile
         if cache is not None:
             result.cache_hits = cache.hits
             result.cache_misses = cache.misses
             result.cache_auto_disabled = cache.auto_disabled
+            result.cache_disable_reason = cache.disable_reason
         return result
+
+    def _rehydrate_lean_traces(self, result):
+        """Regenerate full traces for counterexamples found by the lean
+        relation.
+
+        Lean search paths carry skeleton steps - enough for dedup keys
+        and app attribution, nothing a human can read.  Each *reported*
+        counterexample (a handful, against millions of transitions) has
+        its label sequence replayed through the traced relation - which
+        runs the same generated executors - and is re-recorded with the
+        full cascade steps.
+        """
+        backup = result.counterexamples
+        result.counterexamples = {}
+        for key, counterexample in backup.items():
+            replayed = replay_path(self, tuple(counterexample.event_labels()))
+            if replayed is not None:
+                node, violations = replayed
+                self._record(result, node, violations)
+            if key not in result.counterexamples:
+                # replay fell short (e.g. a truncated search recorded a
+                # path the bounded replay cannot reach): keep the
+                # skeleton rather than dropping the finding
+                result.counterexamples[key] = counterexample
 
     def _canonicalize_traces(self, result):
         """Make recorded traces independent of the expansion order.

@@ -5,6 +5,9 @@ from repro.engine import strategy as _strategy
 SEQUENTIAL = "sequential"
 CONCURRENT = "concurrent"
 
+#: execution tiers for the transition relation, slowest to fastest
+ENGINE_MODES = ("interpreted", "compiled", "codegen")
+
 
 # Store constructors import lazily: repro.checker re-exports the engine
 # shim, so a module-level import here would be circular.
@@ -64,10 +67,36 @@ class EngineOptions:
 
     The compiled-transition-relation knobs:
 
+    ``engine``
+        Which execution tier evaluates the transition relation:
+        ``interpreted`` walks the handler IR through the tree
+        interpreter (the differential oracle, ``--no-compile``),
+        ``compiled`` (the default) runs the closure compiler
+        (:mod:`repro.model.compiler`), and ``codegen`` generates one
+        real Python module per app from the lowered IR
+        (:mod:`repro.model.codegen`), ``compile()``/``exec``'s it, and
+        additionally evaluates successors through a traceless lean
+        cascade with pooled executors and slab-drained frontier
+        batches.  A pure performance knob: all three tiers produce
+        byte-identical verdicts, violation sets and canonical traces
+        (proven corpus-wide by the differential suites), so the choice
+        is excluded from the vetting service's semantic digests.
     ``compiled``
-        Execute app handlers through the closure compiler
-        (:mod:`repro.model.compiler`); ``False`` is the ``--no-compile``
-        fallback running the tree interpreter (the differential oracle).
+        Legacy boolean view of ``engine`` kept for callers predating
+        the three-tier split: reading it asks "anything faster than the
+        interpreter?"; assigning ``True``/``False`` selects
+        ``compiled``/``interpreted``.
+    ``codegen_cache``
+        Directory for generated per-app modules, keyed by the system's
+        semantic digest (``None``: ``$REPRO_CODEGEN_CACHE`` or
+        ``~/.cache/repro/codegen``).  Sharded workers regenerate their
+        executors from this cache by digest instead of pickling
+        closures.
+    ``slab_size``
+        How many frontier nodes the codegen tier drains per batch
+        through the lean transition relation (successor-cache misses
+        are evaluated slab-at-a-time, event-class-major).  ``1``
+        restores strict node-at-a-time order.
     ``successor_cache``
         Memoize each expanded state's full transition set keyed by its
         64-bit fingerprint, so depth-improved revisits replay successors
@@ -117,7 +146,8 @@ class EngineOptions:
     def __init__(self, max_events=3, mode=SEQUENTIAL, visited="fingerprint",
                  bitstate_bits=23, max_states=200000, max_transitions=None,
                  time_limit=None, stop_on_first=False, strategy="dfs",
-                 priority=None, compiled=True, successor_cache=True,
+                 priority=None, compiled=None, engine=None,
+                 codegen_cache=None, slab_size=64, successor_cache=True,
                  cache_limit=100000, cache_min_hit_rate=0.05,
                  cache_warmup=4096, reduction=False, check_interval=256,
                  manage_gc=True, workers=1):
@@ -131,7 +161,15 @@ class EngineOptions:
         self.stop_on_first = stop_on_first
         self.strategy = strategy
         self.priority = priority
-        self.compiled = compiled
+        if engine is None:
+            engine = "compiled" if (compiled is None or compiled) \
+                else "interpreted"
+        if engine not in ENGINE_MODES:
+            raise ValueError("unknown engine %r (known: %s)"
+                             % (engine, ", ".join(ENGINE_MODES)))
+        self.engine = engine
+        self.codegen_cache = codegen_cache
+        self.slab_size = slab_size
         self.successor_cache = successor_cache
         self.cache_limit = cache_limit
         self.cache_min_hit_rate = cache_min_hit_rate
@@ -140,6 +178,14 @@ class EngineOptions:
         self.check_interval = check_interval
         self.manage_gc = manage_gc
         self.workers = workers
+
+    @property
+    def compiled(self):
+        return self.engine != "interpreted"
+
+    @compiled.setter
+    def compiled(self, value):
+        self.engine = "compiled" if value else "interpreted"
 
     def make_visited(self, system=None):
         """Build the selected visited store (some stores need the

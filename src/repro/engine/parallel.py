@@ -645,6 +645,11 @@ def _merge_shards(payloads, workers):
         merged.cache_hits += shard.cache_hits
         merged.cache_misses += shard.cache_misses
         merged.cache_auto_disabled |= shard.cache_auto_disabled
+        if merged.cache_disable_reason is None:
+            merged.cache_disable_reason = shard.cache_disable_reason
+        for phase, seconds in shard.profile.items():
+            # summed across shards: aggregate worker time per phase
+            merged.profile[phase] = merged.profile.get(phase, 0.0) + seconds
         merged.commutes_pruned += shard.commutes_pruned
         if shard.cache_mode != "off":
             merged.cache_mode = shard.cache_mode
@@ -705,6 +710,14 @@ def _rebuild_counterexamples(job, merged, candidates):
     system, properties = build_job_context(job)
     engine = ExplorationEngine(system, properties, job.options)
     engine.system.use_compiled = job.options.compiled
+    if job.options.engine == "codegen":
+        # replay through the same generated executors the shards ran
+        # (regenerated from the digest-keyed source cache, not pickled)
+        from repro.model.codegen import CodegenPlan
+
+        plan = CodegenPlan(engine.system,
+                           cache_dir=job.options.codegen_cache)
+        engine.system.executor_factory = plan.executor_factory
     paths = {}
     for candidate in candidates:
         paths.setdefault(tuple(candidate.event_labels()), candidate)

@@ -42,6 +42,11 @@ class ExplorationResult:
         self.cache_mode = "off"
         #: True when the hit-rate watchdog disabled the cache mid-run
         self.cache_auto_disabled = False
+        #: human-readable reason when the watchdog tripped (None otherwise)
+        self.cache_disable_reason = None
+        #: per-phase wall time breakdown ({} until populated): keys are
+        #: phase names (``codegen``, ``explore``, ``canonicalize``, ...)
+        self.profile = {}
         #: external events skipped by the sleep-set reduction
         self.commutes_pruned = 0
         #: compiled-property statistics (invariant verdict memo)
@@ -108,6 +113,8 @@ class ExplorationResult:
             "cache_misses": self.cache_misses,
             "cache_mode": self.cache_mode,
             "cache_auto_disabled": self.cache_auto_disabled,
+            "cache_disable_reason": self.cache_disable_reason,
+            "profile": dict(self.profile),
             "commutes_pruned": self.commutes_pruned,
             "property_stats": dict(self.property_stats),
             "workers": self.workers,
@@ -136,6 +143,8 @@ class ExplorationResult:
         result.cache_misses = data.get("cache_misses", 0)
         result.cache_mode = data.get("cache_mode", "off")
         result.cache_auto_disabled = data.get("cache_auto_disabled", False)
+        result.cache_disable_reason = data.get("cache_disable_reason")
+        result.profile = dict(data.get("profile", {}))
         result.commutes_pruned = data.get("commutes_pruned", 0)
         result.property_stats = dict(data.get("property_stats", {}))
         result.workers = data.get("workers", 1)
@@ -175,6 +184,12 @@ class ExplorationResult:
                     self.cache_hit_rate * 100.0,
                     ", auto-disabled" if self.cache_auto_disabled else "",
                     self.commutes_pruned))
+        if self.cache_disable_reason:
+            lines.append("  cache watchdog: %s" % self.cache_disable_reason)
+        if self.profile:
+            lines.append("  phases: " + ", ".join(
+                "%s %.2fs" % (name, seconds)
+                for name, seconds in sorted(self.profile.items())))
         if self.visited_stats.get("bytes_per_state"):
             lines.append(
                 "  visited store: %d states stored, ~%.0f bytes/state" % (

@@ -234,9 +234,16 @@ class Cascade:
                        % (app_instance.name, handler, exc.message))
 
     def _executor(self, app_instance):
-        """The execution back-end for one handler run: compiled closures
-        when the system allows it and the app compiled, else the tree
-        interpreter (``--no-compile`` path and per-app fallback)."""
+        """The execution back-end for one handler run: the system's
+        installed executor factory (the codegen tier), else compiled
+        closures when the system allows it and the app compiled, else
+        the tree interpreter (``--no-compile`` path and per-app
+        fallback)."""
+        factory = getattr(self.system, "executor_factory", None)
+        if factory is not None:
+            executor = factory(app_instance, self)
+            if executor is not None:
+                return executor
         if self.use_compiled:
             program = app_instance.compiled_program()
             if program is not None:

@@ -144,6 +144,10 @@ class IoTSystem:
         #: interpreter remains available as the ``--no-compile`` fallback
         #: and differential-testing oracle)
         self.use_compiled = use_compiled
+        #: optional ``(app_instance, ctx) -> executor-or-None`` hook; the
+        #: codegen tier installs one so cascades run generated modules
+        #: (``None`` from the hook falls back to the tiers below)
+        self.executor_factory = None
         #: installed apps in install order
         self.apps = list(apps)
         self.contacts = list(contacts)

@@ -48,8 +48,8 @@ from repro.service.store import STORE_SCHEMA_VERSION, ResultStore
 _ALLOWED_OPTIONS = (
     "max_events", "mode", "visited", "bitstate_bits", "max_states",
     "max_transitions", "time_limit", "stop_on_first", "strategy",
-    "compiled", "successor_cache", "cache_limit", "cache_min_hit_rate",
-    "cache_warmup", "reduction", "workers",
+    "compiled", "engine", "slab_size", "successor_cache", "cache_limit",
+    "cache_min_hit_rate", "cache_warmup", "reduction", "workers",
 )
 
 
@@ -136,13 +136,14 @@ class VettingService:
                                   % ", ".join(unknown))
         # the enum-valued options are only validated when the engine runs;
         # reject bad values at the API boundary instead of erroring the job
-        from repro.engine.options import CONCURRENT, SEQUENTIAL
+        from repro.engine.options import CONCURRENT, ENGINE_MODES, SEQUENTIAL
         from repro.engine.options import visited_store_names
         from repro.engine.strategy import strategy_names
 
         enums = {"visited": visited_store_names(),
                  "strategy": strategy_names(),
-                 "mode": [SEQUENTIAL, CONCURRENT]}
+                 "mode": [SEQUENTIAL, CONCURRENT],
+                 "engine": list(ENGINE_MODES)}
         for key, allowed in enums.items():
             if key in options and options[key] not in allowed:
                 raise SubmissionError(

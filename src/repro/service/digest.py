@@ -35,14 +35,17 @@ import hashlib
 import json
 
 #: hashed into every digest: bump when the canonical layout changes
-DIGEST_SCHEMA_VERSION = 1
+#: (v2: the execution tier - ``engine``/``compiled`` - left the semantic
+#: fields; the codegen differential suite proves all tiers byte-identical,
+#: so the back-end choice is a pure performance knob like ``workers``)
+DIGEST_SCHEMA_VERSION = 2
 
 #: EngineOptions fields that can change verdicts, traces or reported
 #: exploration statistics; everything else is a performance knob
 SEMANTIC_OPTION_FIELDS = (
     "max_events", "mode", "visited", "bitstate_bits", "max_states",
     "max_transitions", "time_limit", "stop_on_first", "strategy",
-    "compiled", "reduction",
+    "reduction",
 )
 
 

@@ -105,6 +105,40 @@ class TestCheck:
             if line.startswith("  P"):
                 assert line in out2
 
+    def test_engine_codegen_matches_default(self, tmp_path, capsys):
+        """`--engine codegen` (with a private source cache) must render
+        the identical violation log as the default compiled engine."""
+        code, out = run_cli("check", "group1-entry-and-mode",
+                            "--max-events", "2", "--trace", capsys=capsys)
+        code2, out2 = run_cli("check", "group1-entry-and-mode",
+                              "--max-events", "2", "--trace",
+                              "--engine", "codegen",
+                              "--codegen-cache", str(tmp_path),
+                              capsys=capsys)
+        assert (code, code2) == (1, 1)
+
+        def tail(text):
+            return text[text.index("SmartThings0.prom"):]
+        assert tail(out) == tail(out2)
+
+    def test_profile_prints_phase_breakdown(self, capsys):
+        code, out = run_cli("check", "group1-entry-and-mode",
+                            "--max-events", "1", "--profile",
+                            capsys=capsys)
+        assert "phase breakdown:" in out
+        for phase in ("parse", "build", "explore", "canonicalize"):
+            assert phase in out
+
+    def test_check_json_carries_profile(self, capsys):
+        import json
+
+        code, out = run_cli("check", "group1-entry-and-mode",
+                            "--max-events", "1", "--json", capsys=capsys)
+        payload = json.loads(out)
+        assert payload["verdict"] in ("safe", "violated")
+        assert {"parse", "build", "explore"} <= set(payload["profile"])
+        assert "cache_disable_reason" in payload
+
     def test_config_from_json_file(self, tmp_path, capsys):
         from repro.config.schema import SystemConfiguration
 

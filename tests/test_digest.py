@@ -143,6 +143,17 @@ class TestContentSensitivity:
                                                       manage_gc=False,
                                                       check_interval=7))
 
+    def test_engine_tier_does_not_change_digest(self, alice_system):
+        """All execution tiers are proven observationally identical, so
+        the engine choice is a pure performance knob: stored verdicts
+        stay valid across tiers."""
+        digests = {
+            alice_system.digest(options=EngineOptions(engine=engine,
+                                                      slab_size=8))
+            for engine in ("interpreted", "compiled", "codegen")}
+        assert len(digests) == 1
+        assert digests == {alice_system.digest(options=EngineOptions())}
+
     def test_catalog_surface_change_changes_cache_key(self, alice_config,
                                                       monkeypatch):
         """A device-catalog edit (new attribute domain, default, command)

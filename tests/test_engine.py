@@ -170,11 +170,15 @@ class TestSuccessorCache:
         assert result.cache_hit_rate == result.cache_hits / lookups
 
     def test_auto_disable_below_threshold(self, alice_system):
-        """A cold cache is switched off (and emptied) after the warmup
-        window instead of burning memory for the rest of the run."""
+        """A cold cache is switched off (and emptied) once a full
+        post-warmup window stays under the threshold, instead of burning
+        memory for the rest of the run.  The first ``warmup`` lookups
+        are exempt (compulsory misses), so the window must fit in the
+        run's lookup budget."""
         cold = verify(alice_system, build_properties(), max_events=2,
-                      cache_warmup=4, cache_min_hit_rate=0.99)
+                      cache_warmup=2, cache_min_hit_rate=0.99)
         assert cold.cache_auto_disabled
+        assert "hit rate" in cold.cache_disable_reason
         baseline = verify(alice_system, build_properties(), max_events=2,
                           successor_cache=False)
         assert cold.states_explored == baseline.states_explored
@@ -182,9 +186,18 @@ class TestSuccessorCache:
         assert (sorted(cold.counterexamples)
                 == sorted(baseline.counterexamples))
 
+    def test_warmup_misses_do_not_disable(self, alice_system):
+        """The compulsory cold streak at the start of a search must not
+        condemn the cache before a revisit is even possible: with the
+        whole run inside the warmup window, the cache stays on."""
+        result = verify(alice_system, build_properties(), max_events=2,
+                        cache_warmup=4096, cache_min_hit_rate=0.99)
+        assert not result.cache_auto_disabled
+        assert result.cache_disable_reason is None
+
     def test_auto_disable_off_when_threshold_zero(self, alice_system):
         result = verify(alice_system, build_properties(), max_events=2,
-                        cache_warmup=4, cache_min_hit_rate=0)
+                        cache_warmup=2, cache_min_hit_rate=0)
         assert not result.cache_auto_disabled
 
     def test_lru_evicts_oldest_entry(self):
