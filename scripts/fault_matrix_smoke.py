@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI smoke test for the fault-injection scenario matrix.
+
+Runs one small bundled system through **every scenario profile on all
+three engine tiers** and diffs the semantic verdict JSON (verdict,
+violation set, state/transition counts, per-counterexample event paths
+and rendered traces - wall-clock and cache statistics stripped).  Any
+cell where a tier disagrees with the interpreted oracle fails the job:
+the profiles are only trustworthy if the faulted relation is
+tier-independent.
+
+Exit code 0 on success, 1 on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fault_matrix_smoke.py [--group NAME]
+                                                        [--max-events N]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+
+ENGINES = ("interpreted", "compiled", "codegen")
+
+
+def semantic_json(result):
+    """The observables every tier must agree on, as canonical JSON."""
+    view = {
+        "verdict": result.verdict,
+        "violated_property_ids": result.violated_property_ids,
+        "states_explored": result.states_explored,
+        "transitions": result.transitions,
+        "truncated": result.truncated,
+        "counterexamples": {
+            repr(key): {"events": ce.event_labels(),
+                  "steps": [(step.kind, step.text, step.app)
+                            for step in ce.all_steps()]}
+            for key, ce in sorted(result.counterexamples.items())},
+    }
+    return json.dumps(view, sort_keys=True, indent=2)
+
+
+def run_cell(group, scenario, engine, max_events, codegen_cache):
+    from repro import build_system
+    from repro.corpus.groups import GROUP_BUILDERS
+    from repro.engine import EngineOptions, ExplorationEngine
+    from repro.properties import build_properties, select_relevant
+
+    system = build_system(GROUP_BUILDERS[group]())
+    properties = select_relevant(system, build_properties())
+    options = EngineOptions(max_events=max_events, scenario=scenario,
+                            engine=engine, codegen_cache=codegen_cache)
+    return ExplorationEngine(system, properties, options).run()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--group", default="group1-entry-and-mode")
+    parser.add_argument("--max-events", type=int, default=2)
+    args = parser.parse_args()
+
+    from repro.model.faults import scenario_names
+
+    mismatches = []
+    codegen_cache = tempfile.mkdtemp(prefix="fault-matrix-codegen-")
+    print("fault matrix: %s, max_events=%d" % (args.group, args.max_events))
+    print("%-14s %-12s %10s %12s %8s" % ("scenario", "engine", "states",
+                                         "transitions", "verdict"))
+    for scenario in scenario_names():
+        cells = {}
+        for engine in ENGINES:
+            result = run_cell(args.group, scenario, engine,
+                              args.max_events, codegen_cache)
+            cells[engine] = semantic_json(result)
+            print("%-14s %-12s %10d %12d %8s"
+                  % (scenario, engine, result.states_explored,
+                     result.transitions, result.verdict))
+        oracle = cells["interpreted"]
+        for engine in ("compiled", "codegen"):
+            if cells[engine] != oracle:
+                mismatches.append((scenario, engine))
+                print("MISMATCH: %s/%s diverges from the interpreted "
+                      "oracle" % (scenario, engine))
+                for line in _first_diff_lines(oracle, cells[engine]):
+                    print("  " + line)
+    if mismatches:
+        print("\nFAIL: %d matrix cell(s) diverged: %s"
+              % (len(mismatches),
+                 ", ".join("%s/%s" % cell for cell in mismatches)))
+        return 1
+    print("\nOK: every scenario verdict is identical across all "
+          "%d engine tiers" % len(ENGINES))
+    return 0
+
+
+def _first_diff_lines(left, right, context=3):
+    """The first few differing lines of two JSON documents."""
+    left_lines, right_lines = left.splitlines(), right.splitlines()
+    shown = 0
+    for index, (a, b) in enumerate(zip(left_lines, right_lines)):
+        if a != b:
+            yield "line %d: oracle %r != %r" % (index + 1, a, b)
+            shown += 1
+            if shown >= context:
+                return
+    if len(left_lines) != len(right_lines) and not shown:
+        yield "document lengths differ: %d vs %d lines" % (
+            len(left_lines), len(right_lines))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from repro import build_system
 from repro.checker.trace import render_violation_log
 from repro.config.schema import SystemConfiguration
 from repro.engine.options import ENGINE_MODES
+from repro.model.faults import scenario_names
 from repro.engine import (
     EngineOptions,
     ExplorationEngine,
@@ -278,6 +279,7 @@ def cmd_serve(args):
     server, service = create_server(store=store, host=args.host,
                                     port=args.port, workers=args.workers,
                                     shard_workers=args.shard_workers,
+                                    job_timeout=args.job_timeout,
                                     verbose=args.verbose)
     host, port = server.server_address[:2]
     print("repro vetting service on http://%s:%d (result store: %s)"
@@ -310,6 +312,7 @@ def _submit_payload(args):
             "cache_limit": args.cache_limit,
             "cache_min_hit_rate": args.cache_min_hit_rate,
             "reduction": args.reduction,
+            "scenario": args.scenario,
         },
         "failures": args.failures,
         "priority": args.priority,
@@ -483,6 +486,17 @@ def _add_engine_arguments(parser):
                              "events (shrinks the explored state count)")
     parser.add_argument("--failures", action="store_true",
                         help="enumerate device/communication failures")
+    parser.add_argument("--scenario", choices=list(scenario_names()),
+                        default="clean",
+                        help="fault-injection profile layered onto the "
+                             "transition relation: clean (ideal delivery; "
+                             "the default), lossy (sensor reports lost in "
+                             "transit), delayed (cascade events delivered "
+                             "newest-first), duplicated (reports delivered "
+                             "twice), device-death (one device stops "
+                             "reporting and acting per cascade) or "
+                             "stale-reads (app reads see the pre-event "
+                             "value).  See docs/scenarios.md")
     parser.add_argument("--properties", nargs="*",
                         help="property ids or categories to verify")
 
@@ -508,6 +522,7 @@ def _engine_options(args):
                          cache_limit=args.cache_limit,
                          cache_min_hit_rate=args.cache_min_hit_rate,
                          reduction=args.reduction,
+                         scenario=args.scenario,
                          workers=shard_workers)
 
 
@@ -604,6 +619,12 @@ def build_parser():
                               "processes instead of pooling across jobs "
                               "(best when submissions trickle in one at "
                               "a time on a multi-core host)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock budget: a job still "
+                              "running after this many seconds is marked "
+                              "errored and its in-flight dedup key is "
+                              "released (default: no timeout)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=cmd_serve)

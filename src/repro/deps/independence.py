@@ -83,8 +83,16 @@ class IndependenceAnalysis:
 
         Labels are the engine's only record of how a node was reached;
         they are produced by ``ExternalEvent.label()`` and parse back
-        unambiguously as long as no failure-scenario suffix is attached
-        (the engine disables the reduction when failures are enabled).
+        unambiguously as long as no failure-scenario suffix is attached.
+        Faulted labels — the §8 ``" [... offline]"`` suffixes and the
+        scenario-profile suffixes from :mod:`repro.model.faults`
+        (``" [report lost]"``, ``" [delayed]"``, ``" [duplicated]"``,
+        ``" [<device> dead]"``, ``" [stale reads]"``) — all carry a
+        ``" ["`` marker and parse to ``None``: a faulted transition has
+        no static independence entry, so the sleep-set machinery treats
+        it as dependent on everything (wake-all).  Belt and braces: the
+        engine additionally disables the reduction outright whenever
+        failure enumeration or a non-clean scenario profile is active.
         """
         if label in self._label_keys:
             return self._label_keys[label]

@@ -177,12 +177,22 @@ def default_workers(job_count):
     return max(1, min(job_count, os.cpu_count() or 1))
 
 
-def verify_many(jobs, workers=None):
+def verify_many(jobs, workers=None, timeout=None):
     """Verify independent jobs in parallel; returns a :class:`BatchResult`.
 
     ``workers=None`` sizes the pool to ``min(len(jobs), cpu_count)``;
     ``workers=1`` (or a single job) runs inline without spawning
     processes, which also serves as the fallback for unpicklable jobs.
+
+    ``timeout`` (seconds per job, ``None`` = unbounded) is a hard
+    wall-clock backstop for the *pooled* path: when the batch exceeds
+    its budget (``timeout`` scaled by the number of pool waves,
+    ``ceil(jobs/workers)``), unfinished jobs are recorded as errors and
+    the pool is abandoned without waiting - a worker hung in a
+    non-cooperative loop can therefore never wedge the caller.  The
+    inline path cannot preempt a running engine; callers wanting
+    cooperative per-job bounds there should set
+    ``EngineOptions.time_limit`` (the scheduler sets both).
     """
     from repro.engine.result import BatchResult
 
@@ -208,7 +218,7 @@ def verify_many(jobs, workers=None):
         batch.elapsed = time.monotonic() - started
         return batch
 
-    return _verify_many_pooled(jobs, workers, batch, started)
+    return _verify_many_pooled(jobs, workers, batch, started, timeout)
 
 
 def _warm_registries(jobs):
@@ -222,14 +232,35 @@ def _warm_registries(jobs):
         _resolve_registry(spec)
 
 
-def _verify_many_pooled(jobs, workers, batch, started):
-    from concurrent.futures import ProcessPoolExecutor, as_completed
+def _verify_many_pooled(jobs, workers, batch, started, timeout=None):
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
     _warm_registries(jobs)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(_execute_named, job): job for job in jobs}
-        outcomes = {}
-        for future in as_completed(futures):
+    # not a ``with`` block: the context manager's __exit__ waits for
+    # every worker, so a single hung job would wedge the caller forever
+    # even after its deadline passed
+    pool = ProcessPoolExecutor(max_workers=workers)
+    futures = {pool.submit(_execute_named, job): job for job in jobs}
+    outcomes = {}
+    pending = set(futures)
+    deadline = None
+    if timeout is not None:
+        # the budget is per *job*, scaled by pool queuing: with W
+        # workers the last of N jobs may legitimately start
+        # (ceil(N/W) - 1) budgets late, so the batch as a whole gets
+        # one budget per wave
+        waves = -(-len(jobs) // workers)
+        deadline = started + timeout * waves
+    timed_out = False
+    while pending:
+        budget = (None if deadline is None
+                  else max(0.0, deadline - time.monotonic()))
+        done, pending = wait(pending, timeout=budget,
+                             return_when=FIRST_COMPLETED)
+        if not done and pending:
+            timed_out = True
+            break
+        for future in done:
             job = futures[future]
             try:
                 name, result = future.result()
@@ -237,6 +268,38 @@ def _verify_many_pooled(jobs, workers, batch, started):
             except Exception as exc:
                 batch.add_error(job.name,
                                 "%s: %s" % (type(exc).__name__, exc))
+    if timed_out:
+        for future in pending:
+            job = futures[future]
+            if future.cancel():
+                batch.add_error(job.name,
+                                "timed out: not started within the batch "
+                                "budget (%gs per job)" % timeout)
+            elif future.done():
+                try:  # finished in the window between wait() and here
+                    name, result = future.result()
+                    outcomes[name] = result
+                except Exception as exc:
+                    batch.add_error(job.name,
+                                    "%s: %s" % (type(exc).__name__, exc))
+            else:
+                batch.add_error(job.name, "timed out after %gs" % timeout)
+        # abandon the pool: cancel what never started, and kill the
+        # workers outright - concurrent.futures' atexit hook would
+        # otherwise join the hung worker at interpreter exit, wedging
+        # the whole process *after* this call correctly returned
+        # snapshot first: shutdown() clears the executor's process table
+        # even with wait=False
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            proc.terminate()
+        for proc in processes:
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # wedged in a SIGTERM-ignoring section
+                proc.kill()
+    else:
+        pool.shutdown()
     for job in jobs:  # preserve submission order in the merged report
         if job.name in outcomes:
             batch.add(job.name, outcomes[job.name])

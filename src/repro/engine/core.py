@@ -211,6 +211,11 @@ class ExplorationEngine:
         self.system = system
         self.properties = list(properties)
         self.options = options or EngineOptions()
+        # applied at construction (not _setup_search) so replay engines —
+        # counterexample rehydration, canonicalization, shard rebuilds —
+        # execute the same faulted relation as the search itself
+        from repro.model.faults import resolve_scenario
+        system.scenario_profile = resolve_scenario(self.options.scenario)
         self._monitor_cls = SafetyMonitor
         self._counterexample_cls = Counterexample
         #: the codegen tier's plan (generated programs + pooled
@@ -406,7 +411,12 @@ class ExplorationEngine:
         """The independence analysis, when the reduction is applicable."""
         options = self.options
         if (not options.reduction or options.mode == CONCURRENT
-                or self.system.enable_failures):
+                or self.system.enable_failures
+                or not self.system.scenario_profile.is_clean):
+            # faulted relations (§8 enumeration or a non-clean scenario
+            # profile) disable the reduction outright: fault-suffixed
+            # labels have no static independence entries, so pruning
+            # around them would be unsound
             return None
         from repro.deps.independence import IndependenceAnalysis
         return IndependenceAnalysis(self.system)

@@ -116,6 +116,15 @@ class EngineOptions:
         adjacent pair).  Off by default (it changes the explored state
         *count*); ignored in concurrent mode and when failure
         enumeration is on.
+    ``scenario``
+        Named fault-injection profile layered onto the transition
+        relation (see :mod:`repro.model.faults`): ``clean`` (the
+        default, ideal delivery), ``lossy``, ``delayed``,
+        ``duplicated``, ``device-death`` or ``stale-reads``.  A
+        *semantic* knob: each profile changes the explored relation, so
+        it participates in the vetting service's digests — a lossy
+        verdict is never served from the clean cache.  Any non-clean
+        profile disables the sleep-set reduction (sound composition).
     ``check_interval``
         How many transitions may elapse between wall-clock limit checks
         (state/transition limits stay exact; only ``time_limit`` detection
@@ -150,7 +159,7 @@ class EngineOptions:
                  codegen_cache=None, slab_size=64, successor_cache=True,
                  cache_limit=100000, cache_min_hit_rate=0.05,
                  cache_warmup=4096, reduction=False, check_interval=256,
-                 manage_gc=True, workers=1):
+                 manage_gc=True, workers=1, scenario="clean"):
         self.max_events = max_events
         self.mode = mode
         self.visited = visited
@@ -178,6 +187,12 @@ class EngineOptions:
         self.check_interval = check_interval
         self.manage_gc = manage_gc
         self.workers = workers
+        # normalize to the profile *name*: options travel through JSON
+        # payloads and semantic digests, both of which want the string.
+        # Imported lazily like the store constructors - repro.model's
+        # package init reaches back into repro.engine
+        from repro.model.faults import resolve_scenario
+        self.scenario = resolve_scenario(scenario).name
 
     @property
     def compiled(self):

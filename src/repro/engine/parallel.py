@@ -352,6 +352,13 @@ def _worker_main(worker_id, shards, job, queues, control, stop_event):
     """Process entry point of one shard."""
     from repro.engine.batch import build_job_context
 
+    kill = os.environ.get("REPRO_SHARD_TEST_KILL")
+    if kill is not None and kill.strip().isdigit() \
+            and int(kill) == worker_id:
+        # deterministic crash hook for the degradation tests: die before
+        # reporting anything, exactly like a hard worker crash would
+        os._exit(17)
+
     inbox = queues[worker_id]
     try:
         system, properties = build_job_context(job)
@@ -386,7 +393,9 @@ def _worker_main(worker_id, shards, job, queues, control, stop_event):
 
 
 class ShardError(RuntimeError):
-    """A shard worker died or reported an exception."""
+    """The sharded run's results would be unsound (soundness errors
+    only: worker *crashes* degrade gracefully into a truncated result
+    with a ``shard_failure`` record instead of raising)."""
 
 
 def explore_sharded(job, workers=None, keep_replay_system=False):
@@ -432,13 +441,27 @@ def explore_sharded(job, workers=None, keep_replay_system=False):
 
     started = time.monotonic()
     try:
-        payloads, stop_reason = _coordinate(job.options, workers, stop_event,
-                                            control, procs, started)
-    finally:
+        payloads, stop_reason, failure = _coordinate(
+            job.options, workers, stop_event, control, procs, started)
+    except BaseException:
         stop_event.set()  # no worker may outlive a coordination error
         _shutdown(procs, queues, control)
+        raise
+    stop_event.set()
+    if failure is not None:
+        # Handoffs parked in a dead shard's inbox cannot be requeued:
+        # state ownership is a static ``fingerprint % N``, so no
+        # surviving worker may explore them, and the sent/received
+        # termination counters could never balance again anyway.  Drain
+        # and count them instead, so the failure record quantifies the
+        # lost frontier.
+        failure["lost_handoffs"] = sum(
+            _drain_lost_handoffs(queues[wid]) for wid in failure["workers"])
+    _shutdown(procs, queues, control)
 
     merged, candidates = _merge_shards(payloads, workers)
+    if failure is not None:
+        merged.shard_failure = failure
     if stop_reason is not None and not merged.truncated:
         merged.truncated = True
         merged.truncated_reason = stop_reason
@@ -487,10 +510,20 @@ def _coordinate(options, workers, stop_event, control, procs, started):
     Global limits (state/transition counts aggregated across shards,
     the wall clock) and ``stop_on_first`` route through the same stop
     broadcast without confirmation - they do not claim exhaustiveness.
-    Returns ``(per-worker result payloads, stop reason)``.
+
+    Worker failures - a reported exception or a process found dead
+    twice without a result - degrade gracefully: the swarm is stopped,
+    surviving shards flush their partial results, and the failure is
+    returned as a structured record instead of raised, so callers get
+    a typed ``shard_failure`` on the merged result rather than a stack
+    trace.  Returns ``(per-worker result payloads, stop reason,
+    failure-record-or-None)``.
     """
     statuses = {}   # wid -> (seq, snapshot)
     payloads = {}
+    failed = {}     # wid -> exit code (None when the worker reported
+                    # an exception and exited normally)
+    detail = None   # first reported traceback, if any
     stop_reason = None
     #: wid -> (seq, sent, received) at the tentative balanced
     #: observation; None when no confirmation round is open
@@ -505,14 +538,14 @@ def _coordinate(options, workers, stop_event, control, procs, started):
             stop_reason = reason
             stop_event.set()
 
-    while len(payloads) < workers:
+    while len(payloads) + len(failed) < workers:
         now = time.monotonic()
         if now >= next_liveness:
             next_liveness = now + 1.0
             # a worker flushes its result before exiting, so a dead
             # worker without one is a crash; requiring two sweeps ~1s
             # apart bridges the flush-visible-to-exit-visible race
-            suspects = _check_liveness(procs, payloads, suspects,
+            suspects = _check_liveness(procs, payloads, failed, suspects,
                                        broadcast_stop)
         try:
             message = control.get(timeout=IDLE_POLL)
@@ -526,9 +559,11 @@ def _coordinate(options, workers, stop_event, control, procs, started):
             payloads[message[1]] = message[2]
             continue
         if kind == "error":
-            broadcast_stop(None)
-            raise ShardError("shard worker %d failed:\n%s"
-                             % (message[1], message[2]))
+            failed.setdefault(message[1], None)
+            if detail is None:
+                detail = message[2]
+            broadcast_stop("shard_failure")
+            continue
         if kind == "status":
             statuses[message[1]] = (message[2], message[3:])
         if stop_event.is_set():
@@ -568,7 +603,12 @@ def _coordinate(options, workers, stop_event, control, procs, started):
             confirmed.add(wid)
             if len(confirmed) == workers:
                 broadcast_stop(None)
-    return payloads, stop_reason
+    failure = None
+    if failed:
+        failure = {"workers": sorted(failed),
+                   "exitcodes": [failed[wid] for wid in sorted(failed)],
+                   "detail": detail}
+    return payloads, stop_reason, failure
 
 
 def _time_limit_exceeded(options, started):
@@ -589,24 +629,44 @@ def _limits_tripped(options, statuses):
     return None
 
 
-def _check_liveness(procs, payloads, suspects, broadcast_stop):
-    """Crash detection: returns the new suspect set, raises on repeat.
+def _check_liveness(procs, payloads, failed, suspects, broadcast_stop):
+    """Crash detection: returns the new suspect set.
 
-    A dead worker without a result is suspicious once and fatal twice -
-    the worker's exit joins its control-queue feeder, so by the second
-    sweep (~1s later) a legitimately finished worker's result would
-    have been read from the control queue already.
+    A dead worker without a result is suspicious once and *failed*
+    twice - the worker's exit joins its control-queue feeder, so by the
+    second sweep (~1s later) a legitimately finished worker's result
+    would have been read from the control queue already.  Twice-
+    suspected workers are recorded in ``failed`` (with their exit
+    codes) and the swarm is stopped; the coordinator then collects the
+    surviving shards' partial results instead of raising.
     """
     dead = {wid for wid, proc in enumerate(procs)
-            if wid not in payloads and not proc.is_alive()}
+            if wid not in payloads and wid not in failed
+            and not proc.is_alive()}
     repeat = dead & suspects
     if repeat:
-        broadcast_stop(None)
-        raise ShardError(
-            "shard worker(s) %s exited (codes %s) without reporting a "
-            "result" % (sorted(repeat),
-                        [procs[wid].exitcode for wid in sorted(repeat)]))
-    return dead
+        for wid in sorted(repeat):
+            failed[wid] = procs[wid].exitcode
+        broadcast_stop("shard_failure")
+    return dead - set(failed)
+
+
+def _drain_lost_handoffs(inbox):
+    """Count the cross-shard states parked in a dead worker's inbox.
+
+    Best effort: peers that exited mid-send may have dropped batches on
+    the floor already (their queue feeders are cancelled on exit), so
+    this is a lower bound on the lost frontier.
+    """
+    lost = 0
+    try:
+        while True:
+            message = inbox.get_nowait()
+            if message[0] == "states":
+                lost += len(message[1])
+    except (_queue_mod.Empty, OSError, ValueError):
+        pass
+    return lost
 
 
 def _shutdown(procs, queues, control):

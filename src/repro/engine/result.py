@@ -58,6 +58,15 @@ class ExplorationResult:
         #: (states, transitions, handoffs sent/received, cache and
         #: visited counters); empty for single-worker runs
         self.shard_stats = []
+        #: structured crash record of a sharded run that lost workers
+        #: (``None`` when every shard finished): ``workers`` (ids),
+        #: ``exitcodes``, ``detail`` (traceback tail when the worker
+        #: reported one), ``lost_handoffs`` (undelivered cross-shard
+        #: states drained from the dead shard's inbox).  Such a result
+        #: is always ``truncated`` with reason ``"shard_failure"``:
+        #: surviving shards' coverage is merged, but exhaustiveness is
+        #: not claimed
+        self.shard_failure = None
 
     @property
     def cache_hit_rate(self):
@@ -119,6 +128,8 @@ class ExplorationResult:
             "property_stats": dict(self.property_stats),
             "workers": self.workers,
             "shard_stats": [dict(shard) for shard in self.shard_stats],
+            "shard_failure": (dict(self.shard_failure)
+                              if self.shard_failure else None),
         }
 
     @classmethod
@@ -150,6 +161,8 @@ class ExplorationResult:
         result.workers = data.get("workers", 1)
         result.shard_stats = [dict(shard)
                               for shard in data.get("shard_stats", ())]
+        failure = data.get("shard_failure")
+        result.shard_failure = dict(failure) if failure else None
         return result
 
     def to_json(self, indent=None):
@@ -176,6 +189,13 @@ class ExplorationResult:
                 for index, shard in enumerate(self.shard_stats))
             lines.append("  sharded across %d workers (%s)"
                          % (self.workers, shards or "no shard stats"))
+        if self.shard_failure:
+            lines.append(
+                "  shard failure: worker(s) %s died (exit codes %s, "
+                "%d handoff(s) lost); coverage is partial" % (
+                    self.shard_failure.get("workers"),
+                    self.shard_failure.get("exitcodes"),
+                    self.shard_failure.get("lost_handoffs", 0)))
         if self.cache_mode != "off" or self.commutes_pruned:
             lines.append(
                 "  engine: successor cache %s (%d hits / %d misses, "

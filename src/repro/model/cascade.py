@@ -15,9 +15,13 @@ app, an actuator may be either online or offline."
 
 from repro.checker.violations import TraceStep
 from repro.model.compiler import CompiledExecutor
-from repro.model.events import APP, DEVICE, FAKE, LOCATION, TIMER, Event
+from repro.model.events import (APP, DEVICE, FAKE, LOCATION, TIMER, Event,
+                                FailureScenario, NO_FAILURE)
 from repro.model.handles import DeviceHandle, EventHandle
 from repro.model.interpreter import ExecutionError, Interpreter
+
+__all__ = ["Cascade", "FailureScenario", "NO_FAILURE", "TIME_QUANTUM_MS",
+           "MAX_INTERNAL_EVENTS"]
 
 #: milliseconds the model clock advances per external event
 TIME_QUANTUM_MS = 60000
@@ -25,32 +29,8 @@ TIME_QUANTUM_MS = 60000
 #: bound on internal events per cascade (guards against app event loops)
 MAX_INTERNAL_EVENTS = 64
 
-
-class FailureScenario:
-    """Which device (if any) fails during this external event's cascade."""
-
-    NONE = "none"
-    SENSOR_DROP = "sensor-drop"        # the originating sensor fails to report
-    ACTUATOR_DROP = "actuator-drop"    # one actuator drops all commands
-
-    __slots__ = ("kind", "device")
-
-    def __init__(self, kind=NONE, device=None):
-        self.kind = kind
-        self.device = device
-
-    def label(self):
-        if self.kind == self.NONE:
-            return ""
-        if self.kind == self.SENSOR_DROP:
-            return " [sensor offline]"
-        return " [%s offline]" % (self.device,)
-
-    def __repr__(self):
-        return "FailureScenario(%s, %r)" % (self.kind, self.device)
-
-
-NO_FAILURE = FailureScenario()
+#: sentinel distinguishing "no stale entry" from a stale value of ``None``
+_NO_STALE = object()
 
 
 class Cascade:
@@ -70,6 +50,9 @@ class Cascade:
         self.defer_dispatch = defer_dispatch
         self._queue = []
         self._dispatched = 0
+        #: (device, attribute) -> pre-event value, set by the stale-reads
+        #: scenario; app reads through :meth:`get_attribute` see these
+        self._stale_reads = None
 
     # ------------------------------------------------------------------
     # entry points
@@ -83,12 +66,41 @@ class Cascade:
             "external", ext.describe() + suffix if suffix
             else ext.describe()))
         if ext.kind == "sensor":
-            if self.scenario.kind == FailureScenario.SENSOR_DROP:
+            kind = self.scenario.kind
+            if kind == FailureScenario.SENSOR_DROP:
                 # The physical world changed but the report was lost: ground
                 # truth updates silently, no app is notified.
                 self.state.set_attribute(ext.device, ext.attribute, ext.value)
                 self._step("failure", "%s offline: event %s=%s not reported"
                            % (ext.device, ext.attribute, ext.value))
+            elif kind == FailureScenario.EVENT_DROP:
+                # lossy profile: same silent ground-truth update, but the
+                # loss is in transit rather than at the sensor
+                self.state.set_attribute(ext.device, ext.attribute, ext.value)
+                self._step("failure", "report lost: event %s=%s from %s not "
+                           "delivered" % (ext.attribute, ext.value, ext.device))
+            elif (kind == FailureScenario.DEVICE_DEATH
+                  and self.scenario.device == ext.device):
+                self.state.set_attribute(ext.device, ext.attribute, ext.value)
+                self._step("failure", "%s dead: event %s=%s not reported"
+                           % (ext.device, ext.attribute, ext.value))
+            elif kind == FailureScenario.DUPLICATE:
+                changed = (self.state.attribute(ext.device, ext.attribute)
+                           != ext.value)
+                self.sensor_state_update(ext.device, ext.attribute, ext.value)
+                if changed:
+                    self._step("failure", "%s duplicated: event %s=%s "
+                               "delivered twice"
+                               % (ext.device, ext.attribute, ext.value))
+                    self._enqueue(Event(DEVICE, device=ext.device,
+                                        attribute=ext.attribute,
+                                        value=ext.value))
+            elif kind == FailureScenario.STALE_READ:
+                stale = self.get_attribute(ext.device, ext.attribute)
+                self._step("failure", "stale reads: %s.%s cached as %s for "
+                           "this cascade" % (ext.device, ext.attribute, stale))
+                self.sensor_state_update(ext.device, ext.attribute, ext.value)
+                self._stale_reads = {(ext.device, ext.attribute): stale}
             else:
                 self.sensor_state_update(ext.device, ext.attribute, ext.value)
         elif ext.kind == "touch":
@@ -159,12 +171,17 @@ class Cascade:
         if effect is None:
             self._step("log", "unknown command %s on %s" % (command, device_name))
             return
-        if (self.scenario.kind == FailureScenario.ACTUATOR_DROP
-                and self.scenario.device == device_name):
-            self.monitor.on_command_dropped(device_name, command, app_name,
-                                            "actuator offline")
-            self._step("failure", "%s offline: command %s dropped"
-                       % (device_name, command))
+        if self.scenario.drops_command(device_name):
+            if self.scenario.kind == FailureScenario.DEVICE_DEATH:
+                self.monitor.on_command_dropped(device_name, command, app_name,
+                                                "device dead")
+                self._step("failure", "%s dead: command %s dropped"
+                           % (device_name, command))
+            else:
+                self.monitor.on_command_dropped(device_name, command, app_name,
+                                                "actuator offline")
+                self._step("failure", "%s offline: command %s dropped"
+                           % (device_name, command))
             return
         value = effect.value
         if effect.takes_arg:
@@ -201,8 +218,11 @@ class Cascade:
             self._queue.append(event)
 
     def _drain(self):
+        # the delayed profile delivers cascade events newest-first (LIFO),
+        # modeling reordered/deferred delivery; clean delivery is FIFO
+        lifo = self.scenario.kind == FailureScenario.REORDER
         while self._queue:
-            event = self._queue.pop(0)
+            event = self._queue.pop() if lifo else self._queue.pop(0)
             self.dispatch_event(event)
 
     def _fire_timer(self, app_name, handler):
@@ -258,6 +278,11 @@ class Cascade:
     # ------------------------------------------------------------------
 
     def get_attribute(self, device_name, attribute):
+        if self._stale_reads is not None:
+            stale = self._stale_reads.get((device_name, attribute),
+                                          _NO_STALE)
+            if stale is not _NO_STALE:
+                return stale
         value = self.state.attribute(device_name, attribute)
         if value is None:
             instance = self.system.devices.get(device_name)

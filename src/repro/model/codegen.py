@@ -1016,9 +1016,22 @@ class _LeanCascade(Cascade):
     def run_external(self, ext):
         self.state.time += TIME_QUANTUM_MS
         if ext.kind == "sensor":
-            if self.scenario.kind == FailureScenario.SENSOR_DROP:
+            if self.scenario.drops_report(ext.device):
+                # SENSOR_DROP / EVENT_DROP / DEVICE_DEATH of the origin:
                 # ground truth updates silently, no app is notified
                 self.state.set_attribute(ext.device, ext.attribute, ext.value)
+            elif self.scenario.kind == FailureScenario.DUPLICATE:
+                changed = (self.state.attribute(ext.device, ext.attribute)
+                           != ext.value)
+                self.sensor_state_update(ext.device, ext.attribute, ext.value)
+                if changed:
+                    self._enqueue(Event(DEVICE, device=ext.device,
+                                        attribute=ext.attribute,
+                                        value=ext.value))
+            elif self.scenario.kind == FailureScenario.STALE_READ:
+                stale = self.get_attribute(ext.device, ext.attribute)
+                self.sensor_state_update(ext.device, ext.attribute, ext.value)
+                self._stale_reads = {(ext.device, ext.attribute): stale}
             else:
                 self.sensor_state_update(ext.device, ext.attribute, ext.value)
         elif ext.kind == "touch":
@@ -1056,10 +1069,12 @@ class _LeanCascade(Cascade):
             (device_name, command, payload, app_name),)
         if effect is None:
             return
-        if (self.scenario.kind == FailureScenario.ACTUATOR_DROP
-                and self.scenario.device == device_name):
+        if self.scenario.drops_command(device_name):
+            reason = ("device dead"
+                      if self.scenario.kind == FailureScenario.DEVICE_DEATH
+                      else "actuator offline")
             self.monitor.on_command_dropped(device_name, command, app_name,
-                                            "actuator offline")
+                                            reason)
             return
         value = effect.value
         if effect.takes_arg:
@@ -1218,7 +1233,8 @@ class CodegenPlan:
         # monitor needs to be built at all; when it does, the monitor
         # re-checks through the ordinary path and produces the
         # identical violation list
-        fast_ok = not system.enable_failures
+        fast_ok = (not system.enable_failures
+                   and system.scenario_profile.is_clean)
         invariant_probe = getattr(monitor_factory(), "_compiled", None)
         probe_failed = (invariant_probe.failed_invariants
                         if invariant_probe is not None else None)

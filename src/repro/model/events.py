@@ -45,6 +45,68 @@ class Event:
         return "Event(%s)" % (self.describe(),)
 
 
+class FailureScenario:
+    """Which nonideality (if any) afflicts this external event's cascade.
+
+    The first two fault kinds reproduce §8 of the paper ("the sensor is
+    available/online [or] unavailable/offline ... an actuator may be either
+    online or offline"); the rest extend the enumeration to the lossy-
+    environment profiles in :mod:`repro.model.faults`.
+    """
+
+    NONE = "none"
+    SENSOR_DROP = "sensor-drop"        # the originating sensor fails to report
+    ACTUATOR_DROP = "actuator-drop"    # one actuator drops all commands
+    EVENT_DROP = "event-drop"          # the report is lost in transit (lossy)
+    DUPLICATE = "duplicate"            # the report is delivered twice
+    REORDER = "reorder"                # cascade events delivered newest-first
+    DEVICE_DEATH = "device-death"      # one device stops reporting and acting
+    STALE_READ = "stale-read"          # app reads see the pre-event value
+
+    __slots__ = ("kind", "device")
+
+    def __init__(self, kind=NONE, device=None):
+        self.kind = kind
+        self.device = device
+
+    def label(self):
+        if self.kind == self.NONE:
+            return ""
+        if self.kind == self.SENSOR_DROP:
+            return " [sensor offline]"
+        if self.kind == self.EVENT_DROP:
+            return " [report lost]"
+        if self.kind == self.DUPLICATE:
+            return " [duplicated]"
+        if self.kind == self.REORDER:
+            return " [delayed]"
+        if self.kind == self.DEVICE_DEATH:
+            return " [%s dead]" % (self.device,)
+        if self.kind == self.STALE_READ:
+            return " [stale reads]"
+        return " [%s offline]" % (self.device,)
+
+    def drops_command(self, device_name):
+        """True when commands sent to ``device_name`` are dropped."""
+        if self.kind == self.ACTUATOR_DROP or self.kind == self.DEVICE_DEATH:
+            return self.device == device_name
+        return False
+
+    def drops_report(self, device_name):
+        """True when ``device_name``'s sensor report is silently lost."""
+        if self.kind == self.SENSOR_DROP or self.kind == self.EVENT_DROP:
+            return True
+        if self.kind == self.DEVICE_DEATH:
+            return self.device == device_name
+        return False
+
+    def __repr__(self):
+        return "FailureScenario(%s, %r)" % (self.kind, self.device)
+
+
+NO_FAILURE = FailureScenario()
+
+
 class ExternalEvent:
     """One environment choice at the top of the main event loop.
 

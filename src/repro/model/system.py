@@ -9,6 +9,7 @@ enumeration.
 
 from repro.model.cascade import Cascade, FailureScenario, NO_FAILURE
 from repro.model.events import APP, DEVICE, FAKE, LOCATION, ExternalEvent
+from repro.model.faults import CLEAN
 from repro.model.handles import DeviceGroup, DeviceHandle
 from repro.model.state import ModelState
 from repro.translator.lowering import lower_program
@@ -156,6 +157,11 @@ class IoTSystem:
         self.association = dict(association or {})
         self.http_allowed = set(http_allowed)
         self.enable_failures = enable_failures
+        #: the active fault-injection profile (see :mod:`repro.model.faults`);
+        #: the engine sets this from ``EngineOptions.scenario``.  Orthogonal
+        #: to ``enable_failures`` (the §8 offline enumeration): both extend
+        #: :meth:`failure_scenarios` additively
+        self.scenario_profile = CLEAN
         #: when set, the user changing the location mode from the companion
         #: app is an environment choice (used by the Output Analyzer so
         #: mode-triggered apps can be vetted in isolation, §9/§10.3)
@@ -419,17 +425,21 @@ class IoTSystem:
         return choices
 
     def failure_scenarios(self, ext):
-        """§8 failure enumeration for one external event."""
+        """Failure enumeration for one external event: the §8 offline
+        scenarios (when ``enable_failures``) plus the active scenario
+        profile's variants (when non-clean)."""
         scenarios = [NO_FAILURE]
-        if not self.enable_failures:
-            return scenarios
-        if ext.kind == "sensor":
-            scenarios.append(FailureScenario(FailureScenario.SENSOR_DROP,
-                                             ext.device))
-        for name, device in sorted(self.devices.items()):
-            if device.spec.is_actuator:
-                scenarios.append(FailureScenario(FailureScenario.ACTUATOR_DROP,
-                                                 name))
+        if self.enable_failures:
+            if ext.kind == "sensor":
+                scenarios.append(FailureScenario(FailureScenario.SENSOR_DROP,
+                                                 ext.device))
+            for name, device in sorted(self.devices.items()):
+                if device.spec.is_actuator:
+                    scenarios.append(FailureScenario(
+                        FailureScenario.ACTUATOR_DROP, name))
+        profile = self.scenario_profile
+        if not profile.is_clean:
+            scenarios.extend(profile.variants(self, ext))
         return scenarios
 
     # ------------------------------------------------------------------

@@ -33,7 +33,9 @@ the engine.
 """
 
 import json
+import random
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -50,6 +52,7 @@ _ALLOWED_OPTIONS = (
     "max_transitions", "time_limit", "stop_on_first", "strategy",
     "compiled", "engine", "slab_size", "successor_cache", "cache_limit",
     "cache_min_hit_rate", "cache_warmup", "reduction", "workers",
+    "scenario",
 )
 
 
@@ -60,10 +63,12 @@ class SubmissionError(ValueError):
 class VettingService:
     """Scheduler + store glue shared by every handler thread."""
 
-    def __init__(self, store, workers=None, shard_workers=None):
+    def __init__(self, store, workers=None, shard_workers=None,
+                 job_timeout=None):
         self.store = store
         self.scheduler = Scheduler(store, workers=workers,
-                                   shard_workers=shard_workers)
+                                   shard_workers=shard_workers,
+                                   job_timeout=job_timeout)
 
     def start(self):
         self.scheduler.start()
@@ -139,11 +144,13 @@ class VettingService:
         from repro.engine.options import CONCURRENT, ENGINE_MODES, SEQUENTIAL
         from repro.engine.options import visited_store_names
         from repro.engine.strategy import strategy_names
+        from repro.model.faults import scenario_names
 
         enums = {"visited": visited_store_names(),
                  "strategy": strategy_names(),
                  "mode": [SEQUENTIAL, CONCURRENT],
-                 "engine": list(ENGINE_MODES)}
+                 "engine": list(ENGINE_MODES),
+                 "scenario": list(scenario_names())}
         for key, allowed in enums.items():
             if key in options and options[key] not in allowed:
                 raise SubmissionError(
@@ -298,7 +305,7 @@ class VettingHTTPServer(ThreadingHTTPServer):
 
 def create_server(store_path=":memory:", host="127.0.0.1", port=DEFAULT_PORT,
                   workers=None, shard_workers=None, verbose=False,
-                  store=None):
+                  store=None, job_timeout=None):
     """Build (but don't run) a vetting server; returns ``(server, service)``.
 
     ``port=0`` binds an ephemeral free port (``server.server_address``
@@ -307,11 +314,14 @@ def create_server(store_path=":memory:", host="127.0.0.1", port=DEFAULT_PORT,
     ``server.serve_forever()`` to serve and ``service.shutdown()`` +
     ``server.server_close()`` to tear down.  ``shard_workers`` selects
     the scheduler's sharded execution mode (each job's own search split
-    across N processes, jobs drained one at a time).
+    across N processes, jobs drained one at a time).  ``job_timeout``
+    bounds each job's wall clock (seconds; see
+    :class:`~repro.service.scheduler.Scheduler`).
     """
     store = store if store is not None else ResultStore(store_path)
     service = VettingService(store, workers=workers,
-                             shard_workers=shard_workers)
+                             shard_workers=shard_workers,
+                             job_timeout=job_timeout)
     service.start()
     server = VettingHTTPServer((host, port), service, verbose=verbose)
     return server, service
@@ -331,11 +341,26 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Minimal urllib client for the vetting API (used by the CLI)."""
+    """Minimal urllib client for the vetting API (used by the CLI).
 
-    def __init__(self, base_url, timeout=60.0):
+    Transient connection failures (``URLError``: refused, reset, DNS
+    hiccup - *not* HTTP error answers) are retried up to ``retries``
+    extra attempts with exponential backoff plus jitter
+    (``backoff * 2**attempt``, scaled by a random factor in [0.5, 1.0]
+    so a burst of CLI clients does not re-dogpile a restarting server).
+    Only idempotent GETs retry by default: a POST that died mid-flight
+    may have been applied, and resubmitting it is the *caller's* call
+    (``retry_posts=True`` opts in - safe for this API because
+    submissions are deduplicated by content digest).
+    """
+
+    def __init__(self, base_url, timeout=60.0, retries=2, backoff=0.25,
+                 retry_posts=False):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.retry_posts = retry_posts
 
     def _request(self, path, payload=None):
         url = self.base_url + path
@@ -344,21 +369,31 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        retries = self.retries if (payload is None or self.retry_posts) else 0
+        for attempt in range(retries + 1):
+            request = urllib.request.Request(url, data=data, headers=headers)
             try:
-                message = json.loads(exc.read().decode("utf-8")).get(
-                    "error", exc.reason)
-            except Exception:
-                message = str(exc.reason)
-            raise ServiceError(exc.code, message)
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, "cannot reach %s (%s); is `repro serve` "
-                                  "running?" % (url, exc.reason))
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # the server answered: a definitive result, never retried
+                try:
+                    message = json.loads(exc.read().decode("utf-8")).get(
+                        "error", exc.reason)
+                except Exception:
+                    message = str(exc.reason)
+                raise ServiceError(exc.code, message)
+            except urllib.error.URLError as exc:
+                if attempt >= retries:
+                    raise ServiceError(
+                        0, "cannot reach %s (%s)%s; is `repro serve` "
+                           "running?"
+                           % (url, exc.reason,
+                              " after %d attempts" % (attempt + 1)
+                              if attempt else ""))
+                time.sleep(self.backoff * (2 ** attempt)
+                           * (0.5 + random.random() / 2))
 
     def health(self):
         return self._request("/healthz")

@@ -37,15 +37,18 @@ import json
 #: hashed into every digest: bump when the canonical layout changes
 #: (v2: the execution tier - ``engine``/``compiled`` - left the semantic
 #: fields; the codegen differential suite proves all tiers byte-identical,
-#: so the back-end choice is a pure performance knob like ``workers``)
-DIGEST_SCHEMA_VERSION = 2
+#: so the back-end choice is a pure performance knob like ``workers``.
+#: v3: the fault-injection ``scenario`` profile joined the semantic
+#: fields - each profile explores a different transition relation, so a
+#: lossy verdict must never be served from the clean cache)
+DIGEST_SCHEMA_VERSION = 3
 
 #: EngineOptions fields that can change verdicts, traces or reported
 #: exploration statistics; everything else is a performance knob
 SEMANTIC_OPTION_FIELDS = (
     "max_events", "mode", "visited", "bitstate_bits", "max_states",
     "max_transitions", "time_limit", "stop_on_first", "strategy",
-    "reduction",
+    "reduction", "scenario",
 )
 
 

@@ -122,13 +122,24 @@ class Scheduler:
     at a time on a multi-core host - the pool would idle N-1 cores per
     drain cycle, the shards use them.  A submission whose own options
     request ``workers > 1`` shards regardless of the scheduler default.
+
+    ``job_timeout`` (seconds, ``None`` = unbounded) bounds each job's
+    wall clock with two cooperating mechanisms: a cooperative
+    ``EngineOptions.time_limit`` injected into every drained job (the
+    engine stops itself at the deadline, covering the inline and sharded
+    paths), plus :func:`verify_many`'s hard pool backstop for workers
+    hung in non-cooperative code.  Either way the record finishes - the
+    in-flight dedup key is released by ``_finish_batch`` and the drain
+    loop moves on; a single runaway submission can never wedge the
+    service.
     """
 
     def __init__(self, store, workers=None, batch_size=None,
-                 shard_workers=None):
+                 shard_workers=None, job_timeout=None):
         self.store = store
         self.workers = workers
         self.shard_workers = shard_workers
+        self.job_timeout = job_timeout
         #: jobs drained per cycle: enough to keep the pool busy, small
         #: enough that a high-priority arrival waits one batch at most
         self.batch_size = batch_size or max(
@@ -243,6 +254,7 @@ class Scheduler:
         # results are keyed by job name inside verify_many; job ids are
         # unique where user-facing names need not be
         jobs = []
+        tightened = set()  # record ids whose time_limit *we* imposed
         for record in batch:
             source = record.job
             options = source.options
@@ -250,6 +262,17 @@ class Scheduler:
                     and getattr(options, "workers", 1) <= 1):
                 options = copy.copy(options)
                 options.workers = self.shard_workers
+            if self.job_timeout is not None:
+                # cooperative per-job bound: the engine checks wall
+                # clock itself, which also covers the inline and
+                # sharded paths the pool backstop cannot preempt.  A
+                # submission with its own tighter limit keeps it.
+                limit = getattr(options, "time_limit", None)
+                if limit is None or limit > self.job_timeout:
+                    if options is source.options:
+                        options = copy.copy(options)
+                    options.time_limit = self.job_timeout
+                    tightened.add(record.id)
             jobs.append(VerificationJob(
                 record.id, source.config, options,
                 properties=source.properties, select=source.select,
@@ -269,7 +292,8 @@ class Scheduler:
             pool_workers = (1 if sharded_batch
                             or (self.shard_workers and self.shard_workers > 1)
                             else self.workers)
-            outcome = verify_many(jobs, workers=pool_workers)
+            outcome = verify_many(jobs, workers=pool_workers,
+                                  timeout=self.job_timeout)
         except Exception as exc:
             # verify_many catches per-job failures itself; this guards
             # batch-level failures (e.g. a dead process pool) so the
@@ -280,8 +304,32 @@ class Scheduler:
         for record in batch:
             result = outcome.results.get(record.id)
             if result is not None:
+                if (record.id in tightened and result.truncated
+                        and result.truncated_reason == "time_limit"):
+                    # the *injected* deadline cut the search short.
+                    # Violations found before the cutoff are real, so a
+                    # violated verdict stands (uncached - the partial
+                    # coverage is not reproducible under the cache key);
+                    # a "safe" verdict from partial coverage would be
+                    # unsound, so the record errors instead
+                    record.result = result
+                    if result.counterexamples:
+                        record.status = DONE
+                    else:
+                        record.error = ("timed out after %gs "
+                                        "(scheduler job timeout); partial "
+                                        "coverage, no verdict"
+                                        % self.job_timeout)
+                        record.status = ERROR
+                    continue
                 record.result = result
                 record.status = DONE
+                if result.shard_failure:
+                    failure = result.shard_failure
+                    record.error = (
+                        "shard worker(s) %s died (exit codes %s); result "
+                        "covers the surviving shards only"
+                        % (failure.get("workers"), failure.get("exitcodes")))
                 if result.workers > 1 and (
                         result.truncated
                         or record.job.options.stop_on_first):
@@ -406,4 +454,5 @@ class Scheduler:
                 "dedup_hits": self.dedup_hits,
                 "workers": self.workers,
                 "shard_workers": self.shard_workers,
+                "job_timeout": self.job_timeout,
             }

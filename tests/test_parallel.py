@@ -221,3 +221,47 @@ class TestWorkerCountResolution:
         # never fork the host to death
         assert default_shard_workers(10**6) == MAX_SHARD_WORKERS
         assert default_shard_workers() <= MAX_SHARD_WORKERS
+
+
+# -- graceful degradation on worker death -------------------------------------
+
+
+class TestShardCrashDegradation:
+    """A dying worker process yields a *partial result with a structured
+    failure record*, not a raw exception: the surviving shards' coverage
+    and any violations they found are still worth reporting."""
+
+    def _killed_run(self, monkeypatch, worker_id, **option_kwargs):
+        monkeypatch.setenv("REPRO_SHARD_TEST_KILL", str(worker_id))
+        group_name = sorted(GROUP_BUILDERS)[0]
+        return explore_sharded(_group_job(group_name, workers=2,
+                                          **option_kwargs))
+
+    def test_killed_worker_degrades_to_partial_result(self, monkeypatch):
+        result = self._killed_run(monkeypatch, worker_id=1)
+        failure = result.shard_failure
+        assert failure is not None
+        assert failure["workers"] == [1]
+        assert failure["exitcodes"] == [17]  # the kill switch's exit code
+        assert failure["lost_handoffs"] >= 0
+        assert result.truncated
+        assert result.truncated_reason == "shard_failure"
+        # the surviving shard's exploration is reported, not discarded
+        # (how far it got before the stop broadcast is a race, so only
+        # the accounting is asserted, not a state count)
+        assert [s["worker"] for s in result.shard_stats] == [0]
+        assert result.states_explored == sum(
+            s["states_explored"] for s in result.shard_stats)
+        assert "shard failure" in result.summary()
+
+    def test_shard_failure_round_trips_json(self, monkeypatch):
+        result = self._killed_run(monkeypatch, worker_id=0)
+        restored = ExplorationResult.from_json(result.to_json())
+        assert restored.shard_failure == result.shard_failure
+        assert restored.truncated_reason == "shard_failure"
+
+    def test_healthy_run_reports_no_failure(self):
+        group_name = sorted(GROUP_BUILDERS)[0]
+        result = explore_sharded(_group_job(group_name, workers=2))
+        assert result.shard_failure is None
+        assert not result.truncated

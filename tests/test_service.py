@@ -286,9 +286,9 @@ class TestScheduler:
         seen = {}
         real_verify_many = batch_module.verify_many
 
-        def spying_verify_many(jobs, workers=None):
+        def spying_verify_many(jobs, workers=None, timeout=None):
             seen["workers"] = workers
-            return real_verify_many(jobs, workers=workers)
+            return real_verify_many(jobs, workers=workers, timeout=timeout)
 
         monkeypatch.setattr(batch_module, "verify_many", spying_verify_many)
         scheduler = Scheduler(ResultStore(":memory:"), workers=4)
@@ -585,3 +585,184 @@ class TestBatchJson:
         payload = capsys.readouterr().out
         restored = BatchResult.from_json(payload)
         assert restored.to_json(indent=2) == payload.rstrip("\n")
+
+
+# ---------------------------------------------------------------------------
+# crash tolerance: job timeouts and client retry
+# ---------------------------------------------------------------------------
+
+
+def _safe_slow_job(name="slow-safe", max_events=4):
+    """A violation-free workload big enough to outlive a tiny deadline:
+    a timed-out run of it has no counterexamples, so a partial 'safe'
+    would be unsound and the record must error instead."""
+    config = SystemConfiguration()
+    for index in range(3):
+        config.add_device("motion%d" % index, "smartsense-motion")
+        config.add_device("switch%d" % index, "smart-outlet")
+        config.add_app("Brighten My Path", {"motion1": "motion%d" % index,
+                                            "switch1": "switch%d" % index})
+    return VerificationJob(name, config, EngineOptions(max_events=max_events),
+                           strict=False)
+
+
+def _hang_named_job_forever(job):
+    """Pool-side stand-in for ``_execute_named``: the job named "hung"
+    sleeps forever, everything else runs normally."""
+    import time as _time
+
+    from repro.engine.batch import execute_job
+
+    if job.name == "hung":
+        _time.sleep(3600)
+    return job.name, execute_job(job)
+
+
+class TestSchedulerJobTimeout:
+    def test_timed_out_job_errors_and_unwedges_the_dedup_key(self):
+        scheduler = Scheduler(ResultStore(":memory:"), workers=1,
+                              job_timeout=0.05)
+        record = scheduler.submit(_safe_slow_job())
+        scheduler.run_pending()
+        assert record.status == "error"
+        assert "timed out" in record.error
+        # the in-flight dedup key is released: a resubmission queues a
+        # fresh run instead of attaching to the dead record
+        assert not scheduler._inflight
+        fresh = scheduler.submit(_safe_slow_job(name="retry"))
+        assert fresh is not record
+        assert scheduler.stats()["job_timeout"] == 0.05
+
+    def test_nothing_is_cached_under_an_injected_deadline_cut(self):
+        store = ResultStore(":memory:")
+        scheduler = Scheduler(store, workers=1, job_timeout=0.05)
+        scheduler.submit(_safe_slow_job())
+        scheduler.run_pending()
+        # partial coverage must never be served to future submissions
+        assert len(store) == 0
+
+    def test_violations_found_before_the_deadline_stand(self, alice_config):
+        """Violations are real whatever coverage found them: a deadline
+        cut with counterexamples keeps its violated verdict (uncached)."""
+        store = ResultStore(":memory:")
+        scheduler = Scheduler(store, workers=1, job_timeout=0.01)
+        record = scheduler.submit(_alice_job(alice_config, max_events=5,
+                                             stop_on_first=False))
+        scheduler.run_pending()
+        if record.result is not None and record.result.counterexamples:
+            assert record.status == "done"
+            assert record.verdict == "violated"
+            assert len(store) == 0  # partial coverage is never cached
+        else:  # the cut landed before the first violation on this host
+            assert record.status == "error"
+
+    def test_fast_jobs_are_untouched_by_a_generous_timeout(
+            self, alice_config):
+        store = ResultStore(":memory:")
+        untimed = Scheduler(ResultStore(":memory:"), workers=1)
+        baseline = untimed.submit(_alice_job(alice_config))
+        untimed.run_pending()
+        timed = Scheduler(store, workers=1, job_timeout=600.0)
+        record = timed.submit(_alice_job(alice_config))
+        timed.run_pending()
+        assert record.status == "done", record.error
+        # timings differ run to run; the semantics must not
+        assert record.result.verdict == baseline.result.verdict
+        assert (record.result.states_explored
+                == baseline.result.states_explored)
+        assert (sorted(record.result.counterexamples)
+                == sorted(baseline.result.counterexamples))
+        assert len(store) == 1  # complete runs still cache
+
+    def test_submissions_own_tighter_limit_wins(self, alice_config):
+        """A job that already carries time_limit=0.01 truncates under its
+        *own* limit; the scheduler must not reclassify that as a timeout
+        error (it did not tighten anything)."""
+        scheduler = Scheduler(ResultStore(":memory:"), workers=1,
+                              job_timeout=600.0)
+        record = scheduler.submit(_alice_job(alice_config, max_events=5,
+                                             stop_on_first=False,
+                                             time_limit=0.01))
+        scheduler.run_pending()
+        assert record.status == "done", record.error
+        assert record.result.truncated_reason == "time_limit"
+
+    def test_pooled_hard_backstop_kills_a_hung_worker(self, alice_config,
+                                                      monkeypatch):
+        """A worker hung in non-cooperative code (the engine's time_limit
+        never fires) is abandoned at the deadline: its job errors, other
+        jobs' results survive, and the caller returns promptly."""
+        import time as _time
+
+        import repro.engine.batch as batch_mod
+
+        # module-level stand-in (closures don't pickle into the pool)
+        monkeypatch.setattr(batch_mod, "_execute_named",
+                            _hang_named_job_forever)
+        from repro.engine.batch import verify_many
+
+        jobs = [_alice_job(alice_config, name="ok", max_events=1),
+                _alice_job(alice_config, name="hung", max_events=1)]
+        started = _time.monotonic()
+        outcome = verify_many(jobs, workers=2, timeout=2.0)
+        assert _time.monotonic() - started < 30
+        assert "ok" in outcome.results
+        assert "timed out" in outcome.errors["hung"]
+
+
+class TestClientRetry:
+    def test_gets_retry_with_backoff_then_surface_the_error(self,
+                                                            monkeypatch):
+        sleeps = []
+        import repro.service.api as api_mod
+        monkeypatch.setattr(api_mod.time, "sleep", sleeps.append)
+        client = ServiceClient("http://127.0.0.1:1", timeout=1.0,
+                               retries=2, backoff=0.25)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert "after 3 attempts" in str(excinfo.value)
+        assert len(sleeps) == 2
+        # exponential with jitter in [0.5, 1.0] of the nominal delay
+        assert 0.125 <= sleeps[0] <= 0.25
+        assert 0.25 <= sleeps[1] <= 0.5
+
+    def test_posts_do_not_retry_by_default(self, monkeypatch):
+        sleeps = []
+        import repro.service.api as api_mod
+        monkeypatch.setattr(api_mod.time, "sleep", sleeps.append)
+        client = ServiceClient("http://127.0.0.1:1", timeout=1.0,
+                               retries=5, backoff=10.0)
+        with pytest.raises(ServiceError):
+            client.submit({"group": "g"})
+        assert sleeps == []  # one attempt, no backoff
+
+    def test_http_error_answers_never_retry(self, service_client):
+        """A served 4xx is a definitive answer: retrying it would just
+        re-ask a question the server already answered."""
+        client = ServiceClient(service_client.base_url, retries=3,
+                               backoff=30.0)  # a retry would hang the test
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/jobs/job-does-not-exist")
+        assert excinfo.value.status == 404
+
+    def test_retry_recovers_once_the_server_is_up(self):
+        """The whole point: a client started moments before the server
+        finishes binding succeeds transparently."""
+        server, service = create_server(port=0, workers=1)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        try:
+            client = ServiceClient("http://%s:%d" % (host, port),
+                                   retries=3, backoff=0.05)
+            # serve_forever starts *after* a short delay on purpose
+            starter = threading.Timer(0.1, thread.start)
+            starter.start()
+            # the socket is already bound by create_server, so requests
+            # queue in the listen backlog until serve_forever drains it;
+            # the retry path is exercised against the dead-port case above
+            assert client.health()["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
