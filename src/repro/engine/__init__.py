@@ -13,9 +13,12 @@ The exploration machinery of the checker, carved into replaceable parts:
 * :mod:`repro.engine.core` - the bounded search itself;
 * :mod:`repro.engine.batch` - :func:`verify_many`, fanning independent
   verification jobs across a process pool;
+* :mod:`repro.engine.partition` - the shard-ownership strategies
+  (``fingerprint`` / ``locality``) behind ``EngineOptions(partition=...)``;
 * :mod:`repro.engine.parallel` - :func:`explore_sharded`, sharding a
-  *single* run across worker processes by fingerprint ownership
-  (``EngineOptions(workers=N)`` / ``repro check --workers N``).
+  *single* run across worker processes with delta-encoded handoffs and
+  bounded work stealing (``EngineOptions(workers=N)`` /
+  ``repro check --workers N --partition locality``).
 
 ``repro.checker.explorer`` remains as a thin compatibility shim over this
 package.
@@ -40,6 +43,7 @@ from repro.engine.options import (
     EngineOptions,
     visited_store_names,
 )
+from repro.engine.partition import make_partitioner, partitioner_names
 from repro.engine.result import BatchResult, ExplorationResult
 from repro.engine.strategy import (
     make_frontier,
@@ -74,6 +78,8 @@ __all__ = [
     "default_workers",
     "explore_sharded",
     "make_frontier",
+    "make_partitioner",
+    "partitioner_names",
     "register_strategy",
     "strategy_names",
     "verify",

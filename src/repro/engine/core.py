@@ -102,17 +102,25 @@ class _SuccessorCache:
     A passing window resets the counters, so a long hot phase cannot
     mask a later cold one.  :attr:`disable_reason` records the verdict
     for the run report.
+
+    A sharded worker passes ``grace_warmup=False``: ownership
+    partitioning dedups states *across* shards, so repeat fingerprints
+    (the only thing this cache can hit on) are structurally rare there
+    and the first rolling window already judges honestly - the warmup
+    exemption would just burn ``warmup`` lookups' worth of pinned
+    successors per shard before admitting the cache is dead.
     """
 
-    __slots__ = ("entries", "capacity", "min_hit_rate", "warmup", "hits",
-                 "misses", "enabled", "auto_disabled", "disable_reason",
-                 "_window_hits", "_window_total")
+    __slots__ = ("entries", "capacity", "min_hit_rate", "warmup", "grace",
+                 "hits", "misses", "enabled", "auto_disabled",
+                 "disable_reason", "_window_hits", "_window_total")
 
-    def __init__(self, options):
+    def __init__(self, options, grace_warmup=True):
         self.entries = OrderedDict()
         self.capacity = options.cache_limit
         self.min_hit_rate = options.cache_min_hit_rate
         self.warmup = options.cache_warmup
+        self.grace = options.cache_warmup if grace_warmup else 0
         self.hits = 0
         self.misses = 0
         self.enabled = True
@@ -127,14 +135,14 @@ class _SuccessorCache:
         entry = self.entries.get(key)
         if entry is not None:
             self.hits += 1
-            if self.hits + self.misses > self.warmup:
+            if self.hits + self.misses > self.grace:
                 self._window_hits += 1
                 self._window_total += 1
             self.entries.move_to_end(key)
             return entry
         self.misses += 1
         if self.min_hit_rate and self.warmup \
-                and self.hits + self.misses > self.warmup:
+                and self.hits + self.misses > self.grace:
             self._window_total += 1
             if self._window_total >= self.warmup:
                 if self._window_hits < self._window_total * self.min_hit_rate:
@@ -282,7 +290,8 @@ class ExplorationEngine:
         frontier = options.make_frontier()
         cache = None
         if options.successor_cache:
-            cache = _SuccessorCache(options)
+            cache = _SuccessorCache(options,
+                                    grace_warmup=self.cache_grace_warmup)
             result.cache_mode = "fingerprint"
         reducer = self._make_reducer()
         matcher = _SleepStateMatcher(visited) if reducer is not None else None
@@ -568,6 +577,12 @@ class ExplorationEngine:
     #: the parent-side merge instead of paying for it per shard
     canonicalize_traces = True
 
+    #: subclasses (the shard workers) disable the successor cache's
+    #: warmup exemption: cross-shard dedup makes repeat fingerprints
+    #: structurally rare, so the first rolling window should already
+    #: judge the cache (see :class:`_SuccessorCache`)
+    cache_grace_warmup = True
+
     def _finish(self, result, visited, cache, started):
         # trace finalization is part of the run, so it is timed: elapsed
         # (and the states/sec figures derived from it in the bench
@@ -611,10 +626,13 @@ class ExplorationEngine:
             if replayed is not None:
                 node, violations = replayed
                 self._record(result, node, violations)
-            if key not in result.counterexamples:
+            elif key not in result.counterexamples:
                 # replay fell short (e.g. a truncated search recorded a
                 # path the bounded replay cannot reach): keep the
-                # skeleton rather than dropping the finding
+                # skeleton rather than dropping the finding.  A
+                # *successful* replay speaks for itself - keeping the
+                # skeleton too would duplicate the violation under a
+                # stale key whenever the replayed steps refine it
                 result.counterexamples[key] = counterexample
 
     def _canonicalize_traces(self, result):

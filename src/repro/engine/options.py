@@ -140,9 +140,9 @@ class EngineOptions:
         (:mod:`repro.engine.parallel`): state ownership is partitioned
         by fingerprint, each shard runs the full engine (its own
         frontier, visited store, successor cache and sleep sets) and
-        cross-shard frontier states travel in batches over
-        multiprocessing queues.  ``1`` (the default) runs the classic
-        in-process search.  A pure performance knob: verdicts,
+        cross-shard frontier states travel as delta-encoded batches
+        over multiprocessing queues.  ``1`` (the default) runs the
+        classic in-process search.  A pure performance knob: verdicts,
         violation sets and the canonical counterexample traces are
         identical to a single-worker run, so it does not participate in
         the vetting service's content digests.  Consumed by the
@@ -150,6 +150,15 @@ class EngineOptions:
         workers rebuild the system from the declarative job); a bare
         :class:`~repro.engine.core.ExplorationEngine` always runs
         in-process.
+    ``partition``
+        Which :mod:`repro.engine.partition` strategy maps states to
+        owning shards when ``workers > 1``: ``locality`` (the default -
+        a stable projection of the packed slot grid that keeps
+        successor chains shard-local, order-of-magnitude fewer
+        handoffs) or ``fingerprint`` (``fingerprint % N`` - perfectly
+        balanced, zero locality).  Like ``workers`` it is a pure
+        performance knob excluded from the semantic digests, and it is
+        ignored by single-worker runs.
     """
 
     def __init__(self, max_events=3, mode=SEQUENTIAL, visited="fingerprint",
@@ -159,7 +168,8 @@ class EngineOptions:
                  codegen_cache=None, slab_size=64, successor_cache=True,
                  cache_limit=100000, cache_min_hit_rate=0.05,
                  cache_warmup=4096, reduction=False, check_interval=256,
-                 manage_gc=True, workers=1, scenario="clean"):
+                 manage_gc=True, workers=1, partition="locality",
+                 scenario="clean"):
         self.max_events = max_events
         self.mode = mode
         self.visited = visited
@@ -187,6 +197,12 @@ class EngineOptions:
         self.check_interval = check_interval
         self.manage_gc = manage_gc
         self.workers = workers
+        # imported lazily for the same reason as the store constructors
+        from repro.engine.partition import partitioner_names
+        if partition not in partitioner_names():
+            raise ValueError("unknown partition strategy %r (known: %s)"
+                             % (partition, ", ".join(partitioner_names())))
+        self.partition = partition
         # normalize to the profile *name*: options travel through JSON
         # payloads and semantic digests, both of which want the string.
         # Imported lazily like the store constructors - repro.model's

@@ -4,24 +4,42 @@ The classic SPIN multi-core gap: ``verify_many`` scales *across*
 independent jobs, but a single deep ``repro check`` still explores its
 state space on one core.  This module partitions one run instead:
 
-* **ownership by fingerprint** - every reachable state is owned by
-  exactly one of N worker processes (``fingerprint % N``), so the
-  distinct-state count and the depth-aware revisit semantics are
-  preserved globally while each shard keeps its own frontier, visited
-  store (exact / fingerprint / collapse all work unchanged), successor
-  cache and sleep sets;
-* **batched handoff** - successors owned by another shard travel in
-  batches over multiprocessing queues, carrying their depth, sleep set
-  and the full event prefix (labels + trace steps) so the receiving
-  shard records violations with complete paths;
+* **pluggable ownership** - every reachable state is owned by exactly
+  one of N worker processes, so the distinct-state count and the
+  depth-aware revisit semantics are preserved globally while each shard
+  keeps its own frontier, visited store (exact / fingerprint / collapse
+  all work unchanged), successor cache and sleep sets.  The owner map
+  is a :mod:`repro.engine.partition` strategy: ``fingerprint`` (the
+  balanced zero-locality baseline) or ``locality`` (the default - a
+  stable projection of the packed slot grid that keeps successor
+  chains shard-local);
+* **delta-encoded handoff** - a successor owned by another shard ships
+  as a packed-slot delta against the shared initial state plus an app
+  overlay, its depth, sleep set and a *skeleton* event prefix (labels
+  plus only the command/mode steps violation attribution reads) -
+  never a full state pickle, never a full TraceStep path.  Batches are
+  pickled once per flush and their wire bytes are accounted
+  (``handoff_bytes``); full traces are reconstructed on the parent by
+  replay during trace canonicalization;
+* **bounded work stealing with ownership leases** - an idle shard asks
+  a peer for work instead of idling through the run; a loaded victim
+  leases it a bounded slice from the cold end of its frontier over the
+  same delta wire format.  Leases ride the sent/received counters, so
+  counting termination stays exact; ownership itself never moves -
+  dedup responsibility for a leased node's successors stays with their
+  owners, which is what keeps stealing sound (and why it is bounded:
+  work done off-owner pays for itself in extra handoffs);
 * **counting termination with a confirmation round** - workers report
   ``(idle, sent, received)`` snapshots to the parent; when every worker
-  is idle and the global sent/received handoff counters agree, the
-  parent holds the tentative verdict until every worker re-reports
-  *after* that observation with unchanged counters (stale reports can
-  balance spuriously - the classic distributed-termination pitfall);
-  only the confirmed double-barrier guarantees nothing is buffered, in
-  flight or unprocessed anywhere, i.e. the bounded space is exhausted;
+  is idle and the global sent/received counters agree, the parent
+  holds the tentative verdict until every worker re-reports *after*
+  that observation with unchanged counters (stale reports can balance
+  spuriously - the classic distributed-termination pitfall); only the
+  confirmed double-barrier guarantees nothing is buffered, in flight
+  or unprocessed anywhere, i.e. the bounded space is exhausted.  Steal
+  requests carry no work and are deliberately uncounted; idle and
+  halted workers never grant leases, so no request in flight during a
+  confirmation round can produce a send;
 * **deterministic traces** - shards report counterexamples as event
   sequences; the parent selects the canonical one per violation (the
   shortest path, ties broken by label order - the same rule the
@@ -30,21 +48,24 @@ state space on one core.  This module partitions one run instead:
 
 Sharding is a pure performance knob: verdicts, violation sets and the
 canonical traces match the single-worker run, which is why
-``EngineOptions.workers`` is excluded from the vetting service's content
-digests.
+``EngineOptions.workers`` and ``EngineOptions.partition`` are excluded
+from the vetting service's content digests.
 
 Worker processes prefer the ``fork`` start method: children inherit the
 parent's hash seed, which keeps :meth:`ModelState.fingerprint` - and
-therefore state ownership - consistent across every shard.  Where only
-``spawn`` exists the parent pins ``PYTHONHASHSEED`` for its children
-instead.
+therefore fingerprint-partitioned ownership - consistent across every
+shard.  Where only ``spawn`` exists the parent pins ``PYTHONHASHSEED``
+for its children instead.  (The locality partitioner hashes
+deterministically and does not depend on the seed at all.)
 """
 
 import os
+import pickle
 import queue as _queue_mod
 import time
 import traceback
 
+from repro.checker.violations import TraceStep
 from repro.engine.core import (
     _NO_SLEEP,
     _Node,
@@ -52,6 +73,7 @@ from repro.engine.core import (
     path_order_key,
     replay_path,
 )
+from repro.engine.partition import make_partitioner
 from repro.engine.result import ExplorationResult
 
 #: cross-shard handoffs per queue message (batching amortizes pickling)
@@ -62,6 +84,21 @@ EXPAND_CHUNK = 256
 STATUS_EVERY = 4096
 #: seconds a blocked worker waits on its inbox per poll
 IDLE_POLL = 0.1
+#: a victim grants a lease only while its frontier holds more than this
+#: many nodes: a near-empty frontier is cheaper to finish than to ship
+STEAL_MIN = 64
+#: nodes per ownership lease: work stealing is *bounded* because every
+#: node expanded off-owner exports its foreign successors back, so big
+#: leases on an imbalanced run buy idle-time back at a handoff premium
+STEAL_BATCH = 32
+#: steal-request backoff ceiling (seconds): a starved shard's first
+#: request goes out after one idle poll and the interval doubles while
+#: no owned work arrives, so a structurally starved shard (a skewed
+#: ownership map, or more shards than cores) leases occasionally
+#: instead of turning the victim's whole frontier into wire traffic
+STEAL_BACKOFF_MAX = 3.2
+
+_WIRE_PICKLE = pickle.HIGHEST_PROTOCOL
 
 
 #: hard ceiling on shards per run: beyond this, per-shard queues and
@@ -95,13 +132,124 @@ def _mp_context():
     return multiprocessing.get_context("spawn"), "0"
 
 
+def _skeleton_steps(steps):
+    """The attribution skeleton of one cascade's steps.
+
+    Keeps exactly what violation dedup keys read (the same filter as
+    the codegen lean relation): command/mode steps with an acting app.
+    Idempotent, so re-exporting an already-skeletal prefix is a no-op.
+    """
+    return tuple(TraceStep(step.kind, step.text, app=step.app)
+                 for step in steps
+                 if step.app is not None
+                 and (step.kind == "command" or step.kind == "mode"))
+
+
+class _HandoffCodec:
+    """Delta wire format for states crossing a shard boundary.
+
+    Every shard builds the same initial state from the job description,
+    so its packed form is a shared implicit dictionary: a crossing
+    state ships as the :meth:`StateSchema.delta` edit list against that
+    base (apps excluded) plus a raw app-state overlay of just the apps
+    that differ.  App maps are overlaid raw - live dicts, outside the
+    schema's frozen canonical form - because the receiver's exploration
+    must keep mutating them, and thawing a frozen block is ambiguous.
+
+    One wire unit is::
+
+        (delta, app_overlay, removed_apps, history, time, depth, sleep,
+         prefix)
+
+    where ``prefix`` is the skeleton event path (see
+    :func:`_skeleton_steps`) and ``history``/``sleep`` are None in the
+    common empty cases.  :meth:`decode` rebuilds a live state that is
+    canonically equal to the encoded one: base-inherited app maps are
+    shared copy-on-write against the codec's private base copy, exactly
+    like a :meth:`ModelState.copy` branch.
+    """
+
+    #: packed components carrying app state (shipped via the overlay)
+    _APP_COMPONENTS = (3, 4)
+
+    def __init__(self, system):
+        from repro.model.state import _copy_value
+
+        self.schema = system.state_schema()
+        base = system.initial_state()
+        packed = self.schema.pack(base)
+        #: the shared delta base: the initial state's packed form with
+        #: the app sections blanked (apps travel in the overlay)
+        self.base_packed = (packed[0], packed[1], packed[2], (), (),
+                            packed[5], packed[6], packed[7])
+        #: private deep copy of the initial app-state maps; handed to
+        #: decoded states as COW-shared references, never mutated here
+        self.base_apps = {name: _copy_value(mapping)
+                          for name, mapping in base._app_states.items()}
+
+    def encode(self, state, depth, sleep, prefix):
+        """One crossing state as a compact wire unit: the packed-slot
+        delta vs the shared initial state (app components carried
+        separately as a changed-maps overlay + removed-names tuple),
+        device history, clock, search depth, sleep set and the
+        skeleton event prefix."""
+        packed = self.schema.pack(state)
+        delta = tuple(entry for entry in
+                      self.schema.delta(self.base_packed, packed)
+                      if entry[0] not in self._APP_COMPONENTS)
+        overlay = {}
+        removed = ()
+        base_apps = self.base_apps
+        apps = state._app_states
+        for name, mapping in apps.items():
+            if base_apps.get(name) != mapping:
+                overlay[name] = mapping
+        if len(apps) - len(overlay) != len(base_apps) - len(
+                [name for name in overlay if name in base_apps]):
+            removed = tuple(sorted(name for name in base_apps
+                                   if name not in apps))
+        history = state._history or None
+        return (delta, overlay, removed, history, state.time, depth,
+                sleep, prefix)
+
+    def decode(self, unit):
+        """Rebuild a full :class:`ModelState` from a wire unit,
+        COW-sharing the unchanged base app maps so decoding costs only
+        the delta."""
+        (delta, overlay, removed, history, time_, depth, sleep,
+         prefix) = unit
+        packed = self.schema.apply_delta(self.base_packed, delta)
+        state = self.schema.unpack(packed, time=time_)
+        apps = {}
+        shared = set()
+        for name, mapping in self.base_apps.items():
+            if name in overlay or name in removed:
+                continue
+            # COW-share the codec's base copy; the first mutation (or
+            # branch) copies it, exactly like a state-to-state share
+            apps[name] = mapping
+            shared.add(name)
+        apps.update(overlay)  # unpickled fresh: exclusively owned
+        state._app_states = apps
+        state._shared_apps = shared
+        state._dirty_apps = set(apps)
+        if history:
+            # direct slot assignment: the ``history`` property setter
+            # would mark the map escaped and force deep copies on every
+            # branch below this state
+            state._history = history
+            state._history_shared = False
+        return state, depth, sleep, prefix
+
+
 class _SeedNode(_Node):
     """A shard-local root for a state handed off by another shard.
 
-    ``base_path`` is the event prefix (label + trace steps per level)
-    that led to this state wherever it was discovered;
+    ``base_path`` is the skeleton event prefix (label + attribution
+    steps per level) that led to this state wherever it was discovered;
     :meth:`_Node.path` prepends it, so violations found below a seed
-    report complete root-to-violation paths.
+    report paths with exact dedup keys (the parent replays the labels
+    for the full human-readable trace).
     """
 
     __slots__ = ("base_path",)
@@ -124,6 +272,11 @@ class _ShardEngine(ExplorationEngine):
     #: after the merge instead of every shard permuting its own
     canonicalize_traces = False
 
+    #: cross-shard dedup makes cache hits structurally rare, so the
+    #: watchdog judges the successor cache from the first rolling
+    #: window instead of burning a warmup's worth of pinned successors
+    cache_grace_warmup = False
+
     def __init__(self, system, properties, options, worker_id, shards,
                  inbox, peer_queues, control, stop_event):
         super().__init__(system, properties, options)
@@ -138,16 +291,30 @@ class _ShardEngine(ExplorationEngine):
         #: blocked on a full pipe, and a stop that has to wait for that
         #: lock would deadlock the swarm - an Event has no lock to lose
         self.stop_event = stop_event
-        #: peer id -> buffered handoffs awaiting a batched flush
+        self.partitioner = make_partitioner(options.partition, system,
+                                            shards)
+        self.codec = _HandoffCodec(system)
+        #: peer id -> buffered wire units awaiting a batched flush
         self._outbox = {peer: [] for peer in range(shards)
                         if peer != worker_id}
+        #: fingerprint -> (min exported depth, sleep intersection):
+        #: sender-side dedup mirroring the receiver's prune conditions,
+        #: so re-discovering an already-shipped state exports nothing
+        self._exported = {}
         self.sent = 0
         self.received = 0
+        self.handoff_bytes = 0
+        self.steals = 0
+        self.stolen_states = 0
+        self._steal_cursor = worker_id
+        self._steal_backoff = IDLE_POLL
+        self._next_steal_at = 0.0
         self._seq = 0
         self._last_status = None
         self._halted = False
         self._found = False
         self._last_distinct = 0
+        self._root_owner = False
 
     # ------------------------------------------------------------------
     # the sharded search loop
@@ -164,7 +331,8 @@ class _ShardEngine(ExplorationEngine):
 
         root = self.system.initial_state()
         self._root_fp = root.fingerprint()
-        if self._root_fp % self.shards == self.worker_id:
+        self._root_owner = self.partitioner.owner(root) == self.worker_id
+        if self._root_owner:
             self._admit(root, 0,
                         _NO_SLEEP if self._reducer is not None else None, ())
 
@@ -182,6 +350,7 @@ class _ShardEngine(ExplorationEngine):
             # report from every worker, not just a deduplicated one
             self._flush_outboxes()
             self._send_status(idle=True, force=True)
+            self._request_steal()
             self._poll_inbox(block=True)
         return self._finish_shard()
 
@@ -190,6 +359,7 @@ class _ShardEngine(ExplorationEngine):
         result = self._result
         options = self.options
         frontier = self._frontier
+        owner_of = self.partitioner.owner
         status_mark = result.transitions
         for _ in range(EXPAND_CHUNK):
             if not frontier or self._halted:
@@ -199,9 +369,9 @@ class _ShardEngine(ExplorationEngine):
                 break
             node = frontier.pop()
             expanded_keys = [] if self._reducer is not None else None
-            #: root-to-node event prefix, shared by every export from
+            #: skeleton root-to-node prefix, shared by every export from
             #: this node (computed on the first foreign-owned successor)
-            node_path = None
+            node_prefix = None
             for transition in self._node_transitions(node, self._cache,
                                                      self._reducer, result):
                 label, new_state, consumed, violations, steps = transition
@@ -220,14 +390,16 @@ class _ShardEngine(ExplorationEngine):
                         self._halt()
                         break
                 if depth <= options.max_events:
-                    owner = new_state.fingerprint() % self.shards
+                    owner = owner_of(new_state)
                     if owner == self.worker_id:
                         self._admit_child(node, label, steps, new_state,
                                           depth, child_sleep)
                     else:
-                        if node_path is None:
-                            node_path = node.path()
-                        self._export(owner, node_path, label, steps,
+                        if node_prefix is None:
+                            node_prefix = tuple(
+                                (lvl_label, _skeleton_steps(lvl_steps))
+                                for lvl_label, lvl_steps in node.path())
+                        self._export(owner, node_prefix, label, steps,
                                      new_state, depth, child_sleep)
                 if self._cheap_limits_hit(result):
                     self._halt()
@@ -282,13 +454,31 @@ class _ShardEngine(ExplorationEngine):
             self._frontier.push(_SeedNode(state, depth, tuple(base_path),
                                           sleep=sleep))
 
-    def _export(self, owner, node_path, label, steps, state, depth, sleep):
-        """Buffer one handoff; the shared per-node prefix is extended
-        with this transition's (label, steps) tail only."""
-        path = list(node_path)
-        path.append((label, list(steps)))
+    def _export(self, owner, node_prefix, label, steps, state, depth,
+                sleep):
+        """Buffer one handoff unless a previous export provably covers
+        it (the receiver would prune the revisit anyway)."""
+        fingerprint = state.fingerprint()
+        recorded = self._exported.get(fingerprint)
+        if recorded is not None:
+            rdepth, rsleep = recorded
+            if rdepth <= depth and (
+                    rsleep is None
+                    or (sleep is not None and sleep >= rsleep)):
+                # the receiver has (or will see) this state at a depth
+                # no worse and a sleep set no larger: its store/matcher
+                # prune conditions are both implied, so the handoff
+                # would be dead weight on the wire
+                return
+            self._exported[fingerprint] = (
+                min(rdepth, depth),
+                rsleep & sleep if (rsleep is not None
+                                   and sleep is not None) else None)
+        else:
+            self._exported[fingerprint] = (depth, sleep)
+        prefix = node_prefix + ((label, _skeleton_steps(steps)),)
         buffered = self._outbox[owner]
-        buffered.append((state, depth, sleep, path))
+        buffered.append(self.codec.encode(state, depth, sleep, prefix))
         if len(buffered) >= HANDOFF_BATCH:
             self._flush_peer(owner)
 
@@ -296,13 +486,90 @@ class _ShardEngine(ExplorationEngine):
         buffered = self._outbox[owner]
         if not buffered:
             return
-        self.peer_queues[owner].put(("states", buffered))
+        blob = pickle.dumps(buffered, protocol=_WIRE_PICKLE)
+        self.peer_queues[owner].put(("states", len(buffered), blob))
         self.sent += len(buffered)
+        self.handoff_bytes += len(blob)
         self._outbox[owner] = []
 
     def _flush_outboxes(self):
         for peer in self._outbox:
             self._flush_peer(peer)
+
+    # ------------------------------------------------------------------
+    # work stealing
+    # ------------------------------------------------------------------
+
+    def _request_steal(self):
+        """Ask one peer (round-robin) for a work lease before blocking
+        on the inbox.  Requests are cheap, carry no work, and are not
+        counted: an idle or halted victim simply ignores them.
+
+        Requests back off exponentially (up to ``STEAL_BACKOFF_MAX``)
+        while no *owned* work arrives: leases cost backflow handoffs,
+        so a shard that stays starved because the ownership map gave it
+        the small side should idle into termination, not strip-mine its
+        peer.  Any regular handoff batch resets the backoff - that is
+        the signal the search still produces work for this shard."""
+        if self.shards < 2 or self._halted or self.stop_event.is_set():
+            return
+        now = time.monotonic()
+        if now < self._next_steal_at:
+            return
+        self._next_steal_at = now + self._steal_backoff
+        self._steal_backoff = min(self._steal_backoff * 2,
+                                  STEAL_BACKOFF_MAX)
+        cursor = self._steal_cursor
+        for _ in range(self.shards - 1):
+            cursor = (cursor + 1) % self.shards
+            if cursor != self.worker_id:
+                break
+        self._steal_cursor = cursor
+        try:
+            self.peer_queues[cursor].put(("steal", self.worker_id))
+        except (OSError, ValueError):
+            pass  # a dying peer's queue; the parent will notice
+
+    def _grant_lease(self, thief):
+        """Lease a bounded slice of near-leaf frontier nodes to an
+        idle peer (see :meth:`Frontier.steal` for why the deep end).
+
+        Leased units use the same wire format and ride the same
+        sent/received counters as handoffs, so counting termination
+        still proves global exhaustion.  Ownership does not move: the
+        thief expands the nodes and routes their successors normally.
+        """
+        if self._halted or len(self._frontier) <= STEAL_MIN:
+            return
+        candidates = self._frontier.steal(STEAL_BATCH)
+        if not candidates:
+            return
+        # lease only near-leaf nodes: their children land at the event
+        # bound, so a stolen node costs exactly one expansion of
+        # backflow.  Anything shallower roots a whole subtree - the
+        # thief would drag it through foreign territory, converting
+        # edges that were shard-local under the locality map into
+        # handoffs (measured: shallow leases double crossing traffic
+        # at depth 4).  Shallow nodes drawn by the frontier go back.
+        bound = self.options.max_events
+        nodes = []
+        for node in candidates:
+            if node.depth + 1 >= bound:
+                nodes.append(node)
+            else:
+                self._frontier.push(node)
+        if not nodes:
+            return
+        units = []
+        for node in nodes:
+            prefix = tuple((label, _skeleton_steps(steps))
+                           for label, steps in node.path())
+            units.append(self.codec.encode(node.state, node.depth,
+                                           node.sleep, prefix))
+        blob = pickle.dumps(units, protocol=_WIRE_PICKLE)
+        self.peer_queues[thief].put(("leased", len(units), blob))
+        self.sent += len(units)
+        self.handoff_bytes += len(blob)
 
     # ------------------------------------------------------------------
     # inbox + control plumbing
@@ -318,12 +585,34 @@ class _ShardEngine(ExplorationEngine):
                 return progressed
             kind = message[0]
             if kind == "states":
-                batch = message[1]
-                self.received += len(batch)
+                self.received += message[1]
+                # owned work arrived: the search still feeds this shard,
+                # so future idle gaps earn an eager steal again
+                self._steal_backoff = IDLE_POLL
+                self._next_steal_at = 0.0
                 if not self._halted:
-                    for state, depth, sleep, path in batch:
-                        self._admit(state, depth, sleep, path)
+                    for unit in pickle.loads(message[2]):
+                        state, depth, sleep, prefix = self.codec.decode(
+                            unit)
+                        self._admit(state, depth, sleep, prefix)
                 progressed = True
+            elif kind == "steal":
+                self._grant_lease(message[1])
+            elif kind == "leased":
+                self.received += message[1]
+                self.steals += 1
+                self.stolen_states += message[1]
+                if not self._halted:
+                    for unit in pickle.loads(message[2]):
+                        state, depth, sleep, prefix = self.codec.decode(
+                            unit)
+                        # the victim already admitted these states (its
+                        # visited store keeps the dedup record); they
+                        # re-enter a frontier directly, not _visit
+                        self._frontier.push(_SeedNode(state, depth,
+                                                      tuple(prefix),
+                                                      sleep=sleep))
+                    progressed = True
             # drain the rest without waiting; the stop broadcast is an
             # Event checked by the main loop, never an inbox message
             block = False
@@ -369,7 +658,11 @@ def _worker_main(worker_id, shards, job, queues, control, stop_event):
             "result": result.to_dict(),
             "sent": engine.sent,
             "received": engine.received,
+            "handoff_bytes": engine.handoff_bytes,
+            "steals": engine.steals,
+            "stolen_states": engine.stolen_states,
             "root_fp": engine._root_fp,
+            "root_owner": engine._root_owner,
         }
         control.put(("result", worker_id, payload))
     except Exception:
@@ -450,11 +743,11 @@ def explore_sharded(job, workers=None, keep_replay_system=False):
     stop_event.set()
     if failure is not None:
         # Handoffs parked in a dead shard's inbox cannot be requeued:
-        # state ownership is a static ``fingerprint % N``, so no
-        # surviving worker may explore them, and the sent/received
-        # termination counters could never balance again anyway.  Drain
-        # and count them instead, so the failure record quantifies the
-        # lost frontier.
+        # state ownership is a static pure function of state content,
+        # so no surviving worker may explore them, and the
+        # sent/received termination counters could never balance again
+        # anyway.  Drain and count them instead, so the failure record
+        # quantifies the lost frontier.
         failure["lost_handoffs"] = sum(
             _drain_lost_handoffs(queues[wid]) for wid in failure["workers"])
     _shutdown(procs, queues, control)
@@ -505,7 +798,9 @@ def _coordinate(options, workers, stop_event, control, procs, started):
     counter movement in between cancels the confirmation.  A send after
     a worker's first report would change its counters; a receipt
     implies such a send; so double-barrier equality proves nothing is
-    buffered, in flight or unprocessed anywhere.
+    buffered, in flight or unprocessed anywhere.  (Work leases ride the
+    same counters; steal *requests* carry no work and idle workers
+    never grant, so an in-flight request cannot break the proof.)
 
     Global limits (state/transition counts aggregated across shards,
     the wall clock) and ``stop_on_first`` route through the same stop
@@ -656,14 +951,15 @@ def _drain_lost_handoffs(inbox):
 
     Best effort: peers that exited mid-send may have dropped batches on
     the floor already (their queue feeders are cancelled on exit), so
-    this is a lower bound on the lost frontier.
+    this is a lower bound on the lost frontier.  Wire messages carry
+    their unit count, so the blobs never need unpickling here.
     """
     lost = 0
     try:
         while True:
             message = inbox.get_nowait()
-            if message[0] == "states":
-                lost += len(message[1])
+            if message[0] in ("states", "leased"):
+                lost += message[1]
     except (_queue_mod.Empty, OSError, ValueError):
         pass
     return lost
@@ -694,12 +990,14 @@ def _merge_shards(payloads, workers):
     merged.workers = workers
     candidates = []
     root_fps = set()
+    root_owners = 0
     visited_stored = 0
     visited_bytes = 0
     for wid in sorted(payloads):
         payload = payloads[wid]
         shard = ExplorationResult.from_dict(payload["result"])
         root_fps.add(payload.get("root_fp"))
+        root_owners += 1 if payload.get("root_owner") else 0
         merged.states_explored += shard.states_explored
         merged.transitions += shard.transitions
         merged.cache_hits += shard.cache_hits
@@ -728,8 +1026,13 @@ def _merge_shards(payloads, workers):
             "transitions": shard.transitions,
             "handoffs_sent": payload.get("sent", 0),
             "handoffs_received": payload.get("received", 0),
+            "handoff_bytes": payload.get("handoff_bytes", 0),
+            "steals": payload.get("steals", 0),
+            "stolen_states": payload.get("stolen_states", 0),
             "cache_hits": shard.cache_hits,
             "cache_misses": shard.cache_misses,
+            "cache_auto_disabled": shard.cache_auto_disabled,
+            "cache_disable_reason": shard.cache_disable_reason,
             "commutes_pruned": shard.commutes_pruned,
             "visited_stats": dict(shard.visited_stats),
         })
@@ -739,6 +1042,11 @@ def _merge_shards(payloads, workers):
             "shards disagree on the root fingerprint (%s): state ownership "
             "was inconsistent, results are unsound - the worker start "
             "method must give every shard the same hash seed" % root_fps)
+    if len(payloads) == workers and root_owners != 1:
+        raise ShardError(
+            "%d shards claimed the root state (expected exactly 1): the "
+            "partitioner's owner map was inconsistent across shards, "
+            "results are unsound" % root_owners)
     merged.visited_stats = {
         "stored": visited_stored,
         "approx_bytes": visited_bytes,
@@ -751,14 +1059,17 @@ def _merge_shards(payloads, workers):
 def _rebuild_counterexamples(job, merged, candidates):
     """Replay the canonical violating paths in the parent process.
 
-    Shard-reported counterexamples are complete, but which shard found a
-    given violation first - and through which of several equal-length
-    commuting prefixes - is a scheduling race.  The parent therefore
-    replays each candidate event sequence on its own freshly built
-    system, records the violations through the engine's canonical-
-    minimum recorder, and then runs the shared trace canonicalization
-    (permutation replay), so the rendered traces are a function of the
-    state space alone - byte-identical to the single-worker run's.
+    Shard-reported counterexamples carry exact labels and dedup keys
+    (their skeleton prefixes keep attribution intact), but which shard
+    found a given violation first - and through which of several
+    equal-length commuting prefixes - is a scheduling race, and their
+    handed-off prefixes are attribution skeletons, not full cascade
+    logs.  The parent therefore replays each candidate event sequence
+    on its own freshly built system, records the violations through
+    the engine's canonical-minimum recorder, and then runs the shared
+    trace canonicalization (permutation replay), so the rendered
+    traces are a function of the state space alone - byte-identical to
+    the single-worker run's.
 
     Returns the replay system (None when there was nothing to replay)
     so callers that render traces need not build yet another one.

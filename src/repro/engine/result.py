@@ -189,6 +189,18 @@ class ExplorationResult:
                 for index, shard in enumerate(self.shard_stats))
             lines.append("  sharded across %d workers (%s)"
                          % (self.workers, shards or "no shard stats"))
+            if self.shard_stats:
+                handoffs = sum(s.get("handoffs_sent", 0)
+                               for s in self.shard_stats)
+                wire = sum(s.get("handoff_bytes", 0)
+                           for s in self.shard_stats)
+                steals = sum(s.get("steals", 0) for s in self.shard_stats)
+                stolen = sum(s.get("stolen_states", 0)
+                             for s in self.shard_stats)
+                lines.append(
+                    "  handoffs: %d states crossed shards (%.1f KiB on "
+                    "the wire), %d work lease(s) / %d state(s) stolen" % (
+                        handoffs, wire / 1024.0, steals, stolen))
         if self.shard_failure:
             lines.append(
                 "  shard failure: worker(s) %s died (exit codes %s, "

@@ -45,14 +45,15 @@ from repro.service.scheduler import Scheduler
 from repro.service.store import STORE_SCHEMA_VERSION, ResultStore
 
 #: EngineOptions keyword arguments a submission may set (``workers``
-#: shards the job's own search - a pure performance knob, excluded from
-#: the content digest, so it never splits the result cache)
+#: shards the job's own search and ``partition`` picks its ownership
+#: strategy - pure performance knobs, excluded from the content digest,
+#: so they never split the result cache)
 _ALLOWED_OPTIONS = (
     "max_events", "mode", "visited", "bitstate_bits", "max_states",
     "max_transitions", "time_limit", "stop_on_first", "strategy",
     "compiled", "engine", "slab_size", "successor_cache", "cache_limit",
     "cache_min_hit_rate", "cache_warmup", "reduction", "workers",
-    "scenario",
+    "partition", "scenario",
 )
 
 
@@ -143,6 +144,7 @@ class VettingService:
         # reject bad values at the API boundary instead of erroring the job
         from repro.engine.options import CONCURRENT, ENGINE_MODES, SEQUENTIAL
         from repro.engine.options import visited_store_names
+        from repro.engine.partition import partitioner_names
         from repro.engine.strategy import strategy_names
         from repro.model.faults import scenario_names
 
@@ -150,6 +152,7 @@ class VettingService:
                  "strategy": strategy_names(),
                  "mode": [SEQUENTIAL, CONCURRENT],
                  "engine": list(ENGINE_MODES),
+                 "partition": partitioner_names(),
                  "scenario": list(scenario_names())}
         for key, allowed in enums.items():
             if key in options and options[key] not in allowed:

@@ -139,8 +139,12 @@ class TestTermination:
         config = _commuting_config()
         single = execute_job_inline(VerificationJob(
             "diamonds", config, EngineOptions(max_events=3), strict=False))
+        # pinned to the fingerprint scatter: the point of this test is
+        # maximal cross-shard traffic, which the locality partitioner
+        # (and the sender-side export dedup) deliberately removes
         sharded = explore_sharded(VerificationJob(
-            "diamonds", config, EngineOptions(max_events=3, workers=3),
+            "diamonds", config, EngineOptions(max_events=3, workers=3,
+                                              partition="fingerprint"),
             strict=False))
         assert sharded.states_explored == single.states_explored
         assert sharded.verdict == single.verdict
