@@ -35,6 +35,9 @@ def _modes(document):
     for name, stats in document.get("deep_run", {}).items():
         if isinstance(stats, dict):
             modes["deep_run.%s" % name] = stats.get("states_per_second")
+    for name, stats in document.get("telemetry", {}).items():
+        if isinstance(stats, dict):
+            modes["telemetry.%s" % name] = stats.get("states_per_second")
     for name, stats in document.get("workers", {}).items():
         if name == "partitioners" and isinstance(stats, dict):
             for partition, nested in stats.items():

@@ -7,12 +7,20 @@ submission must be answered from the content-addressed result store -
 and asserts that every service verdict matches a direct in-process
 ``repro check`` of the same configuration.
 
+The live server is also scraped through ``GET /metrics`` before and
+after the submissions: the body must parse as Prometheus text
+exposition (:func:`repro.obs.parse_exposition` - a scraper is stricter
+than a substring check) and the scheduler counters must advance.  The
+direct checks run with a telemetry sink, which is then rendered through
+the report path and left at ``--telemetry`` for CI to upload.
+
 Exit code 0 on success; the populated result store is left at
-``--store`` (CI uploads it as an artifact).
+``--store`` (CI uploads both artifacts).
 
 Usage::
 
     PYTHONPATH=src python scripts/service_smoke.py [--store PATH]
+        [--telemetry PATH]
 """
 
 import argparse
@@ -54,24 +62,45 @@ def post(url, path, payload):
         return json.loads(response.read())
 
 
-def direct_verdict(group):
+def get_text(url, path):
+    with urllib.request.urlopen(url + path, timeout=60) as response:
+        return response.read().decode("utf-8")
+
+
+def scrape_metrics(url):
+    """One `/metrics` scrape, parsed strictly; returns the sample map."""
+    from repro.obs import parse_exposition
+
+    return parse_exposition(get_text(url, "/metrics"))
+
+
+def direct_verdict(group, telemetry_path=None):
     """The same verification, run in-process (the `repro check` path)."""
     from repro import build_system
     from repro.corpus.groups import GROUP_BUILDERS
     from repro.engine import EngineOptions, ExplorationEngine
     from repro.properties import build_properties, select_relevant
 
+    telemetry = None
+    if telemetry_path:
+        telemetry = {"path": telemetry_path, "job": group, "interval": 64}
     system = build_system(GROUP_BUILDERS[group]())
     properties = select_relevant(system, build_properties())
     result = ExplorationEngine(system, properties,
-                               EngineOptions(max_events=MAX_EVENTS)).run()
+                               EngineOptions(max_events=MAX_EVENTS,
+                                             check_interval=64,
+                                             telemetry=telemetry)).run()
     return result.verdict, result.violated_property_ids
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--store", default="service-smoke-results.sqlite")
+    parser.add_argument("--telemetry", default="service-smoke-run.jsonl",
+                        help="telemetry JSONL sink the direct checks "
+                             "append to (uploaded as a CI artifact)")
     args = parser.parse_args()
+    sys.path.insert(0, "src")
 
     port = free_port()
     url = "http://127.0.0.1:%d" % port
@@ -80,9 +109,14 @@ def main():
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", str(port),
          "--store", args.store, "--workers", "1"], env=env)
+    if os.path.exists(args.telemetry):
+        os.unlink(args.telemetry)  # the sink appends; start clean
     failures = []
     try:
         wait_for(url)
+        before = scrape_metrics(url)
+        if before.get("repro_scheduler_executed_total", {}).get((), 0) != 0:
+            failures.append("fresh service reports executed runs")
         submissions = [GROUPS[0], GROUPS[1], GROUPS[0]]  # third is a re-submit
         snapshots = []
         for index, group in enumerate(submissions):
@@ -102,8 +136,31 @@ def main():
         if snapshots[2].get("verdict") != snapshots[0].get("verdict"):
             failures.append("cached verdict diverged from the original run")
 
+        after = scrape_metrics(url)
+        executed = after.get("repro_scheduler_executed_total", {}).get((), 0)
+        cache_hits = after.get(
+            "repro_scheduler_cache_hits_total", {}).get((), 0)
+        jobs = after.get("repro_scheduler_jobs", {}).get((), 0)
+        print("metrics after submissions: executed=%g cache_hits=%g jobs=%g"
+              % (executed, cache_hits, jobs))
+        if executed != len(GROUPS):
+            failures.append("expected %d executed runs on /metrics, got %g"
+                            % (len(GROUPS), executed))
+        if cache_hits < 1:
+            failures.append("/metrics cache-hit counter did not advance on "
+                            "the re-submission")
+        if jobs != len(submissions):
+            failures.append("expected %d job records on /metrics, got %g"
+                            % (len(submissions), jobs))
+        progress = json.loads(get_text(
+            url, "/jobs/%s/progress" % snapshots[0]["id"]))
+        if progress.get("status") != "done" or "result" not in progress:
+            failures.append("/jobs/<id>/progress did not report the "
+                            "finished job: %s" % progress)
+
         for group, snapshot in zip(GROUPS, snapshots[:2]):
-            verdict, property_ids = direct_verdict(group)
+            verdict, property_ids = direct_verdict(
+                group, telemetry_path=args.telemetry)
             print("direct check (%s): verdict=%s properties=%s"
                   % (group, verdict, property_ids))
             if snapshot.get("verdict") != verdict:
@@ -118,10 +175,21 @@ def main():
         server.terminate()
         server.wait(timeout=30)
 
+    # the telemetry artifact must be a readable, versioned sink that the
+    # report path can render - the same contract `repro report` relies on
+    from repro.obs import read_events, render_report
+
+    events = read_events(args.telemetry)
+    kinds = {event["kind"] for event in events}
+    if not {"run_start", "run_end"} <= kinds:
+        failures.append("telemetry sink %s is missing run events (kinds: %s)"
+                        % (args.telemetry, sorted(kinds)))
+    print(render_report(events))
+    print("telemetry sink: %d events at %s" % (len(events), args.telemetry))
+
     # reopening checkpoints the WAL into the main database file (the
     # server got SIGTERM, not a clean close) and proves the artifact the
     # CI uploads is a readable, populated store
-    sys.path.insert(0, "src")
     from repro.service import ResultStore
 
     with ResultStore(args.store) as store:
@@ -137,7 +205,8 @@ def main():
             print("FAIL:", failure, file=sys.stderr)
         return 1
     print("service smoke OK: %d submissions, 1 cache hit, verdicts match "
-          "direct checks; store at %s" % (len(submissions), args.store))
+          "direct checks, /metrics parses and advances; store at %s"
+          % (len(submissions), args.store))
     return 0
 
 

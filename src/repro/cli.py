@@ -12,6 +12,8 @@ Commands mirror the IotSan pipeline:
 * ``batch`` - verify several configurations in parallel across a process
   pool (``verify_many``); ``--json`` emits the machine-readable schema;
 * ``properties`` - list the 45-property catalog;
+* ``report`` - render a run timeline (phases, throughput sparkline,
+  per-shard table) from a ``--telemetry-out`` JSONL sink;
 * ``serve`` - run the continuous vetting service (content-addressed
   result store + incremental scheduler behind a JSON API);
 * ``submit`` / ``results`` / ``gc`` - talk to a running service: submit
@@ -123,6 +125,10 @@ def cmd_check(args):
     config = _load_configuration(args.config)
     phase_times["parse"] = time.monotonic() - phase_started
     options = _engine_options(args)
+    if args.telemetry_out or args.progress:
+        from repro.obs import resolve_telemetry
+        options.telemetry = resolve_telemetry(
+            {"path": args.telemetry_out, "progress": args.progress})
     system = None
     if options.workers and options.workers > 1:
         # the sharded engine's workers rebuild the system from the
@@ -207,7 +213,20 @@ def cmd_batch(args):
         count = seen.get(source, 0)
         seen[source] = count + 1
         names.append(source if count == 0 else "%s#%d" % (source, count + 1))
-    jobs = [VerificationJob(name, _load_configuration(source), options,
+    def _job_options(name):
+        # every job appends to the same sink, disambiguated by the
+        # ``job`` key so `repro report` renders one section per job
+        if not args.telemetry_out:
+            return options
+        import copy
+        from repro.obs import TelemetryConfig
+        job_options = copy.copy(options)
+        job_options.telemetry = TelemetryConfig(path=args.telemetry_out,
+                                                job=name)
+        return job_options
+
+    jobs = [VerificationJob(name, _load_configuration(source),
+                            _job_options(name),
                             properties=args.properties or None,
                             registry=registry,
                             strict=False,  # match `check` (build_system)
@@ -219,6 +238,23 @@ def cmd_batch(args):
     else:
         print(batch.summary())
     return 1 if (batch.has_violations or batch.errors) else 0
+
+
+def cmd_report(args):
+    """Render a run timeline from a ``--telemetry-out`` JSONL sink."""
+    from repro.obs import read_events, render_report
+
+    try:
+        events = read_events(args.sink)
+    except OSError as exc:
+        print("cannot read %s: %s" % (args.sink, exc), file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print("bad telemetry sink %s: %s" % (args.sink, exc),
+              file=sys.stderr)
+        return 2
+    print(render_report(events))
+    return 0
 
 
 def cmd_emit(args):
@@ -595,6 +631,17 @@ def build_parser():
     p_check.add_argument("--json", action="store_true",
                          help="emit the machine-readable result schema "
                               "(profile included) instead of the summary")
+    p_check.add_argument("--telemetry-out", default=None, metavar="FILE",
+                         help="append versioned telemetry JSONL events "
+                              "(progress snapshots, phase spans, the run "
+                              "outcome) to FILE; render it later with "
+                              "`repro report FILE`.  Pure observability: "
+                              "verdicts, traces and cache keys are "
+                              "unchanged")
+    p_check.add_argument("--progress", action="store_true",
+                         help="live single-line progress meter on stderr "
+                              "(states, transitions, states/s, frontier, "
+                              "depth, cache hit rate)")
     p_check.add_argument("--ifttt", action="store_true",
                          help="include translated IFTTT rules in the registry")
     p_check.set_defaults(func=cmd_check)
@@ -622,7 +669,18 @@ def build_parser():
                               "schema instead of the text summary (the "
                               "exit code stays nonzero when any job "
                               "reports a violation)")
+    p_batch.add_argument("--telemetry-out", default=None, metavar="FILE",
+                         help="append every job's telemetry JSONL events "
+                              "to FILE (events carry the job name; "
+                              "`repro report FILE` renders one section "
+                              "per job)")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_report = sub.add_parser(
+        "report", help="render a run timeline from a telemetry JSONL sink")
+    p_report.add_argument("sink",
+                          help="JSONL file written by --telemetry-out")
+    p_report.set_defaults(func=cmd_report)
 
     from repro.service.defaults import DEFAULT_PORT
     default_url = "http://127.0.0.1:%d" % DEFAULT_PORT

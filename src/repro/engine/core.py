@@ -226,6 +226,8 @@ class ExplorationEngine:
         system.scenario_profile = resolve_scenario(self.options.scenario)
         self._monitor_cls = SafetyMonitor
         self._counterexample_cls = Counterexample
+        #: live telemetry session (opened per run; None when disabled)
+        self._telemetry = None
         #: the codegen tier's plan (generated programs + pooled
         #: executors + lean relation); None on the other tiers
         self._plan = None
@@ -301,6 +303,9 @@ class ExplorationEngine:
         options = self.options
         result = ExplorationResult()
         started = time.monotonic()
+        telemetry = self._telemetry = self._open_telemetry()
+        if telemetry is not None:
+            telemetry.run_start(options)
         visited, frontier, cache, reducer, matcher = self._setup_search(
             result)
 
@@ -327,6 +332,14 @@ class ExplorationEngine:
         # per expansion
         check_interval = max(1, options.check_interval)
         next_time_check = check_interval
+        # progress snapshots piggyback on the same sampling; their own
+        # (coarser) cadence keeps even O(n)-stats stores cheap to poll.
+        # When telemetry is off this costs one dead local per run.
+        snapshot_gap = 0
+        next_snapshot = 0
+        if telemetry is not None:
+            snapshot_gap = telemetry.config.snapshot_gap(check_interval)
+            next_snapshot = snapshot_gap
 
         # the codegen tier drains the frontier slab-at-a-time: a batch
         # of nodes is popped together and its cache misses evaluate
@@ -408,6 +421,12 @@ class ExplorationEngine:
                         break
                     if result.transitions >= next_time_check:
                         next_time_check = result.transitions + check_interval
+                        if (telemetry is not None
+                                and result.transitions >= next_snapshot):
+                            next_snapshot = result.transitions + snapshot_gap
+                            telemetry.snapshot(self._progress_fields(
+                                result, frontier, visited, cache,
+                                node.depth, time.monotonic() - started))
                         if self._time_limit_hit(result, started):
                             aborted = True
                             break
@@ -573,6 +592,37 @@ class ExplorationEngine:
                                     event_filter)
         return self._transitions_from(node, event_filter)
 
+    def _open_telemetry(self):
+        """The run's telemetry session, or None when disabled.
+
+        Shard workers override this to return None: the parent process
+        owns the sink/meter/board for a sharded run and workers forward
+        compact snapshots over the control queue instead
+        (:mod:`repro.engine.parallel`).
+        """
+        from repro.obs.telemetry import open_session
+        return open_session(self.options.telemetry)
+
+    @staticmethod
+    def _progress_fields(result, frontier, visited, cache, depth, elapsed):
+        """One progress snapshot's payload (read-only observations: the
+        search must be byte-identical with telemetry on or off)."""
+        fields = {
+            "states": result.states_explored,
+            "transitions": result.transitions,
+            "frontier": len(frontier),
+            "depth": depth,
+            "elapsed": round(elapsed, 6),
+            "visited_bytes": visited.stats().get("approx_bytes", 0),
+        }
+        if cache is not None:
+            lookups = cache.hits + cache.misses
+            fields["cache_hits"] = cache.hits
+            fields["cache_misses"] = cache.misses
+            fields["cache_hit_rate"] = (cache.hits / lookups
+                                        if lookups else 0.0)
+        return fields
+
     #: subclasses (the shard workers) defer trace canonicalization to
     #: the parent-side merge instead of paying for it per shard
     canonicalize_traces = True
@@ -606,6 +656,13 @@ class ExplorationEngine:
             result.cache_misses = cache.misses
             result.cache_auto_disabled = cache.auto_disabled
             result.cache_disable_reason = cache.disable_reason
+        telemetry = self._telemetry
+        if telemetry is not None:
+            self._telemetry = None
+            for name in sorted(profile):
+                telemetry.span(name, profile[name])
+            telemetry.run_end(result)
+            telemetry.close()
         return result
 
     def _rehydrate_lean_traces(self, result):

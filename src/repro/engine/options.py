@@ -129,6 +129,16 @@ class EngineOptions:
         How many transitions may elapse between wall-clock limit checks
         (state/transition limits stay exact; only ``time_limit`` detection
         is quantized).
+    ``telemetry``
+        Run observability (:mod:`repro.obs`): ``None`` (the default -
+        zero telemetry, zero overhead), a JSONL sink path, a keyword
+        dict, or a :class:`~repro.obs.telemetry.TelemetryConfig`.
+        Progress snapshots piggyback on the ``check_interval`` sampling;
+        sharded workers forward theirs over the control channel and the
+        parent writes the merged cluster view.  A pure *observer*:
+        verdicts, violation sets, traces and the vetting service's
+        semantic digests are byte-identical with telemetry on or off,
+        so it is excluded from the content digests.
     ``manage_gc``
         Suspend Python's cyclic garbage collector for the duration of a
         run (restored on exit).  The search allocates millions of
@@ -169,7 +179,7 @@ class EngineOptions:
                  cache_limit=100000, cache_min_hit_rate=0.05,
                  cache_warmup=4096, reduction=False, check_interval=256,
                  manage_gc=True, workers=1, partition="locality",
-                 scenario="clean"):
+                 scenario="clean", telemetry=None):
         self.max_events = max_events
         self.mode = mode
         self.visited = visited
@@ -209,6 +219,11 @@ class EngineOptions:
         # package init reaches back into repro.engine
         from repro.model.faults import resolve_scenario
         self.scenario = resolve_scenario(scenario).name
+        # normalized to a picklable TelemetryConfig (or None): options
+        # travel to shard/pool workers and through service payloads, so
+        # the telemetry request is declarative data, never a live handle
+        from repro.obs.telemetry import resolve_telemetry
+        self.telemetry = resolve_telemetry(telemetry)
 
     @property
     def compiled(self):

@@ -277,6 +277,12 @@ class _ShardEngine(ExplorationEngine):
     #: window instead of burning a warmup's worth of pinned successors
     cache_grace_warmup = False
 
+    def _open_telemetry(self):
+        """Shards never open the sink/meter/board themselves: the parent
+        owns them for the whole run, and workers forward compact
+        snapshots over the control queue (:meth:`_send_status`)."""
+        return None
+
     def __init__(self, system, properties, options, worker_id, shards,
                  inbox, peer_queues, control, stop_event):
         super().__init__(system, properties, options)
@@ -311,6 +317,10 @@ class _ShardEngine(ExplorationEngine):
         self._next_steal_at = 0.0
         self._seq = 0
         self._last_status = None
+        telemetry = getattr(options, "telemetry", None)
+        #: forward progress snapshots to the parent's telemetry session
+        #: (piggybacked on the status cadence, sent only on real change)
+        self._telemetry_on = telemetry is not None and telemetry.enabled
         self._halted = False
         self._found = False
         self._last_distinct = 0
@@ -626,11 +636,40 @@ class _ShardEngine(ExplorationEngine):
         snapshot = (idle, self.sent, self.received,
                     self._result.states_explored, self._result.transitions,
                     self._found, self._result.truncated)
-        if snapshot == self._last_status and not force:
+        changed = snapshot != self._last_status
+        if not changed and not force:
             return
         self._last_status = snapshot
         self._seq += 1
         self.control.put(("status", self.worker_id, self._seq) + snapshot)
+        if changed and self._telemetry_on:
+            # telemetry rides the existing status channel but only on
+            # genuine progress: a worker idling through the termination
+            # confirmation's forced re-reports stays silent
+            self.control.put(("telemetry", self.worker_id,
+                              self._telemetry_fields()))
+
+    def _telemetry_fields(self):
+        """One worker's compact progress snapshot for the parent merge."""
+        result = self._result
+        fields = {
+            "worker": self.worker_id,
+            "states": result.states_explored,
+            "transitions": result.transitions,
+            "frontier": len(self._frontier),
+            "elapsed": round(time.monotonic() - self._started, 6),
+            "visited_bytes": self._visited.stats().get("approx_bytes", 0),
+            "handoffs_sent": self.sent,
+            "handoffs_received": self.received,
+            "handoff_bytes": self.handoff_bytes,
+            "steals": self.steals,
+            "stolen_states": self.stolen_states,
+        }
+        cache = self._cache
+        if cache is not None:
+            fields["cache_hits"] = cache.hits
+            fields["cache_misses"] = cache.misses
+        return fields
 
     def _finish_shard(self):
         return self._finish(self._result, self._visited, self._cache,
@@ -732,39 +771,56 @@ def explore_sharded(job, workers=None, keep_replay_system=False):
         if restore_seed is not None:
             restore_seed()
 
+    # the parent owns the run's telemetry: workers forward compact
+    # snapshots over the control queue and the merged cluster view is
+    # written (and board-published) from exactly one process
+    from repro.obs.telemetry import open_session
+    telemetry = open_session(job.options.telemetry)
     started = time.monotonic()
     try:
-        payloads, stop_reason, failure = _coordinate(
-            job.options, workers, stop_event, control, procs, started)
-    except BaseException:
-        stop_event.set()  # no worker may outlive a coordination error
+        if telemetry is not None:
+            telemetry.run_start(job.options, workers=workers)
+        try:
+            payloads, stop_reason, failure = _coordinate(
+                job.options, workers, stop_event, control, procs, started,
+                telemetry)
+        except BaseException:
+            stop_event.set()  # no worker may outlive a coordination error
+            _shutdown(procs, queues, control)
+            raise
+        stop_event.set()
+        if failure is not None:
+            # Handoffs parked in a dead shard's inbox cannot be requeued:
+            # state ownership is a static pure function of state content,
+            # so no surviving worker may explore them, and the
+            # sent/received termination counters could never balance again
+            # anyway.  Drain and count them instead, so the failure record
+            # quantifies the lost frontier.
+            failure["lost_handoffs"] = sum(
+                _drain_lost_handoffs(queues[wid])
+                for wid in failure["workers"])
         _shutdown(procs, queues, control)
-        raise
-    stop_event.set()
-    if failure is not None:
-        # Handoffs parked in a dead shard's inbox cannot be requeued:
-        # state ownership is a static pure function of state content,
-        # so no surviving worker may explore them, and the
-        # sent/received termination counters could never balance again
-        # anyway.  Drain and count them instead, so the failure record
-        # quantifies the lost frontier.
-        failure["lost_handoffs"] = sum(
-            _drain_lost_handoffs(queues[wid]) for wid in failure["workers"])
-    _shutdown(procs, queues, control)
 
-    merged, candidates = _merge_shards(payloads, workers)
-    if failure is not None:
-        merged.shard_failure = failure
-    if stop_reason is not None and not merged.truncated:
-        merged.truncated = True
-        merged.truncated_reason = stop_reason
-    replay_system = _rebuild_counterexamples(job, merged, candidates)
-    if keep_replay_system:
-        merged.replay_system = replay_system
-    # stamped after the trace rebuild: the canonical replay is part of
-    # the sharded run's cost, and states/sec must not hide it
-    merged.elapsed = time.monotonic() - started
-    return merged
+        merged, candidates = _merge_shards(payloads, workers)
+        if failure is not None:
+            merged.shard_failure = failure
+        if stop_reason is not None and not merged.truncated:
+            merged.truncated = True
+            merged.truncated_reason = stop_reason
+        replay_system = _rebuild_counterexamples(job, merged, candidates)
+        if keep_replay_system:
+            merged.replay_system = replay_system
+        # stamped after the trace rebuild: the canonical replay is part of
+        # the sharded run's cost, and states/sec must not hide it
+        merged.elapsed = time.monotonic() - started
+        if telemetry is not None:
+            for name in sorted(merged.profile):
+                telemetry.span(name, merged.profile[name])
+            telemetry.run_end(merged)
+        return merged
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 def _pin_hash_seed(hash_seed):
@@ -783,7 +839,8 @@ def _pin_hash_seed(hash_seed):
     return restore
 
 
-def _coordinate(options, workers, stop_event, control, procs, started):
+def _coordinate(options, workers, stop_event, control, procs, started,
+                telemetry=None):
     """The parent's event loop: statuses in, one stop decision out.
 
     Exhaustive termination needs two barriers.  The *tentative* verdict
@@ -815,6 +872,7 @@ def _coordinate(options, workers, stop_event, control, procs, started):
     failure-record-or-None)``.
     """
     statuses = {}   # wid -> (seq, snapshot)
+    shard_snaps = {}  # wid -> latest forwarded telemetry fields
     payloads = {}
     failed = {}     # wid -> exit code (None when the worker reported
                     # an exception and exited normally)
@@ -858,6 +916,17 @@ def _coordinate(options, workers, stop_event, control, procs, started):
             if detail is None:
                 detail = message[2]
             broadcast_stop("shard_failure")
+            continue
+        if kind == "telemetry":
+            # a compact per-worker progress dict, sent alongside a real
+            # status change (so the STATUS_EVERY cadence bounds it);
+            # the parent records the raw shard view and re-derives the
+            # merged cluster snapshot from the latest report per worker
+            shard_snaps[message[1]] = message[2]
+            if telemetry is not None:
+                telemetry.shard_snapshot(message[2])
+                telemetry.snapshot(_cluster_fields(
+                    shard_snaps, time.monotonic() - started))
             continue
         if kind == "status":
             statuses[message[1]] = (message[2], message[3:])
@@ -904,6 +973,33 @@ def _coordinate(options, workers, stop_event, control, procs, started):
                    "exitcodes": [failed[wid] for wid in sorted(failed)],
                    "detail": detail}
     return payloads, stop_reason, failure
+
+
+def _cluster_fields(shard_snaps, elapsed):
+    """The merged cluster view: sums over the latest per-worker
+    telemetry reports, stamped with the parent's clock."""
+    def total(key):
+        return sum(snap.get(key, 0) for snap in shard_snaps.values())
+
+    fields = {
+        "states": total("states"),
+        "transitions": total("transitions"),
+        "frontier": total("frontier"),
+        "visited_bytes": total("visited_bytes"),
+        "handoffs_sent": total("handoffs_sent"),
+        "handoff_bytes": total("handoff_bytes"),
+        "steals": total("steals"),
+        "stolen_states": total("stolen_states"),
+        "workers_reporting": len(shard_snaps),
+        "elapsed": round(elapsed, 6),
+    }
+    hits = total("cache_hits")
+    misses = total("cache_misses")
+    if hits or misses:
+        fields["cache_hits"] = hits
+        fields["cache_misses"] = misses
+        fields["cache_hit_rate"] = round(hits / (hits + misses), 4)
+    return fields
 
 
 def _time_limit_exceeded(options, started):

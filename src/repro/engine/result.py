@@ -360,6 +360,13 @@ class BatchResult:
                      len(self.results), self.workers, len(self.violations),
                      len(self.violated_property_ids), self.states_explored,
                      self.transitions, self.elapsed, self.job_seconds)]
+        if self.elapsed > 0:
+            # distinct states per wall-clock second across the whole
+            # batch: the figure scaling experiments quote, so the CLI
+            # digest should surface it rather than leave it to awk
+            lines.append("aggregate throughput: %d states/s over %d job(s)"
+                         % (int(self.states_explored / self.elapsed),
+                            len(self.results)))
         for name, result in self.results.items():
             lines.append("  %-28s %d violation(s), %d states, %.2fs"
                          % (name, len(result.counterexamples),

@@ -1,0 +1,132 @@
+"""Prometheus text exposition (format 0.0.4): render and parse.
+
+Stdlib-only on purpose, like the rest of the service: the ``/metrics``
+endpoint renders a :class:`~repro.obs.telemetry.MetricsRegistry` to the
+text format every Prometheus-compatible scraper speaks, and
+:func:`parse_exposition` is the inverse used by the smoke test and the
+endpoint's own tests (asserting the format *parses* is the contract -
+a scraper is stricter than ``assert "repro_" in body``).
+"""
+
+#: the Content-Type a text-format scrape answer must carry
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text):
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value):
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_exposition(registry):
+    """A registry as text exposition: ``# HELP``/``# TYPE`` headers and
+    one sample line per label set, newline-terminated."""
+    lines = []
+    for metric in registry.families():
+        if metric.help:
+            lines.append("# HELP %s %s"
+                         % (metric.name, _escape_help(metric.help)))
+        lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+        for labels, value in metric.samples():
+            if labels:
+                rendered = ",".join(
+                    '%s="%s"' % (key, _escape_label(labels[key]))
+                    for key in sorted(labels))
+                lines.append("%s{%s} %s"
+                             % (metric.name, rendered, _format_value(value)))
+            else:
+                lines.append("%s %s" % (metric.name, _format_value(value)))
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text):
+    """Parse text exposition into ``{name: {label tuple: value}}``.
+
+    The label tuple is ``(("job", "job-1"), ...)`` sorted by label name
+    (empty for unlabelled samples).  Raises ``ValueError`` on a line
+    that is neither a comment nor a well-formed sample - the checking
+    half of the smoke test's "counters advance" assertion.
+    """
+    samples = {}
+    for number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        name_part = name_part.strip()
+        if not name_part or not value_part:
+            raise ValueError("exposition line %d is malformed: %r"
+                             % (number, line))
+        labels = ()
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise ValueError("exposition line %d has unclosed labels: %r"
+                                 % (number, line))
+            name, label_body = name_part[:-1].split("{", 1)
+            labels = tuple(sorted(_parse_labels(label_body, number)))
+        else:
+            name = name_part
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError("exposition line %d has a bad metric name: %r"
+                             % (number, name))
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise ValueError("exposition line %d has a bad value: %r"
+                             % (number, value_part))
+        samples.setdefault(name, {})[labels] = value
+    return samples
+
+
+def _parse_labels(body, number):
+    labels = []
+    for item in filter(None, (part.strip() for part in _split_labels(body))):
+        key, eq, raw = item.partition("=")
+        if not eq or not (raw.startswith('"') and raw.endswith('"')
+                          and len(raw) >= 2):
+            raise ValueError("exposition line %d has a bad label: %r"
+                             % (number, item))
+        value = (raw[1:-1].replace('\\"', '"').replace("\\n", "\n")
+                 .replace("\\\\", "\\"))
+        labels.append((key.strip(), value))
+    return labels
+
+
+def _split_labels(body):
+    """Split ``a="x",b="y,z"`` on commas outside quoted values."""
+    parts = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts

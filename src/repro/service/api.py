@@ -12,6 +12,8 @@ Endpoints::
     GET  /stats                  scheduler + store counters
     GET  /jobs                   known jobs, newest first
     GET  /jobs/<id>              one job's status (and verdict when done)
+    GET  /jobs/<id>/progress     latest live progress snapshot for a job
+    GET  /metrics                Prometheus text exposition (format 0.0.4)
     GET  /results                recent store entries (metadata)
     GET  /results/<cache_key>    full stored result, traces included
     POST /submit                 submit a configuration for vetting
@@ -199,6 +201,68 @@ class VettingService:
         return {"scheduler": self.scheduler.stats(),
                 "store": self.store.stats()}
 
+    def job_progress(self, job_id):
+        return self.scheduler.progress(job_id)
+
+    def metrics_text(self):
+        """The ``/metrics`` scrape body: a fresh registry rebuilt from
+        the live scheduler/store counters and the in-process progress
+        board on every scrape, so samples are a consistent
+        point-in-time view (no sampling thread, no staleness)."""
+        from repro.obs import PROGRESS_BOARD, MetricsRegistry
+        from repro.obs.prometheus import render_exposition
+
+        registry = MetricsRegistry()
+        sched = self.scheduler.stats()
+        registry.gauge(
+            "repro_scheduler_jobs",
+            "Jobs known to the scheduler").set(sched["jobs"])
+        registry.gauge(
+            "repro_scheduler_queued",
+            "Heap entries awaiting a drain cycle").set(sched["queued"])
+        by_status = registry.gauge("repro_scheduler_jobs_by_status",
+                                   "Job records per lifecycle state")
+        for status, count in sorted(sched["by_status"].items()):
+            by_status.set(count, status=status)
+        registry.counter(
+            "repro_scheduler_executed_total",
+            "Engine runs actually executed (cache hits never "
+            "count)").inc(sched["executed"])
+        registry.counter(
+            "repro_scheduler_cache_hits_total",
+            "Submissions answered from the result store").inc(
+                sched["cache_hits"])
+        registry.counter(
+            "repro_scheduler_dedup_hits_total",
+            "Submissions attached to an in-flight twin").inc(
+                sched["dedup_hits"])
+        store = self.store.stats()
+        registry.gauge("repro_store_entries",
+                       "Stored results").set(store["entries"])
+        registry.counter("repro_store_hits_total",
+                         "Store lookups answered").inc(store["hits"])
+        registry.gauge(
+            "repro_store_saved_seconds",
+            "Engine seconds the cached verdicts represent").set(
+                store["saved_seconds"])
+        if "store_bytes" in store:
+            registry.gauge("repro_store_bytes",
+                           "SQLite file size").set(store["store_bytes"])
+        states = registry.gauge("repro_job_states",
+                                "Distinct states explored so far, per "
+                                "observed job")
+        transitions = registry.gauge("repro_job_transitions",
+                                     "Transitions taken so far, per "
+                                     "observed job")
+        frontier = registry.gauge("repro_job_frontier",
+                                  "Frontier size, per observed job")
+        for job in PROGRESS_BOARD.jobs():
+            snapshot = PROGRESS_BOARD.latest(job) or {}
+            states.set(snapshot.get("states", 0), job=str(job))
+            transitions.set(snapshot.get("transitions", 0), job=str(job))
+            frontier.set(snapshot.get("frontier", 0), job=str(job))
+        return render_exposition(registry)
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests onto the shared :class:`VettingService`."""
@@ -228,6 +292,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error_json(self, status, message):
         self._send_json({"error": message}, status=status)
 
+    def _send_text(self, text, content_type, status=200):
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_body(self):
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b"{}"
@@ -251,8 +323,19 @@ class _Handler(BaseHTTPRequestHandler):
                 })
             elif path == "/stats":
                 self._send_json(self.service.stats())
+            elif path == "/metrics":
+                from repro.obs.prometheus import CONTENT_TYPE
+
+                self._send_text(self.service.metrics_text(), CONTENT_TYPE)
             elif path == "/jobs":
                 self._send_json({"jobs": self.service.scheduler.jobs()})
+            elif path.startswith("/jobs/") and path.endswith("/progress"):
+                job_id = path[len("/jobs/"):-len("/progress")]
+                progress = self.service.job_progress(job_id)
+                if progress is None:
+                    self._send_error_json(404, "no such job")
+                else:
+                    self._send_json(progress)
             elif path.startswith("/jobs/"):
                 snapshot = self.service.job_snapshot(path[len("/jobs/"):])
                 if snapshot is None:
@@ -409,6 +492,25 @@ class ServiceClient:
 
     def job(self, job_id):
         return self._request("/jobs/%s" % job_id)
+
+    def job_progress(self, job_id):
+        return self._request("/jobs/%s/progress" % job_id)
+
+    def metrics(self):
+        """GET /metrics: the raw Prometheus text exposition (the one
+        endpoint that answers text, not JSON - parse it with
+        :func:`repro.obs.prometheus.parse_exposition`)."""
+        url = self.base_url + "/metrics"
+        request = urllib.request.Request(url)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc.reason))
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, "cannot reach %s (%s); is `repro serve` "
+                                  "running?" % (url, exc.reason))
 
     def jobs(self):
         return self._request("/jobs")["jobs"]

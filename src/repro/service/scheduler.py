@@ -273,6 +273,16 @@ class Scheduler:
                         options = copy.copy(options)
                     options.time_limit = self.job_timeout
                     tightened.add(record.id)
+            if getattr(options, "telemetry", None) is None:
+                # board hookup: a job-id scoped config (no sink, no
+                # meter) so ``/jobs/<id>/progress`` and the per-job
+                # ``/metrics`` gauges see live snapshots from runs
+                # executed in this process (inline and sharded paths).
+                # A submission carrying its own config keeps it.
+                from repro.obs import TelemetryConfig
+                if options is source.options:
+                    options = copy.copy(options)
+                options.telemetry = TelemetryConfig(job=record.id)
             jobs.append(VerificationJob(
                 record.id, source.config, options,
                 properties=source.properties, select=source.select,
@@ -432,6 +442,34 @@ class Scheduler:
                 self._wakeup.wait(timeout=remaining
                                   if remaining is not None else 0.5)
         return record.done
+
+    def progress(self, job_id):
+        """The latest observed progress for one job, or ``None``.
+
+        While the job runs in this process (the inline and sharded
+        paths) the live board snapshot rides along; once the job is
+        done the result's final figures do.  Jobs executing inside pool
+        worker processes publish to that worker's board, so their
+        ``snapshot`` key is absent until completion.
+        """
+        record = self.job(job_id)
+        if record is None:
+            return None
+        from repro.obs import PROGRESS_BOARD
+
+        data = {"id": record.id, "status": record.status,
+                "verdict": record.verdict}
+        snapshot = PROGRESS_BOARD.latest(job_id)
+        if snapshot is not None:
+            data["snapshot"] = snapshot
+        if record.result is not None:
+            data["result"] = {
+                "states": record.result.states_explored,
+                "transitions": record.result.transitions,
+                "elapsed": record.result.elapsed,
+                "violations": len(record.result.counterexamples),
+            }
+        return data
 
     def jobs(self):
         """Snapshots of every known job, newest first."""
