@@ -585,6 +585,76 @@ def test_table8_sharded_workers(benchmark):
         assert sharded["locality"].elapsed < single.elapsed * 4.0
 
 
+def test_table8_swarm_tier(generator, benchmark):
+    """The beyond-exhaustive axis: swarm sampling and the spill store.
+
+    Three rows on the depth-3 workload: the exhaustive reference, a
+    4-member swarm (diversified sampled members through the same
+    engine), and the disk-backed spill store (exact verdicts, working
+    set in SQLite).  The swarm must agree with the exhaustive verdict
+    on this violation-free system while honestly reporting partial
+    coverage; the spill store must reproduce the exhaustive run's
+    coverage exactly.  All three land in ``BENCH_table8.json``'s
+    ``swarm`` section for the (non-gating) regression diff.
+    """
+    system = five_app_system(generator)
+    properties = select_relevant(system, build_properties())
+
+    def run(**kwargs):
+        return verify(system, properties, max_events=3,
+                      max_states=3000000, **kwargs)
+
+    exhaustive = run()
+    swarm = benchmark.pedantic(
+        lambda: run(mode="swarm", swarm_members=4, seed=1),
+        iterations=1, rounds=2)
+    spill = run(visited="spill", successor_cache=False)
+
+    rows = [
+        ("exhaustive (reference)", exhaustive.states_explored,
+         "%.0f" % exhaustive.states_per_second, exhaustive.coverage),
+        ("swarm (4 members)", swarm.states_explored,
+         "%.0f" % swarm.states_per_second, swarm.coverage),
+        ("spill store (on disk)", spill.states_explored,
+         "%.0f" % spill.states_per_second, spill.coverage),
+    ]
+    print_table("Swarm tier at 3 events",
+                ["run", "states", "states/sec", "coverage"], rows)
+    update_bench_artifact("table8", "swarm", {
+        "exhaustive": {
+            "states": exhaustive.states_explored,
+            "transitions": exhaustive.transitions,
+            "states_per_second": round(exhaustive.states_per_second, 1),
+        },
+        "swarm_4": {
+            "members": 4,
+            "seed": 1,
+            "states": swarm.states_explored,
+            "transitions": swarm.transitions,
+            "states_per_second": round(swarm.states_per_second, 1),
+            "coverage_estimate": swarm.swarm["coverage_estimate"],
+            "candidates": swarm.swarm["candidates"],
+        },
+        "spill": {
+            "states": spill.states_explored,
+            "transitions": spill.transitions,
+            "states_per_second": round(spill.states_per_second, 1),
+            "bytes_per_state": spill.visited_stats.get("bytes_per_state",
+                                                       0.0),
+        },
+    })
+
+    # the soundness split: same verdict, honest coverage labels
+    assert swarm.verdict == exhaustive.verdict
+    assert swarm.coverage == "partial"
+    assert swarm.swarm["replay_failures"] == 0
+    # the spill store is exact: identical coverage and verdicts
+    assert spill.states_explored == exhaustive.states_explored
+    assert spill.transitions == exhaustive.transitions
+    assert spill.violated_property_ids == exhaustive.violated_property_ids
+    assert spill.coverage == "exhaustive"
+
+
 def test_table8_parallel_batch(generator, benchmark):
     """The whole-run axis: scaling points are independent verification
     jobs, so ``verify_many`` fans them across a process pool."""

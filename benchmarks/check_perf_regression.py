@@ -38,6 +38,9 @@ def _modes(document):
     for name, stats in document.get("telemetry", {}).items():
         if isinstance(stats, dict):
             modes["telemetry.%s" % name] = stats.get("states_per_second")
+    for name, stats in document.get("swarm", {}).items():
+        if isinstance(stats, dict):
+            modes["swarm.%s" % name] = stats.get("states_per_second")
     for name, stats in document.get("workers", {}).items():
         if name == "partitioners" and isinstance(stats, dict):
             for partition, nested in stats.items():

@@ -130,7 +130,9 @@ def cmd_check(args):
         options.telemetry = resolve_telemetry(
             {"path": args.telemetry_out, "progress": args.progress})
     system = None
-    if options.workers and options.workers > 1:
+    # swarm mode always runs inline: the driver launches its own member
+    # searches, so shard workers would only multiply processes
+    if options.workers and options.workers > 1 and options.mode != "swarm":
         # the sharded engine's workers rebuild the system from the
         # declarative job description, exactly like `repro batch` -
         # building one in the parent too would double the startup cost
@@ -367,6 +369,11 @@ def _submit_payload(args):
         "failures": args.failures,
         "priority": args.priority,
     }
+    if args.mode == "swarm":
+        # semantic for swarm submissions only (they join the digest);
+        # sending them on exhaustive submissions would be noise
+        payload["options"]["seed"] = args.seed
+        payload["options"]["swarm_members"] = args.swarm_members
     if args.engine:
         payload["options"]["engine"] = args.engine
     if args.shard_workers:
@@ -487,8 +494,23 @@ def cmd_gc(args):
 def _add_engine_arguments(parser):
     """The engine tunables shared by ``check`` and ``batch``."""
     parser.add_argument("--max-events", type=int, default=3)
-    parser.add_argument("--mode", choices=["sequential", "concurrent"],
-                        default="sequential")
+    parser.add_argument("--mode",
+                        choices=["sequential", "concurrent", "swarm"],
+                        default="sequential",
+                        help="exploration semantics: sequential (the "
+                             "default interleaving model), concurrent "
+                             "(simultaneous event batches) or swarm (N "
+                             "diversified sampled member searches - finds "
+                             "violations beyond exhaustive reach, but a "
+                             "safe verdict only means coverage=partial; "
+                             "see --swarm-members/--seed and docs/swarm.md)")
+    parser.add_argument("--swarm-members", type=int, default=4,
+                        help="member searches a swarm run launches "
+                             "(--mode swarm only)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root of the swarm diversification (successor "
+                             "shuffles + bitstate salts); the same seed "
+                             "reproduces the same swarm result")
     parser.add_argument("--visited", choices=visited_store_names(),
                         default="fingerprint",
                         help="visited-state store: fingerprint (one 64-bit "
@@ -496,7 +518,14 @@ def _add_engine_arguments(parser):
                              "default), collapse (exact dedup at a few "
                              "machine words per state - the deep-run "
                              "choice), exact (full canonical keys, no hash "
-                             "shortcuts) or bitstate (Spin supertrace)")
+                             "shortcuts), bitstate (Spin supertrace), "
+                             "bitstate-k (salted k-hash supertrace - the "
+                             "swarm members' store) or spill (disk-backed "
+                             "SQLite - exhaustive coverage with bounded "
+                             "RSS; see --spill-dir)")
+    parser.add_argument("--spill-dir", default=None, metavar="DIR",
+                        help="directory for --visited spill databases "
+                             "(default: a self-cleaning temp dir)")
     parser.add_argument("--strategy", choices=strategy_names(),
                         default="dfs",
                         help="frontier strategy (search order)")
@@ -583,7 +612,10 @@ def _engine_options(args):
                          reduction=args.reduction,
                          scenario=args.scenario,
                          workers=shard_workers,
-                         partition=getattr(args, "partition", "locality"))
+                         partition=getattr(args, "partition", "locality"),
+                         seed=getattr(args, "seed", 0),
+                         swarm_members=getattr(args, "swarm_members", 4),
+                         spill_dir=getattr(args, "spill_dir", None))
 
 
 def build_parser():

@@ -18,7 +18,11 @@ The exploration machinery of the checker, carved into replaceable parts:
 * :mod:`repro.engine.parallel` - :func:`explore_sharded`, sharding a
   *single* run across worker processes with delta-encoded handoffs and
   bounded work stealing (``EngineOptions(workers=N)`` /
-  ``repro check --workers N --partition locality``).
+  ``repro check --workers N --partition locality``);
+* :mod:`repro.engine.swarm` - :func:`explore_swarm`, the
+  beyond-exhaustive tier: N diversified sampled member searches sharing
+  one deduplicated, oracle-replayed violation sink
+  (``EngineOptions(mode="swarm")`` / ``repro check --mode swarm``).
 
 ``repro.checker.explorer`` remains as a thin compatibility shim over this
 package.
@@ -40,6 +44,7 @@ from repro.engine.frontier import (
 from repro.engine.options import (
     CONCURRENT,
     SEQUENTIAL,
+    SWARM,
     EngineOptions,
     visited_store_names,
 )
@@ -50,16 +55,20 @@ from repro.engine.strategy import (
     register_strategy,
     strategy_names,
 )
+from repro.engine.swarm import SwarmResult, explore_swarm
 from repro.engine.visited import (
     BitStateTable,
+    BitStateVisitedSet,
     CollapseVisitedSet,
     ExactVisitedSet,
     FingerprintVisitedSet,
+    SpillVisitedStore,
 )
 
 __all__ = [
     "BatchResult",
     "BitStateTable",
+    "BitStateVisitedSet",
     "BreadthFirstFrontier",
     "CONCURRENT",
     "CollapseVisitedSet",
@@ -72,11 +81,15 @@ __all__ = [
     "Frontier",
     "PriorityFrontier",
     "SEQUENTIAL",
+    "SWARM",
     "ShardError",
+    "SpillVisitedStore",
+    "SwarmResult",
     "VerificationJob",
     "default_shard_workers",
     "default_workers",
     "explore_sharded",
+    "explore_swarm",
     "make_frontier",
     "make_partitioner",
     "partitioner_names",

@@ -157,11 +157,16 @@ def execute_job_inline(job):
 def execute_job(job):
     """Build and verify one job (runs inside the worker process).
 
-    A job whose options request shard workers (``workers > 1``) runs
-    through the sharded multi-process engine
-    (:func:`repro.engine.parallel.explore_sharded`); everything else
-    runs the classic in-process search.
+    A swarm-mode job always runs inline - the swarm driver launches its
+    own member searches and sharding a sampled run would only re-shuffle
+    what the members already diversify.  A job whose options request
+    shard workers (``workers > 1``) runs through the sharded
+    multi-process engine (:func:`repro.engine.parallel.explore_sharded`);
+    everything else runs the classic in-process search.
     """
+    from repro.engine.options import SWARM
+    if getattr(job.options, "mode", None) == SWARM:
+        return execute_job_inline(job)
     if getattr(job.options, "workers", 1) and job.options.workers > 1:
         from repro.engine.parallel import explore_sharded
         return explore_sharded(job)

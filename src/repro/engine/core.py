@@ -32,7 +32,7 @@ import gc
 import time
 from collections import OrderedDict
 
-from repro.engine.options import CONCURRENT, EngineOptions
+from repro.engine.options import CONCURRENT, SWARM, EngineOptions
 from repro.engine.result import ExplorationResult
 
 #: shared empty sleep set (most nodes sleep nothing)
@@ -41,6 +41,10 @@ _NO_SLEEP = frozenset()
 #: longest counterexample the trace canonicalization will permute
 #: (factorial growth; beyond this the recorded path is kept as-is)
 PERMUTE_TRACE_LIMIT = 6
+
+#: bitstate fill ratio beyond which the store is saturating (missed
+#: states become likely) and telemetry emits a warning event
+BITSTATE_SATURATION_WARN = 0.5
 
 
 class _Node:
@@ -249,6 +253,12 @@ class ExplorationEngine:
 
     def run(self):
         """Explore; returns an :class:`ExplorationResult`."""
+        if self.options.mode == SWARM:
+            # the swarm driver runs its members through this same class
+            # (each member is a sequential engine), so the delegation
+            # cannot recurse
+            from repro.engine.swarm import explore_swarm
+            return explore_swarm(self)
         restore_gc = self.options.manage_gc and gc.isenabled()
         if restore_gc:
             # the search churns through millions of short-lived acyclic
@@ -661,6 +671,15 @@ class ExplorationEngine:
             self._telemetry = None
             for name in sorted(profile):
                 telemetry.span(name, profile[name])
+            fill_ratio = result.visited_stats.get("fill_ratio")
+            if (fill_ratio is not None
+                    and fill_ratio > BITSTATE_SATURATION_WARN):
+                # a saturating bitstate field silently loses coverage;
+                # the warning makes the loss observable in the run sink
+                telemetry.warning(
+                    "bitstate_saturation", fill_ratio=fill_ratio,
+                    stored=result.visited_stats.get("stored", 0),
+                    collisions=result.visited_stats.get("collisions", 0))
             telemetry.run_end(result)
             telemetry.close()
         return result

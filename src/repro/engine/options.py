@@ -4,6 +4,10 @@ from repro.engine import strategy as _strategy
 
 SEQUENTIAL = "sequential"
 CONCURRENT = "concurrent"
+SWARM = "swarm"
+
+#: the legal ``EngineOptions.mode`` values
+EXPLORATION_MODES = (SEQUENTIAL, CONCURRENT, SWARM)
 
 #: execution tiers for the transition relation, slowest to fastest
 ENGINE_MODES = ("interpreted", "compiled", "codegen")
@@ -36,12 +40,34 @@ def _make_collapse(options, system):
     return CollapseVisitedSet(system.state_schema())
 
 
+def _make_bitstate_k(options, system):
+    from repro.engine.visited import BitStateVisitedSet
+    return BitStateVisitedSet(bits_log2=options.bitstate_bits,
+                              salt=options.bitstate_salt)
+
+
+def _make_spill(options, system):
+    from repro.engine.visited import SpillVisitedStore
+    path = None
+    if options.spill_dir:
+        import os
+        import tempfile
+        os.makedirs(options.spill_dir, exist_ok=True)
+        handle, path = tempfile.mkstemp(dir=options.spill_dir,
+                                        prefix="visited-", suffix=".sqlite")
+        os.close(handle)
+        os.unlink(path)  # let SQLite create the file itself
+    return SpillVisitedStore(path=path)
+
+
 #: visited-store name -> constructor taking (options, system-or-None)
 _VISITED_STORES = {
     "exact": _make_exact,
     "fingerprint": _make_fingerprint,
     "bitstate": _make_bitstate,
+    "bitstate-k": _make_bitstate_k,
     "collapse": _make_collapse,
+    "spill": _make_spill,
 }
 
 
@@ -62,8 +88,12 @@ class EngineOptions:
     dedup at a few machine words per state, the recommended store for
     deep bounds where the exact store's full canonical keys no longer
     fit), ``exact`` (full canonical keys and no hash shortcuts anywhere,
-    including the invariant-verdict memo) or ``bitstate`` (Spin
-    supertrace bitfield).
+    including the invariant-verdict memo), ``bitstate`` (Spin supertrace
+    bitfield), ``bitstate-k`` (the salted k-hash supertrace over the
+    same fingerprints - the swarm members' store, O(1) fill-ratio
+    saturation reporting) or ``spill`` (the disk-backed SQLite store -
+    exhaustive coverage with peak RSS bounded by its caches instead of
+    the state count; see ``spill_dir``).
 
     The compiled-transition-relation knobs:
 
@@ -160,6 +190,27 @@ class EngineOptions:
         workers rebuild the system from the declarative job); a bare
         :class:`~repro.engine.core.ExplorationEngine` always runs
         in-process.
+    ``mode`` / ``seed`` / ``swarm_members``
+        ``mode`` selects the exploration semantics: ``sequential`` (the
+        default interleaving model), ``concurrent`` (simultaneous event
+        batches) or ``swarm`` (:mod:`repro.engine.swarm` - N diversified
+        sampled member searches sharing one deduplicated violation
+        sink).  Swarm runs are *unsound for safety*: a swarm ``safe``
+        verdict always carries ``coverage="partial"`` and is never
+        cached as exhaustive, while every reported violation is replayed
+        on the interpreted oracle before it is reported.  ``seed`` is
+        the root of the per-member diversification (successor shuffling
+        and bitstate salts; same seed, same result) and
+        ``swarm_members`` is the member count; both are *semantic* for
+        swarm runs only - exhaustive digests ignore them.
+    ``bitstate_salt`` / ``spill_dir``
+        ``bitstate_salt`` remaps every ``bitstate-k`` bit position
+        (swarm members derive per-member salts from it), changing which
+        states a saturated field misses - semantic, like
+        ``bitstate_bits``.  ``spill_dir`` is the directory for ``spill``
+        visited-store databases (``None``: a self-cleaning temp dir); a
+        local filesystem detail, deliberately not accepted by the
+        vetting service API.
     ``partition``
         Which :mod:`repro.engine.partition` strategy maps states to
         owning shards when ``workers > 1``: ``locality`` (the default -
@@ -179,11 +230,22 @@ class EngineOptions:
                  cache_limit=100000, cache_min_hit_rate=0.05,
                  cache_warmup=4096, reduction=False, check_interval=256,
                  manage_gc=True, workers=1, partition="locality",
-                 scenario="clean", telemetry=None):
+                 scenario="clean", telemetry=None, seed=0, swarm_members=4,
+                 bitstate_salt=0, spill_dir=None):
         self.max_events = max_events
+        if mode not in EXPLORATION_MODES:
+            raise ValueError("unknown mode %r (known: %s)"
+                             % (mode, ", ".join(EXPLORATION_MODES)))
         self.mode = mode
         self.visited = visited
         self.bitstate_bits = bitstate_bits
+        self.seed = int(seed)
+        if int(swarm_members) < 1:
+            raise ValueError("swarm_members must be >= 1, got %r"
+                             % (swarm_members,))
+        self.swarm_members = int(swarm_members)
+        self.bitstate_salt = int(bitstate_salt)
+        self.spill_dir = spill_dir
         self.max_states = max_states
         self.max_transitions = max_transitions
         self.time_limit = time_limit

@@ -106,10 +106,26 @@ class ExplorationResult:
         """``"violated"`` or ``"safe"`` - the service-facing outcome."""
         return "violated" if self.counterexamples else "safe"
 
+    @property
+    def coverage(self):
+        """``"exhaustive"`` or ``"partial"`` - how much a ``safe`` verdict
+        is worth.
+
+        Derived, never stored: a truncated run (limit tripped or shard
+        lost) covered only part of the bounded space, and a swarm run
+        (:class:`~repro.engine.swarm.SwarmResult` overrides this to a
+        constant ``"partial"``) is sampled by construction.  Serialized
+        for consumers, recomputed on deserialization - a result cannot
+        claim more coverage than its own flags support.
+        """
+        return "partial" if (self.truncated or self.shard_failure) \
+            else "exhaustive"
+
     def to_dict(self):
         return {
             "schema": RESULT_SCHEMA_VERSION,
             "verdict": self.verdict,
+            "coverage": self.coverage,
             "counterexamples": [ce.to_dict()
                                 for ce in self.counterexamples.values()],
             "states_explored": self.states_explored,
@@ -139,6 +155,13 @@ class ExplorationResult:
         from repro.checker.violations import Counterexample
 
         _check_schema(data, "ExplorationResult")
+        if cls is ExplorationResult and data.get("swarm"):
+            # polymorphic rebuild: a swarm payload comes back as the
+            # SwarmResult it was (coverage stays "partial", the swarm
+            # block survives the round-trip).  Imported lazily -
+            # repro.engine.swarm imports this module
+            from repro.engine.swarm import SwarmResult
+            return SwarmResult.from_dict(data)
         result = cls()
         for ce_data in data.get("counterexamples", ()):
             counterexample = Counterexample.from_dict(ce_data)

@@ -283,6 +283,9 @@ class TelemetrySession:
     def __init__(self, config):
         self.config = config
         self.started = time.monotonic()
+        #: warning name -> times emitted this session (the counter the
+        #: ``warning`` events carry, so a reader can dedup by count)
+        self.warning_counts = {}
         self._sink = None
         self._meter = None
         if config.path:
@@ -315,11 +318,15 @@ class TelemetrySession:
         if options is not None:
             fields.update({
                 "max_events": options.max_events,
+                "mode": options.mode,
                 "engine": options.engine,
                 "visited": options.visited,
                 "strategy": options.strategy,
                 "scenario": options.scenario,
             })
+            if options.mode == "swarm":
+                fields["seed"] = options.seed
+                fields["swarm_members"] = options.swarm_members
         self._emit("run_start", fields)
 
     def snapshot(self, fields):
@@ -337,6 +344,23 @@ class TelemetrySession:
 
     def span(self, name, seconds):
         self._emit("span", {"name": name, "seconds": round(seconds, 6)})
+
+    def swarm_member(self, fields):
+        """One swarm member's completed-search summary
+        (:mod:`repro.engine.swarm` emits one per member)."""
+        self._emit("swarm_member", fields)
+
+    def warning(self, name, **fields):
+        """A named run-health warning (e.g. ``bitstate_saturation``).
+
+        Each emission increments the session's per-name counter and the
+        event carries the running ``count``, so a sink reader can both
+        see every occurrence and cheaply report totals.
+        """
+        self.warning_counts[name] = self.warning_counts.get(name, 0) + 1
+        payload = {"name": name, "count": self.warning_counts[name]}
+        payload.update(fields)
+        self._emit("warning", payload)
 
     def run_end(self, result):
         """The run's outcome; also published as the final board state."""

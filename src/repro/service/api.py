@@ -51,12 +51,20 @@ from repro.service.store import STORE_SCHEMA_VERSION, ResultStore
 #: strategy - pure performance knobs, excluded from the content digest,
 #: so they never split the result cache)
 _ALLOWED_OPTIONS = (
-    "max_events", "mode", "visited", "bitstate_bits", "max_states",
-    "max_transitions", "time_limit", "stop_on_first", "strategy",
-    "compiled", "engine", "slab_size", "successor_cache", "cache_limit",
-    "cache_min_hit_rate", "cache_warmup", "reduction", "workers",
-    "partition", "scenario",
+    "max_events", "mode", "visited", "bitstate_bits", "bitstate_salt",
+    "max_states", "max_transitions", "time_limit", "stop_on_first",
+    "strategy", "compiled", "engine", "slab_size", "successor_cache",
+    "cache_limit", "cache_min_hit_rate", "cache_warmup", "reduction",
+    "workers", "partition", "scenario", "seed", "swarm_members",
 )
+# deliberately NOT accepted: ``telemetry`` (a live-handle/filesystem
+# concern of the host) and ``spill_dir`` (a server-side filesystem path
+# a remote submitter must not choose - spill stores fall back to
+# self-cleaning temp dirs)
+
+#: most swarm members one HTTP submission may request (members run
+#: serially, so this bounds per-job wall clock, not process count)
+MAX_SWARM_MEMBERS = 64
 
 
 class SubmissionError(ValueError):
@@ -144,7 +152,7 @@ class VettingService:
                                   % ", ".join(unknown))
         # the enum-valued options are only validated when the engine runs;
         # reject bad values at the API boundary instead of erroring the job
-        from repro.engine.options import CONCURRENT, ENGINE_MODES, SEQUENTIAL
+        from repro.engine.options import ENGINE_MODES, EXPLORATION_MODES
         from repro.engine.options import visited_store_names
         from repro.engine.partition import partitioner_names
         from repro.engine.strategy import strategy_names
@@ -152,7 +160,7 @@ class VettingService:
 
         enums = {"visited": visited_store_names(),
                  "strategy": strategy_names(),
-                 "mode": [SEQUENTIAL, CONCURRENT],
+                 "mode": list(EXPLORATION_MODES),
                  "engine": list(ENGINE_MODES),
                  "partition": partitioner_names(),
                  "scenario": list(scenario_names())}
@@ -172,6 +180,19 @@ class VettingService:
                 raise SubmissionError(
                     "bad 'workers' option %r (an integer 1..%d)"
                     % (workers, MAX_SHARD_WORKERS))
+        if "swarm_members" in options:
+            members = options["swarm_members"]
+            # same spirit as the workers bound: a submission must not be
+            # able to ask this host for an unbounded member fleet
+            if (not isinstance(members, int) or isinstance(members, bool)
+                    or not 1 <= members <= MAX_SWARM_MEMBERS):
+                raise SubmissionError(
+                    "bad 'swarm_members' option %r (an integer 1..%d)"
+                    % (members, MAX_SWARM_MEMBERS))
+        if "seed" in options and (not isinstance(options["seed"], int)
+                                  or isinstance(options["seed"], bool)):
+            raise SubmissionError("bad 'seed' option %r (an integer)"
+                                  % (options["seed"],))
         try:
             return EngineOptions(**options)
         except (TypeError, ValueError) as exc:

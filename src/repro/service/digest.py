@@ -40,16 +40,27 @@ import json
 #: so the back-end choice is a pure performance knob like ``workers``.
 #: v3: the fault-injection ``scenario`` profile joined the semantic
 #: fields - each profile explores a different transition relation, so a
-#: lossy verdict must never be served from the clean cache)
-DIGEST_SCHEMA_VERSION = 3
+#: lossy verdict must never be served from the clean cache.
+#: v4: ``bitstate_salt`` joined the semantic fields (a salted bitstate
+#: field misses a different state set), and swarm runs additionally
+#: hash ``seed``/``swarm_members`` - two swarms with different seeds
+#: sample different spaces, while exhaustive digests ignore both)
+DIGEST_SCHEMA_VERSION = 4
 
 #: EngineOptions fields that can change verdicts, traces or reported
 #: exploration statistics; everything else is a performance knob
 SEMANTIC_OPTION_FIELDS = (
-    "max_events", "mode", "visited", "bitstate_bits", "max_states",
-    "max_transitions", "time_limit", "stop_on_first", "strategy",
-    "reduction", "scenario",
+    "max_events", "mode", "visited", "bitstate_bits", "bitstate_salt",
+    "max_states", "max_transitions", "time_limit", "stop_on_first",
+    "strategy", "reduction", "scenario",
 )
+
+#: additionally semantic for ``mode == "swarm"`` submissions only: the
+#: seed diversifies every member's search order and salt, and the member
+#: count bounds what the swarm can find.  Exhaustive runs ignore both
+#: (their verdict is a function of the space alone), so hashing them
+#: unconditionally would pointlessly split the exhaustive cache
+SWARM_OPTION_FIELDS = ("seed", "swarm_members")
 
 
 def canonical_json(payload):
@@ -150,8 +161,11 @@ def properties_payload(properties):
 
 def options_payload(options):
     """Canonical form of the semantic engine options."""
-    payload = {name: getattr(options, name)
+    payload = {name: getattr(options, name, None)
                for name in SEMANTIC_OPTION_FIELDS}
+    if getattr(options, "mode", None) == "swarm":
+        for name in SWARM_OPTION_FIELDS:
+            payload[name] = getattr(options, name, None)
     priority = getattr(options, "priority", None)
     if priority is not None:
         # a custom priority function changes the search order; its

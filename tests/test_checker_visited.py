@@ -1,5 +1,6 @@
 """Unit + property-based tests for the visited-state stores."""
 
+import os
 import random
 
 from hypothesis import given, settings
@@ -8,7 +9,11 @@ from hypothesis import strategies as st
 import pytest
 
 from repro.checker.visited import BitStateTable, ExactVisitedSet
-from repro.engine.visited import FingerprintVisitedSet
+from repro.engine.visited import (
+    BitStateVisitedSet,
+    FingerprintVisitedSet,
+    SpillVisitedStore,
+)
 from repro.model.state import ModelState
 
 
@@ -91,6 +96,14 @@ class TestBitStateTable:
             single.seen_before(key, 0)
             double.seen_before(key, 0)
         assert double.collisions <= single.collisions
+
+    def test_fill_ratio_capped_at_one_when_saturated(self):
+        """Saturation regression: a hammered field reports exactly 1.0,
+        never more (the telemetry warning keys off this number)."""
+        table = BitStateTable(bits_log2=8, hash_count=4)
+        for index in range(2000):
+            table.seen_before(("s", index), 0)
+        assert table.fill_ratio == 1.0
 
 
 class TestFingerprintVisitedSet:
@@ -257,3 +270,184 @@ class TestStoreProperties:
         for key in keys:
             table.seen_before(key, 0)
         assert table.stored + table.collisions == len(keys)
+
+
+# ---------------------------------------------------------------------------
+# the swarm tier's stores: salted k-hash bitstate, disk-backed spill
+# ---------------------------------------------------------------------------
+
+_U64 = st.integers(0, (1 << 64) - 1)
+
+
+class TestBitStateVisitedSet:
+    """The salted fingerprint-keyed supertrace store of the swarm tier."""
+
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            BitStateVisitedSet(bits_log2=2)
+        with pytest.raises(ValueError):
+            BitStateVisitedSet(hash_count=0)
+
+    def test_state_key_is_fingerprint(self):
+        state = ModelState()
+        state.set_attribute("d", "switch", "on")
+        assert BitStateVisitedSet.state_key(state) == state.fingerprint()
+
+    def test_depth_is_ignored(self):
+        """Spin-compatible partial coverage: no per-state depth, so even
+        a *shallower* revisit is pruned (unlike the exact stores)."""
+        store = BitStateVisitedSet(bits_log2=16)
+        assert store.seen_before(0xBEEF, 3) is False
+        assert store.seen_before(0xBEEF, 1) is True
+
+    @given(st.lists(_U64, unique=True, max_size=120))
+    def test_no_false_negatives_on_admitted_keys(self, keys):
+        """A key the store admitted is never forgotten, at any depth."""
+        store = BitStateVisitedSet(bits_log2=16)
+        admitted = [key for key in keys if not store.seen_before(key, 0)]
+        assert all(store.seen_before(key, 5) for key in admitted)
+
+    @given(st.lists(_U64, unique=True, max_size=100))
+    @settings(max_examples=30)
+    def test_fill_ratio_monotone_and_bounded(self, keys):
+        store = BitStateVisitedSet(bits_log2=8, hash_count=3)
+        previous = 0.0
+        for key in keys:
+            store.seen_before(key, 0)
+            assert previous <= store.fill_ratio <= 1.0
+            previous = store.fill_ratio
+
+    def test_fill_ratio_saturates_at_exactly_one(self):
+        """Regression: two hashes landing on one bit within a single
+        admission once double-counted the set-bit counter past 1.0."""
+        store = BitStateVisitedSet(bits_log2=4, hash_count=4)
+        for key in range(5000):
+            store.seen_before(key * 0x9E3779B97F4A7C15 & ((1 << 64) - 1), 0)
+        assert store.fill_ratio == 1.0
+
+    def test_k_hashes_hit_distinct_positions(self):
+        """Independence smoke: in a roomy field one key's k positions
+        are k *different* bits (the whole point of multi-hash bitstate)."""
+        positions = BitStateVisitedSet(bits_log2=20,
+                                       hash_count=8).bit_positions(12345)
+        assert len(set(positions)) == 8
+
+    @given(_U64)
+    @settings(max_examples=40)
+    def test_salt_remaps_positions(self, key):
+        """Distinct salts give swarm members independent miss patterns."""
+        plain = BitStateVisitedSet(bits_log2=20, salt=0)
+        salted = BitStateVisitedSet(bits_log2=20, salt=1)
+        assert plain.bit_positions(key) != salted.bit_positions(key)
+
+    def test_stats_and_distinct_count(self):
+        store = BitStateVisitedSet(bits_log2=16)
+        for key in (1, 2, 1):
+            store.seen_before(key, 0)
+        assert store.distinct_count() == 2  # the revisit is a collision
+        stats = store.stats()
+        assert stats["stored"] == 2 and stats["collisions"] == 1
+        assert stats["approx_bytes"] == (1 << 16) // 8
+        assert 0.0 < stats["fill_ratio"] <= 1.0
+        assert stats["hash_count"] == 3 and stats["salt"] == 0
+
+
+class TestSpillVisitedStore:
+    """The disk-backed store: FingerprintVisitedSet semantics on SQLite."""
+
+    def test_protocol_round_trip(self):
+        store = SpillVisitedStore()
+        try:
+            assert store.seen_before(0xDEAD, 3) is False
+            assert store.seen_before(0xDEAD, 3) is True
+            # shallower revisit re-expands and lowers the stored minimum
+            assert store.seen_before(0xDEAD, 1) is False
+            assert store.seen_before(0xDEAD, 2) is True
+            assert store.distinct_count() == 1
+        finally:
+            store.close()
+
+    def test_state_key_is_fingerprint(self):
+        state = ModelState()
+        state.set_attribute("d", "switch", "on")
+        assert SpillVisitedStore.state_key(state) == state.fingerprint()
+
+    def test_spill_reload_round_trip(self, tmp_path):
+        """The on-disk file is the store: close and reopen preserves the
+        distinct count and the recorded minimum depths - including keys
+        above 2^63, which must survive the signed-integer mapping."""
+        path = str(tmp_path / "visited.sqlite")
+        keys = [7, 2**63 + 5, 2**64 - 1] + list(range(100, 300))
+        store = SpillVisitedStore(path)
+        for key in keys:
+            assert store.seen_before(key, 2) is False
+        store.close()
+        reopened = SpillVisitedStore(path)
+        try:
+            assert reopened.distinct_count() == len(keys)
+            assert all(reopened.seen_before(key, 2) for key in keys)
+            assert reopened.seen_before(keys[0], 1) is False  # depth-aware
+        finally:
+            reopened.close()
+
+    def test_write_buffer_flushes_at_the_batch_size(self, tmp_path):
+        path = str(tmp_path / "visited.sqlite")
+        store = SpillVisitedStore(path)
+        store.FLUSH_BATCH = 8
+        for key in range(9):
+            store.seen_before(key, 0)
+        assert len(store._pending) < 8  # the batch went to SQLite
+        rows = store._conn.execute("SELECT COUNT(*) FROM visited").fetchone()
+        assert rows[0] >= 8
+        store.close()
+
+    def test_bounded_cache_reads_fall_back_to_the_database(self):
+        store = SpillVisitedStore(cache_limit=2)
+        try:
+            store.FLUSH_BATCH = 1  # every write lands on disk immediately
+            for key in range(10):
+                store.seen_before(key, 1)
+            assert not store._pending and len(store._cache) <= 2
+            assert store.seen_before(0, 1) is True  # answered by SQLite
+            assert store.seen_before(1, 0) is False  # depth-aware via disk
+        finally:
+            store.close()
+
+    def test_owned_temp_dir_is_removed_on_close(self):
+        store = SpillVisitedStore()
+        directory = store._own_dir
+        store.seen_before(1, 0)
+        assert directory and os.path.isdir(directory)
+        store.close()
+        assert not os.path.exists(directory)
+
+    def test_stats_shape(self):
+        store = SpillVisitedStore()
+        try:
+            for key in range(50):
+                store.seen_before(key, 0)
+            stats = store.stats()
+            assert stats["stored"] == 50
+            assert stats["disk_bytes"] > 0  # stats() flushes first
+            assert stats["approx_bytes"] >= stats["disk_bytes"]
+            assert stats["bytes_per_state"] > 0
+            assert stats["path"] == store.path
+        finally:
+            store.close()
+
+    @given(st.lists(st.tuples(_U64, st.integers(0, 5)), max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_the_exact_store_verdicts(self, operations):
+        """Protocol conformance: for any operation sequence the spill
+        store answers exactly like the in-RAM depth-aware exact set."""
+        spill = SpillVisitedStore()
+        exact = ExactVisitedSet()
+        try:
+            for index, (key, depth) in enumerate(operations):
+                assert (spill.seen_before(key, depth)
+                        == exact.seen_before(key, depth))
+                if index == len(operations) // 2:
+                    spill.flush()  # exercise the database path mid-way
+            assert spill.distinct_count() == len(exact)
+        finally:
+            spill.close()

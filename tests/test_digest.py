@@ -205,3 +205,50 @@ class TestContentSensitivity:
         overlaid = VerificationJob("a", alice_config, options, strict=False,
                                    sources={"Unlock Door": patched})
         assert overlaid.cache_key() != baseline
+
+
+class TestSwarmOptionClassification:
+    """How the swarm knobs map onto semantic vs performance digests.
+
+    ``mode`` decides *what kind of result* is produced (a sampled swarm
+    result is not interchangeable with an exhaustive one), and within
+    swarm mode the seed and member count decide *which sample* - so all
+    three are semantic there.  Outside swarm mode, seed and member count
+    are inert and must not fragment the exhaustive cache.
+    """
+
+    def test_mode_is_semantic(self, alice_system):
+        assert (alice_system.digest(options=EngineOptions(mode="swarm"))
+                != alice_system.digest(options=EngineOptions()))
+
+    def test_seed_and_members_are_semantic_only_in_swarm_mode(
+            self, alice_system):
+        sequential = {
+            alice_system.digest(options=EngineOptions(seed=seed,
+                                                      swarm_members=members))
+            for seed, members in ((0, 4), (1, 4), (0, 8))}
+        assert sequential == {alice_system.digest(options=EngineOptions())}
+        swarm = {
+            alice_system.digest(options=EngineOptions(mode="swarm",
+                                                      seed=seed,
+                                                      swarm_members=members))
+            for seed, members in ((0, 4), (1, 4), (0, 8))}
+        assert len(swarm) == 3
+
+    def test_bitstate_salt_is_semantic(self, alice_system):
+        """The salt remaps which states a bitstate run *misses*, so two
+        salts are two different (partial) explorations."""
+        assert (alice_system.digest(
+                    options=EngineOptions(visited="bitstate-k",
+                                          bitstate_salt=1))
+                != alice_system.digest(
+                    options=EngineOptions(visited="bitstate-k")))
+
+    def test_spill_residence_is_a_performance_knob(self, alice_system):
+        """The spill store is exact - where the visited set *lives* must
+        not change the digest (but which store semantics run does)."""
+        assert (alice_system.digest(
+                    options=EngineOptions(visited="spill", spill_dir="/tmp"))
+                == alice_system.digest(options=EngineOptions(visited="spill")))
+        assert (alice_system.digest(options=EngineOptions(visited="spill"))
+                != alice_system.digest(options=EngineOptions(visited="exact")))

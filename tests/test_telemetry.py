@@ -395,3 +395,60 @@ class TestSummarySatellites:
 
     def test_batch_summary_skips_throughput_without_elapsed(self):
         assert "aggregate throughput" not in BatchResult().summary()
+
+
+# ---------------------------------------------------------------------------
+# warnings + swarm events
+# ---------------------------------------------------------------------------
+
+
+class TestWarningAndSwarmEvents:
+    def test_warning_counter_increments_per_name(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        session = open_session(TelemetryConfig(path=path))
+        session.warning("bitstate_saturation", fill_ratio=0.7)
+        session.warning("bitstate_saturation", fill_ratio=0.9)
+        session.warning("other", detail="x")
+        session.close()
+        assert session.warning_counts == {"bitstate_saturation": 2,
+                                          "other": 1}
+        events = [e for e in read_events(path) if e["kind"] == "warning"]
+        assert [(e["name"], e["count"]) for e in events] \
+            == [("bitstate_saturation", 1), ("bitstate_saturation", 2),
+                ("other", 1)]
+        assert events[1]["fill_ratio"] == 0.9
+
+    def test_saturated_bitstate_run_warns(self, tmp_path):
+        """An engine run whose bitstate field crosses the saturation
+        threshold must leave a ``bitstate_saturation`` warning in the
+        sink - the run is silently losing coverage past that point."""
+        path = str(tmp_path / "run.jsonl")
+        execute_job_inline(_group_job(visited="bitstate-k", bitstate_bits=8,
+                                      telemetry=path))
+        warnings = [e for e in read_events(path) if e["kind"] == "warning"]
+        assert len(warnings) == 1
+        event = warnings[0]
+        assert event["name"] == "bitstate_saturation"
+        assert event["count"] == 1
+        assert event["fill_ratio"] > 0.5
+        assert event["stored"] > 0
+
+    def test_unsaturated_run_does_not_warn(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        execute_job_inline(_group_job(visited="bitstate-k",
+                                      telemetry=path))  # roomy default field
+        assert not [e for e in read_events(path) if e["kind"] == "warning"]
+
+    def test_swarm_run_logs_members_and_mode(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        execute_job_inline(_group_job(mode="swarm", swarm_members=2, seed=5,
+                                      telemetry=path))
+        events = read_events(path)
+        start = next(e for e in events if e["kind"] == "run_start")
+        assert start["mode"] == "swarm"
+        assert start["seed"] == 5 and start["swarm_members"] == 2
+        members = [e for e in events if e["kind"] == "swarm_member"]
+        assert [e["member"] for e in members] == [0, 1]
+        assert all(e["elapsed"] >= 0 for e in members)
+        end = next(e for e in events if e["kind"] == "run_end")
+        assert end["states"] == sum(e["states"] for e in members)
